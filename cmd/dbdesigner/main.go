@@ -1,0 +1,145 @@
+// Command dbdesigner is the terminal front-end of the automated,
+// interactive and portable DB designer — the demo driver for the paper's
+// three scenarios over the synthetic SDSS dataset.
+//
+// Usage:
+//
+//	dbdesigner <command> [flags]
+//
+// Commands:
+//
+//	advise        Scenario 2: automatic indexes + partitions + schedule
+//	whatif        Scenario 1: evaluate a manually specified design
+//	online        Scenario 3: continuous tuning over a drifting stream
+//	interactions  render the index-interaction graph (Figure 2)
+//	partition     automatic partition suggestion panel (Figure 3)
+//	explain       plan one query under the current design
+//	compare       CoPhy vs greedy baseline across storage budgets
+//	generate      describe the synthetic SDSS dataset
+//
+// All commands accept --size (tiny|small|medium) and --seed; the dataset is
+// regenerated deterministically per invocation (the store is in-memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/designer"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "advise":
+		err = cmdAdvise(args)
+	case "whatif":
+		err = cmdWhatIf(args)
+	case "online":
+		err = cmdOnline(args)
+	case "interactions":
+		err = cmdInteractions(args)
+	case "partition":
+		err = cmdPartition(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "generate":
+		err = cmdGenerate(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dbdesigner: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbdesigner: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `dbdesigner — automated, interactive, portable DB designer (SIGMOD'10 demo)
+
+Commands:
+  advise        Scenario 2: automatic indexes + partitions + schedule
+  whatif        Scenario 1: evaluate a manually specified design
+  online        Scenario 3: continuous tuning over a drifting stream
+  interactions  render the index-interaction graph (Figure 2)
+  partition     automatic partition suggestion panel (Figure 3)
+  explain       plan one query under the current design
+  compare       CoPhy vs greedy baseline across storage budgets
+  generate      describe the synthetic SDSS dataset
+
+Run 'dbdesigner <command> -h' for command flags.
+`)
+}
+
+// commonFlags registers the dataset flags shared by all commands.
+func commonFlags(fs *flag.FlagSet) (size *string, seed *int64, queries *int) {
+	size = fs.String("size", "small", "dataset size: tiny|small|medium")
+	seed = fs.Int64("seed", 1, "deterministic data/workload seed")
+	queries = fs.Int("queries", 24, "number of workload queries")
+	return size, seed, queries
+}
+
+// openDesigner generates the dataset and opens the designer over it.
+func openDesigner(size string, seed int64) (*designer.Designer, error) {
+	var sz workload.Size
+	switch size {
+	case "tiny":
+		sz = workload.TinySize()
+	case "small":
+		sz = workload.SmallSize()
+	case "medium":
+		sz = workload.MediumSize()
+	default:
+		return nil, fmt.Errorf("unknown size %q (tiny|small|medium)", size)
+	}
+	fmt.Fprintf(os.Stderr, "generating %s SDSS dataset (seed %d)...\n", size, seed)
+	store, err := workload.Generate(sz, seed)
+	if err != nil {
+		return nil, err
+	}
+	return designer.Open(store), nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	size, seed, queries := commonFlags(fs)
+	emit := fs.Bool("emit-workload", false, "print the generated workload as a SQL script instead of the table summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := openDesigner(*size, *seed)
+	if err != nil {
+		return err
+	}
+	if *emit {
+		w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+		if err != nil {
+			return err
+		}
+		for _, q := range w.Queries {
+			fmt.Printf("-- %s\n%s;\n", q.ID, q.SQL)
+		}
+		return nil
+	}
+	fmt.Println("tables:")
+	for _, t := range d.Schema().Tables() {
+		h := d.Store().Heap(t.Name)
+		ts := d.Store().Stats.Table(t.Name)
+		fmt.Printf("  %-10s %8d rows %6d pages %3d columns (row width %d bytes)\n",
+			t.Name, h.RowCount(), ts.Pages, len(t.Columns), t.RowWidthBytes())
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+// cmdPartition renders the automatic partition suggestion panel — the
+// textual Figure 3: suggested partitions on the right, per-query and
+// average workload benefit on the left, rewritten queries below.
+func cmdPartition(args []string) error {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	size, seed, queries := commonFlags(fs)
+	horizontal := fs.Bool("horizontal", true, "also consider horizontal range partitions")
+	rewrites := fs.Int("rewrites", 3, "show up to N rewritten queries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := openDesigner(*size, *seed)
+	if err != nil {
+		return err
+	}
+	w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+	if err != nil {
+		return err
+	}
+
+	adv := autopart.New(d.Cache(), d.Schema(), d.Store().Stats)
+	opts := autopart.DefaultOptions()
+	if !*horizontal {
+		opts.HorizontalFragments = nil
+	}
+	res, err := adv.Advise(w, nil, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("+---------------------------- Automatic Partition Suggestion ----------------------------+")
+	fmt.Println("| Suggested partitions:")
+	if len(res.Tables) == 0 {
+		fmt.Println("|   (no beneficial partitioning found)")
+	}
+	for _, tr := range res.Tables {
+		if tr.Vertical != nil {
+			fmt.Printf("|   VERTICAL   %s\n", wrapFragments(tr.Vertical.String(), "|              "))
+		}
+		if tr.Horizontal != nil {
+			fmt.Printf("|   HORIZONTAL %s\n", tr.Horizontal)
+		}
+		fmt.Printf("|              table benefit: %.1f%%\n", tr.Improvement()*100)
+	}
+	fmt.Println("|")
+	fmt.Printf("| Average workload benefit: %.1f%%  (%.1f -> %.1f)\n",
+		res.Improvement()*100, res.BaselineCost, res.NewCost)
+	fmt.Println("|")
+	fmt.Println("| Per-query benefit:")
+
+	empty := catalog.NewConfiguration()
+	for _, q := range w.Queries {
+		cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
+		if err != nil {
+			return err
+		}
+		before, err := d.Cache().CostFor(cq, empty)
+		if err != nil {
+			return err
+		}
+		after, err := d.Cache().CostFor(cq, res.Config)
+		if err != nil {
+			return err
+		}
+		pct := 0.0
+		if before > 0 {
+			pct = (before - after) / before * 100
+		}
+		fmt.Printf("|   %-28s %10.1f -> %10.1f  (%5.1f%%)\n", q.ID, before, after, pct)
+	}
+	fmt.Println("+-----------------------------------------------------------------------------------------+")
+
+	if *rewrites > 0 {
+		fmt.Println("\nRewritten queries for the new partitions:")
+		n := 0
+		for _, q := range w.Queries {
+			if sql, changed := autopart.RewriteQuery(q.Stmt, d.Schema(), res.Config); changed {
+				fmt.Printf("  %s:\n    %s\n", q.ID, sql)
+				if n++; n >= *rewrites {
+					break
+				}
+			}
+		}
+		if n == 0 {
+			fmt.Println("  (none affected)")
+		}
+	}
+	return nil
+}
+
+// wrapFragments softly wraps a long fragment listing for the panel.
+func wrapFragments(s, contPrefix string) string {
+	const width = 80
+	if len(s) <= width {
+		return s
+	}
+	var b strings.Builder
+	line := 0
+	for _, part := range strings.SplitAfter(s, "}") {
+		if line+len(part) > width && line > 0 {
+			b.WriteString("\n" + contPrefix)
+			line = 0
+		}
+		b.WriteString(part)
+		line += len(part)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/designer"
+	"repro/internal/workload"
+)
+
+func TestParseIndexSpec(t *testing.T) {
+	table, cols, err := parseIndexSpec("photoobj:ra,dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "photoobj" || !reflect.DeepEqual(cols, []string{"ra", "dec"}) {
+		t.Fatalf("got %s %v", table, cols)
+	}
+	for _, bad := range []string{"", "photoobj", ":a", "t:"} {
+		if _, _, err := parseIndexSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestParseHPartSpec(t *testing.T) {
+	table, col, k, err := parseHPartSpec("photoobj:ra:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "photoobj" || col != "ra" || k != 8 {
+		t.Fatalf("got %s %s %d", table, col, k)
+	}
+	for _, bad := range []string{"photoobj:ra", "photoobj:ra:x", "a:b:c:d"} {
+		if _, _, _, err := parseHPartSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestParseVPartSpecFillsRemainder(t *testing.T) {
+	store, err := workload.Generate(workload.TinySize(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := designer.Open(store)
+	table, frags, err := parseVPartSpec("photoobj:ra,dec|type", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "photoobj" {
+		t.Fatalf("table = %s", table)
+	}
+	// Two explicit fragments plus the auto-filled remainder.
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(frags))
+	}
+	if !reflect.DeepEqual(frags[0], []string{"ra", "dec"}) {
+		t.Fatalf("frag0 = %v", frags[0])
+	}
+	// objid (PK) must not appear anywhere.
+	for _, f := range frags {
+		for _, c := range f {
+			if c == "objid" {
+				t.Fatal("PK column leaked into a fragment")
+			}
+		}
+	}
+	// Total coverage: all non-PK columns exactly once.
+	seen := map[string]int{}
+	for _, f := range frags {
+		for _, c := range f {
+			seen[c]++
+		}
+	}
+	want := len(d.Schema().Table("photoobj").Columns) - 1 // minus PK
+	if len(seen) != want {
+		t.Fatalf("covered %d columns, want %d", len(seen), want)
+	}
+	for c, n := range seen {
+		if n != 1 {
+			t.Fatalf("column %s appears %d times", c, n)
+		}
+	}
+
+	if _, _, err := parseVPartSpec("nosuch:a", d); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Fatalf("multiFlag = %v", m)
+	}
+}

@@ -1,0 +1,199 @@
+package designer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/cophy"
+	"repro/internal/interaction"
+	"repro/internal/schedule"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// AdviceOptions configure a full automatic design run (Scenario 2).
+type AdviceOptions struct {
+	// StorageBudgetPages caps the index footprint (0 = unlimited).
+	StorageBudgetPages int64
+	// NodeBudget caps CoPhy's solver nodes (0 = prove optimality).
+	NodeBudget int
+	// Partitions enables AutoPart on top of the selected indexes.
+	Partitions bool
+	// Interactions enables the interaction graph and the
+	// interaction-aware materialization schedule.
+	Interactions bool
+	// CandidateOptions tunes candidate enumeration; zero value = defaults.
+	CandidateOptions whatif.CandidateOptions
+	// SeedIndexes are user-suggested candidates added to the automatically
+	// enumerated set — the paper's "starting point of the search" control.
+	SeedIndexes []*catalog.Index
+	// PinIndexes additionally forces the seeds into the final solution.
+	PinIndexes bool
+}
+
+// Advice is the full output of an automatic design run: the Scenario 2
+// panel contents.
+type Advice struct {
+	// Indexes is the recommended index set (CoPhy's solution).
+	Indexes []*catalog.Index
+	// CoPhy carries the solver telemetry (objective, bound, gap, nodes).
+	CoPhy *cophy.Result
+	// Partitions is the AutoPart result (nil unless requested/beneficial).
+	Partitions *autopart.Result
+	// Report lists per-query and workload-level benefits of the complete
+	// design (indexes + partitions) versus the current configuration.
+	Report *whatif.Report
+	// Graph is the index-interaction graph over the recommendation.
+	Graph *interaction.Graph
+	// Schedule is the interaction-aware materialization order.
+	Schedule *schedule.Schedule
+	// Config is the complete advised configuration.
+	Config *catalog.Configuration
+}
+
+// Advise runs the full automatic design pipeline (Scenario 2): candidate
+// generation → CoPhy BIP → AutoPart partitions → benefit report →
+// interaction graph → materialization schedule.
+func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, error) {
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("designer: empty workload")
+	}
+	candOpts := opts.CandidateOptions
+	if candOpts.MaxPerTable == 0 {
+		candOpts = whatif.DefaultCandidateOptions()
+	}
+	cands := d.session.GenerateCandidates(w, candOpts)
+	// User-suggested candidates join (and may be pinned into) the search.
+	have := make(map[string]bool, len(cands))
+	for _, ix := range cands {
+		have[ix.Key()] = true
+	}
+	for _, ix := range opts.SeedIndexes {
+		if !have[ix.Key()] {
+			cands = append(cands, ix)
+			have[ix.Key()] = true
+		}
+	}
+
+	copts := cophy.DefaultOptions()
+	copts.StorageBudgetPages = opts.StorageBudgetPages
+	copts.NodeBudget = opts.NodeBudget
+	if opts.PinIndexes {
+		for _, ix := range opts.SeedIndexes {
+			copts.PinnedKeys = append(copts.PinnedKeys, ix.Key())
+		}
+	}
+	adv := cophy.New(d.cache, cands)
+	cres, err := adv.Advise(w, copts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Advice{
+		Indexes: cres.Indexes,
+		CoPhy:   cres,
+		Config:  catalog.NewConfiguration(),
+	}
+	for _, ix := range cres.Indexes {
+		out.Config = out.Config.WithIndex(ix)
+	}
+
+	if opts.Partitions {
+		papt := autopart.New(d.cache, d.store.Schema, d.store.Stats)
+		pres, err := papt.Advise(w, out.Config, autopart.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		if pres.Improvement() > 0 {
+			out.Partitions = pres
+			out.Config = pres.Config
+		}
+	}
+
+	rep, err := d.session.EvaluateWorkload(w, out.Config)
+	if err != nil {
+		return nil, err
+	}
+	out.Report = rep
+
+	if opts.Interactions && len(out.Indexes) >= 2 {
+		g, err := interaction.Analyze(d.cache, w, out.Indexes, interaction.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		out.Graph = g
+		sched := schedule.New(d.cache, d.store.Stats, d.env.Params)
+		s, err := sched.Greedy(w, out.Indexes)
+		if err != nil {
+			return nil, err
+		}
+		out.Schedule = s
+	}
+	return out, nil
+}
+
+// Summary renders the advice in the layout of the demo's Scenario 2 panel:
+// suggested indexes and partitions on the right, per-query and average
+// workload benefit on the left, schedule at the bottom.
+func (a *Advice) Summary() string {
+	var b strings.Builder
+	b.WriteString("=== Suggested indexes ===\n")
+	if len(a.Indexes) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, ix := range a.Indexes {
+		fmt.Fprintf(&b, "  %-48s %8d pages\n", ix.Key(), ix.EstimatedPages)
+	}
+	if a.CoPhy != nil {
+		fmt.Fprintf(&b, "  solver: objective=%.1f bound=%.1f gap=%.2f%% nodes=%d proven=%v\n",
+			a.CoPhy.Objective, a.CoPhy.Bound, a.CoPhy.Gap()*100, a.CoPhy.Nodes, a.CoPhy.Proven)
+	}
+	if a.Partitions != nil && len(a.Partitions.Tables) > 0 {
+		b.WriteString("=== Suggested partitions ===\n")
+		for _, tr := range a.Partitions.Tables {
+			if tr.Vertical != nil {
+				fmt.Fprintf(&b, "  vertical   %s\n", tr.Vertical)
+			}
+			if tr.Horizontal != nil {
+				fmt.Fprintf(&b, "  horizontal %s\n", tr.Horizontal)
+			}
+		}
+	}
+	if a.Report != nil {
+		b.WriteString("=== Workload benefit ===\n")
+		fmt.Fprintf(&b, "  total: %.1f -> %.1f  (%.1f%% improvement)\n",
+			a.Report.BaseTotal, a.Report.NewTotal, a.Report.AvgBenefitPct())
+		qs := append([]whatif.QueryBenefit(nil), a.Report.Queries...)
+		sort.Slice(qs, func(i, j int) bool { return qs[i].Benefit() > qs[j].Benefit() })
+		n := len(qs)
+		if n > 8 {
+			n = 8
+		}
+		for _, qb := range qs[:n] {
+			fmt.Fprintf(&b, "  %-28s %10.1f -> %10.1f  (%5.1f%%)\n",
+				qb.ID, qb.BaseCost, qb.NewCost, qb.BenefitPct())
+		}
+		if len(qs) > n {
+			fmt.Fprintf(&b, "  ... and %d more queries\n", len(qs)-n)
+		}
+	}
+	if a.Graph != nil && len(a.Graph.Edges) > 0 {
+		b.WriteString("=== Index interactions (top 10) ===\n")
+		b.WriteString(indent(a.Graph.Render(10), "  "))
+	}
+	if a.Schedule != nil {
+		b.WriteString(indent(a.Schedule.String(), ""))
+	}
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

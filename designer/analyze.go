@@ -1,0 +1,98 @@
+package designer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// ExplainAnalysis pairs the optimizer's view of a query with its actual
+// execution: the EXPLAIN-ANALYZE of this engine.
+type ExplainAnalysis struct {
+	PlanText string
+	// EstimatedCost is the optimizer's total cost (cost units).
+	EstimatedCost float64
+	// EstimatedRows is the optimizer's cardinality estimate.
+	EstimatedRows float64
+	// ActualRows is the number of rows the execution produced.
+	ActualRows int
+	// IO is the measured logical page I/O.
+	IO storage.IOCounter
+}
+
+// String renders the analysis.
+func (e *ExplainAnalysis) String() string {
+	var b strings.Builder
+	b.WriteString(strings.TrimRight(e.PlanText, "\n") + "\n")
+	fmt.Fprintf(&b, "estimated: cost=%.2f rows=%.0f\n", e.EstimatedCost, e.EstimatedRows)
+	fmt.Fprintf(&b, "actual:    rows=%d %s\n", e.ActualRows, e.IO.String())
+	return b.String()
+}
+
+// ExplainAnalyze plans the query under the materialized design, executes
+// it, and reports estimated versus actual figures — the calibration view
+// that backs DESIGN.md's "estimated-vs-executed" substitution argument.
+func (d *Designer) ExplainAnalyze(q workload.Query) (*ExplainAnalysis, error) {
+	env := d.env.WithConfig(d.store.MaterializedConfiguration())
+	plan, err := env.Optimize(q.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.exec.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainAnalysis{
+		PlanText:      plan.Explain(),
+		EstimatedCost: plan.TotalCost(),
+		EstimatedRows: plan.EstRows(),
+		ActualRows:    len(res.Rows),
+		IO:            res.IO,
+	}, nil
+}
+
+// CompressWorkload merges queries with identical canonical SQL, summing
+// their weights — the standard preprocessing step before advising on a
+// query log, where the same template instance repeats many times.
+func CompressWorkload(w *workload.Workload) *workload.Workload {
+	type slot struct {
+		idx int
+	}
+	seen := make(map[string]slot, len(w.Queries))
+	out := &workload.Workload{}
+	for _, q := range w.Queries {
+		key := q.Stmt.String()
+		if s, ok := seen[key]; ok {
+			out.Queries[s.idx].Weight += q.Weight
+			continue
+		}
+		seen[key] = slot{idx: len(out.Queries)}
+		out.Queries = append(out.Queries, q)
+	}
+	return out
+}
+
+// ConfigurationDiff describes what separates two physical designs.
+type ConfigurationDiff struct {
+	AddedIndexes   []*catalog.Index
+	DroppedIndexes []*catalog.Index
+}
+
+// DiffConfigurations reports the index changes from old to new.
+func DiffConfigurations(old, new *catalog.Configuration) ConfigurationDiff {
+	var d ConfigurationDiff
+	for _, ix := range new.Indexes {
+		if !old.HasIndex(ix.Key()) {
+			d.AddedIndexes = append(d.AddedIndexes, ix)
+		}
+	}
+	for _, ix := range old.Indexes {
+		if !new.HasIndex(ix.Key()) {
+			d.DroppedIndexes = append(d.DroppedIndexes, ix)
+		}
+	}
+	return d
+}

@@ -1,0 +1,87 @@
+package designer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/designer"
+	"repro/internal/workload"
+)
+
+func TestExplainAnalyze(t *testing.T) {
+	d := open(t)
+	q, err := d.ParseQuery("q", "SELECT objid FROM photoobj WHERE type = 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := d.ExplainAnalyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.ActualRows == 0 {
+		t.Fatal("no stars found")
+	}
+	if ea.EstimatedCost <= 0 {
+		t.Fatal("degenerate estimate")
+	}
+	// MCV-backed estimate on the skewed type column should land within 2x
+	// of the actual row count.
+	ratio := ea.EstimatedRows / float64(ea.ActualRows)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("cardinality estimate off: est=%.0f actual=%d", ea.EstimatedRows, ea.ActualRows)
+	}
+	out := ea.String()
+	if !strings.Contains(out, "estimated:") || !strings.Contains(out, "actual:") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+	// The full seq scan must have read the heap's pages.
+	if ea.IO.SeqPages == 0 {
+		t.Fatal("no I/O measured")
+	}
+}
+
+func TestCompressWorkload(t *testing.T) {
+	d := open(t)
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid FROM photoobj WHERE type = 6",
+		"SELECT objid FROM photoobj WHERE type = 6",
+		"SELECT objid FROM photoobj WHERE type = 3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := designer.CompressWorkload(w)
+	if len(c.Queries) != 2 {
+		t.Fatalf("compressed to %d queries, want 2", len(c.Queries))
+	}
+	if c.Queries[0].Weight != 2 {
+		t.Fatalf("merged weight = %f, want 2", c.Queries[0].Weight)
+	}
+	if c.TotalWeight() != w.TotalWeight() {
+		t.Fatalf("total weight changed: %f vs %f", c.TotalWeight(), w.TotalWeight())
+	}
+	// Advice on the compressed workload weights the repeated query double.
+	_ = workload.Workload{}
+}
+
+func TestDiffConfigurations(t *testing.T) {
+	d := open(t)
+	a := designer.NewConfiguration()
+	ixA, err := d.WhatIf().HypotheticalIndex("photoobj", "ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixB, err := d.WhatIf().HypotheticalIndex("photoobj", "dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = a.WithIndex(ixA)
+	b := designer.NewConfiguration().WithIndex(ixB)
+	diff := designer.DiffConfigurations(a, b)
+	if len(diff.AddedIndexes) != 1 || diff.AddedIndexes[0].Key() != "photoobj(dec)" {
+		t.Fatalf("added = %v", diff.AddedIndexes)
+	}
+	if len(diff.DroppedIndexes) != 1 || diff.DroppedIndexes[0].Key() != "photoobj(ra)" {
+		t.Fatalf("dropped = %v", diff.DroppedIndexes)
+	}
+}

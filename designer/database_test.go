@@ -1,0 +1,99 @@
+package designer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/designer"
+)
+
+const testDDL = `
+CREATE TABLE kv (
+	k BIGINT,
+	v DOUBLE,
+	tag TEXT,
+	PRIMARY KEY (k)
+);
+CREATE INDEX kv_v ON kv (v);
+`
+
+func TestNewFromDDL(t *testing.T) {
+	d, err := designer.NewFromDDL(testDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema().Table("kv") == nil {
+		t.Fatal("table missing")
+	}
+	if d.Store().Index("kv(v)") == nil {
+		t.Fatal("declared index not materialized")
+	}
+	// Insert maintains the declared index.
+	for i := 0; i < 50; i++ {
+		if err := d.Insert("kv", i, float64(i)*1.5, "tag"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Store().Index("kv(v)").Count(); got != 50 {
+		t.Fatalf("index entries = %d, want 50", got)
+	}
+
+	q, err := d.ParseQuery("q", "SELECT k FROM kv WHERE v BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = 1.5*k in [10,20] -> k in {7..13}: 7 rows.
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+}
+
+func TestNewFromDDLErrors(t *testing.T) {
+	cases := []string{
+		"SELECT 1 FROM x;", // not DDL
+		"CREATE TABLE t (a BIGINT); CREATE TABLE t (b BIGINT);", // dup table
+		"CREATE INDEX i ON missing (a);",                        // unknown table
+	}
+	for _, ddl := range cases {
+		if _, err := designer.NewFromDDL(ddl); err == nil {
+			t.Errorf("DDL %q should fail", ddl)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	d, err := designer.NewFromDDL("CREATE TABLE t (a BIGINT, b DOUBLE, PRIMARY KEY (a));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert("nosuch", 1, 2.0); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := d.Insert("t", 1); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := d.Insert("t", 1, struct{}{}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if err := d.Insert("t", nil, 2.5); err != nil {
+		t.Errorf("nil should insert as NULL: %v", err)
+	}
+}
+
+func TestInsertRowsRefusesIndexedTable(t *testing.T) {
+	d, err := designer.NewFromDDL("CREATE TABLE t (a BIGINT, PRIMARY KEY (a)); CREATE INDEX ta ON t (a);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.InsertRows("t", [][]any{{1}})
+	if err == nil || !strings.Contains(err.Error(), "materialized index") {
+		t.Fatalf("bulk load into indexed table should fail, got %v", err)
+	}
+}

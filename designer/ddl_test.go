@@ -1,0 +1,63 @@
+package designer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/designer"
+	"repro/internal/sqlparse"
+)
+
+func TestAdviceDDL(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 12)
+	advice, err := d.Advise(w, designer.AdviceOptions{Partitions: true, Interactions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Indexes) == 0 {
+		t.Skip("no indexes advised")
+	}
+	ddl := advice.DDL(d.Schema())
+	if !strings.Contains(ddl, "CREATE INDEX") {
+		t.Fatalf("DDL missing CREATE INDEX:\n%s", ddl)
+	}
+	// Every emitted statement must parse with our own DDL parser.
+	for _, line := range strings.Split(ddl, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if _, err := sqlparse.Parse(line); err != nil {
+			t.Errorf("generated DDL does not parse: %q: %v", line, err)
+		}
+	}
+	// Schedule ordering: CREATE INDEX lines follow the schedule.
+	if advice.Schedule != nil {
+		var idxLines []string
+		for _, line := range strings.Split(ddl, "\n") {
+			if strings.HasPrefix(line, "CREATE INDEX") {
+				idxLines = append(idxLines, line)
+			}
+		}
+		if len(idxLines) != len(advice.Schedule.Steps) {
+			t.Fatalf("%d CREATE INDEX lines, %d schedule steps",
+				len(idxLines), len(advice.Schedule.Steps))
+		}
+		for i, st := range advice.Schedule.Steps {
+			wantCols := strings.Join(st.Index.Columns, ", ")
+			if !strings.Contains(idxLines[i], wantCols) {
+				t.Errorf("DDL line %d = %q, want columns %q (schedule order)",
+					i, idxLines[i], wantCols)
+			}
+		}
+	}
+	// Vertical layouts emit fragment tables.
+	if advice.Partitions != nil {
+		for _, tr := range advice.Partitions.Tables {
+			if tr.Vertical != nil && !strings.Contains(ddl, "__f0") {
+				t.Errorf("DDL missing fragment tables:\n%s", ddl)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package designer is the public API of the automated, interactive and
+// portable DB designer the paper demonstrates. It wires the what-if
+// component, the CoPhy index advisor, the AutoPart partition advisor, the
+// COLT online tuner, the index-interaction analyzer and the materialization
+// scheduler (Figure 1 of the paper) behind one facade.
+//
+// Typical use:
+//
+//	store, _ := workload.Generate(workload.MediumSize(), 1)   // or your own
+//	d := designer.Open(store)
+//	w, _ := d.WorkloadFromSQL([]string{"SELECT ...", ...})
+//	advice, _ := d.Advise(w, designer.AdviceOptions{StorageBudgetPages: 5000})
+//	fmt.Println(advice.Summary())
+//	_ = d.Materialize(advice.Indexes)                          // optional
+//
+// Scenario 1 (manual what-if) is served by NewDesignSession, Scenario 2
+// (automatic design + schedule) by Advise, and Scenario 3 (continuous
+// tuning) by NewOnlineTuner.
+package designer
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/colt"
+	"repro/internal/cophy"
+	"repro/internal/executor"
+	"repro/internal/greedy"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Designer is the top-level tool handle.
+type Designer struct {
+	store   *storage.Store
+	env     *optimizer.Env
+	cache   *inum.Cache
+	session *whatif.Session
+	exec    *executor.Executor
+}
+
+// Open creates a designer over a populated, analyzed store.
+func Open(store *storage.Store) *Designer {
+	env := optimizer.NewEnv(store.Schema, store.Stats, store.MaterializedConfiguration())
+	return &Designer{
+		store:   store,
+		env:     env,
+		cache:   inum.New(env),
+		session: whatif.NewSession(store.Schema, store.Stats, store.MaterializedConfiguration()),
+		exec:    executor.New(store),
+	}
+}
+
+// Store exposes the underlying storage.
+func (d *Designer) Store() *storage.Store { return d.store }
+
+// Schema exposes the logical schema.
+func (d *Designer) Schema() *catalog.Schema { return d.store.Schema }
+
+// Cache exposes the INUM cost cache (shared across advisors).
+func (d *Designer) Cache() *inum.Cache { return d.cache }
+
+// WhatIf exposes the underlying what-if session.
+func (d *Designer) WhatIf() *whatif.Session { return d.session }
+
+// ParseQuery parses and resolves one SELECT statement into a workload
+// query.
+func (d *Designer) ParseQuery(id, sql string) (workload.Query, error) {
+	stmt, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return workload.Query{}, err
+	}
+	if err := sqlparse.Resolve(stmt, d.store.Schema); err != nil {
+		return workload.Query{}, err
+	}
+	return workload.Query{ID: id, SQL: sql, Weight: 1, Stmt: stmt}, nil
+}
+
+// WorkloadFromSQL builds a workload from SQL strings (weight 1 each).
+func (d *Designer) WorkloadFromSQL(sqls []string) (*workload.Workload, error) {
+	w := &workload.Workload{}
+	for i, sql := range sqls {
+		q, err := d.ParseQuery(fmt.Sprintf("q%d", i), sql)
+		if err != nil {
+			return nil, fmt.Errorf("designer: query %d: %w", i, err)
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// WorkloadFromScript parses a semicolon-separated script of SELECTs.
+func (d *Designer) WorkloadFromScript(script string) (*workload.Workload, error) {
+	stmts, err := sqlparse.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	w := &workload.Workload{}
+	for i, stmt := range stmts {
+		sel, ok := stmt.(*sqlparse.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("designer: statement %d is not a SELECT", i)
+		}
+		if err := sqlparse.Resolve(sel, d.store.Schema); err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, workload.Query{
+			ID: fmt.Sprintf("q%d", i), SQL: sel.String(), Weight: 1, Stmt: sel,
+		})
+	}
+	return w, nil
+}
+
+// Explain plans a query under the current (or a hypothetical)
+// configuration and renders the plan tree.
+func (d *Designer) Explain(q workload.Query, cfg *catalog.Configuration) (string, error) {
+	env := d.env.WithConfig(d.currentConfig(cfg))
+	plan, err := env.Optimize(q.Stmt)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+// Execute runs a query against the store under the materialized design and
+// returns its rows plus measured I/O.
+func (d *Designer) Execute(q workload.Query) (*executor.Result, error) {
+	env := d.env.WithConfig(d.store.MaterializedConfiguration())
+	plan, err := env.Optimize(q.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	return d.exec.Run(plan)
+}
+
+// Cost estimates one query's cost under a configuration (nil = current
+// materialized design).
+func (d *Designer) Cost(q workload.Query, cfg *catalog.Configuration) (float64, error) {
+	return d.env.WithConfig(d.currentConfig(cfg)).Cost(q.Stmt)
+}
+
+// Materialize physically builds the given indexes in the store (Scenario
+// 2's "physically create the suggested indexes"). It returns the total
+// build I/O. Hypothetical indexes are built for real; their catalog entries
+// in the store are concrete.
+func (d *Designer) Materialize(indexes []*catalog.Index) (storage.IOCounter, error) {
+	var total storage.IOCounter
+	for _, ix := range indexes {
+		if d.store.Index(ix.Key()) != nil {
+			continue
+		}
+		name := ix.Name
+		if name == "" {
+			name = "idx_" + ix.Key()
+		}
+		_, io, err := d.store.CreateIndex(name, ix.Table, ix.Columns)
+		if err != nil {
+			return total, fmt.Errorf("designer: materialize %s: %w", ix.Key(), err)
+		}
+		total.Add(io)
+	}
+	// The base environment now reflects the new physical design.
+	d.env = d.env.WithConfig(d.store.MaterializedConfiguration())
+	d.session = whatif.NewSession(d.store.Schema, d.store.Stats, d.store.MaterializedConfiguration())
+	return total, nil
+}
+
+// currentConfig substitutes the live materialized design for nil.
+func (d *Designer) currentConfig(cfg *catalog.Configuration) *catalog.Configuration {
+	if cfg != nil {
+		return cfg
+	}
+	return d.store.MaterializedConfiguration()
+}
+
+// NewOnlineTuner creates a COLT tuner seeded with the current materialized
+// design (Scenario 3).
+func (d *Designer) NewOnlineTuner(opts colt.Options) *colt.Tuner {
+	return colt.New(d.env, d.store.Stats, d.store.MaterializedConfiguration(), opts)
+}
+
+// AdviseGreedy runs the DTA-style greedy baseline over the same candidate
+// set CoPhy would use — the comparison the paper's introduction draws.
+func (d *Designer) AdviseGreedy(w *workload.Workload, budgetPages int64) (*greedy.Result, error) {
+	cands := d.session.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	adv := greedy.New(d.cache, cands)
+	return adv.Advise(w, greedy.Options{StorageBudgetPages: budgetPages, BenefitPerPage: true})
+}
+
+// AdviseCoPhy runs only the CoPhy index advisor with explicit options.
+func (d *Designer) AdviseCoPhy(w *workload.Workload, opts cophy.Options) (*cophy.Result, error) {
+	cands := d.session.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	adv := cophy.New(d.cache, cands)
+	return adv.Advise(w, opts)
+}

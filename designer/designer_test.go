@@ -1,0 +1,295 @@
+package designer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/designer"
+	"repro/internal/colt"
+	"repro/internal/cophy"
+	"repro/internal/workload"
+)
+
+func open(t *testing.T) *designer.Designer {
+	t.Helper()
+	store, err := workload.Generate(workload.TinySize(), 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return designer.Open(store)
+}
+
+func sdssWorkload(t *testing.T, d *designer.Designer, n int) *workload.Workload {
+	t.Helper()
+	w, err := workload.NewWorkload(d.Schema(), 112, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadFromSQLAndScript(t *testing.T) {
+	d := open(t)
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid FROM photoobj WHERE objid = 1000001",
+		"SELECT z FROM specobj WHERE z > 1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	w2, err := d.WorkloadFromScript(`
+		SELECT objid FROM photoobj WHERE objid = 1;
+		SELECT z FROM specobj WHERE z > 1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Queries) != 2 {
+		t.Fatalf("script queries = %d", len(w2.Queries))
+	}
+	if _, err := d.WorkloadFromSQL([]string{"SELECT nope FROM photoobj"}); err == nil {
+		t.Fatal("bad column should fail")
+	}
+}
+
+func TestAdviseEndToEnd(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 12)
+	advice, err := d.Advise(w, designer.AdviceOptions{
+		Partitions:   true,
+		Interactions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Indexes) == 0 {
+		t.Fatal("no indexes advised")
+	}
+	if advice.Report == nil || advice.Report.TotalBenefit() <= 0 {
+		t.Fatal("advice must report positive benefit")
+	}
+	if advice.Schedule == nil || len(advice.Schedule.Steps) != len(advice.Indexes) {
+		t.Fatal("schedule missing or incomplete")
+	}
+	if advice.Graph == nil {
+		t.Fatal("interaction graph missing")
+	}
+	sum := advice.Summary()
+	for _, want := range []string{"Suggested indexes", "Workload benefit", "materialization schedule"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestMaterializeAdvice(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 8)
+	advice, err := d.Advise(w, designer.AdviceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Indexes) == 0 {
+		t.Skip("nothing advised on this workload")
+	}
+	io, err := d.Materialize(advice.Indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.Total() == 0 {
+		t.Fatal("materialization should cost I/O")
+	}
+	for _, ix := range advice.Indexes {
+		if d.Store().Index(ix.Key()) == nil {
+			t.Fatalf("index %s not materialized", ix.Key())
+		}
+	}
+	// Executing a query now uses the real indexes; estimated cost under
+	// the materialized design must not exceed the before-design cost.
+	q := w.Queries[0]
+	after, err := d.Cost(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= 0 {
+		t.Fatal("degenerate cost")
+	}
+	// Re-materializing is a no-op.
+	io2, err := d.Materialize(advice.Indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io2.Total() != 0 {
+		t.Fatal("second materialize should be a no-op")
+	}
+}
+
+func TestDesignSessionScenario1(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 10)
+	s := d.NewDesignSession()
+
+	if _, err := s.AddIndex("photoobj", "psfmag_r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("photoobj", "psfmag_r", "type"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("specobj", "bestobjid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("photoobj", "psfmag_r"); err == nil {
+		t.Fatal("duplicate index should error")
+	}
+
+	rep, err := s.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewTotal > rep.BaseTotal {
+		t.Fatalf("what-if design made things worse: %f -> %f", rep.BaseTotal, rep.NewTotal)
+	}
+
+	g, err := s.InteractionGraph(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Indexes) != 3 {
+		t.Fatalf("graph over %d indexes, want 3", len(g.Indexes))
+	}
+
+	if !s.DropIndex("specobj(bestobjid)") {
+		t.Fatal("drop failed")
+	}
+	if s.DropIndex("specobj(bestobjid)") {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestDesignSessionPartitions(t *testing.T) {
+	d := open(t)
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 120",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.NewDesignSession()
+
+	tab := d.Schema().Table("photoobj")
+	var hot, cold []string
+	for _, c := range tab.Columns {
+		lc := strings.ToLower(c.Name)
+		switch lc {
+		case "objid":
+		case "ra", "dec":
+			hot = append(hot, lc)
+		default:
+			cold = append(cold, lc)
+		}
+	}
+	if err := s.AddVerticalPartition("photoobj", [][]string{hot, cold}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddHorizontalPartition("photoobj", "ra", 8); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalBenefit() <= 0 {
+		t.Fatalf("partitioned design should help a cone search: %f -> %f",
+			rep.BaseTotal, rep.NewTotal)
+	}
+
+	rw := s.RewrittenQueries(w)
+	if len(rw) != 1 {
+		t.Fatalf("rewritten queries = %d, want 1", len(rw))
+	}
+	for _, sql := range rw {
+		if !strings.Contains(sql, "photoobj__f0") {
+			t.Fatalf("rewrite missing fragment table: %s", sql)
+		}
+	}
+}
+
+func TestDesignSessionValidation(t *testing.T) {
+	d := open(t)
+	s := d.NewDesignSession()
+	if err := s.AddVerticalPartition("nosuch", nil); err == nil {
+		t.Error("unknown table should error")
+	}
+	if err := s.AddVerticalPartition("photoobj", [][]string{{"objid"}}); err == nil {
+		t.Error("PK column in fragment should error")
+	}
+	if err := s.AddVerticalPartition("photoobj", [][]string{{"ra"}, {"ra"}}); err == nil {
+		t.Error("duplicate column should error")
+	}
+	if err := s.AddVerticalPartition("photoobj", [][]string{{"ra"}}); err == nil {
+		t.Error("missing columns should error")
+	}
+	if err := s.AddHorizontalPartition("photoobj", "ra", 1); err == nil {
+		t.Error("k=1 should error")
+	}
+	if err := s.AddHorizontalPartition("photoobj", "nope", 4); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestExplainAndExecute(t *testing.T) {
+	d := open(t)
+	q, err := d.ParseQuery("q", "SELECT objid FROM photoobj WHERE objid = 1000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.Explain(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Seq Scan") {
+		t.Fatalf("expected seq scan in %s", plan)
+	}
+	res, err := d.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestOnlineTunerIntegration(t *testing.T) {
+	d := open(t)
+	tuner := d.NewOnlineTuner(colt.DefaultOptions())
+	qs, err := workload.Stream(d.Schema(), 113, workload.DefaultDriftPhases(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.ObserveAll(qs); err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner.Reports()) == 0 {
+		t.Fatal("no epoch reports")
+	}
+}
+
+func TestGreedyVsCoPhyIntegration(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 10)
+	g, err := d.AdviseGreedy(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.AdviseCoPhy(w, cophy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Objective > g.Objective*1.001 {
+		t.Fatalf("CoPhy %f worse than greedy %f", c.Objective, g.Objective)
+	}
+}

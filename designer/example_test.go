@@ -1,0 +1,72 @@
+package designer_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/designer"
+	"repro/internal/workload"
+)
+
+// Example demonstrates the full Scenario-2 flow on the synthetic SDSS
+// dataset: open, advise, materialize.
+func Example() {
+	store, err := workload.Generate(workload.TinySize(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := designer.Open(store)
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid, ra FROM photoobj WHERE objid BETWEEN 1000100 AND 1000200",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	advice, err := d.Advise(w, designer.AdviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ix := range advice.Indexes {
+		fmt.Println(ix.Key())
+	}
+	// Output:
+	// photoobj(objid,ra)
+}
+
+// ExampleDesigner_NewDesignSession shows Scenario 1: a manual what-if
+// design evaluated without building anything.
+func ExampleDesigner_NewDesignSession() {
+	store, err := workload.Generate(workload.TinySize(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := designer.Open(store)
+	s := d.NewDesignSession()
+	if _, err := s.AddIndex("photoobj", "ra"); err != nil {
+		log.Fatal(err)
+	}
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid, ra FROM photoobj WHERE ra BETWEEN 100 AND 101",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Evaluate(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.TotalBenefit() > 0)
+	// Output:
+	// true
+}
+
+// ExampleNewFromDDL bootstraps a designer over a custom schema.
+func ExampleNewFromDDL() {
+	d, err := designer.NewFromDDL("CREATE TABLE t (a BIGINT, b DOUBLE, PRIMARY KEY (a));")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(d.Schema().Tables()))
+	// Output:
+	// 1
+}

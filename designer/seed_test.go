@@ -1,0 +1,59 @@
+package designer_test
+
+import (
+	"testing"
+
+	"repro/designer"
+)
+
+// TestSeededAndPinnedCandidates covers the paper's interactive search
+// control: the DBA suggests a candidate set as the starting point, and may
+// force it into the recommendation.
+func TestSeededAndPinnedCandidates(t *testing.T) {
+	d := open(t)
+	w := sdssWorkload(t, d, 10)
+
+	// A column no automatic candidate generator would pick: airmass_r is
+	// never filtered by the workload.
+	seed, err := d.WhatIf().HypotheticalIndex("photoobj", "airmass_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded but not pinned: the useless index joins the search yet must
+	// not be selected (it helps nothing).
+	advice, err := d.Advise(w, designer.AdviceOptions{
+		SeedIndexes: []*designer.Index{seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range advice.Indexes {
+		if ix.Key() == seed.Key() {
+			t.Fatalf("useless seeded index was selected: %s", ix.Key())
+		}
+	}
+
+	// Pinned: it must appear despite being useless.
+	pinned, err := d.Advise(w, designer.AdviceOptions{
+		SeedIndexes: []*designer.Index{seed},
+		PinIndexes:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ix := range pinned.Indexes {
+		if ix.Key() == seed.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned index missing from the recommendation")
+	}
+	// Pinning a useless index cannot improve the objective.
+	if pinned.CoPhy.Objective < advice.CoPhy.Objective-1e-6 {
+		t.Fatalf("pinning improved the objective: %f < %f",
+			pinned.CoPhy.Objective, advice.CoPhy.Objective)
+	}
+}

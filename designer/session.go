@@ -1,0 +1,164 @@
+package designer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/interaction"
+	"repro/internal/optimizer"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// DesignSession is the interactive what-if session of Scenario 1: the user
+// assembles a hypothetical design — indexes and partitions — and asks for
+// its benefit, per-query plans, interaction graph, and rewritten queries,
+// all without building anything.
+type DesignSession struct {
+	d   *Designer
+	cfg *catalog.Configuration
+}
+
+// NewDesignSession starts an interactive what-if session on top of the
+// current materialized design.
+func (d *Designer) NewDesignSession() *DesignSession {
+	return &DesignSession{d: d, cfg: d.store.MaterializedConfiguration()}
+}
+
+// Config returns (a copy of) the session's hypothetical configuration.
+func (s *DesignSession) Config() *catalog.Configuration { return s.cfg.Clone() }
+
+// AddIndex adds a sized hypothetical index to the design.
+func (s *DesignSession) AddIndex(table string, columns ...string) (*catalog.Index, error) {
+	ix, err := s.d.session.HypotheticalIndex(table, columns...)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.HasIndex(ix.Key()) {
+		return nil, fmt.Errorf("designer: index %s already in the design", ix.Key())
+	}
+	s.cfg = s.cfg.WithIndex(ix)
+	return ix, nil
+}
+
+// DropIndex removes an index from the design by canonical key
+// (table(col1,col2)).
+func (s *DesignSession) DropIndex(key string) bool {
+	if !s.cfg.HasIndex(strings.ToLower(key)) {
+		return false
+	}
+	s.cfg = s.cfg.WithoutIndex(strings.ToLower(key))
+	return true
+}
+
+// AddVerticalPartition declares a hypothetical vertical layout. Fragments
+// list non-PK columns; every column of the table must appear exactly once.
+func (s *DesignSession) AddVerticalPartition(table string, fragments [][]string) error {
+	t := s.d.store.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("designer: unknown table %q", table)
+	}
+	pk := map[string]bool{}
+	for _, c := range t.PrimaryKey {
+		pk[strings.ToLower(c)] = true
+	}
+	seen := map[string]bool{}
+	for _, frag := range fragments {
+		for _, c := range frag {
+			lc := strings.ToLower(c)
+			if !t.HasColumn(c) {
+				return fmt.Errorf("designer: table %s has no column %q", table, c)
+			}
+			if pk[lc] {
+				return fmt.Errorf("designer: primary-key column %q is replicated automatically; leave it out", c)
+			}
+			if seen[lc] {
+				return fmt.Errorf("designer: column %q appears in two fragments", c)
+			}
+			seen[lc] = true
+		}
+	}
+	for _, col := range t.Columns {
+		lc := strings.ToLower(col.Name)
+		if !pk[lc] && !seen[lc] {
+			return fmt.Errorf("designer: column %q missing from the layout", col.Name)
+		}
+	}
+	s.cfg.SetVertical(&catalog.VerticalLayout{Table: strings.ToLower(t.Name), Fragments: fragments})
+	return nil
+}
+
+// AddHorizontalPartition declares a hypothetical range layout with k
+// fragments split at histogram quantiles of the column.
+func (s *DesignSession) AddHorizontalPartition(table, column string, k int) error {
+	t := s.d.store.Schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("designer: unknown table %q", table)
+	}
+	if !t.HasColumn(column) {
+		return fmt.Errorf("designer: table %s has no column %q", table, column)
+	}
+	if k < 2 {
+		return fmt.Errorf("designer: need at least 2 fragments, got %d", k)
+	}
+	ts := s.d.store.Stats.Table(table)
+	if ts == nil {
+		return fmt.Errorf("designer: table %s has no statistics; run ANALYZE", table)
+	}
+	cs := ts.Column(column)
+	if cs == nil || cs.Hist == nil {
+		return fmt.Errorf("designer: column %s.%s has no histogram", table, column)
+	}
+	var bounds []catalog.Datum
+	for i := 1; i < k; i++ {
+		bounds = append(bounds, cs.Hist.Quantile(float64(i)/float64(k)))
+	}
+	s.cfg.SetHorizontal(&catalog.HorizontalLayout{
+		Table: strings.ToLower(t.Name), Column: strings.ToLower(column), Bounds: bounds,
+	})
+	return nil
+}
+
+// Evaluate reports the benefit of the session's design for the workload —
+// the numbers Scenario 1's panel shows.
+func (s *DesignSession) Evaluate(w *workload.Workload) (*whatif.Report, error) {
+	return s.d.session.EvaluateWorkload(w, s.cfg)
+}
+
+// Explain renders the plan one query would take under the design.
+func (s *DesignSession) Explain(q workload.Query) (string, error) {
+	return s.d.session.Explain(q.Stmt, s.cfg)
+}
+
+// InteractionGraph computes the interaction graph between the design's
+// hypothetical indexes (Figure 2).
+func (s *DesignSession) InteractionGraph(w *workload.Workload) (*interaction.Graph, error) {
+	var hypo []*catalog.Index
+	for _, ix := range s.cfg.Indexes {
+		if ix.Hypothetical {
+			hypo = append(hypo, ix)
+		}
+	}
+	return interaction.Analyze(s.d.cache, w, hypo, interaction.DefaultOptions())
+}
+
+// RewrittenQueries returns, for every workload query affected by the
+// design's vertical layouts, the SQL rewritten onto fragment tables
+// (Scenario 1's "save the rewritten queries").
+func (s *DesignSession) RewrittenQueries(w *workload.Workload) map[string]string {
+	out := make(map[string]string)
+	for _, q := range w.Queries {
+		if sql, changed := autopart.RewriteQuery(q.Stmt, s.d.store.Schema, s.cfg); changed {
+			out[q.ID] = sql
+		}
+	}
+	return out
+}
+
+// SetJoinControl steers join methods for subsequent Evaluate/Explain calls
+// (the what-if join component).
+func (s *DesignSession) SetJoinControl(opts optimizer.Options) {
+	s.d.session.SetJoinControl(opts)
+}

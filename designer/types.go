@@ -1,0 +1,42 @@
+package designer
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/colt"
+	"repro/internal/executor"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Public aliases for the types the facade's API exchanges, so callers can
+// name them without importing internal packages.
+type (
+	// Index describes a (possibly hypothetical) B-tree index.
+	Index = catalog.Index
+	// Configuration is a physical design: indexes plus partition layouts.
+	Configuration = catalog.Configuration
+	// VerticalLayout partitions a table's columns into fragments.
+	VerticalLayout = catalog.VerticalLayout
+	// HorizontalLayout splits a table into ranges of one column.
+	HorizontalLayout = catalog.HorizontalLayout
+	// Datum is a single SQL value.
+	Datum = catalog.Datum
+	// Workload is a weighted query set.
+	Workload = workload.Workload
+	// Query is one workload member.
+	Query = workload.Query
+	// QueryResult is a materialized execution result.
+	QueryResult = executor.Result
+	// BenefitReport aggregates per-query what-if benefits.
+	BenefitReport = whatif.Report
+	// TunerAlert is a COLT configuration-change alert.
+	TunerAlert = colt.Alert
+	// TunerOptions configure the online tuner.
+	TunerOptions = colt.Options
+)
+
+// NewConfiguration returns an empty physical design.
+func NewConfiguration() *Configuration { return catalog.NewConfiguration() }
+
+// DefaultTunerOptions returns the COLT defaults.
+func DefaultTunerOptions() TunerOptions { return colt.DefaultOptions() }

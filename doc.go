@@ -1,0 +1,18 @@
+// Package repro reproduces "An Automated, yet Interactive and Portable DB
+// Designer" (Alagiannis, Dash, Schnaitter, Ailamaki, Polyzotis; SIGMOD 2010
+// demonstration) as a self-contained Go library.
+//
+// The public API lives in repro/designer; the runnable tool in
+// repro/cmd/dbdesigner; the paper's component techniques in
+// repro/internal/{whatif,inum,cophy,autopart,interaction,schedule,colt};
+// and the database substrate (SQL parser, catalog, statistics, storage with
+// a real B-tree, executor, cost-based optimizer, SDSS-like workload) in the
+// remaining internal packages. See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+//
+// The benchmark harness in bench_test.go regenerates every figure,
+// scenario, and quantitative claim of the paper (experiments E2–E12 in
+// DESIGN.md §3):
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,101 @@
+// Portability: the designer over a user-defined schema — no SDSS anywhere.
+//
+// The paper's title promises a *portable* designer: anything with a
+// cost-based optimizer, statistics, and join control can host it. This
+// example builds a small order-processing database from DDL, loads
+// synthetic rows, and asks for an automatic design.
+//
+//	go run ./examples/custom_schema
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/designer"
+)
+
+const ddl = `
+CREATE TABLE customers (
+	cust_id   BIGINT,
+	region    BIGINT,
+	segment   BIGINT,
+	balance   DOUBLE,
+	PRIMARY KEY (cust_id)
+);
+CREATE TABLE orders (
+	order_id  BIGINT,
+	cust_id   BIGINT,
+	placed    BIGINT,
+	status    BIGINT,
+	total     DOUBLE,
+	priority  BIGINT,
+	PRIMARY KEY (order_id)
+);
+CREATE TABLE lineitems (
+	order_id  BIGINT,
+	line_no   BIGINT,
+	product   BIGINT,
+	qty       BIGINT,
+	price     DOUBLE
+);
+`
+
+func main() {
+	d, err := designer.NewFromDDL(ddl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic data: 5k customers, 40k orders, 120k line items.
+	rng := rand.New(rand.NewSource(42))
+	var customers [][]any
+	for c := 0; c < 5000; c++ {
+		customers = append(customers, []any{
+			c, rng.Intn(8), rng.Intn(4), rng.Float64() * 10000,
+		})
+	}
+	var orders [][]any
+	for o := 0; o < 40000; o++ {
+		orders = append(orders, []any{
+			o, rng.Intn(5000), 20200101 + rng.Intn(1461),
+			rng.Intn(5), rng.Float64() * 500, rng.Intn(3),
+		})
+	}
+	var items [][]any
+	for i := 0; i < 120000; i++ {
+		items = append(items, []any{
+			rng.Intn(40000), i % 7, rng.Intn(2000), 1 + rng.Intn(10), rng.Float64() * 100,
+		})
+	}
+	for table, rows := range map[string][][]any{
+		"customers": customers, "orders": orders, "lineitems": items,
+	} {
+		if err := d.InsertRows(table, rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := d.Analyze(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A reporting workload.
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT order_id, total FROM orders WHERE cust_id = 1234",
+		"SELECT o.order_id, c.region FROM orders o JOIN customers c ON o.cust_id = c.cust_id WHERE c.segment = 2 AND o.total > 400",
+		"SELECT status, COUNT(*), AVG(total) FROM orders WHERE placed BETWEEN 20230101 AND 20231231 GROUP BY status",
+		"SELECT l.product, SUM(l.qty) FROM lineitems l JOIN orders o ON l.order_id = o.order_id WHERE o.priority = 0 GROUP BY l.product",
+		"SELECT order_id, placed FROM orders WHERE status = 4 ORDER BY placed DESC LIMIT 50",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	advice, err := d.Advise(w, designer.AdviceOptions{Interactions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(advice.Summary())
+	fmt.Printf("\n%s", advice.DDL(d.Schema()))
+}

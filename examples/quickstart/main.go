@@ -1,0 +1,54 @@
+// Quickstart: generate the synthetic SDSS dataset, ask the designer for
+// indexes, inspect the benefit, and materialize the recommendation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/designer"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A populated, analyzed store. workload.Generate stands in for a
+	//    real database; designer.Open works over any storage.Store.
+	store, err := workload.Generate(workload.SmallSize(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := designer.Open(store)
+
+	// 2. The workload to tune for — here three ad-hoc astronomy queries.
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 120 AND 125 AND dec BETWEEN 0 AND 5",
+		"SELECT p.objid, s.z FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 1.0",
+		"SELECT type, COUNT(*) FROM photoobj WHERE psfmag_r < 19 GROUP BY type",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Automatic design (Scenario 2 of the paper).
+	advice, err := d.Advise(w, designer.AdviceOptions{Interactions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(advice.Summary())
+
+	// 4. Materialize and run a query for real.
+	if len(advice.Indexes) > 0 {
+		io, err := d.Materialize(advice.Indexes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmaterialized %d indexes, build I/O: %s\n", len(advice.Indexes), io.String())
+	}
+	res, err := d.Execute(w.Queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 0 returned %d rows using %s\n", len(res.Rows), res.IO.String())
+}

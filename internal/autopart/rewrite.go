@@ -1,0 +1,187 @@
+package autopart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// FragmentTableName names the physical table of fragment i of a vertically
+// partitioned table (the naming the rewritten queries use).
+func FragmentTableName(table string, i int) string {
+	return fmt.Sprintf("%s__f%d", strings.ToLower(table), i)
+}
+
+// RewriteQuery renders the SQL a query would take against a vertical
+// layout: each partitioned table is replaced by the join of the fragments
+// it needs on the primary key. This is the "save the rewritten queries for
+// the new table partitions" feature of Scenario 1/2. The rewrite is
+// textual — fragment tables are a naming convention, not catalog objects.
+func RewriteQuery(sel *sqlparse.SelectStmt, schema *catalog.Schema, cfg *catalog.Configuration) (string, bool) {
+	rewritten := false
+	var fromParts []string
+	var pkJoins []string
+
+	for _, ref := range sel.From {
+		t := schema.Table(ref.Name)
+		if t == nil {
+			fromParts = append(fromParts, ref.Name)
+			continue
+		}
+		layout := cfg.VerticalOn(t.Name)
+		if layout == nil {
+			// Column references were resolved to real table names, so the
+			// rewritten FROM drops aliases and uses the table name directly.
+			fromParts = append(fromParts, strings.ToLower(t.Name))
+			continue
+		}
+		// Which fragments does this query need?
+		needed := map[int]bool{}
+		collect := func(c *sqlparse.ColumnRef) {
+			if !strings.EqualFold(c.Table, t.Name) {
+				return
+			}
+			if fi := layout.FragmentFor(c.Column); fi >= 0 {
+				needed[fi] = true
+			}
+		}
+		for _, p := range sel.Projections {
+			sqlparse.WalkColumns(p.Expr, collect)
+		}
+		sqlparse.WalkColumns(sel.Where, collect)
+		for _, g := range sel.GroupBy {
+			sqlparse.WalkColumns(g, collect)
+		}
+		for _, o := range sel.OrderBy {
+			sqlparse.WalkColumns(o.Expr, collect)
+		}
+		if len(needed) == 0 {
+			needed[0] = true // PK-only access can use any fragment
+		}
+		frags := make([]int, 0, len(needed))
+		for fi := range needed {
+			frags = append(frags, fi)
+		}
+		sort.Ints(frags)
+
+		rewritten = true
+		names := make([]string, len(frags))
+		for i, fi := range frags {
+			names[i] = FragmentTableName(t.Name, fi)
+			fromParts = append(fromParts, names[i])
+		}
+		// PK equality joins chaining the fragments.
+		for i := 1; i < len(names); i++ {
+			for _, pk := range t.PrimaryKey {
+				pkJoins = append(pkJoins,
+					fmt.Sprintf("%s.%s = %s.%s", names[0], strings.ToLower(pk), names[i], strings.ToLower(pk)))
+			}
+		}
+	}
+	if !rewritten {
+		return sel.String(), false
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if sel.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, p := range sel.Projections {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(rewriteExprText(p.Expr, schema, cfg) + aliasSuffix(p))
+	}
+	b.WriteString(" FROM " + strings.Join(fromParts, ", "))
+
+	var whereParts []string
+	for _, conj := range sqlparse.Conjuncts(sel.Where) {
+		whereParts = append(whereParts, rewriteExprText(conj, schema, cfg))
+	}
+	whereParts = append(whereParts, pkJoins...)
+	if len(whereParts) > 0 {
+		b.WriteString(" WHERE " + strings.Join(whereParts, " AND "))
+	}
+	if len(sel.GroupBy) > 0 {
+		parts := make([]string, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			parts[i] = rewriteExprText(g, schema, cfg)
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if sel.Having != nil {
+		b.WriteString(" HAVING " + rewriteExprText(sel.Having, schema, cfg))
+	}
+	if len(sel.OrderBy) > 0 {
+		parts := make([]string, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			parts[i] = rewriteExprText(o.Expr, schema, cfg)
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", sel.Limit)
+	}
+	return b.String(), true
+}
+
+func aliasSuffix(p sqlparse.SelectItem) string {
+	if p.Alias != "" {
+		return " AS " + p.Alias
+	}
+	return ""
+}
+
+// rewriteExprText renders an expression with partitioned column references
+// re-qualified to their fragment tables.
+func rewriteExprText(e sqlparse.Expr, schema *catalog.Schema, cfg *catalog.Configuration) string {
+	switch v := e.(type) {
+	case *sqlparse.ColumnRef:
+		t := schema.Table(v.Table)
+		if t != nil {
+			if layout := cfg.VerticalOn(t.Name); layout != nil {
+				fi := layout.FragmentFor(v.Column)
+				if fi < 0 {
+					fi = 0 // PK columns live in every fragment; use the first
+				}
+				return FragmentTableName(t.Name, fi) + "." + strings.ToLower(v.Column)
+			}
+		}
+		return v.String()
+	case *sqlparse.BinaryExpr:
+		l := rewriteExprText(v.L, schema, cfg)
+		r := rewriteExprText(v.R, schema, cfg)
+		return l + " " + string(v.Op) + " " + r
+	case *sqlparse.NotExpr:
+		return "NOT (" + rewriteExprText(v.E, schema, cfg) + ")"
+	case *sqlparse.BetweenExpr:
+		return rewriteExprText(v.E, schema, cfg) + " BETWEEN " +
+			rewriteExprText(v.Lo, schema, cfg) + " AND " + rewriteExprText(v.Hi, schema, cfg)
+	case *sqlparse.InExpr:
+		parts := make([]string, len(v.List))
+		for i, item := range v.List {
+			parts[i] = rewriteExprText(item, schema, cfg)
+		}
+		return rewriteExprText(v.E, schema, cfg) + " IN (" + strings.Join(parts, ", ") + ")"
+	case *sqlparse.IsNullExpr:
+		s := rewriteExprText(v.E, schema, cfg) + " IS "
+		if v.Not {
+			s += "NOT "
+		}
+		return s + "NULL"
+	case *sqlparse.FuncExpr:
+		if v.Star {
+			return string(v.Func) + "(*)"
+		}
+		return string(v.Func) + "(" + rewriteExprText(v.Arg, schema, cfg) + ")"
+	default:
+		return e.String()
+	}
+}

@@ -1,0 +1,186 @@
+// Package catalog defines the schema metadata shared by every component of
+// the designer: tables, columns, typed values, indexes, partition layouts,
+// and physical-design configurations.
+//
+// The catalog is deliberately free of behaviour that belongs to other
+// layers: statistics live in internal/stats, storage in internal/storage,
+// and costing in internal/optimizer. Components communicate exclusively in
+// terms of catalog types, which is what makes the what-if overlay
+// (internal/whatif) possible: a hypothetical design is just another
+// Configuration value.
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Datum can hold.
+type Kind uint8
+
+// The supported datum kinds. KindNull is the zero value so that a zero
+// Datum is a well-formed SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Datum is a single SQL value. It is a compact tagged union; only the field
+// matching Kind is meaningful. The zero value is NULL.
+type Datum struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null returns the SQL NULL datum.
+func Null() Datum { return Datum{} }
+
+// Int returns an integer datum.
+func Int(v int64) Datum { return Datum{Kind: KindInt, I: v} }
+
+// Float returns a floating-point datum.
+func Float(v float64) Datum { return Datum{Kind: KindFloat, F: v} }
+
+// String_ returns a string datum. The underscore avoids colliding with the
+// fmt.Stringer method on Datum.
+func String_(v string) Datum { return Datum{Kind: KindString, S: v} }
+
+// IsNull reports whether d is SQL NULL.
+func (d Datum) IsNull() bool { return d.Kind == KindNull }
+
+// AsFloat coerces a numeric datum to float64. Strings and NULL return 0.
+func (d Datum) AsFloat() float64 {
+	switch d.Kind {
+	case KindInt:
+		return float64(d.I)
+	case KindFloat:
+		return d.F
+	default:
+		return 0
+	}
+}
+
+// Compare orders two datums. NULL sorts before everything; integers and
+// floats compare numerically across kinds; strings compare
+// lexicographically. Comparing a string against a number orders by kind,
+// which is sufficient for the synthetic workloads in this repository.
+func (d Datum) Compare(o Datum) int {
+	if d.Kind == KindNull || o.Kind == KindNull {
+		switch {
+		case d.Kind == KindNull && o.Kind == KindNull:
+			return 0
+		case d.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	dn := d.Kind == KindInt || d.Kind == KindFloat
+	on := o.Kind == KindInt || o.Kind == KindFloat
+	switch {
+	case dn && on:
+		// Fast path: both integers compares exactly, avoiding float
+		// rounding for large int64 values.
+		if d.Kind == KindInt && o.Kind == KindInt {
+			switch {
+			case d.I < o.I:
+				return -1
+			case d.I > o.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := d.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case dn:
+		return -1
+	case on:
+		return 1
+	default:
+		return strings.Compare(d.S, o.S)
+	}
+}
+
+// Less reports d < o under Compare ordering.
+func (d Datum) Less(o Datum) bool { return d.Compare(o) < 0 }
+
+// Equal reports d == o under Compare ordering. NULL equals NULL here; SQL
+// three-valued logic is applied by the expression evaluator, not by Datum.
+func (d Datum) Equal(o Datum) bool { return d.Compare(o) == 0 }
+
+// String renders the datum as a SQL literal.
+func (d Datum) String() string {
+	switch d.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(d.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
+	default:
+		return "?"
+	}
+}
+
+// Width returns the in-page byte footprint used for size accounting.
+func (d Datum) Width() int {
+	switch d.Kind {
+	case KindInt, KindFloat:
+		return 8
+	case KindString:
+		return len(d.S) + 1
+	default:
+		return 1
+	}
+}
+
+// Row is a tuple of datums, positionally aligned with a table's columns (or
+// with a projection's output columns during execution).
+type Row []Datum
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as a parenthesised value list.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,257 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Index describes a B-tree index over a prefix-ordered list of columns.
+// Both real (materialized) and what-if (hypothetical) indexes use this
+// type; Hypothetical marks the latter. The paper's §2 stresses that
+// hypothetical indexes must carry realistic sizes — sizing lives in the
+// what-if layer, which fills EstimatedPages/EstimatedHeight.
+type Index struct {
+	Name         string
+	Table        string
+	Columns      []string
+	Unique       bool
+	Hypothetical bool
+
+	// EstimatedPages and EstimatedHeight are filled by the what-if sizing
+	// model (or by storage when the index is materialized). They feed the
+	// optimizer's access-path costing; a zero value means "unsized".
+	EstimatedPages  int64
+	EstimatedHeight int
+}
+
+// Key returns a canonical identity string: table(col1,col2,...). Two
+// indexes with equal keys are interchangeable for design purposes
+// regardless of their names.
+func (ix *Index) Key() string {
+	cols := make([]string, len(ix.Columns))
+	for i, c := range ix.Columns {
+		cols[i] = strings.ToLower(c)
+	}
+	return strings.ToLower(ix.Table) + "(" + strings.Join(cols, ",") + ")"
+}
+
+// String renders the index in CREATE INDEX-ish form.
+func (ix *Index) String() string {
+	kind := ""
+	if ix.Hypothetical {
+		kind = " [what-if]"
+	}
+	return fmt.Sprintf("%s ON %s(%s)%s", ix.Name, ix.Table, strings.Join(ix.Columns, ", "), kind)
+}
+
+// LeadingColumn returns the first key column.
+func (ix *Index) LeadingColumn() string { return ix.Columns[0] }
+
+// Covers reports whether every column in cols appears in the index key, in
+// any position (used for index-only scan eligibility).
+func (ix *Index) Covers(cols []string) bool {
+	have := make(map[string]bool, len(ix.Columns))
+	for _, c := range ix.Columns {
+		have[strings.ToLower(c)] = true
+	}
+	for _, c := range cols {
+		if !have[strings.ToLower(c)] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerticalLayout partitions a table's columns into disjoint fragments.
+// Every fragment implicitly also stores the table's primary key (AutoPart's
+// replication rule), so fragments can be joined back on the PK.
+type VerticalLayout struct {
+	Table     string
+	Fragments [][]string // each inner slice: non-PK column names of a fragment
+}
+
+// FragmentFor returns the fragment ordinal containing the column, or -1.
+// Primary-key columns are present in every fragment and return 0.
+func (v *VerticalLayout) FragmentFor(column string) int {
+	lc := strings.ToLower(column)
+	for i, frag := range v.Fragments {
+		for _, c := range frag {
+			if strings.ToLower(c) == lc {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// String renders fragments as {a,b}{c}... .
+func (v *VerticalLayout) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", v.Table)
+	for _, frag := range v.Fragments {
+		b.WriteString("{" + strings.Join(frag, ",") + "}")
+	}
+	return b.String()
+}
+
+// HorizontalLayout splits a table into contiguous ranges of one column.
+// Bounds are the interior split points: n bounds create n+1 range
+// fragments (-inf, b0), [b0, b1), ..., [b_{n-1}, +inf).
+type HorizontalLayout struct {
+	Table  string
+	Column string
+	Bounds []Datum
+}
+
+// FragmentCount returns the number of range fragments.
+func (h *HorizontalLayout) FragmentCount() int { return len(h.Bounds) + 1 }
+
+// FragmentFor returns the ordinal of the fragment that holds the value.
+func (h *HorizontalLayout) FragmentFor(v Datum) int {
+	for i, b := range h.Bounds {
+		if v.Less(b) {
+			return i
+		}
+	}
+	return len(h.Bounds)
+}
+
+// String renders the layout with its split points.
+func (h *HorizontalLayout) String() string {
+	parts := make([]string, len(h.Bounds))
+	for i, b := range h.Bounds {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("%s BY RANGE(%s) SPLIT AT (%s)", h.Table, h.Column, strings.Join(parts, ", "))
+}
+
+// Configuration is a complete physical design: a set of indexes plus
+// optional partition layouts per table. Configurations are value-like;
+// Clone before mutating a shared one.
+type Configuration struct {
+	Indexes    []*Index
+	Vertical   map[string]*VerticalLayout   // keyed by lower-case table name
+	Horizontal map[string]*HorizontalLayout // keyed by lower-case table name
+}
+
+// NewConfiguration returns an empty configuration.
+func NewConfiguration() *Configuration {
+	return &Configuration{
+		Vertical:   make(map[string]*VerticalLayout),
+		Horizontal: make(map[string]*HorizontalLayout),
+	}
+}
+
+// Clone deep-copies the configuration (index structs are shared; the slices
+// and maps are fresh).
+func (c *Configuration) Clone() *Configuration {
+	out := NewConfiguration()
+	out.Indexes = append([]*Index(nil), c.Indexes...)
+	for k, v := range c.Vertical {
+		out.Vertical[k] = v
+	}
+	for k, v := range c.Horizontal {
+		out.Horizontal[k] = v
+	}
+	return out
+}
+
+// WithIndex returns a clone with the index added (deduplicated by Key).
+func (c *Configuration) WithIndex(ix *Index) *Configuration {
+	out := c.Clone()
+	if !out.HasIndex(ix.Key()) {
+		out.Indexes = append(out.Indexes, ix)
+	}
+	return out
+}
+
+// WithoutIndex returns a clone with any index matching the key removed.
+func (c *Configuration) WithoutIndex(key string) *Configuration {
+	out := c.Clone()
+	kept := out.Indexes[:0]
+	for _, ix := range out.Indexes {
+		if ix.Key() != key {
+			kept = append(kept, ix)
+		}
+	}
+	out.Indexes = kept
+	return out
+}
+
+// HasIndex reports whether an index with the canonical key is present.
+func (c *Configuration) HasIndex(key string) bool {
+	for _, ix := range c.Indexes {
+		if ix.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexesOn returns the indexes defined on the named table.
+func (c *Configuration) IndexesOn(table string) []*Index {
+	lt := strings.ToLower(table)
+	var out []*Index
+	for _, ix := range c.Indexes {
+		if strings.ToLower(ix.Table) == lt {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// SetVertical records (or replaces) the vertical layout for its table.
+func (c *Configuration) SetVertical(v *VerticalLayout) {
+	c.Vertical[strings.ToLower(v.Table)] = v
+}
+
+// SetHorizontal records (or replaces) the horizontal layout for its table.
+func (c *Configuration) SetHorizontal(h *HorizontalLayout) {
+	c.Horizontal[strings.ToLower(h.Table)] = h
+}
+
+// VerticalOn returns the table's vertical layout, or nil.
+func (c *Configuration) VerticalOn(table string) *VerticalLayout {
+	return c.Vertical[strings.ToLower(table)]
+}
+
+// HorizontalOn returns the table's horizontal layout, or nil.
+func (c *Configuration) HorizontalOn(table string) *HorizontalLayout {
+	return c.Horizontal[strings.ToLower(table)]
+}
+
+// Signature returns a deterministic identity for the whole configuration,
+// used as a cache key by INUM and the interaction analyzer.
+func (c *Configuration) Signature() string {
+	keys := make([]string, 0, len(c.Indexes))
+	for _, ix := range c.Indexes {
+		keys = append(keys, ix.Key())
+	}
+	sort.Strings(keys)
+	var parts []string
+	parts = append(parts, strings.Join(keys, ";"))
+	vt := make([]string, 0, len(c.Vertical))
+	for _, v := range c.Vertical {
+		vt = append(vt, v.String())
+	}
+	sort.Strings(vt)
+	parts = append(parts, strings.Join(vt, ";"))
+	ht := make([]string, 0, len(c.Horizontal))
+	for _, h := range c.Horizontal {
+		ht = append(ht, h.String())
+	}
+	sort.Strings(ht)
+	parts = append(parts, strings.Join(ht, ";"))
+	return strings.Join(parts, "|")
+}
+
+// TotalIndexPages sums the estimated page footprint of all indexes; this is
+// the quantity constrained by a designer storage budget.
+func (c *Configuration) TotalIndexPages() int64 {
+	var total int64
+	for _, ix := range c.Indexes {
+		total += ix.EstimatedPages
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+package colt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/colt"
+)
+
+func TestAlertString(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 30, false)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner.Alerts()) == 0 {
+		t.Fatal("no alerts")
+	}
+	s := tuner.Alerts()[0].String()
+	for _, want := range []string{"epoch", "+[", "-[", "expected benefit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("alert %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEpochReportsAreSequential(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 55, false)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	reports := tuner.Reports()
+	// 55 queries at epoch length 10: exactly 5 completed epochs.
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d, want 5", len(reports))
+	}
+	for i, r := range reports {
+		if r.Epoch != i {
+			t.Fatalf("report %d has epoch %d", i, r.Epoch)
+		}
+		if r.Queries != 10 {
+			t.Fatalf("epoch %d processed %d queries", i, r.Queries)
+		}
+		if r.EpochCost <= 0 {
+			t.Fatalf("epoch %d cost %f", i, r.EpochCost)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package colt_test
+
+import (
+	"testing"
+
+	"repro/internal/colt"
+)
+
+// TestChargeBuildCostDelaysAdoption: with materialization charging on and a
+// short horizon, a marginal index should not be adopted as eagerly as with
+// free builds.
+func TestChargeBuildCostDelaysAdoption(t *testing.T) {
+	free := colt.DefaultOptions()
+	free.EpochLength = 10
+	tunerFree, envFree := newTuner(t, free)
+	streamFree := indexFriendlyStream(t, envFree, 40, false)
+	if _, err := tunerFree.ObserveAll(streamFree); err != nil {
+		t.Fatal(err)
+	}
+
+	charged := colt.DefaultOptions()
+	charged.EpochLength = 10
+	charged.ChargeBuildCost = true
+	charged.BuildHorizonEpochs = 1 // must pay back within one epoch
+	tunerCharged, envCharged := newTuner(t, charged)
+	streamCharged := indexFriendlyStream(t, envCharged, 40, false)
+	if _, err := tunerCharged.ObserveAll(streamCharged); err != nil {
+		t.Fatal(err)
+	}
+
+	freeAlerts := len(tunerFree.Alerts())
+	chargedAlerts := len(tunerCharged.Alerts())
+	if freeAlerts == 0 {
+		t.Fatal("free tuner should adopt on this stream")
+	}
+	if chargedAlerts > freeAlerts {
+		t.Fatalf("charging builds should not increase adoptions: %d > %d",
+			chargedAlerts, freeAlerts)
+	}
+	// With a long horizon the benefit amortizes and adoption resumes.
+	longH := charged
+	longH.BuildHorizonEpochs = 1000
+	tunerLong, envLong := newTuner(t, longH)
+	streamLong := indexFriendlyStream(t, envLong, 40, false)
+	if _, err := tunerLong.ObserveAll(streamLong); err != nil {
+		t.Fatal(err)
+	}
+	if len(tunerLong.Alerts()) == 0 {
+		t.Fatal("long-horizon charging should still adopt beneficial indexes")
+	}
+}

@@ -1,0 +1,198 @@
+package colt_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/colt"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func newTuner(t *testing.T, opts colt.Options) (*colt.Tuner, *optimizer.Env) {
+	t.Helper()
+	store, err := workload.Generate(workload.TinySize(), 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
+	return colt.New(env, store.Stats, nil, opts), env
+}
+
+// indexFriendlyStream builds a stream dominated by covering-scan queries so
+// single-column indexes genuinely help on the tiny dataset.
+func indexFriendlyStream(t *testing.T, env *optimizer.Env, n int, phase2 bool) []workload.Query {
+	t.Helper()
+	var sqls []string
+	if !phase2 {
+		sqls = []string{
+			"SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 17 AND 18",
+			"SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14",
+		}
+	} else {
+		sqls = []string{
+			"SELECT z FROM specobj WHERE z > 1.2",
+			"SELECT distance FROM neighbors WHERE distance < 0.01",
+		}
+	}
+	var out []workload.Query
+	for i := 0; i < n; i++ {
+		sql := sqls[i%len(sqls)]
+		stmt, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sqlparse.Resolve(stmt, env.Schema); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, workload.Query{
+			ID: fmt.Sprintf("%s#%d", sql, i), SQL: sql, Weight: 1, Stmt: stmt,
+		})
+	}
+	return out
+}
+
+func TestTunerAdoptsBeneficialIndexes(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 40, false)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tuner.Current()
+	if !cfg.HasIndex("photoobj(psfmag_r)") {
+		t.Fatalf("tuner should adopt photoobj(psfmag_r); has %v", keysOf(cfg))
+	}
+	if len(tuner.Alerts()) == 0 {
+		t.Fatal("no alerts raised")
+	}
+	first := tuner.Alerts()[0]
+	if len(first.Added) == 0 || !first.Applied {
+		t.Fatalf("first alert malformed: %+v", first)
+	}
+	if first.ExpectedBenefit <= 0 {
+		t.Fatalf("expected positive benefit, got %f", first.ExpectedBenefit)
+	}
+}
+
+func TestTunerAdaptsToDrift(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+
+	phase1 := indexFriendlyStream(t, env, 40, false)
+	phase2 := indexFriendlyStream(t, env, 60, true)
+	if _, err := tuner.ObserveAll(phase1); err != nil {
+		t.Fatal(err)
+	}
+	afterPhase1 := keysOf(tuner.Current())
+	if _, err := tuner.ObserveAll(phase2); err != nil {
+		t.Fatal(err)
+	}
+	afterPhase2 := keysOf(tuner.Current())
+
+	// Phase 2 never touches photoobj; the tuner must have picked up at
+	// least one phase-2 index.
+	found := false
+	for _, k := range afterPhase2 {
+		if strings.HasPrefix(k, "specobj(") || strings.HasPrefix(k, "neighbors(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tuner did not adapt to drift: phase1=%v phase2=%v", afterPhase1, afterPhase2)
+	}
+}
+
+func TestTunerRespectsSpaceBudget(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	opts.SpaceBudgetPages = 40 // roughly one small index
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 40, false)
+	stream = append(stream, indexFriendlyStream(t, env, 40, true)...)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, ix := range tuner.Current().Indexes {
+		total += ix.EstimatedPages
+	}
+	if total > opts.SpaceBudgetPages {
+		t.Fatalf("space budget violated: %d > %d", total, opts.SpaceBudgetPages)
+	}
+}
+
+func TestTunerAlertOnlyMode(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	opts.AutoMaterialize = false
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 40, false)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner.Alerts()) == 0 {
+		t.Fatal("alert-only mode must still alert")
+	}
+	if len(tuner.Current().Indexes) != 0 {
+		t.Fatal("alert-only mode must not materialize")
+	}
+	for _, a := range tuner.Alerts() {
+		if a.Applied {
+			t.Fatal("alert marked applied in alert-only mode")
+		}
+	}
+}
+
+func TestTunerSelfRegulatesBudget(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	// A long stable stream: after convergence, what-if usage should drop.
+	stream := indexFriendlyStream(t, env, 120, false)
+	if _, err := tuner.ObserveAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	reports := tuner.Reports()
+	if len(reports) < 6 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	early := reports[1].WhatIfCalls
+	late := reports[len(reports)-1].WhatIfCalls
+	if late > early {
+		t.Fatalf("self-regulation failed: early=%d late=%d what-if calls", early, late)
+	}
+}
+
+func TestTunerCostReflectsAdoptedIndexes(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 60, false)
+	costs := make([]float64, 0, len(stream))
+	for _, q := range stream {
+		c, err := tuner.Observe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, c)
+	}
+	// After adoption, identical queries must cost less than at the start.
+	if costs[len(costs)-2] >= costs[0] {
+		t.Fatalf("online tuning did not reduce query cost: first=%f last=%f",
+			costs[0], costs[len(costs)-2])
+	}
+}
+
+func keysOf(cfg *catalog.Configuration) []string {
+	out := make([]string, 0, len(cfg.Indexes))
+	for _, ix := range cfg.Indexes {
+		out = append(out, ix.Key())
+	}
+	return out
+}

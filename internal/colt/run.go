@@ -1,0 +1,31 @@
+package colt
+
+import (
+	"context"
+
+	"repro/internal/workload"
+)
+
+// Run consumes queries from the channel until it closes or the context is
+// cancelled — the "continuously monitors incoming streams of queries" mode
+// of the paper's continuous tuning component. Observation is serialized
+// inside this goroutine; the Tuner itself is not safe for concurrent
+// Observe calls.
+//
+// The returned error is nil on normal channel close, the context error on
+// cancellation, or the first observation error.
+func (t *Tuner) Run(ctx context.Context, queries <-chan workload.Query) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case q, ok := <-queries:
+			if !ok {
+				return nil
+			}
+			if _, err := t.Observe(q); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package colt_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/colt"
+	"repro/internal/workload"
+)
+
+func TestRunConsumesStreamUntilClose(t *testing.T) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = 10
+	tuner, env := newTuner(t, opts)
+	stream := indexFriendlyStream(t, env, 40, false)
+
+	ch := make(chan workload.Query)
+	done := make(chan error, 1)
+	go func() { done <- tuner.Run(context.Background(), ch) }()
+	for _, q := range stream {
+		ch <- q
+	}
+	close(ch)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(tuner.Reports()) == 0 {
+		t.Fatal("no epochs processed")
+	}
+	if !tuner.Current().HasIndex("photoobj(psfmag_r)") {
+		t.Fatal("tuner did not adopt the expected index via Run")
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	opts := colt.DefaultOptions()
+	tuner, _ := newTuner(t, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan workload.Query) // never fed
+	done := make(chan error, 1)
+	go func() { done <- tuner.Run(ctx, ch) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}

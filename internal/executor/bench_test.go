@@ -1,0 +1,92 @@
+package executor_test
+
+import (
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+type benchFixture struct {
+	store *storage.Store
+	env   *optimizer.Env
+	exec  *executor.Executor
+}
+
+func newBenchFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	store, err := workload.Generate(workload.SmallSize(), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range [][]string{{"objid"}, {"type", "psfmag_r"}} {
+		if _, _, err := store.CreateIndex("bix_"+spec[0], "photoobj", spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env := optimizer.NewEnv(store.Schema, store.Stats, store.MaterializedConfiguration())
+	return &benchFixture{store: store, env: env, exec: executor.New(store)}
+}
+
+func (f *benchFixture) plan(b *testing.B, sql string) *optimizer.Plan {
+	b.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sqlparse.Resolve(sel, f.env.Schema); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := f.env.Optimize(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+func BenchmarkExecSeqScanFilter(b *testing.B) {
+	f := newBenchFixture(b)
+	plan := f.plan(b, "SELECT objid, psfmag_g FROM photoobj WHERE psfmag_g - psfmag_r > 1.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.exec.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecIndexPointLookup(b *testing.B) {
+	f := newBenchFixture(b)
+	plan := f.plan(b, "SELECT objid, ra FROM photoobj WHERE objid = 1050000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.exec.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecHashJoin(b *testing.B) {
+	f := newBenchFixture(b)
+	plan := f.plan(b, "SELECT p.objid, s.z FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 0.5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.exec.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecGroupBy(b *testing.B) {
+	f := newBenchFixture(b)
+	plan := f.plan(b, "SELECT camcol, COUNT(*), AVG(psfmag_r) FROM photoobj GROUP BY camcol")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.exec.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

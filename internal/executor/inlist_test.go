@@ -1,0 +1,59 @@
+package executor_test
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+)
+
+func TestInListScanAgreesWithSeqScan(t *testing.T) {
+	f := newFixture(t)
+	if _, _, err := f.store.CreateIndex("ix_camcol_mag", "photoobj", []string{"camcol", "psfmag_r"}); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT psfmag_r FROM photoobj WHERE camcol IN (2, 5) AND psfmag_r < 14"
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sqlparse.Resolve(sel, f.env.Schema); err != nil {
+		t.Fatal(err)
+	}
+	envIdx := f.env.WithConfig(f.store.MaterializedConfiguration())
+
+	idxPlan, err := envIdx.Optimize(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiProbe := false
+	idxPlan.Root.Walk(func(n *optimizer.Node) {
+		if len(n.InVals) > 0 {
+			multiProbe = true
+		}
+	})
+	if !multiProbe {
+		t.Skipf("optimizer chose a different path:\n%s", idxPlan.Explain())
+	}
+	idxRes, err := f.exec.Run(idxPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqPlan, err := envIdx.WithOptions(optimizer.Options{DisableIndexScan: true}).Optimize(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := f.exec.Run(seqPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, idxRes, seqRes, sql)
+	if len(idxRes.Rows) == 0 {
+		t.Fatal("vacuous test: no rows matched")
+	}
+	if idxRes.IO.Total() >= seqRes.IO.Total() {
+		t.Fatalf("multi-probe I/O (%d) should beat seq scan (%d)",
+			idxRes.IO.Total(), seqRes.IO.Total())
+	}
+}

@@ -1,0 +1,52 @@
+package executor_test
+
+import (
+	"testing"
+)
+
+func TestProjectionAliasNaming(t *testing.T) {
+	f := newFixture(t)
+	res := f.run(t, "SELECT objid AS o, psfmag_g - psfmag_r AS color FROM photoobj WHERE objid = 1000005")
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Columns[0] != ".o" && res.Columns[0] != "o" {
+		t.Fatalf("alias column name = %q", res.Columns[0])
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestStarProjection(t *testing.T) {
+	f := newFixture(t)
+	res := f.run(t, "SELECT * FROM field WHERE fieldid = 3")
+	wantCols := len(f.env.Schema.Table("field").Columns)
+	if len(res.Columns) != wantCols {
+		t.Fatalf("star produced %d columns, want %d", len(res.Columns), wantCols)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestUnnamedExpressionColumn(t *testing.T) {
+	f := newFixture(t)
+	res := f.run(t, "SELECT psfmag_g - psfmag_r FROM photoobj WHERE objid = 1000009")
+	if len(res.Columns) != 1 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestCountDistinctViaGroupBy(t *testing.T) {
+	// DISTINCT + aggregation interplay: distinct camcols counted by
+	// grouping then counting groups client-side.
+	f := newFixture(t)
+	res := f.run(t, "SELECT DISTINCT camcol FROM photoobj WHERE type = 6")
+	if len(res.Rows) == 0 || len(res.Rows) > 6 {
+		t.Fatalf("distinct camcols = %d", len(res.Rows))
+	}
+}

@@ -1,0 +1,175 @@
+// Package greedy implements the DTA-style greedy index advisor that
+// commercial tools use (paper §1/§2): repeatedly add the candidate index
+// with the best benefit(-per-page) until the storage budget is exhausted or
+// no candidate helps. It is the comparison baseline for CoPhy (experiment
+// E7) — greedy prunes the search space and can land in local optima, which
+// is exactly the deficiency the paper calls out.
+//
+// The package also provides exhaustive enumeration for small instances, the
+// ground truth used to verify CoPhy's optimality claims in tests.
+package greedy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/workload"
+)
+
+// Options tune the greedy search.
+type Options struct {
+	// StorageBudgetPages caps the selected indexes' footprint; 0 = unlimited.
+	StorageBudgetPages int64
+	// BenefitPerPage ranks candidates by benefit/size instead of raw
+	// benefit (the usual knapsack heuristic).
+	BenefitPerPage bool
+}
+
+// Result is the greedy recommendation.
+type Result struct {
+	Indexes      []*catalog.Index
+	Objective    float64 // workload cost under Indexes
+	BaselineCost float64 // workload cost with no indexes
+	Steps        int     // greedy iterations
+	PricingCalls int
+}
+
+// Improvement returns the relative cost reduction vs. no indexes.
+func (r *Result) Improvement() float64 {
+	if r.BaselineCost == 0 {
+		return 0
+	}
+	return (r.BaselineCost - r.Objective) / r.BaselineCost
+}
+
+// Advisor runs the greedy heuristic over a candidate set using INUM for
+// what-if pricing.
+type Advisor struct {
+	cache      *inum.Cache
+	candidates []*catalog.Index
+}
+
+// New creates a greedy advisor.
+func New(cache *inum.Cache, candidates []*catalog.Index) *Advisor {
+	return &Advisor{cache: cache, candidates: candidates}
+}
+
+// workloadCost prices the whole workload under cfg via INUM.
+func (a *Advisor) workloadCost(w *workload.Workload, cfg *catalog.Configuration, calls *int) (float64, error) {
+	var total float64
+	for _, q := range w.Queries {
+		cq, err := a.cache.Prepare(q.ID, q.Stmt, a.candidates)
+		if err != nil {
+			return 0, err
+		}
+		c, err := a.cache.CostFor(cq, cfg)
+		if err != nil {
+			return 0, err
+		}
+		*calls++
+		total += c * q.Weight
+	}
+	return total, nil
+}
+
+// Advise runs the greedy loop.
+func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
+	res := &Result{}
+	cfg := catalog.NewConfiguration()
+	cur, err := a.workloadCost(w, cfg, &res.PricingCalls)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineCost = cur
+
+	remaining := append([]*catalog.Index(nil), a.candidates...)
+	var usedPages int64
+	for {
+		bestIdx := -1
+		bestScore := 0.0
+		bestCost := cur
+		for i, ix := range remaining {
+			if ix == nil {
+				continue
+			}
+			if opts.StorageBudgetPages > 0 && usedPages+ix.EstimatedPages > opts.StorageBudgetPages {
+				continue
+			}
+			trial := cfg.WithIndex(ix)
+			c, err := a.workloadCost(w, trial, &res.PricingCalls)
+			if err != nil {
+				return nil, err
+			}
+			benefit := cur - c
+			if benefit <= 1e-9 {
+				continue
+			}
+			score := benefit
+			if opts.BenefitPerPage && ix.EstimatedPages > 0 {
+				score = benefit / float64(ix.EstimatedPages)
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = i
+				bestCost = c
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		ix := remaining[bestIdx]
+		cfg = cfg.WithIndex(ix)
+		usedPages += ix.EstimatedPages
+		cur = bestCost
+		remaining[bestIdx] = nil
+		res.Indexes = append(res.Indexes, ix)
+		res.Steps++
+	}
+	res.Objective = cur
+	sort.Slice(res.Indexes, func(i, j int) bool { return res.Indexes[i].Key() < res.Indexes[j].Key() })
+	return res, nil
+}
+
+// Exhaustive enumerates every candidate subset within budget and returns
+// the true optimum. Exponential — use only with small candidate sets (the
+// E7 ground truth).
+func Exhaustive(cache *inum.Cache, candidates []*catalog.Index, w *workload.Workload, budgetPages int64) (*Result, error) {
+	a := New(cache, candidates)
+	res := &Result{}
+	n := len(candidates)
+	best := math.Inf(1)
+	var bestSet []*catalog.Index
+
+	for mask := 0; mask < 1<<n; mask++ {
+		cfg := catalog.NewConfiguration()
+		var pages int64
+		var set []*catalog.Index
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cfg = cfg.WithIndex(candidates[i])
+				pages += candidates[i].EstimatedPages
+				set = append(set, candidates[i])
+			}
+		}
+		if budgetPages > 0 && pages > budgetPages {
+			continue
+		}
+		c, err := a.workloadCost(w, cfg, &res.PricingCalls)
+		if err != nil {
+			return nil, err
+		}
+		if mask == 0 {
+			res.BaselineCost = c
+		}
+		if c < best {
+			best = c
+			bestSet = set
+		}
+	}
+	res.Objective = best
+	res.Indexes = bestSet
+	sort.Slice(res.Indexes, func(i, j int) bool { return res.Indexes[i].Key() < res.Indexes[j].Key() })
+	return res, nil
+}

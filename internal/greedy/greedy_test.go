@@ -1,0 +1,106 @@
+package greedy_test
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/greedy"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func fixture(t *testing.T, nQueries, maxCands int) (*inum.Cache, []*catalog.Index, *workload.Workload) {
+	t.Helper()
+	store, err := workload.Generate(workload.TinySize(), 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
+	w, err := workload.NewWorkload(store.Schema, 62, nQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := whatif.NewSession(store.Schema, store.Stats, nil)
+	opts := whatif.DefaultCandidateOptions()
+	opts.MaxPerTable = 4
+	cands := sess.GenerateCandidates(w, opts)
+	if len(cands) > maxCands {
+		cands = cands[:maxCands]
+	}
+	return inum.New(env), cands, w
+}
+
+func TestGreedyImproves(t *testing.T) {
+	cache, cands, w := fixture(t, 12, 20)
+	adv := greedy.New(cache, cands)
+	res, err := adv.Advise(w, greedy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indexes) == 0 || res.Steps == 0 {
+		t.Fatal("greedy selected nothing")
+	}
+	if res.Objective >= res.BaselineCost {
+		t.Fatalf("objective %f >= baseline %f", res.Objective, res.BaselineCost)
+	}
+	if res.Improvement() <= 0 {
+		t.Fatal("no improvement")
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	cache, cands, w := fixture(t, 8, 16)
+	var total int64
+	for _, ix := range cands {
+		total += ix.EstimatedPages
+	}
+	budget := total / 4
+	adv := greedy.New(cache, cands)
+	res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used int64
+	for _, ix := range res.Indexes {
+		used += ix.EstimatedPages
+	}
+	if used > budget {
+		t.Fatalf("budget violated: %d > %d", used, budget)
+	}
+}
+
+func TestGreedyNeverWorseThanBaseline(t *testing.T) {
+	cache, cands, w := fixture(t, 8, 10)
+	adv := greedy.New(cache, cands)
+	for _, budget := range []int64{0, 1, 100, 100000} {
+		res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective > res.BaselineCost+1e-6 {
+			t.Fatalf("budget %d: objective %f > baseline %f",
+				budget, res.Objective, res.BaselineCost)
+		}
+	}
+}
+
+func TestExhaustiveAtLeastAsGoodAsGreedy(t *testing.T) {
+	cache, cands, w := fixture(t, 6, 8)
+	adv := greedy.New(cache, cands)
+	gres, err := adv.Advise(w, greedy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := greedy.Exhaustive(cache, cands, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.Objective > gres.Objective+1e-6 {
+		t.Fatalf("exhaustive %f worse than greedy %f", eres.Objective, gres.Objective)
+	}
+	if eres.BaselineCost != gres.BaselineCost {
+		t.Fatalf("baselines differ: %f vs %f", eres.BaselineCost, gres.BaselineCost)
+	}
+}

@@ -1,0 +1,286 @@
+// Package interaction implements the index-interaction analysis of
+// Schnaitter et al. (PVLDB 2009) that the designer embeds (§3.5): the
+// degree of interaction between two indexes, the interaction graph the demo
+// visualizes (Figure 2), and stable-subset partitioning.
+//
+// Two indexes a and b interact when the benefit of having both differs from
+// the sum of their individual benefits — e.g. two indexes that serve the
+// same predicate are substitutes (negative synergy), while an index pair
+// enabling a cheap merge join on both sides is complementary. Following the
+// paper, the degree of interaction within a context configuration X (with
+// a, b ∉ X) is
+//
+//	doi_X(a,b) = |C(X∪{a}) + C(X∪{b}) − C(X) − C(X∪{a,b})| / C(X∪{a,b})
+//
+// where C is the (INUM-estimated) workload cost, and doi(a,b) is the
+// maximum over sampled contexts X ⊆ S∖{a,b}. Sampling keeps the analysis
+// interactive: the full lattice is exponential, and the what-if costings
+// are INUM-cached so each context costs microseconds (E2).
+package interaction
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/workload"
+)
+
+// Options tune the interaction analysis.
+type Options struct {
+	// SampleContexts is the number of random contexts X sampled per pair in
+	// addition to the empty and full contexts.
+	SampleContexts int
+	// Seed drives context sampling (deterministic analysis).
+	Seed int64
+}
+
+// DefaultOptions returns the analyzer defaults.
+func DefaultOptions() Options { return Options{SampleContexts: 4, Seed: 1} }
+
+// Edge is one interaction-graph edge: index ordinals and the degree.
+type Edge struct {
+	A, B int
+	Doi  float64
+}
+
+// Graph is the interaction graph over a set of indexes.
+type Graph struct {
+	Indexes []*catalog.Index
+	Edges   []Edge // all pairs with Doi > 0, sorted by Doi descending
+}
+
+// Analyze computes pairwise interaction degrees for the index set against
+// the workload. All costs flow through the INUM cache, which is what makes
+// the quadratic pair sweep interactive.
+func Analyze(cache *inum.Cache, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
+	if opts.SampleContexts < 0 {
+		opts.SampleContexts = 0
+	}
+	g := &Graph{Indexes: indexes}
+	n := len(indexes)
+	if n < 2 {
+		return g, nil
+	}
+	prepared := make([]*inum.CachedQuery, len(w.Queries))
+	for i, q := range w.Queries {
+		cq, err := cache.Prepare(q.ID, q.Stmt, indexes)
+		if err != nil {
+			return nil, err
+		}
+		prepared[i] = cq
+	}
+	workloadCost := func(cfg *catalog.Configuration) (float64, error) {
+		var total float64
+		for i, q := range w.Queries {
+			c, err := cache.CostFor(prepared[i], cfg)
+			if err != nil {
+				return 0, err
+			}
+			total += c * q.Weight
+		}
+		return total, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			contexts := sampleContexts(rng, n, a, b, opts.SampleContexts)
+			maxDoi := 0.0
+			for _, ctx := range contexts {
+				base := catalog.NewConfiguration()
+				for _, k := range ctx {
+					base = base.WithIndex(indexes[k])
+				}
+				cX, err := workloadCost(base)
+				if err != nil {
+					return nil, err
+				}
+				cXa, err := workloadCost(base.WithIndex(indexes[a]))
+				if err != nil {
+					return nil, err
+				}
+				cXb, err := workloadCost(base.WithIndex(indexes[b]))
+				if err != nil {
+					return nil, err
+				}
+				cXab, err := workloadCost(base.WithIndex(indexes[a]).WithIndex(indexes[b]))
+				if err != nil {
+					return nil, err
+				}
+				if cXab <= 0 {
+					continue
+				}
+				d := cXa + cXb - cX - cXab
+				if d < 0 {
+					d = -d
+				}
+				d /= cXab
+				if d > maxDoi {
+					maxDoi = d
+				}
+			}
+			if maxDoi > 1e-9 {
+				g.Edges = append(g.Edges, Edge{A: a, B: b, Doi: maxDoi})
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].Doi != g.Edges[j].Doi {
+			return g.Edges[i].Doi > g.Edges[j].Doi
+		}
+		if g.Edges[i].A != g.Edges[j].A {
+			return g.Edges[i].A < g.Edges[j].A
+		}
+		return g.Edges[i].B < g.Edges[j].B
+	})
+	return g, nil
+}
+
+// sampleContexts returns the contexts X to probe for pair (a, b): empty,
+// everything-else, and k random subsets.
+func sampleContexts(rng *rand.Rand, n, a, b, k int) [][]int {
+	others := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != a && i != b {
+			others = append(others, i)
+		}
+	}
+	contexts := [][]int{{}}
+	if len(others) > 0 {
+		contexts = append(contexts, append([]int(nil), others...))
+	}
+	for s := 0; s < k && len(others) > 0; s++ {
+		var ctx []int
+		for _, i := range others {
+			if rng.Intn(2) == 0 {
+				ctx = append(ctx, i)
+			}
+		}
+		contexts = append(contexts, ctx)
+	}
+	return contexts
+}
+
+// TopK returns the k strongest edges (the Figure 2 display filter).
+func (g *Graph) TopK(k int) []Edge {
+	if k >= len(g.Edges) {
+		return g.Edges
+	}
+	return g.Edges[:k]
+}
+
+// StableSubsets partitions the index set into groups with no interaction of
+// degree >= eps across groups (connected components of the thresholded
+// graph). Indexes in different subsets can be scheduled independently.
+func (g *Graph) StableSubsets(eps float64) [][]int {
+	n := len(g.Indexes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range g.Edges {
+		if e.Doi >= eps {
+			parent[find(e.A)] = find(e.B)
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format with edges weighted by doi —
+// the portable form of the Figure 2 visualization.
+func (g *Graph) DOT(topK int) string {
+	var b strings.Builder
+	b.WriteString("graph interactions {\n")
+	for i, ix := range g.Indexes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, ix.Key())
+	}
+	for _, e := range g.TopK(topK) {
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%.3f\", weight=%d];\n",
+			e.A, e.B, e.Doi, int(e.Doi*1000))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Render returns a text adjacency listing of the top-k edges (the terminal
+// stand-in for the demo's interactive graph).
+func (g *Graph) Render(topK int) string {
+	var b strings.Builder
+	edges := g.TopK(topK)
+	if len(edges) == 0 {
+		b.WriteString("(no interactions)\n")
+		return b.String()
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%-40s ~ %-40s doi=%.4f\n",
+			g.Indexes[e.A].Key(), g.Indexes[e.B].Key(), e.Doi)
+	}
+	return b.String()
+}
+
+// Matrix renders the full doi matrix as a table: indexes numbered down the
+// side, pairwise degrees in the cells ("." = no interaction). This is the
+// dense view of Figure 2 for terminals.
+func (g *Graph) Matrix() string {
+	n := len(g.Indexes)
+	if n == 0 {
+		return "(no indexes)\n"
+	}
+	doi := make([][]float64, n)
+	for i := range doi {
+		doi[i] = make([]float64, n)
+	}
+	for _, e := range g.Edges {
+		doi[e.A][e.B] = e.Doi
+		doi[e.B][e.A] = e.Doi
+	}
+	var b strings.Builder
+	for i, ix := range g.Indexes {
+		fmt.Fprintf(&b, "[%2d] %s\n", i, ix.Key())
+	}
+	b.WriteString("\n     ")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "%7s", fmt.Sprintf("[%d]", j))
+	}
+	b.WriteString("\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "[%2d] ", i)
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				fmt.Fprintf(&b, "%7s", "-")
+			case doi[i][j] == 0:
+				fmt.Fprintf(&b, "%7s", ".")
+			default:
+				fmt.Fprintf(&b, "%7.3f", doi[i][j])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package lp
+
+import (
+	"container/heap"
+	"math"
+)
+
+// MIPOptions tune the branch-and-bound search.
+type MIPOptions struct {
+	// MaxNodes bounds the number of LP relaxations solved; 0 means
+	// unlimited. This is the execution-time/quality knob of E10.
+	MaxNodes int
+	// GapTolerance stops the search once the relative gap between the
+	// incumbent and the best bound falls below it.
+	GapTolerance float64
+}
+
+// bbNode is one branch-and-bound subproblem: variable fixings plus the
+// parent's LP bound (priority).
+type bbNode struct {
+	fixLo, fixHi []float64
+	bound        float64
+}
+
+// nodeQueue is a min-heap on bound (best-bound-first search).
+type nodeQueue []*bbNode
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(*bbNode)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+const intTol = 1e-6
+
+// SolveMIP solves the problem with binary restrictions enforced by
+// best-bound branch-and-bound over LP relaxations. The returned solution
+// carries the proven bound, so callers can report an optimality gap even
+// when the node budget cuts the search short.
+func SolveMIP(p *Problem, opts MIPOptions) *MIPSolution {
+	root := &bbNode{
+		fixLo: fill(p.NumVars, -1),
+		fixHi: fill(p.NumVars, -1),
+	}
+	rootLP := solveLPWithBounds(p, root.fixLo, root.fixHi)
+	out := &MIPSolution{Solution: Solution{Status: StatusNoSolution}, Bound: math.Inf(-1)}
+	switch rootLP.Status {
+	case StatusInfeasible:
+		out.Status = StatusInfeasible
+		return out
+	case StatusUnbounded:
+		out.Status = StatusUnbounded
+		return out
+	}
+	root.bound = rootLP.Objective
+	out.Bound = rootLP.Objective
+
+	queue := &nodeQueue{}
+	heap.Init(queue)
+	heap.Push(queue, root)
+
+	incumbent := math.Inf(1)
+	var incumbentX []float64
+	nodes := 0
+
+	for queue.Len() > 0 {
+		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
+			break
+		}
+		node := heap.Pop(queue).(*bbNode)
+		if node.bound >= incumbent-1e-9 {
+			continue // pruned by bound
+		}
+		lpSol := solveLPWithBounds(p, node.fixLo, node.fixHi)
+		nodes++
+		if lpSol.Status != StatusOptimal {
+			continue // infeasible subtree
+		}
+		if lpSol.Objective >= incumbent-1e-9 {
+			continue
+		}
+		// Find the most fractional binary variable.
+		branch := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if p.Binary == nil || !p.Binary[i] {
+				continue
+			}
+			f := lpSol.X[i] - math.Floor(lpSol.X[i])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branch = i
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			if lpSol.Objective < incumbent {
+				incumbent = lpSol.Objective
+				incumbentX = append([]float64(nil), lpSol.X...)
+			}
+			continue
+		}
+		// Branch x=0 and x=1.
+		for _, v := range []float64{0, 1} {
+			child := &bbNode{
+				fixLo: append([]float64(nil), node.fixLo...),
+				fixHi: append([]float64(nil), node.fixHi...),
+				bound: lpSol.Objective,
+			}
+			child.fixLo[branch], child.fixHi[branch] = v, v
+			heap.Push(queue, child)
+		}
+		// Optional early stop on gap.
+		if opts.GapTolerance > 0 && !math.IsInf(incumbent, 1) {
+			bound := bestBound(queue, incumbent)
+			if relGap(incumbent, bound) <= opts.GapTolerance {
+				out.Bound = bound
+				break
+			}
+		}
+	}
+
+	// Final bound: min over remaining open nodes (or incumbent if closed).
+	finalBound := bestBound(queue, incumbent)
+	out.Bound = finalBound
+	out.Nodes = nodes
+	if incumbentX != nil {
+		out.X = incumbentX
+		out.Objective = incumbent
+		if queue.Len() == 0 || relGap(incumbent, finalBound) <= 1e-9 || (opts.GapTolerance > 0 && relGap(incumbent, finalBound) <= opts.GapTolerance) {
+			out.Status = StatusOptimal
+			out.Proven = true
+			out.Bound = incumbent
+		} else {
+			out.Status = StatusNodeLimit
+		}
+		return out
+	}
+	if queue.Len() == 0 {
+		out.Status = StatusInfeasible
+	} else {
+		out.Status = StatusNoSolution
+	}
+	return out
+}
+
+// bestBound is the minimum of open-node bounds and the incumbent.
+func bestBound(queue *nodeQueue, incumbent float64) float64 {
+	best := incumbent
+	for _, n := range *queue {
+		if n.bound < best {
+			best = n.bound
+		}
+	}
+	return best
+}
+
+// relGap is the relative incumbent/bound gap.
+func relGap(incumbent, bound float64) float64 {
+	if math.IsInf(incumbent, 1) {
+		return math.Inf(1)
+	}
+	if incumbent == 0 {
+		return math.Abs(incumbent - bound)
+	}
+	g := (incumbent - bound) / math.Abs(incumbent)
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+func fill(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

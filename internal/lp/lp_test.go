@@ -1,0 +1,296 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimplexBasic(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2  -> x=2, y=2, obj=-6
+	p := NewProblem(2)
+	p.Objective = []float64{-1, -2}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 2)
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Objective, -8, 1e-6) {
+		// y is unbounded above only by x+y<=4; optimum puts y=4, x=0: obj=-8.
+		t.Fatalf("objective = %f, want -8", sol.Objective)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + y s.t. x + y = 3, x - y = 1 -> x=2, y=1, obj=3
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 3)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 1)
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.X[0], 2, 1e-6) || !almostEq(sol.X[1], 1, 1e-6) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSimplexGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10-... optimum x=10,y=0? obj
+	// 2*10=20; or y=8,x=2: 4+24=28. So x=10, y=0.
+	p := NewProblem(2)
+	p.Objective = []float64{2, 3}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 10)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Objective, 20, 1e-6) {
+		t.Fatalf("objective = %f, want 20", sol.Objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	if sol := SolveLP(p); sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{-1} // min -x, x >= 0 unbounded
+	if sol := SolveLP(p); sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint(map[int]float64{0: -1}, LE, -3)
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal || !almostEq(sol.X[0], 3, 1e-6) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestBinaryRelaxationBounds(t *testing.T) {
+	// Binary variables are relaxed to [0,1] in the LP.
+	p := NewProblem(2)
+	p.Objective = []float64{-1, -1}
+	p.Binary[0], p.Binary[1] = true, true
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, -2, 1e-6) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestMIPKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 2 (binary): best = a+b = 16.
+	p := NewProblem(3)
+	p.Objective = []float64{-10, -6, -4}
+	for i := range p.Binary {
+		p.Binary[i] = true
+	}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, LE, 2)
+	sol := SolveMIP(p, MIPOptions{})
+	if sol.Status != StatusOptimal || !sol.Proven {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if !almostEq(sol.Objective, -16, 1e-6) {
+		t.Fatalf("objective = %f, want -16", sol.Objective)
+	}
+	if !almostEq(sol.X[0], 1, intTol) || !almostEq(sol.X[1], 1, intTol) || !almostEq(sol.X[2], 0, intTol) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestMIPWeightedKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack where LP relaxation is fractional:
+	// max 60x1 + 100x2 + 120x3, 10x1 + 20x2 + 30x3 <= 50 -> take 2,3 = 220.
+	p := NewProblem(3)
+	p.Objective = []float64{-60, -100, -120}
+	for i := range p.Binary {
+		p.Binary[i] = true
+	}
+	p.AddConstraint(map[int]float64{0: 10, 1: 20, 2: 30}, LE, 50)
+	sol := SolveMIP(p, MIPOptions{})
+	if !almostEq(sol.Objective, -220, 1e-6) {
+		t.Fatalf("objective = %f, want -220", sol.Objective)
+	}
+	if sol.Gap() > 1e-9 {
+		t.Fatalf("gap = %f, want 0", sol.Gap())
+	}
+}
+
+func TestMIPInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Binary[0] = true
+	p.Objective = []float64{1}
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2) // x <= 1 binary, >= 2 impossible
+	sol := SolveMIP(p, MIPOptions{})
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestMIPNodeLimitReportsGap(t *testing.T) {
+	// A larger knapsack; with MaxNodes=1 only the root relaxation runs, so
+	// no incumbent may exist, or a weak one with nonzero gap.
+	rng := rand.New(rand.NewSource(5))
+	n := 20
+	p := NewProblem(n)
+	weights := map[int]float64{}
+	for i := 0; i < n; i++ {
+		p.Binary[i] = true
+		p.Objective[i] = -(1 + rng.Float64()*9)
+		weights[i] = 1 + rng.Float64()*9
+	}
+	p.AddConstraint(weights, LE, 25)
+	limited := SolveMIP(p, MIPOptions{MaxNodes: 3})
+	full := SolveMIP(p, MIPOptions{})
+	if full.Status != StatusOptimal {
+		t.Fatalf("full status = %v", full.Status)
+	}
+	// The limited bound must be a valid lower bound on the true optimum.
+	if limited.Bound > full.Objective+1e-6 {
+		t.Fatalf("limited bound %f exceeds optimum %f", limited.Bound, full.Objective)
+	}
+	if limited.Status == StatusOptimal && limited.Objective > full.Objective+1e-6 {
+		t.Fatalf("limited incumbent %f worse than optimum but claims optimal", limited.Objective)
+	}
+}
+
+// TestMIPMatchesBruteForce cross-checks branch-and-bound against exhaustive
+// enumeration on random small binary programs.
+func TestMIPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8) // up to 10 binaries
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.Binary[i] = true
+			p.Objective[i] = math.Round(rng.Float64()*20 - 10) // integers avoid tie noise
+		}
+		// 1-3 random <= constraints.
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			coefs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coefs[i] = math.Round(rng.Float64() * 5)
+				}
+			}
+			p.AddConstraint(coefs, LE, math.Round(rng.Float64()*float64(n)*2))
+		}
+
+		sol := SolveMIP(p, MIPOptions{})
+
+		// Brute force.
+		best := math.Inf(1)
+		feasibleExists := false
+		for mask := 0; mask < 1<<n; mask++ {
+			obj := 0.0
+			ok := true
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for i, v := range c.Coefs {
+					if mask&(1<<i) != 0 {
+						lhs += v
+					}
+				}
+				if lhs > c.RHS+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasibleExists = true
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					obj += p.Objective[i]
+				}
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+		if !feasibleExists {
+			return sol.Status == StatusInfeasible
+		}
+		if sol.Status != StatusOptimal {
+			return false
+		}
+		return almostEq(sol.Objective, best, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLPBoundBelowMIP checks the fundamental relaxation property on random
+// instances: LP optimum <= MIP optimum (minimization).
+func TestLPBoundBelowMIP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.Binary[i] = true
+			p.Objective[i] = rng.Float64()*10 - 5
+		}
+		coefs := map[int]float64{}
+		for i := 0; i < n; i++ {
+			coefs[i] = rng.Float64() * 5
+		}
+		p.AddConstraint(coefs, LE, rng.Float64()*float64(n)*2)
+		lpSol := SolveLP(p)
+		mipSol := SolveMIP(p, MIPOptions{})
+		if lpSol.Status != StatusOptimal || mipSol.Status != StatusOptimal {
+			return true // degenerate; other tests cover statuses
+		}
+		return lpSol.Objective <= mipSol.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range variable should panic")
+		}
+	}()
+	p.AddConstraint(map[int]float64{5: 1}, LE, 1)
+}
+
+func TestDegenerateCycling(t *testing.T) {
+	// A classic degenerate LP (Beale's example shape); Bland's rule must
+	// terminate.
+	p := NewProblem(4)
+	p.Objective = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	sol := SolveLP(p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Objective, -0.05, 1e-6) {
+		t.Fatalf("objective = %f, want -0.05", sol.Objective)
+	}
+}

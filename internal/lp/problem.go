@@ -1,0 +1,144 @@
+// Package lp implements a dense two-phase primal simplex solver and a
+// best-bound branch-and-bound MIP layer on top of it. It is the stdlib-only
+// stand-in for the commercial "sophisticated and mature solver" CoPhy
+// delegates its binary program to (paper §1, §3.2.1; DESIGN.md §4).
+//
+// The solver targets the small-to-medium binary programs the index advisor
+// produces (hundreds of variables and constraints). It reports the LP
+// relaxation bound alongside the incumbent, which is what gives CoPhy its
+// optimality-gap quality guarantee, and it accepts a node budget — the
+// time/quality knob the paper describes ("trade off execution time against
+// the quality of the suggested solutions", experiment E10).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_i x_i <= b
+	GE              // Σ a_i x_i >= b
+	EQ              // Σ a_i x_i  = b
+)
+
+// String renders the sense symbol.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Constraint is one linear row, sparse over variable indices.
+type Constraint struct {
+	Coefs map[int]float64
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear (or mixed binary) program in minimization form.
+// Variables are continuous in [0, +inf) unless listed in Binary, which
+// restricts them to {0, 1}.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; minimize
+	Constraints []Constraint
+	Binary      []bool // length NumVars (nil = all continuous)
+}
+
+// NewProblem allocates a problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Binary:    make([]bool, n),
+	}
+}
+
+// AddConstraint appends a row. Coefficient maps are copied.
+func (p *Problem) AddConstraint(coefs map[int]float64, sense Sense, rhs float64) {
+	cp := make(map[int]float64, len(coefs))
+	for k, v := range coefs {
+		if k < 0 || k >= p.NumVars {
+			panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", k, p.NumVars))
+		}
+		if v != 0 {
+			cp[k] = v
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coefs: cp, Sense: sense, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver statuses.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusNodeLimit // MIP: stopped at the node budget with an incumbent
+	StatusNoSolution
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusNodeLimit:
+		return "node-limit"
+	default:
+		return "no-solution"
+	}
+}
+
+// Solution is an LP solve result.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// MIPSolution augments a solution with branch-and-bound telemetry.
+type MIPSolution struct {
+	Solution
+	// Bound is the best proven lower bound on the optimum (minimization).
+	Bound float64
+	// Nodes is how many branch-and-bound nodes were expanded.
+	Nodes int
+	// Proven reports whether optimality was proven (gap closed) rather
+	// than the search stopping at the node budget.
+	Proven bool
+}
+
+// Gap returns the relative optimality gap (0 when proven optimal).
+func (m *MIPSolution) Gap() float64 {
+	if m.Status != StatusOptimal && m.Status != StatusNodeLimit {
+		return math.Inf(1)
+	}
+	if m.Objective == 0 {
+		if m.Bound == 0 {
+			return 0
+		}
+		return math.Abs(m.Objective - m.Bound)
+	}
+	g := (m.Objective - m.Bound) / math.Abs(m.Objective)
+	if g < 0 {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,278 @@
+package lp
+
+import (
+	"math"
+)
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-7
+)
+
+// SolveLP solves the continuous relaxation of the problem (binary markers
+// become 0 <= x <= 1 bounds) with a dense two-phase primal simplex.
+func SolveLP(p *Problem) *Solution {
+	return solveLPWithBounds(p, nil, nil)
+}
+
+// solveLPWithBounds solves the relaxation with per-variable fixed bounds
+// overridden (used by branch-and-bound: fix[i] = 0 or 1; -1 = free).
+func solveLPWithBounds(p *Problem, fixLo, fixHi []float64) *Solution {
+	// Assemble rows: original constraints plus x_i <= 1 for binary vars
+	// (unless fixed) plus x_i >= lo / x_i <= hi fixes.
+	type row struct {
+		coefs map[int]float64
+		sense Sense
+		rhs   float64
+	}
+	var rows []row
+	for _, c := range p.Constraints {
+		rows = append(rows, row{coefs: c.Coefs, sense: c.Sense, rhs: c.RHS})
+	}
+	for i := 0; i < p.NumVars; i++ {
+		lo, hi := 0.0, math.Inf(1)
+		if p.Binary != nil && p.Binary[i] {
+			hi = 1
+		}
+		if fixLo != nil && fixLo[i] >= 0 {
+			lo = fixLo[i]
+		}
+		if fixHi != nil && fixHi[i] >= 0 {
+			hi = fixHi[i]
+		}
+		if hi < math.Inf(1) {
+			rows = append(rows, row{coefs: map[int]float64{i: 1}, sense: LE, rhs: hi})
+		}
+		if lo > 0 {
+			rows = append(rows, row{coefs: map[int]float64{i: 1}, sense: GE, rhs: lo})
+		}
+	}
+
+	m := len(rows)
+	n := p.NumVars
+
+	// Standard form: one slack/surplus per row, artificials where needed.
+	// Column layout: [structural | slack/surplus | artificial | RHS].
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	// Count artificials: GE and EQ rows need one; LE rows with negative RHS
+	// become GE after negation, so normalize signs first.
+	norm := make([]row, m)
+	for i, r := range rows {
+		nr := row{coefs: make(map[int]float64, len(r.coefs)), sense: r.sense, rhs: r.rhs}
+		for k, v := range r.coefs {
+			nr.coefs[k] = v
+		}
+		if nr.rhs < 0 {
+			for k := range nr.coefs {
+				nr.coefs[k] = -nr.coefs[k]
+			}
+			nr.rhs = -nr.rhs
+			switch nr.sense {
+			case LE:
+				nr.sense = GE
+			case GE:
+				nr.sense = LE
+			}
+		}
+		norm[i] = nr
+	}
+	nSlack = 0
+	nArt := 0
+	for _, r := range norm {
+		if r.sense != EQ {
+			nSlack++
+		}
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt
+	T := make([][]float64, m+1)
+	for i := range T {
+		T[i] = make([]float64, cols+1)
+	}
+	basis := make([]int, m)
+
+	si, ai := n, n+nSlack
+	artCols := make([]int, 0, nArt)
+	for i, r := range norm {
+		for k, v := range r.coefs {
+			T[i][k] = v
+		}
+		T[i][cols] = r.rhs
+		switch r.sense {
+		case LE:
+			T[i][si] = 1
+			basis[i] = si
+			si++
+		case GE:
+			T[i][si] = -1
+			si++
+			T[i][ai] = 1
+			basis[i] = ai
+			artCols = append(artCols, ai)
+			ai++
+		case EQ:
+			T[i][ai] = 1
+			basis[i] = ai
+			artCols = append(artCols, ai)
+			ai++
+		}
+	}
+
+	isArt := make([]bool, cols)
+	for _, c := range artCols {
+		isArt[c] = true
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		obj := T[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for _, c := range artCols {
+			obj[c] = 1
+		}
+		// Make the objective row consistent with the basis (reduced costs).
+		for i := 0; i < m; i++ {
+			if isArt[basis[i]] {
+				for j := 0; j <= cols; j++ {
+					obj[j] -= T[i][j]
+				}
+			}
+		}
+		if !pivotLoop(T, basis, m, cols) {
+			return &Solution{Status: StatusUnbounded}
+		}
+		if T[m][cols] < -eps {
+			// Σ artificials > 0: infeasible.
+			return &Solution{Status: StatusInfeasible}
+		}
+		// Drive remaining artificials out of the basis when possible.
+		for i := 0; i < m; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(T[i][j]) > pivotEps {
+					pivot(T, basis, m, cols, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; leave the artificial at value 0.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: original objective. Zero out artificial columns so they
+	// never re-enter.
+	obj := T[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.Objective[j]
+	}
+	for i := 0; i < m; i++ {
+		for _, c := range artCols {
+			T[i][c] = 0
+		}
+	}
+	// Reduce the objective row against the basis.
+	for i := 0; i < m; i++ {
+		b := basis[i]
+		if b < cols && math.Abs(obj[b]) > eps {
+			f := obj[b]
+			for j := 0; j <= cols; j++ {
+				obj[j] -= f * T[i][j]
+			}
+		}
+	}
+	if !pivotLoop(T, basis, m, cols) {
+		return &Solution{Status: StatusUnbounded}
+	}
+
+	x := make([]float64, p.NumVars)
+	for i := 0; i < m; i++ {
+		if basis[i] < p.NumVars {
+			x[basis[i]] = T[i][cols]
+		}
+	}
+	objVal := 0.0
+	for i, c := range p.Objective {
+		objVal += c * x[i]
+	}
+	return &Solution{Status: StatusOptimal, X: x, Objective: objVal}
+}
+
+// pivotLoop runs primal simplex pivots until optimality (true) or reports
+// unboundedness (false). Bland's rule guarantees termination.
+func pivotLoop(T [][]float64, basis []int, m, cols int) bool {
+	obj := T[m]
+	for iter := 0; ; iter++ {
+		// Entering: Bland — smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < cols; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		// Leaving: min ratio, Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if T[i][enter] > pivotEps {
+				ratio := T[i][cols] / T[i][enter]
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return false // unbounded
+		}
+		pivot(T, basis, m, cols, leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(T [][]float64, basis []int, m, cols, row, col int) {
+	pr := T[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= cols; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i <= m; i++ {
+		if i == row {
+			continue
+		}
+		f := T[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := T[i]
+		for j := 0; j <= cols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+	basis[row] = col
+}

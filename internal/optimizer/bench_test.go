@@ -1,0 +1,94 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func benchEnv(b *testing.B) *optimizer.Env {
+	b.Helper()
+	store, err := workload.Generate(workload.SmallSize(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := catalog.NewConfiguration()
+	for _, spec := range [][]string{{"objid"}, {"ra"}, {"type", "psfmag_r"}} {
+		pages := optimizer.EstimateIndexLeafPages(store.Schema.Table("photoobj"), spec, store.Stats.Table("photoobj").RowCount)
+		cfg = cfg.WithIndex(&catalog.Index{
+			Name: "b", Table: "photoobj", Columns: spec, Hypothetical: true,
+			EstimatedPages: int64(pages), EstimatedHeight: optimizer.EstimateIndexHeight(pages),
+		})
+	}
+	return optimizer.NewEnv(store.Schema, store.Stats, cfg)
+}
+
+func benchStmt(b *testing.B, env *optimizer.Env, sql string) *sqlparse.SelectStmt {
+	b.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sqlparse.Resolve(sel, env.Schema); err != nil {
+		b.Fatal(err)
+	}
+	return sel
+}
+
+func BenchmarkOptimizeSingleTable(b *testing.B) {
+	env := benchEnv(b)
+	sel := benchStmt(b, env, "SELECT objid, ra FROM photoobj WHERE type = 6 AND psfmag_r BETWEEN 15 AND 17")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Optimize(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeTwoWayJoin(b *testing.B) {
+	env := benchEnv(b)
+	sel := benchStmt(b, env, "SELECT p.objid, s.z FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 0.5 AND p.psfmag_r < 20")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Optimize(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeThreeWayJoin(b *testing.B) {
+	env := benchEnv(b)
+	sel := benchStmt(b, env, "SELECT p.objid, s.z, f.quality FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid JOIN field f ON p.fieldid = f.fieldid WHERE s.class = 1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Optimize(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestTableAccess(b *testing.B) {
+	env := benchEnv(b)
+	sel := benchStmt(b, env, "SELECT objid, ra FROM photoobj WHERE type = 6 AND psfmag_r BETWEEN 15 AND 17")
+	ctx := env.PrepareAccess(sel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.BestAccessWith(ctx, "photoobj", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectivityEstimation(b *testing.B) {
+	env := benchEnv(b)
+	sel := benchStmt(b, env, "SELECT objid FROM photoobj WHERE type = 6 AND psfmag_r BETWEEN 15 AND 17 AND camcol IN (1, 2, 3)")
+	conjs := sqlparse.Conjuncts(sel.Where)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.SelectivityAll(conjs)
+	}
+}

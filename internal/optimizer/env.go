@@ -1,0 +1,137 @@
+// Package optimizer implements the cost-based query optimizer the designer
+// plans against — the stand-in for PostgreSQL's optimizer in the paper's
+// architecture (DESIGN.md §4). It performs selectivity estimation from
+// statistics, single-table access-path selection (sequential, index, and
+// index-only scans, partition-aware), dynamic-programming join ordering
+// with nested-loop / hash / merge methods, and produces EXPLAIN-able plans
+// with PostgreSQL-shaped costs.
+//
+// The optimizer is deliberately *configuration-driven*: it plans against an
+// Env holding a schema, a statistics catalog, and a physical Configuration.
+// Swapping the Configuration for a hypothetical one (internal/whatif) is
+// all it takes to cost a design that does not exist — the paper's what-if
+// capability.
+package optimizer
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// Env is everything the optimizer consults while planning: the logical
+// schema, the statistics, and the physical design (indexes + partitions).
+type Env struct {
+	Schema *catalog.Schema
+	Stats  *stats.Catalog
+	Config *catalog.Configuration
+	Params CostParams
+	Opts   Options
+}
+
+// Options hosts the optimizer switches exposed by the what-if join
+// component (§3.1c of the paper): join methods can be disabled to steer
+// plan shape, and ZeroSizeWhatIf reproduces the size-zero hypothetical
+// index flaw the paper criticizes in prior work (experiment E12).
+type Options struct {
+	DisableNestLoop  bool
+	DisableHashJoin  bool
+	DisableMergeJoin bool
+	DisableIndexScan bool
+	DisableSeqScan   bool // soft: seq scan is kept as a last resort
+	// ZeroSizeWhatIf treats hypothetical indexes as occupying zero pages,
+	// mimicking the tool of Monteiro et al. that the paper's related-work
+	// section faults for "severely affecting the accuracy of the optimizer".
+	ZeroSizeWhatIf bool
+}
+
+// NewEnv assembles an environment with default cost parameters.
+func NewEnv(schema *catalog.Schema, st *stats.Catalog, cfg *catalog.Configuration) *Env {
+	if cfg == nil {
+		cfg = catalog.NewConfiguration()
+	}
+	return &Env{Schema: schema, Stats: st, Config: cfg, Params: DefaultCostParams()}
+}
+
+// WithConfig returns a shallow copy of the environment planning against a
+// different physical configuration. This is the what-if entry point.
+func (e *Env) WithConfig(cfg *catalog.Configuration) *Env {
+	out := *e
+	if cfg == nil {
+		cfg = catalog.NewConfiguration()
+	}
+	out.Config = cfg
+	return &out
+}
+
+// WithOptions returns a shallow copy with different optimizer switches.
+func (e *Env) WithOptions(opts Options) *Env {
+	out := *e
+	out.Opts = opts
+	return &out
+}
+
+// tableStats fetches stats for a table; returns a conservative default when
+// the table was never analyzed so planning always succeeds.
+func (e *Env) tableStats(table string) *stats.TableStats {
+	if ts := e.Stats.Table(table); ts != nil {
+		return ts
+	}
+	return &stats.TableStats{RowCount: 1000, Pages: 10, Columns: map[string]*stats.ColumnStats{}}
+}
+
+// neededColumns maps each table to the set of its columns the query touches
+// anywhere (projection, predicates, grouping, ordering). Index-only scans
+// and vertical-fragment selection both key off this.
+func neededColumns(sel *sqlparse.SelectStmt) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	add := func(c *sqlparse.ColumnRef) {
+		lt := strings.ToLower(c.Table)
+		if out[lt] == nil {
+			out[lt] = make(map[string]bool)
+		}
+		out[lt][strings.ToLower(c.Column)] = true
+	}
+	for _, p := range sel.Projections {
+		if _, star := p.Expr.(*sqlparse.StarExpr); star {
+			continue // handled by caller: star needs all columns
+		}
+		sqlparse.WalkColumns(p.Expr, add)
+	}
+	sqlparse.WalkColumns(sel.Where, add)
+	for _, g := range sel.GroupBy {
+		sqlparse.WalkColumns(g, add)
+	}
+	sqlparse.WalkColumns(sel.Having, add)
+	for _, o := range sel.OrderBy {
+		sqlparse.WalkColumns(o.Expr, add)
+	}
+	return out
+}
+
+// hasStar reports whether the query projects *.
+func hasStar(sel *sqlparse.SelectStmt) bool {
+	for _, p := range sel.Projections {
+		if _, ok := p.Expr.(*sqlparse.StarExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// columnsOf returns the needed-column set for a table as a sorted slice.
+func columnsOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	// Deterministic order keeps plans and EXPLAIN output stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package optimizer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+)
+
+func TestInListMultiProbePath(t *testing.T) {
+	envBase := testEnv(t, nil)
+	cfg := catalog.NewConfiguration().WithIndex(hypoIndex(envBase, "photoobj", "camcol", "psfmag_r"))
+	env := envBase.WithConfig(cfg)
+	plan := mustPlan(t, env,
+		"SELECT psfmag_r FROM photoobj WHERE camcol IN (2, 5, 3) AND psfmag_r < 14")
+	var scan *optimizer.Node
+	plan.Root.Walk(func(n *optimizer.Node) {
+		if n.Kind == optimizer.NodeIndexScan || n.Kind == optimizer.NodeIndexOnlyScan {
+			scan = n
+		}
+	})
+	if scan == nil {
+		t.Fatalf("IN-list should use the index:\n%s", plan.Explain())
+	}
+	if len(scan.InVals) != 3 {
+		t.Fatalf("InVals = %v, want 3 probes", scan.InVals)
+	}
+	// Probes are sorted ascending so output keeps index order.
+	for i := 1; i < len(scan.InVals); i++ {
+		if scan.InVals[i].Less(scan.InVals[i-1]) {
+			t.Fatalf("probes not sorted: %v", scan.InVals)
+		}
+	}
+	if !strings.Contains(plan.Explain(), "IN (") {
+		t.Errorf("explain should render the IN condition:\n%s", plan.Explain())
+	}
+}
+
+func TestInListCostScalesWithProbes(t *testing.T) {
+	envBase := testEnv(t, nil)
+	cfg := catalog.NewConfiguration().WithIndex(hypoIndex(envBase, "photoobj", "camcol"))
+	env := envBase.WithConfig(cfg)
+	// More probes -> more matching rows and more descents -> higher cost.
+	p1 := mustPlan(t, env, "SELECT camcol FROM photoobj WHERE camcol IN (1, 2)")
+	p2 := mustPlan(t, env, "SELECT camcol FROM photoobj WHERE camcol IN (1, 2, 3, 4, 5)")
+	if p2.TotalCost() <= p1.TotalCost() {
+		t.Fatalf("5-probe scan (%.2f) should cost more than 2-probe (%.2f)",
+			p2.TotalCost(), p1.TotalCost())
+	}
+}
+
+func TestInListTooWideFallsBackToSeqScan(t *testing.T) {
+	envBase := testEnv(t, nil)
+	cfg := catalog.NewConfiguration().WithIndex(hypoIndex(envBase, "photoobj", "camcol"))
+	env := envBase.WithConfig(cfg)
+	// All six camcols: selectivity ~1, seq scan must win.
+	plan := mustPlan(t, env, "SELECT objid, camcol FROM photoobj WHERE camcol IN (1,2,3,4,5,6)")
+	plan.Root.Walk(func(n *optimizer.Node) {
+		if n.Kind == optimizer.NodeIndexScan {
+			t.Fatalf("full-domain IN should not use the index:\n%s", plan.Explain())
+		}
+	})
+}

@@ -1,0 +1,472 @@
+package optimizer
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// scanPaths enumerates access paths for one base table: a sequential scan
+// (partition-aware), plus one path per usable index (index scan or
+// index-only scan). wantedOrders lists single-table sort orders that would
+// be useful upstream (ORDER BY, GROUP BY, merge-join keys); full index
+// scans that deliver one are kept even without matching predicates.
+func (e *Env) scanPaths(
+	table string,
+	filters []sqlparse.Expr,
+	needed map[string]bool,
+	star bool,
+	wantedOrders [][]OrderKey,
+) []*Node {
+	ts := e.tableStats(table)
+	rows := float64(ts.RowCount)
+	baseSel := e.SelectivityAll(filters)
+	outRows := math.Max(rows*baseSel, 0)
+	if outRows < 1 && rows > 0 {
+		outRows = 1
+	}
+
+	var paths []*Node
+
+	// --- Sequential scan (always available as the fallback). -------------
+	effPages, cpuRows, fragJoinCPU := e.effectiveScanFootprint(table, ts.Pages, rows, filters, needed, star)
+	seq := &Node{
+		Kind:    NodeSeqScan,
+		Table:   table,
+		Filter:  filters,
+		EstRows: outRows,
+	}
+	seq.TotalCost = e.Params.seqScanCost(effPages, cpuRows, len(filters)) + fragJoinCPU
+	if e.Opts.DisableSeqScan {
+		seq.TotalCost += 1e7 // discouraged, not impossible (PostgreSQL's enable_seqscan)
+	}
+	paths = append(paths, seq)
+
+	if e.Opts.DisableIndexScan {
+		return paths
+	}
+
+	// --- Index paths. -----------------------------------------------------
+	for _, ix := range e.Config.IndexesOn(table) {
+		n := e.indexPath(table, ix, filters, needed, star, wantedOrders, float64(ts.Pages), rows, baseSel, outRows)
+		if n == nil {
+			continue
+		}
+		paths = append(paths, n)
+		// A backward twin serves descending wanted orders at equal cost.
+		if bw := backwardTwin(n, wantedOrders); bw != nil {
+			paths = append(paths, bw)
+		}
+	}
+	return paths
+}
+
+// backwardTwin clones an index path scanning in reverse when some wanted
+// order requires descending delivery the forward scan cannot provide.
+func backwardTwin(n *Node, wantedOrders [][]OrderKey) *Node {
+	if len(n.Order) == 0 {
+		return nil
+	}
+	reversed := make([]OrderKey, len(n.Order))
+	for i, k := range n.Order {
+		k.Desc = !k.Desc
+		reversed[i] = k
+	}
+	useful := false
+	for _, w := range wantedOrders {
+		if len(w) > 0 && orderSatisfies(reversed, w) && !orderSatisfies(n.Order, w) {
+			useful = true
+			break
+		}
+	}
+	if !useful {
+		return nil
+	}
+	bw := *n
+	bw.Backward = true
+	bw.Order = reversed
+	return &bw
+}
+
+// indexPath builds the best use of one index for the table's filters, or
+// nil when the index is useless for this query.
+func (e *Env) indexPath(
+	table string, ix *catalog.Index,
+	filters []sqlparse.Expr,
+	needed map[string]bool, star bool,
+	wantedOrders [][]OrderKey,
+	heapPages, heapRows, baseSel, outRows float64,
+) *Node {
+	n := &Node{
+		Kind:    NodeIndexScan,
+		Table:   table,
+		Index:   ix,
+		EstRows: outRows,
+	}
+
+	// Match filters against the index's leading columns: an equality per
+	// column while possible, then one IN-list (multi-probe) or one range
+	// bound, then stop. A range may also follow the IN column, applied per
+	// probe.
+	remaining := append([]sqlparse.Expr(nil), filters...)
+	indexSel := 1.0
+	matchedAny := false
+
+	// matchRange consumes range conjuncts on idxCol into the node's range
+	// bound and reports whether anything matched.
+	matchRange := func(idxCol string) bool {
+		lo, hi := catalog.Null(), catalog.Null()
+		loIncl, hiIncl := false, false
+		rangeSel := 1.0
+		found := false
+		for i := 0; i < len(remaining); {
+			sr, ok := sqlparse.SargableOf(remaining[i])
+			if !ok || !strings.EqualFold(sr.Column, idxCol) || !sr.IsRange {
+				i++
+				continue
+			}
+			switch {
+			case !sr.Hi.IsNull(): // BETWEEN
+				lo, hi, loIncl, hiIncl = sr.Value, sr.Hi, true, true
+			case sr.Op == sqlparse.OpGt:
+				lo, loIncl = sr.Value, false
+			case sr.Op == sqlparse.OpGe:
+				lo, loIncl = sr.Value, true
+			case sr.Op == sqlparse.OpLt:
+				hi, hiIncl = sr.Value, false
+			case sr.Op == sqlparse.OpLe:
+				hi, hiIncl = sr.Value, true
+			}
+			rangeSel *= e.Selectivity(remaining[i])
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			found = true
+		}
+		if found {
+			n.HasRange = true
+			n.LoVal, n.HiVal, n.LoIncl, n.HiIncl = lo, hi, loIncl, hiIncl
+			indexSel *= rangeSel
+			matchedAny = true
+		}
+		return found
+	}
+
+	for pos, idxCol := range ix.Columns {
+		// Find an equality conjunct on idxCol.
+		found := -1
+		var foundSr sqlparse.SargableRef
+		for i, f := range remaining {
+			sr, ok := sqlparse.SargableOf(f)
+			if ok && strings.EqualFold(sr.Column, idxCol) && sr.IsEquality {
+				// IN lists are equality-shaped but need multiple probes;
+				// treat single-value IN as equality here, longer lists as a
+				// multi-probe below.
+				if in, isIn := f.(*sqlparse.InExpr); isIn && len(in.List) > 1 {
+					continue
+				}
+				found, foundSr = i, sr
+				break
+			}
+		}
+		if found >= 0 {
+			n.EqVals = append(n.EqVals, foundSr.Value)
+			indexSel *= e.Selectivity(remaining[found])
+			remaining = append(remaining[:found], remaining[found+1:]...)
+			matchedAny = true
+			continue
+		}
+		// Multi-probe: an IN-list over literals on this column probes the
+		// index once per value and ends the prefix.
+		inFound := -1
+		for i, f := range remaining {
+			in, isIn := f.(*sqlparse.InExpr)
+			if !isIn || len(in.List) < 2 {
+				continue
+			}
+			col, colOK := in.E.(*sqlparse.ColumnRef)
+			if !colOK || !strings.EqualFold(col.Column, idxCol) {
+				continue
+			}
+			allLit := true
+			for _, item := range in.List {
+				if _, ok := item.(*sqlparse.Literal); !ok {
+					allLit = false
+					break
+				}
+			}
+			if allLit {
+				inFound = i
+				break
+			}
+		}
+		if inFound >= 0 {
+			in := remaining[inFound].(*sqlparse.InExpr)
+			for _, item := range in.List {
+				n.InVals = append(n.InVals, item.(*sqlparse.Literal).Value)
+			}
+			// Probing in ascending value order keeps the concatenated
+			// output globally sorted in index order.
+			sort.Slice(n.InVals, func(a, b int) bool { return n.InVals[a].Less(n.InVals[b]) })
+			indexSel *= e.Selectivity(in)
+			remaining = append(remaining[:inFound], remaining[inFound+1:]...)
+			matchedAny = true
+			// A range on the column after the IN applies within each probe.
+			if pos+1 < len(ix.Columns) {
+				matchRange(ix.Columns[pos+1])
+			}
+			break
+		}
+		// No equality: try range bounds on this column, then stop.
+		matchRange(idxCol)
+		break
+	}
+
+	n.Filter = remaining
+
+	neededCols := columnsOf(needed)
+	indexOnly := !star && ix.Covers(neededCols) && len(remaining) == 0
+	if indexOnly {
+		n.Kind = NodeIndexOnlyScan
+	}
+
+	// Delivered order: the index's columns ascending.
+	for _, c := range ix.Columns {
+		n.Order = append(n.Order, OrderKey{Table: table, Column: c})
+	}
+
+	if !matchedAny {
+		// A full index scan is only worth keeping when it delivers a wanted
+		// order (forward or backward) or can answer the query from the
+		// index alone.
+		reversed := make([]OrderKey, len(n.Order))
+		for i, k := range n.Order {
+			k.Desc = !k.Desc
+			reversed[i] = k
+		}
+		deliversWanted := false
+		for _, w := range wantedOrders {
+			if len(w) > 0 && (orderSatisfies(n.Order, w) || orderSatisfies(reversed, w)) {
+				deliversWanted = true
+				break
+			}
+		}
+		if !deliversWanted && !indexOnly {
+			return nil
+		}
+	}
+
+	ts := e.tableStats(table)
+	corr := 0.0
+	if cs := ts.Column(ix.LeadingColumn()); cs != nil {
+		corr = cs.Correlation
+	}
+	geom := e.geometry(ix, ts)
+	heapSel := indexSel
+	startup, total := e.Params.indexScanCost(
+		geom, heapPages, heapRows, indexSel, heapSel, corr,
+		indexOnly, len(remaining), 1,
+	)
+	// A multi-probe scan repeats the tree descent once per IN value.
+	if probes := len(n.InVals); probes > 1 {
+		extra := float64(probes-1) * float64(geom.height) * e.Params.RandomPageCost * 0.5
+		total += extra
+	}
+	n.StartupCost, n.TotalCost = startup, total
+	return n
+}
+
+// innerIndexPath builds a parameterized index scan of `table` keyed by the
+// join column, for use as the inner side of a nested-loop join re-executed
+// `loops` times. Returns nil when no index leads with the join column.
+func (e *Env) innerIndexPath(
+	table, joinColumn string,
+	outerTable, outerColumn string,
+	filters []sqlparse.Expr,
+	needed map[string]bool, star bool,
+	loops float64,
+) *Node {
+	if e.Opts.DisableIndexScan {
+		return nil
+	}
+	ts := e.tableStats(table)
+	rows := float64(ts.RowCount)
+
+	var best *Node
+	for _, ix := range e.Config.IndexesOn(table) {
+		if !strings.EqualFold(ix.LeadingColumn(), joinColumn) {
+			continue
+		}
+		n := &Node{
+			Kind:             NodeIndexScan,
+			Table:            table,
+			Index:            ix,
+			ParamOuterTable:  outerTable,
+			ParamOuterColumn: outerColumn,
+			Filter:           filters,
+		}
+		// Selectivity of one probe: rows per distinct join key.
+		perKey := 1.0
+		if d := e.distinctOf(table, joinColumn, rows); d > 0 {
+			perKey = 1 / d
+		}
+		indexSel := perKey
+		filterSel := e.SelectivityAll(filters)
+		n.EstRows = math.Max(rows*indexSel*filterSel, 0)
+
+		neededCols := columnsOf(needed)
+		indexOnly := !star && ix.Covers(neededCols) && len(filters) == 0
+		if indexOnly {
+			n.Kind = NodeIndexOnlyScan
+		}
+		corr := 0.0
+		if cs := ts.Column(ix.LeadingColumn()); cs != nil {
+			corr = cs.Correlation
+		}
+		geom := e.geometry(ix, ts)
+		startup, total := e.Params.indexScanCost(
+			geom, float64(ts.Pages), rows, indexSel, indexSel, corr,
+			indexOnly, len(filters), loops,
+		)
+		n.StartupCost, n.TotalCost = startup, total
+		if best == nil || n.TotalCost < best.TotalCost {
+			best = n
+		}
+	}
+	return best
+}
+
+// effectiveScanFootprint adapts a sequential scan's page and CPU footprint
+// to the table's partition layouts (the what-if table component, §3.1b):
+//
+//   - A vertical layout means only fragments containing needed columns are
+//     scanned; reading k>1 fragments adds a primary-key stitch cost.
+//   - A horizontal layout prunes range fragments that cannot satisfy a
+//     sargable predicate on the partition column.
+func (e *Env) effectiveScanFootprint(
+	table string, pages int64, rows float64,
+	filters []sqlparse.Expr,
+	needed map[string]bool, star bool,
+) (effPages, cpuRows, fragJoinCPU float64) {
+	effPages = float64(pages)
+	cpuRows = rows
+	t := e.Schema.Table(table)
+	if t == nil {
+		return effPages, cpuRows, 0
+	}
+
+	// Vertical layout: scan only the fragments covering needed columns.
+	if v := e.Config.VerticalOn(table); v != nil && !star {
+		fullWidth := float64(t.RowWidthBytes())
+		pkWidth := 24 // tuple header
+		for _, pk := range t.PrimaryKey {
+			if c := t.Column(pk); c != nil {
+				pkWidth += c.WidthBytes()
+			}
+		}
+		fragsUsed := 0
+		var scanWidth float64
+		for _, frag := range v.Fragments {
+			used := false
+			for _, col := range frag {
+				if needed[strings.ToLower(col)] {
+					used = true
+					break
+				}
+			}
+			if !used {
+				continue
+			}
+			fragsUsed++
+			w := float64(pkWidth)
+			for _, col := range frag {
+				if c := t.Column(col); c != nil {
+					w += float64(c.WidthBytes())
+				}
+			}
+			scanWidth += w
+		}
+		if fragsUsed == 0 {
+			// Query touches only PK columns: any single fragment serves.
+			fragsUsed = 1
+			scanWidth = float64(pkWidth)
+		}
+		frac := scanWidth / fullWidth
+		if frac > 1 {
+			frac = 1
+		}
+		effPages = math.Max(math.Ceil(effPages*frac), 1)
+		if fragsUsed > 1 {
+			// Stitching fragments back together on the PK: hash-join-like
+			// CPU per row per extra fragment.
+			fragJoinCPU = rows * float64(fragsUsed-1) *
+				(e.Params.CPUOperatorCost*2 + e.Params.CPUTupleCost)
+		}
+	}
+
+	// Horizontal layout: prune fragments by sargable bounds on the
+	// partition column.
+	if h := e.Config.HorizontalOn(table); h != nil {
+		frac := e.horizontalCoverage(table, h, filters)
+		effPages = math.Max(math.Ceil(effPages*frac), 1)
+		cpuRows = math.Max(rows*frac, 1)
+	}
+	return effPages, cpuRows, fragJoinCPU
+}
+
+// horizontalCoverage estimates the fraction of rows in fragments that
+// survive pruning under the filters.
+func (e *Env) horizontalCoverage(table string, h *catalog.HorizontalLayout, filters []sqlparse.Expr) float64 {
+	// Collect bounds on the partition column.
+	lo, hi := catalog.Null(), catalog.Null()
+	bounded := false
+	for _, f := range filters {
+		sr, ok := sqlparse.SargableOf(f)
+		if !ok || !strings.EqualFold(sr.Column, h.Column) {
+			continue
+		}
+		switch {
+		case sr.IsEquality:
+			lo, hi, bounded = sr.Value, sr.Value, true
+		case !sr.Hi.IsNull():
+			lo, hi, bounded = sr.Value, sr.Hi, true
+		case sr.Op == sqlparse.OpGt || sr.Op == sqlparse.OpGe:
+			if lo.IsNull() || lo.Less(sr.Value) {
+				lo = sr.Value
+			}
+			bounded = true
+		case sr.Op == sqlparse.OpLt || sr.Op == sqlparse.OpLe:
+			if hi.IsNull() || sr.Value.Less(hi) {
+				hi = sr.Value
+			}
+			bounded = true
+		}
+	}
+	if !bounded {
+		return 1
+	}
+	// Extend [lo,hi] to fragment boundaries, then measure the row fraction
+	// of the covered fragments with the column histogram.
+	loFrag := 0
+	if !lo.IsNull() {
+		loFrag = h.FragmentFor(lo)
+	}
+	hiFrag := h.FragmentCount() - 1
+	if !hi.IsNull() {
+		hiFrag = h.FragmentFor(hi)
+	}
+	fragLo, fragHi := catalog.Null(), catalog.Null()
+	if loFrag > 0 {
+		fragLo = h.Bounds[loFrag-1]
+	}
+	if hiFrag < len(h.Bounds) {
+		fragHi = h.Bounds[hiFrag]
+	}
+	cs := e.columnStats(table, h.Column)
+	if cs == nil {
+		covered := float64(hiFrag-loFrag+1) / float64(h.FragmentCount())
+		return clamp01(covered)
+	}
+	return clamp01(cs.RangeSelectivity(fragLo, fragHi))
+}

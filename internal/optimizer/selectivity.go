@@ -1,0 +1,176 @@
+package optimizer
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// Default selectivities for predicates the estimator cannot analyze,
+// matching PostgreSQL's DEFAULT_EQ_SEL / DEFAULT_INEQ_SEL spirit.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 1.0 / 3.0
+	defaultSel      = 0.25
+)
+
+// Selectivity estimates the fraction of rows satisfying the expression.
+// The expression must reference columns of analyzed tables; anything the
+// estimator cannot decompose falls back to a conservative default.
+func (e *Env) Selectivity(expr sqlparse.Expr) float64 {
+	switch v := expr.(type) {
+	case nil:
+		return 1
+	case *sqlparse.BinaryExpr:
+		switch v.Op {
+		case sqlparse.OpAnd:
+			return clamp01(e.Selectivity(v.L) * e.Selectivity(v.R))
+		case sqlparse.OpOr:
+			a, b := e.Selectivity(v.L), e.Selectivity(v.R)
+			return clamp01(a + b - a*b)
+		}
+		if sr, ok := sqlparse.SargableOf(v); ok {
+			return e.sargableSelectivity(sr)
+		}
+		if v.Op == sqlparse.OpEq {
+			// col = col within one table, or non-literal equality.
+			return defaultEqSel * 10
+		}
+		if v.Op.IsComparison() {
+			return defaultRangeSel
+		}
+		return defaultSel
+	case *sqlparse.NotExpr:
+		return clamp01(1 - e.Selectivity(v.E))
+	case *sqlparse.BetweenExpr:
+		if sr, ok := sqlparse.SargableOf(v); ok {
+			return e.sargableSelectivity(sr)
+		}
+		return defaultRangeSel * defaultRangeSel
+	case *sqlparse.InExpr:
+		if col, ok := v.E.(*sqlparse.ColumnRef); ok {
+			cs := e.columnStats(col.Table, col.Column)
+			if cs != nil {
+				total := 0.0
+				for _, item := range v.List {
+					if lit, ok := item.(*sqlparse.Literal); ok {
+						total += cs.EqSelectivity(lit.Value)
+					} else {
+						total += defaultEqSel
+					}
+				}
+				return clamp01(total)
+			}
+		}
+		return clamp01(defaultEqSel * float64(len(v.List)))
+	case *sqlparse.IsNullExpr:
+		if col, ok := v.E.(*sqlparse.ColumnRef); ok {
+			if cs := e.columnStats(col.Table, col.Column); cs != nil {
+				if v.Not {
+					return clamp01(1 - cs.NullFrac)
+				}
+				return clamp01(cs.NullFrac)
+			}
+		}
+		if v.Not {
+			return 0.99
+		}
+		return 0.01
+	case *sqlparse.Literal:
+		// Constant TRUE-ish predicates do not occur in this dialect; treat
+		// as neutral.
+		return 1
+	default:
+		return defaultSel
+	}
+}
+
+// SelectivityAll multiplies the selectivities of a conjunct list, assuming
+// independence (the same assumption PostgreSQL makes without extended
+// statistics).
+func (e *Env) SelectivityAll(conjuncts []sqlparse.Expr) float64 {
+	s := 1.0
+	for _, c := range conjuncts {
+		s *= e.Selectivity(c)
+	}
+	return clamp01(s)
+}
+
+// sargableSelectivity prices a simple col OP const predicate from stats.
+func (e *Env) sargableSelectivity(sr sqlparse.SargableRef) float64 {
+	cs := e.columnStats(sr.Table, sr.Column)
+	if cs == nil {
+		if sr.IsEquality {
+			return defaultEqSel
+		}
+		return defaultRangeSel
+	}
+	switch {
+	case sr.IsEquality:
+		return clamp01(cs.EqSelectivity(sr.Value))
+	case !sr.Hi.IsNull(): // BETWEEN
+		return clamp01(cs.RangeSelectivity(sr.Value, sr.Hi))
+	case sr.Op == sqlparse.OpLt || sr.Op == sqlparse.OpLe:
+		return clamp01(cs.RangeSelectivity(catalog.Null(), sr.Value))
+	case sr.Op == sqlparse.OpGt || sr.Op == sqlparse.OpGe:
+		return clamp01(cs.RangeSelectivity(sr.Value, catalog.Null()))
+	default:
+		return defaultRangeSel
+	}
+}
+
+// joinSelectivity estimates an equi-join's selectivity as 1/max(ndv_l,
+// ndv_r), PostgreSQL's eqjoinsel without MCV refinement.
+func (e *Env) joinSelectivity(edge sqlparse.JoinEdge) float64 {
+	l := e.columnStats(edge.LeftTable, edge.LeftColumn)
+	r := e.columnStats(edge.RightTable, edge.RightColumn)
+	nl, nr := int64(0), int64(0)
+	if l != nil {
+		nl = l.NDV
+	}
+	if r != nil {
+		nr = r.NDV
+	}
+	n := nl
+	if nr > n {
+		n = nr
+	}
+	if n <= 0 {
+		return defaultEqSel
+	}
+	return 1 / float64(n)
+}
+
+// columnStats fetches per-column stats, or nil.
+func (e *Env) columnStats(table, column string) *stats.ColumnStats {
+	ts := e.Stats.Table(table)
+	if ts == nil {
+		return nil
+	}
+	return ts.Column(column)
+}
+
+// distinctOf estimates the number of distinct values of a column clamped to
+// the current row estimate.
+func (e *Env) distinctOf(table, column string, rows float64) float64 {
+	cs := e.columnStats(table, column)
+	if cs == nil || cs.NDV <= 0 {
+		return rows / 10
+	}
+	d := float64(cs.NDV)
+	if d > rows {
+		d = rows
+	}
+	return d
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,321 @@
+// Package schedule implements interaction-aware index materialization
+// scheduling (§3.5, second tool of Schnaitter et al.): given a recommended
+// index set, pick the build order that maximizes the benefit accrued while
+// the indexes are still being built.
+//
+// Indexes take real time to build (a heap scan plus a sort plus writing the
+// leaves), and during that time the workload keeps running against the
+// prefix built so far. The schedule metric is therefore the area under the
+// workload-cost-versus-build-time curve (lower is better). Because of index
+// interactions, the marginal benefit of an index depends on what has
+// already been built — the greedy scheduler re-evaluates marginal benefit
+// per step against the current prefix (capturing interactions through the
+// INUM-costed configuration), while the oblivious baseline ranks indexes
+// once by standalone benefit, which is what a designer ignoring
+// interactions would do (experiment E9).
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Step is one index build in a schedule.
+type Step struct {
+	Index *catalog.Index
+	// BuildCost is the estimated build effort in the optimizer's cost units.
+	BuildCost float64
+	// CostAfter is the workload cost once this index (and all previous
+	// steps) are built.
+	CostAfter float64
+}
+
+// Schedule is an ordered materialization plan.
+type Schedule struct {
+	Steps []Step
+	// BaseCost is the workload cost before any index is built.
+	BaseCost float64
+	// AUC is the area under the workload-cost/build-time curve: the total
+	// "cost-time" experienced while materializing in this order.
+	AUC float64
+	// TotalBuild is the sum of build costs.
+	TotalBuild float64
+}
+
+// FinalCost is the workload cost with all indexes built.
+func (s *Schedule) FinalCost() float64 {
+	if len(s.Steps) == 0 {
+		return s.BaseCost
+	}
+	return s.Steps[len(s.Steps)-1].CostAfter
+}
+
+// String renders the schedule as an ordered list.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "materialization schedule (base cost %.1f):\n", s.BaseCost)
+	for i, st := range s.Steps {
+		fmt.Fprintf(&b, "  %2d. %-44s build=%-10.1f workload-cost-after=%.1f\n",
+			i+1, st.Index.Key(), st.BuildCost, st.CostAfter)
+	}
+	fmt.Fprintf(&b, "  AUC(cost x build-time) = %.1f\n", s.AUC)
+	return b.String()
+}
+
+// BuildCost estimates the effort to materialize an index: scan the heap,
+// sort the entries, write the leaves — expressed in the optimizer's cost
+// units so it is commensurable with workload costs.
+func BuildCost(ix *catalog.Index, st *stats.Catalog, params optimizer.CostParams) float64 {
+	ts := st.Table(ix.Table)
+	if ts == nil {
+		return 1
+	}
+	rows := float64(ts.RowCount)
+	heapScan := float64(ts.Pages) * params.SeqPageCost
+	sortCPU := 0.0
+	if rows > 1 {
+		sortCPU = 2 * params.CPUOperatorCost * rows * math.Log2(rows)
+	}
+	leafWrite := float64(ix.EstimatedPages) * params.SeqPageCost
+	return heapScan + sortCPU + leafWrite + rows*params.CPUTupleCost
+}
+
+// Scheduler orders index builds using INUM-estimated workload costs.
+type Scheduler struct {
+	cache  *inum.Cache
+	stats  *stats.Catalog
+	params optimizer.CostParams
+}
+
+// New creates a scheduler.
+func New(cache *inum.Cache, st *stats.Catalog, params optimizer.CostParams) *Scheduler {
+	return &Scheduler{cache: cache, stats: st, params: params}
+}
+
+// workloadCost prices the workload under a configuration.
+func (s *Scheduler) workloadCost(w *workload.Workload, indexes []*catalog.Index, cfg *catalog.Configuration) (float64, error) {
+	var total float64
+	for _, q := range w.Queries {
+		cq, err := s.cache.Prepare(q.ID, q.Stmt, indexes)
+		if err != nil {
+			return 0, err
+		}
+		c, err := s.cache.CostFor(cq, cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += c * q.Weight
+	}
+	return total, nil
+}
+
+// Greedy computes the interaction-aware schedule: at each step it builds
+// the index with the best marginal-benefit-to-build-cost ratio relative to
+// the prefix already built.
+func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	out := &Schedule{}
+	cfg := catalog.NewConfiguration()
+	cur, err := s.workloadCost(w, indexes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.BaseCost = cur
+
+	remaining := append([]*catalog.Index(nil), indexes...)
+	for len(remaining) > 0 {
+		bestI := -1
+		bestRate := math.Inf(-1)
+		bestCost := 0.0
+		for i, ix := range remaining {
+			trial := cfg.WithIndex(ix)
+			c, err := s.workloadCost(w, indexes, trial)
+			if err != nil {
+				return nil, err
+			}
+			build := BuildCost(ix, s.stats, s.params)
+			rate := (cur - c) / math.Max(build, 1e-9)
+			if rate > bestRate {
+				bestRate, bestI, bestCost = rate, i, c
+			}
+		}
+		ix := remaining[bestI]
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+		cfg = cfg.WithIndex(ix)
+		cur = bestCost
+		out.Steps = append(out.Steps, Step{
+			Index:     ix,
+			BuildCost: BuildCost(ix, s.stats, s.params),
+			CostAfter: cur,
+		})
+	}
+	finalize(out)
+	return out, nil
+}
+
+// Oblivious computes the interaction-oblivious baseline: indexes ranked
+// once by standalone benefit per build cost, never re-evaluated.
+func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	out := &Schedule{}
+	empty := catalog.NewConfiguration()
+	base, err := s.workloadCost(w, indexes, empty)
+	if err != nil {
+		return nil, err
+	}
+	out.BaseCost = base
+
+	type ranked struct {
+		ix   *catalog.Index
+		rate float64
+	}
+	var order []ranked
+	for _, ix := range indexes {
+		c, err := s.workloadCost(w, indexes, empty.WithIndex(ix))
+		if err != nil {
+			return nil, err
+		}
+		build := BuildCost(ix, s.stats, s.params)
+		order = append(order, ranked{ix: ix, rate: (base - c) / math.Max(build, 1e-9)})
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].rate > order[j].rate })
+
+	cfg := catalog.NewConfiguration()
+	for _, r := range order {
+		cfg = cfg.WithIndex(r.ix)
+		c, err := s.workloadCost(w, indexes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, Step{
+			Index:     r.ix,
+			BuildCost: BuildCost(r.ix, s.stats, s.params),
+			CostAfter: c,
+		})
+	}
+	finalize(out)
+	return out, nil
+}
+
+// GreedyBySubsets schedules each stable subset independently and merges
+// the per-subset schedules by benefit rate — the decomposition Schnaitter
+// et al. derive from stable partitions: indexes in different subsets do
+// not interact, so their relative order is determined by rate alone, and
+// the search space shrinks from n! to Σ|subset|!.
+//
+// subsets are index ordinals into `indexes` (interaction.Graph.StableSubsets
+// output). The merged schedule evaluates the true cumulative cost at the
+// end so the AUC is comparable with Greedy's.
+func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Index, subsets [][]int) (*Schedule, error) {
+	out := &Schedule{}
+	base, err := s.workloadCost(w, indexes, catalog.NewConfiguration())
+	if err != nil {
+		return nil, err
+	}
+	out.BaseCost = base
+
+	// Schedule each subset in isolation, recording per-step benefit rates.
+	type rated struct {
+		ix   *catalog.Index
+		rate float64
+	}
+	var merged []rated
+	for _, subset := range subsets {
+		sub := make([]*catalog.Index, 0, len(subset))
+		for _, ord := range subset {
+			if ord < 0 || ord >= len(indexes) {
+				return nil, fmt.Errorf("schedule: subset ordinal %d out of range", ord)
+			}
+			sub = append(sub, indexes[ord])
+		}
+		cfg := catalog.NewConfiguration()
+		cur, err := s.workloadCost(w, indexes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		remaining := sub
+		for len(remaining) > 0 {
+			bestI := -1
+			bestRate := math.Inf(-1)
+			bestCost := 0.0
+			for i, ix := range remaining {
+				trial := cfg.WithIndex(ix)
+				c, err := s.workloadCost(w, indexes, trial)
+				if err != nil {
+					return nil, err
+				}
+				rate := (cur - c) / math.Max(BuildCost(ix, s.stats, s.params), 1e-9)
+				if rate > bestRate {
+					bestRate, bestI, bestCost = rate, i, c
+				}
+			}
+			ix := remaining[bestI]
+			remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+			cfg = cfg.WithIndex(ix)
+			cur = bestCost
+			merged = append(merged, rated{ix: ix, rate: bestRate})
+		}
+	}
+	// Merge subsets: order by per-step rate descending (stable across
+	// subsets because cross-subset interactions are below threshold).
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].rate > merged[j].rate })
+
+	cfg := catalog.NewConfiguration()
+	for _, r := range merged {
+		cfg = cfg.WithIndex(r.ix)
+		c, err := s.workloadCost(w, indexes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, Step{
+			Index:     r.ix,
+			BuildCost: BuildCost(r.ix, s.stats, s.params),
+			CostAfter: c,
+		})
+	}
+	finalize(out)
+	return out, nil
+}
+
+// FixedOrder evaluates a user-supplied build order (for what-if schedule
+// comparisons in the CLI).
+func (s *Scheduler) FixedOrder(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	out := &Schedule{}
+	cfg := catalog.NewConfiguration()
+	base, err := s.workloadCost(w, indexes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.BaseCost = base
+	for _, ix := range indexes {
+		cfg = cfg.WithIndex(ix)
+		c, err := s.workloadCost(w, indexes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, Step{
+			Index:     ix,
+			BuildCost: BuildCost(ix, s.stats, s.params),
+			CostAfter: c,
+		})
+	}
+	finalize(out)
+	return out, nil
+}
+
+// finalize computes AUC and totals: during each build, the workload runs at
+// the cost of the previously completed prefix.
+func finalize(s *Schedule) {
+	prev := s.BaseCost
+	for _, st := range s.Steps {
+		s.AUC += prev * st.BuildCost
+		s.TotalBuild += st.BuildCost
+		prev = st.CostAfter
+	}
+}

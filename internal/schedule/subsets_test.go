@@ -1,0 +1,70 @@
+package schedule_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interaction"
+)
+
+func TestGreedyBySubsetsMatchesGreedy(t *testing.T) {
+	f := newFixture(t)
+	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := g.StableSubsets(0.01)
+
+	full, err := f.sched.Greedy(f.w, f.indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decomposed, err := f.sched.GreedyBySubsets(f.w, f.indexes, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decomposed.Steps) != len(f.indexes) {
+		t.Fatalf("steps = %d, want %d", len(decomposed.Steps), len(f.indexes))
+	}
+	// Both end at the same final cost (same full configuration).
+	if math.Abs(decomposed.FinalCost()-full.FinalCost()) > full.FinalCost()*0.001 {
+		t.Fatalf("final costs differ: %f vs %f", decomposed.FinalCost(), full.FinalCost())
+	}
+	// The decomposed schedule should be close to the global greedy AUC:
+	// stable subsets barely interact, so merging by rate loses little.
+	if decomposed.AUC > full.AUC*1.10 {
+		t.Fatalf("decomposed AUC %f more than 10%% worse than greedy %f",
+			decomposed.AUC, full.AUC)
+	}
+}
+
+func TestGreedyBySubsetsValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.sched.GreedyBySubsets(f.w, f.indexes, [][]int{{99}}); err == nil {
+		t.Fatal("out-of-range ordinal should error")
+	}
+}
+
+func TestGreedyBySubsetsSingletonSubsets(t *testing.T) {
+	// Every index alone: ordering is purely by standalone rate — must still
+	// produce a complete, monotone schedule.
+	f := newFixture(t)
+	var subsets [][]int
+	for i := range f.indexes {
+		subsets = append(subsets, []int{i})
+	}
+	s, err := f.sched.GreedyBySubsets(f.w, f.indexes, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != len(f.indexes) {
+		t.Fatalf("steps = %d", len(s.Steps))
+	}
+	prev := s.BaseCost
+	for i, st := range s.Steps {
+		if st.CostAfter > prev*1.0001 {
+			t.Fatalf("step %d cost rose", i)
+		}
+		prev = st.CostAfter
+	}
+}

@@ -1,0 +1,345 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Expr is any SQL scalar expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef references table.column; Table may be empty before resolution.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// String renders the (possibly qualified) reference.
+func (c *ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Literal wraps a constant datum.
+type Literal struct {
+	Value catalog.Datum
+}
+
+func (*Literal) exprNode() {}
+
+// String renders the literal in SQL form.
+func (l *Literal) String() string { return l.Value.String() }
+
+// BinOp enumerates binary operators.
+type BinOp string
+
+// Binary operators supported by the dialect.
+const (
+	OpAnd BinOp = "AND"
+	OpOr  BinOp = "OR"
+	OpEq  BinOp = "="
+	OpNe  BinOp = "<>"
+	OpLt  BinOp = "<"
+	OpLe  BinOp = "<="
+	OpGt  BinOp = ">"
+	OpGe  BinOp = ">="
+	OpAdd BinOp = "+"
+	OpSub BinOp = "-"
+	OpMul BinOp = "*"
+	OpDiv BinOp = "/"
+)
+
+// IsComparison reports whether the operator compares two values.
+func (o BinOp) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// String renders the expression with minimal parentheses around AND/OR.
+func (b *BinaryExpr) String() string {
+	ls, rs := b.L.String(), b.R.String()
+	if b.Op == OpAnd || b.Op == OpOr {
+		if inner, ok := b.L.(*BinaryExpr); ok && (inner.Op == OpAnd || inner.Op == OpOr) && inner.Op != b.Op {
+			ls = "(" + ls + ")"
+		}
+		if inner, ok := b.R.(*BinaryExpr); ok && (inner.Op == OpAnd || inner.Op == OpOr) && inner.Op != b.Op {
+			rs = "(" + rs + ")"
+		}
+	}
+	return ls + " " + string(b.Op) + " " + rs
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	E Expr
+}
+
+func (*NotExpr) exprNode() {}
+
+// String renders NOT (e).
+func (n *NotExpr) String() string { return "NOT (" + n.E.String() + ")" }
+
+// BetweenExpr is e BETWEEN lo AND hi (inclusive both ends).
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+}
+
+func (*BetweenExpr) exprNode() {}
+
+// String renders the BETWEEN form.
+func (b *BetweenExpr) String() string {
+	return b.E.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// InExpr is e IN (v1, v2, ...).
+type InExpr struct {
+	E    Expr
+	List []Expr
+}
+
+func (*InExpr) exprNode() {}
+
+// String renders the IN form.
+func (i *InExpr) String() string {
+	parts := make([]string, len(i.List))
+	for k, e := range i.List {
+		parts[k] = e.String()
+	}
+	return i.E.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// String renders IS [NOT] NULL.
+func (i *IsNullExpr) String() string {
+	if i.Not {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc string
+
+// Supported aggregates.
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// FuncExpr is an aggregate call. Star means COUNT(*).
+type FuncExpr struct {
+	Func AggFunc
+	Arg  Expr // nil when Star
+	Star bool
+}
+
+func (*FuncExpr) exprNode() {}
+
+// String renders the call.
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return string(f.Func) + "(*)"
+	}
+	return string(f.Func) + "(" + f.Arg.String() + ")"
+}
+
+// StarExpr is the bare * projection.
+type StarExpr struct{}
+
+func (*StarExpr) exprNode() {}
+
+// String renders "*".
+func (*StarExpr) String() string { return "*" }
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// String renders expr [AS alias].
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef is a FROM-list entry. Alias may be empty.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name queries use to reference the table's columns.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders name [alias].
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// String renders expr [DESC].
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// SelectStmt is a single-block query. Explicit JOIN ... ON clauses are
+// normalized at parse time: the joined tables land in From and the ON
+// predicates are AND-ed into Where, which is the form the optimizer and the
+// advisors consume.
+type SelectStmt struct {
+	Distinct    bool
+	Projections []SelectItem
+	From        []TableRef
+	Where       Expr // nil when absent
+	GroupBy     []Expr
+	Having      Expr
+	OrderBy     []OrderItem
+	Limit       int64 // -1 when absent
+}
+
+// String reassembles SQL text (canonical, not source-preserving).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, p := range s.Projections {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, e := range s.GroupBy {
+			parts[i] = e.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.String()
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type catalog.Kind
+}
+
+// CreateTableStmt is the CREATE TABLE DDL form.
+type CreateTableStmt struct {
+	Name       string
+	Columns    []ColumnDef
+	PrimaryKey []string
+}
+
+// String renders canonical DDL.
+func (c *CreateTableStmt) String() string {
+	parts := make([]string, 0, len(c.Columns)+1)
+	for _, col := range c.Columns {
+		parts = append(parts, col.Name+" "+col.Type.String())
+	}
+	if len(c.PrimaryKey) > 0 {
+		parts = append(parts, "PRIMARY KEY ("+strings.Join(c.PrimaryKey, ", ")+")")
+	}
+	return "CREATE TABLE " + c.Name + " (" + strings.Join(parts, ", ") + ")"
+}
+
+// CreateIndexStmt is the CREATE INDEX DDL form.
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// String renders canonical DDL.
+func (c *CreateIndexStmt) String() string {
+	u := ""
+	if c.Unique {
+		u = "UNIQUE "
+	}
+	return "CREATE " + u + "INDEX " + c.Name + " ON " + c.Table + " (" + strings.Join(c.Columns, ", ") + ")"
+}
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+func (*SelectStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+func (*CreateIndexStmt) stmtNode() {}

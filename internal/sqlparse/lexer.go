@@ -1,0 +1,195 @@
+// Package sqlparse implements the SQL dialect the designer consumes: single
+// block SELECT queries with inner joins, conjunctive predicates, grouping,
+// ordering and limits, plus the CREATE TABLE / CREATE INDEX DDL used to load
+// schemas. The parser produces a typed AST; analysis helpers extract the
+// predicate structure (conjuncts, referenced columns, join edges) that the
+// advisors feed on.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved word (upper-cased in val)
+)
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "GROUP": true, "BY": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "JOIN": true, "INNER": true,
+	"ON": true, "BETWEEN": true, "IN": true, "IS": true, "NULL": true,
+	"LIKE": true, "DISTINCT": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "PRIMARY": true, "KEY": true, "UNIQUE": true,
+	"BIGINT": true, "INT": true, "INTEGER": true, "DOUBLE": true,
+	"FLOAT": true, "REAL": true, "TEXT": true, "VARCHAR": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"HAVING": true, "CROSS": true,
+}
+
+// lexer walks the input producing tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// errorAt formats a lexing/parsing error with line/column context.
+func errorAt(src string, pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{kind: tokKeyword, val: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, val: word, pos: start}, nil
+
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, val: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errorAt(l.src, start, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, val: sb.String(), pos: start}, nil
+
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				v := op
+				if op == "!=" {
+					v = "<>"
+				}
+				return token{kind: tokSymbol, val: v, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),.*=<>+-/%;", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, val: string(c), pos: start}, nil
+		}
+		return token{}, errorAt(l.src, l.pos, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexAll tokenizes the whole input (convenient for the recursive-descent
+// parser, which needs small lookahead).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

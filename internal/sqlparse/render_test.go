@@ -1,0 +1,103 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpressionRendering sweeps every AST node's String form through a
+// parse -> render -> reparse cycle.
+func TestExpressionRendering(t *testing.T) {
+	inputs := []string{
+		"SELECT a FROM t WHERE NOT (a = 1)",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE a IS NULL",
+		"SELECT a FROM t WHERE a IS NOT NULL",
+		"SELECT a FROM t WHERE a = 1 OR (b = 2 AND c = 3)",
+		"SELECT COUNT(*), SUM(a), MIN(b) FROM t",
+		"SELECT a + b * 2 FROM t",
+		"SELECT t.a AS x FROM tab t",
+		"SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 3",
+		"SELECT a FROM t WHERE s = 'x''y'",
+		"SELECT a FROM t WHERE a = NULL",
+	}
+	for _, sql := range inputs {
+		s1, err := ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		text := s1.String()
+		s2, err := ParseSelect(text)
+		if err != nil {
+			t.Fatalf("render %q does not reparse: %v", text, err)
+		}
+		if s2.String() != text {
+			t.Fatalf("unstable rendering:\n%s\n%s", text, s2.String())
+		}
+	}
+}
+
+func TestDDLRendering(t *testing.T) {
+	for _, sql := range []string{
+		"CREATE TABLE t (a BIGINT, b DOUBLE, c TEXT, PRIMARY KEY (a))",
+		"CREATE UNIQUE INDEX i ON t (a, b)",
+		"CREATE INDEX j ON t (c)",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		text := stmt.String()
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("DDL render %q does not reparse: %v", text, err)
+		}
+	}
+}
+
+func TestWalkColumnsCoversAllNodeTypes(t *testing.T) {
+	sel, err := ParseSelect(
+		"SELECT COUNT(x), a + b FROM t WHERE NOT (c = 1) AND d BETWEEN e AND f AND g IN (h, 1) AND i IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range sel.Projections {
+		WalkColumns(p.Expr, func(c *ColumnRef) { seen[strings.ToLower(c.Column)] = true })
+	}
+	WalkColumns(sel.Where, func(c *ColumnRef) { seen[strings.ToLower(c.Column)] = true })
+	for _, want := range []string{"x", "a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+		if !seen[want] {
+			t.Errorf("WalkColumns missed %q (saw %v)", want, seen)
+		}
+	}
+}
+
+func TestReverseCmpAllOps(t *testing.T) {
+	cases := map[BinOp]BinOp{
+		OpLt: OpGt, OpGt: OpLt, OpLe: OpGe, OpGe: OpLe, OpEq: OpEq, OpNe: OpNe,
+	}
+	for in, want := range cases {
+		if got := reverseCmp(in); got != want {
+			t.Errorf("reverseCmp(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestJoinEdgeString(t *testing.T) {
+	e := JoinEdge{LeftTable: "a", LeftColumn: "x", RightTable: "b", RightColumn: "y"}
+	if e.String() != "a.x = b.y" {
+		t.Fatalf("edge = %q", e.String())
+	}
+}
+
+func TestColumnsIn(t *testing.T) {
+	sel, err := ParseSelect("SELECT a FROM t WHERE t.a = 1 AND t.b > 2 AND t.a < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := ColumnsIn(sel.Where)
+	if len(cols) != 2 {
+		t.Fatalf("ColumnsIn = %v, want 2 distinct", cols)
+	}
+}

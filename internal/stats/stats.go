@@ -1,0 +1,372 @@
+// Package stats implements the statistics substrate the optimizer and the
+// what-if layer depend on: per-column equi-depth histograms, distinct-value
+// counts, null fractions, min/max, and physical-order correlation, plus the
+// ANALYZE pass that derives them from stored rows.
+//
+// The designer is only as good as the selectivity estimates underneath it
+// (the paper ports to "any relational DBMS which offers ... a way to extract
+// and create statistics"); this package is that portability surface.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+)
+
+// DefaultBuckets is the histogram resolution used by Analyze, matching the
+// spirit of PostgreSQL's default_statistics_target (100 buckets there; 64
+// here keeps synthetic workloads fast without hurting estimate quality).
+const DefaultBuckets = 64
+
+// MCV is one most-common-value entry: a value and its fraction of all rows.
+type MCV struct {
+	Value catalog.Datum
+	Freq  float64
+}
+
+// MaxMCVs bounds the most-common-value list per column (PostgreSQL keeps
+// default_statistics_target entries; skewed synthetic columns here have
+// small hot domains, so 16 suffices).
+const MaxMCVs = 16
+
+// ColumnStats summarizes one column's value distribution.
+type ColumnStats struct {
+	// NDV is the estimated number of distinct non-null values.
+	NDV int64
+	// NullFrac is the fraction of NULL values in [0,1].
+	NullFrac float64
+	// Min and Max bound the non-null domain; NULL datums when the column
+	// holds no non-null values.
+	Min, Max catalog.Datum
+	// MCVs lists the most common values with their row fractions, most
+	// frequent first. Equality selectivity on skewed columns (object type,
+	// spectroscopic class) is dominated by these entries.
+	MCVs []MCV
+	// Hist is an equi-depth histogram over non-null values; may be nil for
+	// columns with tiny domains.
+	Hist *Histogram
+	// Correlation in [-1,1] measures how well physical row order tracks
+	// the column's value order; it blends sequential vs. random page cost
+	// in index scans exactly as PostgreSQL's btcostestimate does.
+	Correlation float64
+	// AvgWidth is the average stored width in bytes.
+	AvgWidth int
+}
+
+// EqSelectivity estimates the fraction of rows with column = v: the MCV
+// frequency when v is a known common value, otherwise the non-MCV mass
+// spread over the remaining distinct values (PostgreSQL's var_eq_const).
+func (c *ColumnStats) EqSelectivity(v catalog.Datum) float64 {
+	if v.IsNull() {
+		return 0 // WHERE col = NULL matches nothing
+	}
+	if c.NDV <= 0 {
+		return 0
+	}
+	// Out-of-range constants match nothing.
+	if !c.Min.IsNull() && v.Less(c.Min) {
+		return 0
+	}
+	if !c.Max.IsNull() && c.Max.Less(v) {
+		return 0
+	}
+	var mcvMass float64
+	for _, m := range c.MCVs {
+		if m.Value.Equal(v) {
+			return m.Freq
+		}
+		mcvMass += m.Freq
+	}
+	restNDV := c.NDV - int64(len(c.MCVs))
+	if restNDV <= 0 {
+		// Every distinct value is an MCV and v matched none: the constant
+		// is absent from the table.
+		return 0
+	}
+	rest := (1 - c.NullFrac) - mcvMass
+	if rest < 0 {
+		rest = 0
+	}
+	return rest / float64(restNDV)
+}
+
+// RangeSelectivity estimates the fraction of rows with lo <= col <= hi,
+// where a NULL bound means unbounded on that side.
+func (c *ColumnStats) RangeSelectivity(lo, hi catalog.Datum) float64 {
+	if c.Hist != nil {
+		s := c.Hist.RangeFraction(lo, hi) * (1 - c.NullFrac)
+		return clamp01(s)
+	}
+	// Fallback: linear interpolation over [Min, Max] for numeric columns.
+	if c.Min.IsNull() || c.Max.IsNull() {
+		return defaultRangeSel
+	}
+	minF, maxF := c.Min.AsFloat(), c.Max.AsFloat()
+	if maxF <= minF {
+		return defaultRangeSel
+	}
+	loF, hiF := minF, maxF
+	if !lo.IsNull() {
+		loF = math.Max(minF, lo.AsFloat())
+	}
+	if !hi.IsNull() {
+		hiF = math.Min(maxF, hi.AsFloat())
+	}
+	if hiF <= loF {
+		return 0
+	}
+	return clamp01((hiF - loF) / (maxF - minF) * (1 - c.NullFrac))
+}
+
+const defaultRangeSel = 1.0 / 3.0
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	RowCount int64
+	// Pages is the heap footprint in pages (set from storage, or derived
+	// from RowCount and row width for synthetic tables).
+	Pages   int64
+	Columns map[string]*ColumnStats // keyed by lower-case column name
+}
+
+// Column returns stats for the named column, or nil.
+func (t *TableStats) Column(name string) *ColumnStats {
+	return t.Columns[lower(name)]
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Catalog holds statistics for every analyzed table of a schema.
+type Catalog struct {
+	Tables map[string]*TableStats // keyed by lower-case table name
+}
+
+// NewCatalog returns an empty statistics catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{Tables: make(map[string]*TableStats)}
+}
+
+// Table returns stats for the named table, or nil.
+func (c *Catalog) Table(name string) *TableStats { return c.Tables[lower(name)] }
+
+// Put registers table stats under the table name.
+func (c *Catalog) Put(name string, ts *TableStats) { c.Tables[lower(name)] = ts }
+
+// Analyze computes full statistics for a table's rows. pageSize is the heap
+// page capacity in bytes used to derive the page count.
+func Analyze(t *catalog.Table, rows []catalog.Row, pageSize int) (*TableStats, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("stats: pageSize must be positive")
+	}
+	ts := &TableStats{
+		RowCount: int64(len(rows)),
+		Columns:  make(map[string]*ColumnStats, len(t.Columns)),
+	}
+	rowsPerPage := pageSize / t.RowWidthBytes()
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	ts.Pages = (ts.RowCount + int64(rowsPerPage) - 1) / int64(rowsPerPage)
+	if ts.Pages == 0 {
+		ts.Pages = 1
+	}
+
+	for ci, col := range t.Columns {
+		cs := analyzeColumn(rows, ci)
+		cs.AvgWidth = col.WidthBytes()
+		ts.Columns[lower(col.Name)] = cs
+	}
+	return ts, nil
+}
+
+// analyzeColumn computes stats over one column position.
+func analyzeColumn(rows []catalog.Row, ci int) *ColumnStats {
+	cs := &ColumnStats{}
+	n := len(rows)
+	if n == 0 {
+		return cs
+	}
+	type posVal struct {
+		pos int
+		v   catalog.Datum
+	}
+	vals := make([]posVal, 0, n)
+	nulls := 0
+	distinct := make(map[catalog.Datum]struct{}, 1024)
+	for i, r := range rows {
+		v := r[ci]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		vals = append(vals, posVal{pos: i, v: v})
+		distinct[canonDatum(v)] = struct{}{}
+	}
+	cs.NullFrac = float64(nulls) / float64(n)
+	cs.NDV = int64(len(distinct))
+	if len(vals) == 0 {
+		return cs
+	}
+	sorted := make([]posVal, len(vals))
+	copy(sorted, vals)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].v.Less(sorted[b].v) })
+	cs.Min, cs.Max = sorted[0].v, sorted[len(sorted)-1].v
+
+	ordered := make([]catalog.Datum, len(sorted))
+	for i, pv := range sorted {
+		ordered[i] = pv.v
+	}
+	cs.MCVs = collectMCVs(ordered, n)
+	cs.Hist = BuildEquiDepth(ordered, DefaultBuckets)
+
+	// Correlation: Pearson correlation between physical position and value
+	// rank, the same quantity PostgreSQL stores in pg_statistic.
+	positions := make([]int, len(sorted))
+	for i, pv := range sorted {
+		positions[i] = pv.pos
+	}
+	cs.Correlation = positionRankCorrelation(positions)
+	return cs
+}
+
+// collectMCVs extracts the most common values from the sorted value list.
+// A value qualifies when it appears clearly more often than average (at
+// least twice, and at least 1.25x the mean frequency) — PostgreSQL's
+// analyze heuristic in miniature.
+func collectMCVs(sorted []catalog.Datum, totalRows int) []MCV {
+	if len(sorted) == 0 || totalRows == 0 {
+		return nil
+	}
+	type run struct {
+		v     catalog.Datum
+		count int
+	}
+	var runs []run
+	cur := run{v: sorted[0], count: 1}
+	distinct := 1
+	for _, v := range sorted[1:] {
+		if v.Equal(cur.v) {
+			cur.count++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = run{v: v, count: 1}
+		distinct++
+	}
+	runs = append(runs, cur)
+
+	meanCount := float64(len(sorted)) / float64(distinct)
+	threshold := meanCount * 1.25
+	if threshold < 2 {
+		threshold = 2
+	}
+	var qualified []run
+	for _, r := range runs {
+		if float64(r.count) >= threshold {
+			qualified = append(qualified, r)
+		}
+	}
+	sort.SliceStable(qualified, func(a, b int) bool {
+		if qualified[a].count != qualified[b].count {
+			return qualified[a].count > qualified[b].count
+		}
+		return qualified[a].v.Less(qualified[b].v)
+	})
+	if len(qualified) > MaxMCVs {
+		qualified = qualified[:MaxMCVs]
+	}
+	out := make([]MCV, len(qualified))
+	for i, r := range qualified {
+		out[i] = MCV{Value: r.v, Freq: float64(r.count) / float64(totalRows)}
+	}
+	return out
+}
+
+// canonDatum collapses numerically equal int/float datums for NDV counting.
+func canonDatum(v catalog.Datum) catalog.Datum {
+	if v.Kind == catalog.KindFloat && v.F == math.Trunc(v.F) &&
+		v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+		return catalog.Int(int64(v.F))
+	}
+	return v
+}
+
+// positionRankCorrelation computes the Pearson correlation between the
+// physical position of each value (indexed by value rank) and its rank in
+// sorted order.
+func positionRankCorrelation(positions []int) float64 {
+	m := len(positions)
+	if m < 2 {
+		return 1
+	}
+	var sumX, sumY, sumXY, sumXX, sumYY float64
+	for rank, pos := range positions {
+		x := float64(pos)
+		y := float64(rank)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+		sumYY += y * y
+	}
+	fm := float64(m)
+	cov := sumXY - sumX*sumY/fm
+	varX := sumXX - sumX*sumX/fm
+	varY := sumYY - sumY*sumY/fm
+	if varX <= 0 || varY <= 0 {
+		return 1
+	}
+	r := cov / math.Sqrt(varX*varY)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// Synthetic builds table stats without data: uniform distribution over
+// [min,max] with the given distinct count. Used by benchmarks that model
+// tables far larger than memory.
+func Synthetic(rowCount, pages, ndv int64, min, max float64) *ColumnStats {
+	if ndv <= 0 {
+		ndv = rowCount
+	}
+	cs := &ColumnStats{
+		NDV:         ndv,
+		Min:         catalog.Float(min),
+		Max:         catalog.Float(max),
+		Correlation: 0,
+		AvgWidth:    8,
+	}
+	// A uniform equi-depth histogram with linear boundaries.
+	bounds := make([]catalog.Datum, DefaultBuckets+1)
+	for i := 0; i <= DefaultBuckets; i++ {
+		bounds[i] = catalog.Float(min + (max-min)*float64(i)/float64(DefaultBuckets))
+	}
+	cs.Hist = &Histogram{Bounds: bounds}
+	return cs
+}

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+func TestScanReverseFullOrder(t *testing.T) {
+	h := buildHeap(t, 5000, 31)
+	bt, err := BuildIndex("i", h, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Key
+	n := 0
+	bt.ScanReverse(nil, nil, nil, func(k Key, id int64) bool {
+		if prev != nil && prev.Compare(k) < 0 {
+			t.Fatalf("reverse scan out of order: %s after %s", k, prev)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 5000 {
+		t.Fatalf("reverse scan visited %d entries, want 5000", n)
+	}
+}
+
+func TestScanReverseMatchesForward(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap(numTable())
+		bt, err := BuildIndex("i", h, []string{"a"}, nil)
+		if err != nil {
+			return false
+		}
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(80)
+			id, _ := h.Insert(catalog.Row{catalog.Int(v), catalog.Float(0)})
+			bt.Insert(kv(v), id)
+		}
+		lo, hi := rng.Int63n(40), 40+rng.Int63n(40)
+		var fwd, rev []int64
+		bt.Scan(kv(lo), kv(hi), nil, func(_ Key, id int64) bool {
+			fwd = append(fwd, id)
+			return true
+		})
+		bt.ScanReverse(kv(lo), kv(hi), nil, func(_ Key, id int64) bool {
+			rev = append(rev, id)
+			return true
+		})
+		if len(fwd) != len(rev) {
+			return false
+		}
+		// The reverse scan must visit the same id multiset.
+		seen := map[int64]int{}
+		for _, id := range fwd {
+			seen[id]++
+		}
+		for _, id := range rev {
+			seen[id]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanReverseEarlyStop(t *testing.T) {
+	h := buildHeap(t, 1000, 33)
+	bt, err := BuildIndex("i", h, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	bt.ScanReverse(nil, nil, nil, func(Key, int64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

@@ -1,0 +1,232 @@
+package whatif
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// CandidateOptions tune candidate index enumeration.
+type CandidateOptions struct {
+	// MaxPerTable caps candidates per table (by workload frequency).
+	MaxPerTable int
+	// MaxWidth caps composite index width.
+	MaxWidth int
+	// IncludeCovering adds covering candidates (key + projected columns).
+	IncludeCovering bool
+}
+
+// DefaultCandidateOptions returns the advisor defaults.
+func DefaultCandidateOptions() CandidateOptions {
+	return CandidateOptions{MaxPerTable: 12, MaxWidth: 3, IncludeCovering: true}
+}
+
+// scoredCandidate tracks how often a candidate column pattern is implied by
+// workload queries.
+type scoredCandidate struct {
+	table   string
+	columns []string
+	score   float64
+}
+
+// GenerateCandidates enumerates hypothetical indexes implied by the
+// workload's predicate structure: single-column indexes on sargable and
+// join columns, composite equality+range prefixes, ORDER BY / GROUP BY
+// leading columns, and covering variants. Every candidate is sized via the
+// what-if sizing model. This is the candidate set both CoPhy and the greedy
+// baseline search over.
+func (s *Session) GenerateCandidates(w *workload.Workload, opts CandidateOptions) []*catalog.Index {
+	if opts.MaxPerTable <= 0 {
+		opts.MaxPerTable = 12
+	}
+	if opts.MaxWidth <= 0 {
+		opts.MaxWidth = 3
+	}
+	acc := make(map[string]*scoredCandidate)
+	add := func(weight float64, table string, cols ...string) {
+		if len(cols) == 0 || len(cols) > opts.MaxWidth+2 {
+			return
+		}
+		t := s.env.Schema.Table(table)
+		if t == nil {
+			return
+		}
+		seen := map[string]bool{}
+		var clean []string
+		for _, c := range cols {
+			lc := strings.ToLower(c)
+			if seen[lc] || !t.HasColumn(c) {
+				continue
+			}
+			seen[lc] = true
+			clean = append(clean, lc)
+		}
+		if len(clean) == 0 {
+			return
+		}
+		key := strings.ToLower(table) + "(" + strings.Join(clean, ",") + ")"
+		if sc, ok := acc[key]; ok {
+			sc.score += weight
+			return
+		}
+		acc[key] = &scoredCandidate{table: strings.ToLower(table), columns: clean, score: weight}
+	}
+
+	for _, q := range w.Queries {
+		filters, joins, _ := sqlparse.SplitPredicates(q.Stmt)
+		perTableEq := map[string][]string{}
+		perTableRange := map[string][]string{}
+		for table, conjs := range filters {
+			for _, c := range conjs {
+				sr, ok := sqlparse.SargableOf(c)
+				if !ok {
+					continue
+				}
+				add(q.Weight, table, sr.Column)
+				if sr.IsEquality {
+					perTableEq[table] = append(perTableEq[table], sr.Column)
+				} else if sr.IsRange {
+					perTableRange[table] = append(perTableRange[table], sr.Column)
+				}
+			}
+		}
+		// Composite: equality prefix + one range column.
+		for table, eqs := range perTableEq {
+			sort.Strings(eqs)
+			if len(eqs) > 1 {
+				add(q.Weight, table, eqs...)
+			}
+			for _, r := range perTableRange[table] {
+				cols := append(append([]string(nil), eqs...), r)
+				add(q.Weight, table, cols...)
+			}
+		}
+		// Range-only composites are just the single columns (added above).
+		// Join endpoints.
+		for _, j := range joins {
+			add(q.Weight, j.LeftTable, j.LeftColumn)
+			add(q.Weight, j.RightTable, j.RightColumn)
+			// Join column + local equality prefix.
+			if eqs := perTableEq[strings.ToLower(j.LeftTable)]; len(eqs) > 0 {
+				add(q.Weight, j.LeftTable, append([]string{j.LeftColumn}, eqs...)...)
+			}
+			if eqs := perTableEq[strings.ToLower(j.RightTable)]; len(eqs) > 0 {
+				add(q.Weight, j.RightTable, append([]string{j.RightColumn}, eqs...)...)
+			}
+		}
+		// ORDER BY leading column.
+		if len(q.Stmt.OrderBy) > 0 {
+			if col, ok := q.Stmt.OrderBy[0].Expr.(*sqlparse.ColumnRef); ok {
+				add(q.Weight, col.Table, col.Column)
+				// Equality prefix + order column serves both.
+				if eqs := perTableEq[strings.ToLower(col.Table)]; len(eqs) > 0 {
+					add(q.Weight, col.Table, append(append([]string{}, eqs...), col.Column)...)
+				}
+			}
+		}
+		// GROUP BY columns.
+		for _, g := range q.Stmt.GroupBy {
+			if col, ok := g.(*sqlparse.ColumnRef); ok {
+				add(q.Weight*0.5, col.Table, col.Column)
+			}
+		}
+		// Covering candidate: single-table queries with narrow column sets.
+		if opts.IncludeCovering && len(q.Stmt.From) == 1 {
+			table := q.Stmt.From[0].Name
+			cols := collectQueryColumns(q.Stmt, table)
+			if len(cols) > 0 && len(cols) <= opts.MaxWidth+2 {
+				// Sargable columns first for a useful prefix.
+				ordered := orderCoveringColumns(cols, perTableEq[strings.ToLower(table)], perTableRange[strings.ToLower(table)])
+				add(q.Weight*0.75, table, ordered...)
+			}
+		}
+	}
+
+	// Rank per table by score, cap, size, and emit deterministically.
+	perTable := map[string][]*scoredCandidate{}
+	for _, sc := range acc {
+		perTable[sc.table] = append(perTable[sc.table], sc)
+	}
+	var out []*catalog.Index
+	tables := make([]string, 0, len(perTable))
+	for t := range perTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		list := perTable[t]
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].score != list[b].score {
+				return list[a].score > list[b].score
+			}
+			return strings.Join(list[a].columns, ",") < strings.Join(list[b].columns, ",")
+		})
+		if len(list) > opts.MaxPerTable {
+			list = list[:opts.MaxPerTable]
+		}
+		for _, sc := range list {
+			ix, err := s.HypotheticalIndex(sc.table, sc.columns...)
+			if err != nil {
+				continue
+			}
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// collectQueryColumns returns the lower-cased columns of one table a query
+// touches anywhere.
+func collectQueryColumns(sel *sqlparse.SelectStmt, table string) []string {
+	lt := strings.ToLower(table)
+	seen := map[string]bool{}
+	var out []string
+	visit := func(c *sqlparse.ColumnRef) {
+		if strings.ToLower(c.Table) != lt {
+			return
+		}
+		lc := strings.ToLower(c.Column)
+		if !seen[lc] {
+			seen[lc] = true
+			out = append(out, lc)
+		}
+	}
+	for _, p := range sel.Projections {
+		sqlparse.WalkColumns(p.Expr, visit)
+	}
+	sqlparse.WalkColumns(sel.Where, visit)
+	for _, g := range sel.GroupBy {
+		sqlparse.WalkColumns(g, visit)
+	}
+	for _, o := range sel.OrderBy {
+		sqlparse.WalkColumns(o.Expr, visit)
+	}
+	return out
+}
+
+// orderCoveringColumns puts equality columns first, then range columns,
+// then the rest — the useful key prefix order for a covering index.
+func orderCoveringColumns(cols, eqs, ranges []string) []string {
+	rank := map[string]int{}
+	for _, c := range cols {
+		rank[strings.ToLower(c)] = 2
+	}
+	for _, c := range ranges {
+		rank[strings.ToLower(c)] = 1
+	}
+	for _, c := range eqs {
+		rank[strings.ToLower(c)] = 0
+	}
+	out := append([]string(nil), cols...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, rb := rank[strings.ToLower(out[a])], rank[strings.ToLower(out[b])]
+		if ra != rb {
+			return ra < rb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

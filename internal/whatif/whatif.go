@@ -1,0 +1,220 @@
+// Package whatif implements the paper's what-if component (§3.1) — the hub
+// every other component attaches to. It simulates the benefit of physical
+// structures (indexes, vertical and horizontal partitions) without building
+// them: hypothetical indexes are sized realistically from statistics (the
+// §2 critique of size-zero simulation), folded into a hypothetical
+// Configuration, and costed by the unmodified optimizer.
+//
+// The what-if join sub-component (§3.1c) is exposed as optimizer.Options
+// pass-through: join methods can be disabled per evaluation to steer and
+// inspect plan shape.
+package whatif
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Session evaluates hypothetical designs against a fixed schema/statistics
+// snapshot and a base (currently materialized) configuration.
+type Session struct {
+	env  *optimizer.Env
+	base *catalog.Configuration
+}
+
+// NewSession creates a what-if session. base may be nil for "no physical
+// design" (heap-only tables).
+func NewSession(schema *catalog.Schema, st *stats.Catalog, base *catalog.Configuration) *Session {
+	if base == nil {
+		base = catalog.NewConfiguration()
+	}
+	return &Session{env: optimizer.NewEnv(schema, st, base), base: base}
+}
+
+// Env exposes the underlying optimizer environment (base configuration).
+func (s *Session) Env() *optimizer.Env { return s.env }
+
+// Base returns the session's base configuration.
+func (s *Session) Base() *catalog.Configuration { return s.base }
+
+// SetJoinControl configures the what-if join component's switches for all
+// subsequent evaluations.
+func (s *Session) SetJoinControl(opts optimizer.Options) {
+	s.env = s.env.WithOptions(opts)
+}
+
+// HypotheticalIndex constructs a sized what-if index on the table: leaf
+// pages and height are estimated from statistics exactly as a real build
+// would produce, so the optimizer prices it honestly.
+func (s *Session) HypotheticalIndex(table string, columns ...string) (*catalog.Index, error) {
+	t := s.env.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("whatif: index needs at least one column")
+	}
+	for _, c := range columns {
+		if !t.HasColumn(c) {
+			return nil, fmt.Errorf("whatif: table %s has no column %q", table, c)
+		}
+	}
+	ts := s.env.Stats.Table(table)
+	rows := int64(1000)
+	if ts != nil {
+		rows = ts.RowCount
+	}
+	pages := optimizer.EstimateIndexLeafPages(t, columns, rows)
+	ix := &catalog.Index{
+		Name:            hypoName(table, columns),
+		Table:           t.Name,
+		Columns:         append([]string(nil), columns...),
+		Hypothetical:    true,
+		EstimatedPages:  int64(pages),
+		EstimatedHeight: optimizer.EstimateIndexHeight(pages),
+	}
+	return ix, nil
+}
+
+func hypoName(table string, columns []string) string {
+	return "whatif_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(columns, "_"))
+}
+
+// Cost plans the query under the given configuration and returns its
+// estimated cost. A nil configuration means the session base.
+func (s *Session) Cost(sel *sqlparse.SelectStmt, cfg *catalog.Configuration) (float64, error) {
+	env := s.env
+	if cfg != nil {
+		env = s.env.WithConfig(cfg)
+	}
+	return env.Cost(sel)
+}
+
+// Explain plans the query under the configuration and renders the plan.
+func (s *Session) Explain(sel *sqlparse.SelectStmt, cfg *catalog.Configuration) (string, error) {
+	env := s.env
+	if cfg != nil {
+		env = s.env.WithConfig(cfg)
+	}
+	plan, err := env.Optimize(sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+// QueryBenefit reports one query's costs under the base and a hypothetical
+// configuration.
+type QueryBenefit struct {
+	ID       string
+	SQL      string
+	BaseCost float64
+	NewCost  float64
+}
+
+// Benefit is BaseCost - NewCost (positive = improvement).
+func (q QueryBenefit) Benefit() float64 { return q.BaseCost - q.NewCost }
+
+// BenefitPct is the relative improvement in percent.
+func (q QueryBenefit) BenefitPct() float64 {
+	if q.BaseCost == 0 {
+		return 0
+	}
+	return (q.BaseCost - q.NewCost) / q.BaseCost * 100
+}
+
+// Report aggregates per-query benefits over a workload — the numbers the
+// demo's interface shows in Scenarios 1 and 2.
+type Report struct {
+	Queries   []QueryBenefit
+	BaseTotal float64
+	NewTotal  float64
+}
+
+// TotalBenefit is the workload-level absolute improvement.
+func (r *Report) TotalBenefit() float64 { return r.BaseTotal - r.NewTotal }
+
+// AvgBenefitPct is the workload-level relative improvement in percent.
+func (r *Report) AvgBenefitPct() float64 {
+	if r.BaseTotal == 0 {
+		return 0
+	}
+	return r.TotalBenefit() / r.BaseTotal * 100
+}
+
+// EvaluateWorkload costs every query under the base and hypothetical
+// configurations in parallel and returns the benefit report.
+func (s *Session) EvaluateWorkload(w *workload.Workload, cfg *catalog.Configuration) (*Report, error) {
+	rep := &Report{Queries: make([]QueryBenefit, len(w.Queries))}
+	errs := make([]error, len(w.Queries))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(w.Queries) {
+		workers = len(w.Queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := w.Queries[i]
+				base, err := s.Cost(q.Stmt, nil)
+				if err != nil {
+					errs[i] = fmt.Errorf("whatif: %s: %w", q.ID, err)
+					continue
+				}
+				nw, err := s.Cost(q.Stmt, cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("whatif: %s: %w", q.ID, err)
+					continue
+				}
+				rep.Queries[i] = QueryBenefit{
+					ID: q.ID, SQL: q.SQL,
+					BaseCost: base * q.Weight, NewCost: nw * q.Weight,
+				}
+			}
+		}()
+	}
+	for i := range w.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, qb := range rep.Queries {
+		rep.BaseTotal += qb.BaseCost
+		rep.NewTotal += qb.NewCost
+	}
+	return rep, nil
+}
+
+// WorkloadCost sums weighted query costs under a configuration.
+func (s *Session) WorkloadCost(w *workload.Workload, cfg *catalog.Configuration) (float64, error) {
+	var total float64
+	for _, q := range w.Queries {
+		c, err := s.Cost(q.Stmt, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("whatif: %s: %w", q.ID, err)
+		}
+		total += c * q.Weight
+	}
+	return total, nil
+}

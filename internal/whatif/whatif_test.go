@@ -1,0 +1,190 @@
+package whatif_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func newSession(t *testing.T) (*whatif.Session, *workload.Workload) {
+	t.Helper()
+	store, err := workload.Generate(workload.TinySize(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := whatif.NewSession(store.Schema, store.Stats, nil)
+	w, err := workload.NewWorkload(store.Schema, 32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w
+}
+
+func TestHypotheticalIndexSizing(t *testing.T) {
+	s, _ := newSession(t)
+	ix, err := s.HypotheticalIndex("photoobj", "objid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Hypothetical {
+		t.Fatal("index must be hypothetical")
+	}
+	if ix.EstimatedPages <= 0 || ix.EstimatedHeight <= 0 {
+		t.Fatalf("unsized hypothetical index: pages=%d height=%d",
+			ix.EstimatedPages, ix.EstimatedHeight)
+	}
+	// Wider keys need more pages.
+	wide, err := s.HypotheticalIndex("photoobj", "objid", "ra", "dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.EstimatedPages <= ix.EstimatedPages {
+		t.Fatalf("wider index should be larger: %d vs %d",
+			wide.EstimatedPages, ix.EstimatedPages)
+	}
+}
+
+func TestHypotheticalIndexValidation(t *testing.T) {
+	s, _ := newSession(t)
+	if _, err := s.HypotheticalIndex("nosuch", "a"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := s.HypotheticalIndex("photoobj"); err == nil {
+		t.Error("empty column list should error")
+	}
+	if _, err := s.HypotheticalIndex("photoobj", "nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestEvaluateWorkloadBenefit(t *testing.T) {
+	s, w := newSession(t)
+	cfg := catalog.NewConfiguration()
+	for _, spec := range [][]string{{"objid"}, {"ra"}, {"type", "psfmag_r"}} {
+		ix, err := s.HypotheticalIndex("photoobj", spec...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg = cfg.WithIndex(ix)
+	}
+	ix, err := s.HypotheticalIndex("specobj", "bestobjid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.WithIndex(ix)
+
+	rep, err := s.EvaluateWorkload(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(w.Queries) {
+		t.Fatalf("report covers %d queries, want %d", len(rep.Queries), len(w.Queries))
+	}
+	if rep.TotalBenefit() <= 0 {
+		t.Fatalf("indexes should help this workload: base=%f new=%f",
+			rep.BaseTotal, rep.NewTotal)
+	}
+	// No query may get worse: what-if evaluation only adds options.
+	for _, qb := range rep.Queries {
+		if qb.NewCost > qb.BaseCost*1.0001 {
+			t.Errorf("query %s regressed: %f -> %f", qb.ID, qb.BaseCost, qb.NewCost)
+		}
+	}
+	if rep.AvgBenefitPct() <= 0 || rep.AvgBenefitPct() > 100 {
+		t.Errorf("avg benefit pct = %f", rep.AvgBenefitPct())
+	}
+}
+
+func TestJoinControlChangesPlans(t *testing.T) {
+	s, _ := newSession(t)
+	w, err := workload.NewWorkloadFrom(s.Env().Schema, 5, 1,
+		[]workload.Template{*workload.TemplateByName("spec_join")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := w.Queries[0]
+
+	planDefault, err := s.Explain(q.Stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJoinControl(optimizer.Options{DisableHashJoin: true, DisableMergeJoin: true})
+	planNL, err := s.Explain(q.Stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planNL, "Nested Loop") {
+		t.Fatalf("forced nested loop missing:\n%s", planNL)
+	}
+	if planDefault == planNL && strings.Contains(planDefault, "Hash Join") {
+		t.Fatal("join control had no effect")
+	}
+}
+
+func TestGenerateCandidates(t *testing.T) {
+	s, w := newSession(t)
+	cands := s.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	if len(cands) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	keys := map[string]bool{}
+	for _, ix := range cands {
+		if !ix.Hypothetical || ix.EstimatedPages <= 0 {
+			t.Fatalf("candidate %s not a sized hypothetical", ix)
+		}
+		if keys[ix.Key()] {
+			t.Fatalf("duplicate candidate %s", ix.Key())
+		}
+		keys[ix.Key()] = true
+	}
+	// The SDSS workload joins on these columns; they must be candidates.
+	for _, want := range []string{"photoobj(objid)", "specobj(bestobjid)", "neighbors(objid)"} {
+		if !keys[want] {
+			t.Errorf("expected candidate %s; have %v", want, sortedKeys(keys))
+		}
+	}
+}
+
+func TestGenerateCandidatesRespectsCap(t *testing.T) {
+	s, w := newSession(t)
+	opts := whatif.DefaultCandidateOptions()
+	opts.MaxPerTable = 2
+	cands := s.GenerateCandidates(w, opts)
+	perTable := map[string]int{}
+	for _, ix := range cands {
+		perTable[strings.ToLower(ix.Table)]++
+	}
+	for table, n := range perTable {
+		if n > 2 {
+			t.Errorf("table %s has %d candidates, cap 2", table, n)
+		}
+	}
+}
+
+func TestWorkloadCostMatchesReportTotals(t *testing.T) {
+	s, w := newSession(t)
+	cfg := catalog.NewConfiguration()
+	rep, err := s.EvaluateWorkload(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.WorkloadCost(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := rep.BaseTotal - base; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("report base %f != workload cost %f", rep.BaseTotal, base)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
