@@ -13,15 +13,16 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/designer"
 	"repro/internal/autopart"
 	"repro/internal/catalog"
 	"repro/internal/colt"
 	"repro/internal/cophy"
+	"repro/internal/engine"
 	"repro/internal/greedy"
 	"repro/internal/interaction"
-	"repro/internal/inum"
 	"repro/internal/lp"
 	"repro/internal/optimizer"
 	"repro/internal/schedule"
@@ -29,14 +30,13 @@ import (
 	"repro/internal/workload"
 )
 
-// fixture is the shared experiment environment, built once.
+// fixture is the shared experiment environment, built once. All costing
+// flows through the shared engine handle.
 type fixture struct {
 	store *designer.Designer
 	w     *workload.Workload
 	cands []*catalog.Index
-	cache *inum.Cache
-	env   *optimizer.Env
-	sess  *whatif.Session
+	eng   *engine.Engine
 }
 
 var (
@@ -61,25 +61,26 @@ func getFixture(b *testing.B) *fixture {
 			fixErr = err
 			return
 		}
-		env := optimizer.NewEnv(store.Schema, store.Stats, nil)
-		sess := whatif.NewSession(store.Schema, store.Stats, nil)
-		cands := sess.GenerateCandidates(w, whatif.DefaultCandidateOptions())
-		fix = &fixture{
-			store: d, w: w, cands: cands,
-			cache: inum.New(env), env: env, sess: sess,
-		}
+		eng := engine.New(store.Schema, store.Stats, nil)
+		cands := eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+		fix = &fixture{store: d, w: w, cands: cands, eng: eng}
 		// Pre-warm the INUM cache so per-op numbers isolate costing.
-		for _, q := range w.Queries {
-			if _, err := fix.cache.Prepare(q.ID, q.Stmt, cands); err != nil {
-				fixErr = err
-				return
-			}
+		if err := eng.Prepare(w, cands); err != nil {
+			fixErr = err
+			return
 		}
 	})
 	if fixErr != nil {
 		b.Fatal(fixErr)
 	}
 	return fix
+}
+
+// freshEngine builds an unshared engine over the fixture's dataset (for
+// benchmarks that measure cold-cache behaviour).
+func (f *fixture) freshEngine() *engine.Engine {
+	st := f.store.Store()
+	return engine.New(st.Schema, st.Stats, nil)
 }
 
 // --- E8: INUM vs full optimizer ("orders of magnitude" claim) -------------
@@ -101,8 +102,7 @@ func BenchmarkINUMVsOptimizer(b *testing.B) {
 	b.Run("INUM", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := f.w.Queries[i%len(f.w.Queries)]
-			cq := f.cache.Get(q.ID)
-			if _, err := f.cache.CostFor(cq, configs[i%len(configs)]); err != nil {
+			if _, err := f.eng.QueryCost(q, configs[i%len(configs)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -110,8 +110,7 @@ func BenchmarkINUMVsOptimizer(b *testing.B) {
 	b.Run("FullOptimizer", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := f.w.Queries[i%len(f.w.Queries)]
-			env := f.env.WithConfig(configs[i%len(configs)])
-			if _, err := env.Cost(q.Stmt); err != nil {
+			if _, err := f.eng.FullCost(q.Stmt, configs[i%len(configs)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -126,22 +125,22 @@ func BenchmarkINUMVsOptimizer(b *testing.B) {
 	b.Run("CallsAvoided", func(b *testing.B) {
 		var ratio float64
 		for i := 0; i < b.N; i++ {
-			cache := inum.New(f.env)
-			adv := cophy.New(cache, f.cands)
+			eng := f.freshEngine()
+			adv := cophy.New(eng, f.cands)
 			res, err := adv.Advise(f.w, cophy.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
 			if len(res.Indexes) >= 2 {
-				if _, err := interaction.Analyze(cache, f.w, res.Indexes, interaction.DefaultOptions()); err != nil {
+				if _, err := interaction.Analyze(eng, f.w, res.Indexes, interaction.DefaultOptions()); err != nil {
 					b.Fatal(err)
 				}
-				sched := schedule.New(cache, f.store.Store().Stats, optimizer.DefaultCostParams())
+				sched := schedule.New(eng)
 				if _, err := sched.Greedy(f.w, res.Indexes); err != nil {
 					b.Fatal(err)
 				}
 			}
-			full, cached := cache.Stats()
+			full, cached := eng.CacheStats()
 			if full > 0 {
 				ratio = float64(cached) / float64(full)
 			}
@@ -168,12 +167,12 @@ func BenchmarkCoPhyVsGreedy(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				copts := cophy.DefaultOptions()
 				copts.StorageBudgetPages = budget
-				cadv := cophy.New(f.cache, f.cands)
+				cadv := cophy.New(f.eng, f.cands)
 				cres, err := cadv.Advise(f.w, copts)
 				if err != nil {
 					b.Fatal(err)
 				}
-				gadv := greedy.New(f.cache, f.cands)
+				gadv := greedy.New(f.eng, f.cands)
 				gres, err := gadv.Advise(f.w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
 				if err != nil {
 					b.Fatal(err)
@@ -206,7 +205,7 @@ func BenchmarkCoPhyTimeQuality(b *testing.B) {
 				opts := cophy.DefaultOptions()
 				opts.StorageBudgetPages = total / 2
 				opts.NodeBudget = nodes
-				adv := cophy.New(f.cache, f.cands)
+				adv := cophy.New(f.eng, f.cands)
 				res, err := adv.Advise(f.w, opts)
 				if err != nil {
 					b.Fatal(err)
@@ -222,7 +221,7 @@ func BenchmarkCoPhyTimeQuality(b *testing.B) {
 
 func BenchmarkScheduleQuality(b *testing.B) {
 	f := getFixture(b)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	res, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -230,7 +229,7 @@ func BenchmarkScheduleQuality(b *testing.B) {
 	if len(res.Indexes) < 2 {
 		b.Skip("not enough advised indexes to schedule")
 	}
-	sched := schedule.New(f.cache, f.store.Store().Stats, optimizer.DefaultCostParams())
+	sched := schedule.New(f.eng)
 	var awareAUC, oblivAUC float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -251,7 +250,7 @@ func BenchmarkScheduleQuality(b *testing.B) {
 
 func BenchmarkInteractionGraph(b *testing.B) {
 	f := getFixture(b)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	res, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -262,7 +261,7 @@ func BenchmarkInteractionGraph(b *testing.B) {
 	var edges int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := interaction.Analyze(f.cache, f.w, res.Indexes, interaction.DefaultOptions())
+		g, err := interaction.Analyze(f.eng, f.w, res.Indexes, interaction.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +291,7 @@ func BenchmarkAutoPart(b *testing.B) {
 	}
 	// Partition-only advice (no indexes) isolates the E11 claim: how much
 	// the wide-table workload gains from AutoPart layouts alone.
-	adv := autopart.New(d.Cache(), d.Schema(), d.Store().Stats)
+	adv := autopart.New(d.Engine())
 	var improvement float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -311,13 +310,13 @@ func BenchmarkWhatIfSession(b *testing.B) {
 	f := getFixture(b)
 	cfg := catalog.NewConfiguration()
 	for _, spec := range [][]string{{"ra", "dec"}, {"type", "psfmag_r"}} {
-		ix, err := f.sess.HypotheticalIndex("photoobj", spec...)
+		ix, err := f.eng.HypotheticalIndex("photoobj", spec...)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cfg = cfg.WithIndex(ix)
 	}
-	ix, err := f.sess.HypotheticalIndex("specobj", "bestobjid")
+	ix, err := f.eng.HypotheticalIndex("specobj", "bestobjid")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -326,7 +325,7 @@ func BenchmarkWhatIfSession(b *testing.B) {
 	var benefit float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := f.sess.EvaluateWorkload(f.w, cfg)
+		rep, err := f.eng.Evaluate(f.w, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -406,7 +405,7 @@ func BenchmarkCOLTStream(b *testing.B) {
 
 func BenchmarkWhatIfSizeModel(b *testing.B) {
 	f := getFixture(b)
-	ix, err := f.sess.HypotheticalIndex("photoobj", "psfmag_r")
+	ix, err := f.eng.HypotheticalIndex("photoobj", "psfmag_r")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -418,11 +417,11 @@ func BenchmarkWhatIfSizeModel(b *testing.B) {
 	var distortion float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		honest, err := f.env.WithConfig(cfg).Cost(q.Stmt)
+		honest, err := f.eng.FullCost(q.Stmt, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		zeroEnv := f.env.WithConfig(cfg).WithOptions(optimizer.Options{ZeroSizeWhatIf: true})
+		zeroEnv := f.eng.Env().WithConfig(cfg).WithOptions(optimizer.Options{ZeroSizeWhatIf: true})
 		zero, err := zeroEnv.Cost(q.Stmt)
 		if err != nil {
 			b.Fatal(err)
@@ -445,9 +444,8 @@ func BenchmarkAblationCandidates(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := whatif.DefaultCandidateOptions()
 				opts.MaxPerTable = cap
-				cands := f.sess.GenerateCandidates(f.w, opts)
-				cache := inum.New(f.env)
-				adv := cophy.New(cache, cands)
+				cands := f.eng.GenerateCandidates(f.w, opts)
+				adv := cophy.New(f.freshEngine(), cands)
 				res, err := adv.Advise(f.w, cophy.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
@@ -465,7 +463,7 @@ func BenchmarkAblationCandidates(b *testing.B) {
 
 func BenchmarkAblationInteractionSampling(b *testing.B) {
 	f := getFixture(b)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	res, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -479,7 +477,7 @@ func BenchmarkAblationInteractionSampling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := interaction.DefaultOptions()
 				opts.SampleContexts = samples
-				g, err := interaction.Analyze(f.cache, f.w, res.Indexes, opts)
+				g, err := interaction.Analyze(f.eng, f.w, res.Indexes, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -517,4 +515,68 @@ func BenchmarkSolverScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Engine: parallel vs serial candidate sweep -------------------------------
+// The engine layer's reason to exist beyond correctness: the same
+// configuration sweep, priced through the shared INUM cache, split over a
+// GOMAXPROCS worker pool. Results are bit-for-bit identical to the serial
+// sweep (see internal/engine tests); this benchmark records the wall-clock
+// ratio for the perf trajectory.
+
+func BenchmarkEngineParallelSweep(b *testing.B) {
+	f := getFixture(b)
+	// A family of distinct configurations large enough that one sweep does
+	// real per-config work (distinct per-table design signatures).
+	cfgs := make([]*catalog.Configuration, 0, 64)
+	for i := 0; i < 64; i++ {
+		cfg := catalog.NewConfiguration()
+		for j, ix := range f.cands {
+			if (i+j)%5 == 0 || (i*j)%7 == 1 {
+				cfg = cfg.WithIndex(ix)
+			}
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	defer f.eng.SetWorkers(0)
+
+	b.Run("Serial", func(b *testing.B) {
+		f.eng.SetWorkers(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		f.eng.SetWorkers(0) // GOMAXPROCS
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Speedup", func(b *testing.B) {
+		var serial, parallel time.Duration
+		for i := 0; i < b.N; i++ {
+			f.eng.SetWorkers(1)
+			start := time.Now()
+			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+				b.Fatal(err)
+			}
+			serial += time.Since(start)
+
+			f.eng.SetWorkers(0)
+			start = time.Now()
+			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+				b.Fatal(err)
+			}
+			parallel += time.Since(start)
+		}
+		if parallel > 0 {
+			b.ReportMetric(float64(serial)/float64(parallel), "speedup_x")
+		}
+	})
 }

@@ -30,7 +30,7 @@ func cmdPartition(args []string) error {
 		return err
 	}
 
-	adv := autopart.New(d.Cache(), d.Schema(), d.Store().Stats)
+	adv := autopart.New(d.Engine())
 	opts := autopart.DefaultOptions()
 	if !*horizontal {
 		opts.HorizontalFragments = nil

@@ -238,7 +238,7 @@ func cmdInteractions(args []string) error {
 		fmt.Println("fewer than two advised indexes; nothing to interact")
 		return nil
 	}
-	g, err := interaction.Analyze(d.Cache(), w, advice.Indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(d.Engine(), w, advice.Indexes, interaction.DefaultOptions())
 	if err != nil {
 		return err
 	}

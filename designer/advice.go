@@ -65,7 +65,7 @@ func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, er
 	if candOpts.MaxPerTable == 0 {
 		candOpts = whatif.DefaultCandidateOptions()
 	}
-	cands := d.session.GenerateCandidates(w, candOpts)
+	cands := d.eng.GenerateCandidates(w, candOpts)
 	// User-suggested candidates join (and may be pinned into) the search.
 	have := make(map[string]bool, len(cands))
 	for _, ix := range cands {
@@ -86,7 +86,7 @@ func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, er
 			copts.PinnedKeys = append(copts.PinnedKeys, ix.Key())
 		}
 	}
-	adv := cophy.New(d.cache, cands)
+	adv := cophy.New(d.eng, cands)
 	cres, err := adv.Advise(w, copts)
 	if err != nil {
 		return nil, err
@@ -102,7 +102,7 @@ func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, er
 	}
 
 	if opts.Partitions {
-		papt := autopart.New(d.cache, d.store.Schema, d.store.Stats)
+		papt := autopart.New(d.eng)
 		pres, err := papt.Advise(w, out.Config, autopart.DefaultOptions())
 		if err != nil {
 			return nil, err
@@ -113,19 +113,19 @@ func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, er
 		}
 	}
 
-	rep, err := d.session.EvaluateWorkload(w, out.Config)
+	rep, err := d.eng.Evaluate(w, out.Config)
 	if err != nil {
 		return nil, err
 	}
 	out.Report = rep
 
 	if opts.Interactions && len(out.Indexes) >= 2 {
-		g, err := interaction.Analyze(d.cache, w, out.Indexes, interaction.DefaultOptions())
+		g, err := interaction.Analyze(d.eng, w, out.Indexes, interaction.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
 		out.Graph = g
-		sched := schedule.New(d.cache, d.store.Stats, d.env.Params)
+		sched := schedule.New(d.eng)
 		s, err := sched.Greedy(w, out.Indexes)
 		if err != nil {
 			return nil, err

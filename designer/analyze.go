@@ -36,8 +36,7 @@ func (e *ExplainAnalysis) String() string {
 // it, and reports estimated versus actual figures — the calibration view
 // that backs DESIGN.md's "estimated-vs-executed" substitution argument.
 func (d *Designer) ExplainAnalyze(q workload.Query) (*ExplainAnalysis, error) {
-	env := d.env.WithConfig(d.store.MaterializedConfiguration())
-	plan, err := env.Optimize(q.Stmt)
+	plan, err := d.eng.Optimize(q.Stmt, d.store.MaterializedConfiguration())
 	if err != nil {
 		return nil, err
 	}

@@ -119,8 +119,9 @@ func (d *Designer) Analyze() error {
 	if err := d.store.Analyze(); err != nil {
 		return err
 	}
-	// Rebind the environment so new statistics are visible.
-	d.env = d.env.WithConfig(d.store.MaterializedConfiguration())
+	// Invalidate the engine so new statistics are visible everywhere,
+	// including the INUM cache's memoized access costs.
+	d.eng.SetBaseConfig(d.store.MaterializedConfiguration())
 	return nil
 }
 

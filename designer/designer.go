@@ -2,7 +2,11 @@
 // portable DB designer the paper demonstrates. It wires the what-if
 // component, the CoPhy index advisor, the AutoPart partition advisor, the
 // COLT online tuner, the index-interaction analyzer and the materialization
-// scheduler (Figure 1 of the paper) behind one facade.
+// scheduler (Figure 1 of the paper) behind one facade. All cost estimation
+// flows through a single shared internal/engine handle — the
+// concurrency-safe layer that owns the optimizer environment, the INUM
+// cache, and the what-if session, and keeps them consistent when the
+// physical design changes.
 //
 // Typical use:
 //
@@ -24,10 +28,10 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/colt"
 	"repro/internal/cophy"
+	"repro/internal/engine"
 	"repro/internal/executor"
 	"repro/internal/greedy"
 	"repro/internal/inum"
-	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/whatif"
@@ -36,22 +40,17 @@ import (
 
 // Designer is the top-level tool handle.
 type Designer struct {
-	store   *storage.Store
-	env     *optimizer.Env
-	cache   *inum.Cache
-	session *whatif.Session
-	exec    *executor.Executor
+	store *storage.Store
+	eng   *engine.Engine
+	exec  *executor.Executor
 }
 
 // Open creates a designer over a populated, analyzed store.
 func Open(store *storage.Store) *Designer {
-	env := optimizer.NewEnv(store.Schema, store.Stats, store.MaterializedConfiguration())
 	return &Designer{
-		store:   store,
-		env:     env,
-		cache:   inum.New(env),
-		session: whatif.NewSession(store.Schema, store.Stats, store.MaterializedConfiguration()),
-		exec:    executor.New(store),
+		store: store,
+		eng:   engine.New(store.Schema, store.Stats, store.MaterializedConfiguration()),
+		exec:  executor.New(store),
 	}
 }
 
@@ -61,11 +60,16 @@ func (d *Designer) Store() *storage.Store { return d.store }
 // Schema exposes the logical schema.
 func (d *Designer) Schema() *catalog.Schema { return d.store.Schema }
 
-// Cache exposes the INUM cost cache (shared across advisors).
-func (d *Designer) Cache() *inum.Cache { return d.cache }
+// Engine exposes the shared costing engine (one handle for the optimizer
+// environment, the INUM cache, and the what-if session).
+func (d *Designer) Engine() *engine.Engine { return d.eng }
 
-// WhatIf exposes the underlying what-if session.
-func (d *Designer) WhatIf() *whatif.Session { return d.session }
+// Cache exposes the current INUM cost cache. The pointer changes when the
+// physical design changes; prefer Engine() for anything long-lived.
+func (d *Designer) Cache() *inum.Cache { return d.eng.Cache() }
+
+// WhatIf exposes the current what-if session.
+func (d *Designer) WhatIf() *whatif.Session { return d.eng.Session() }
 
 // ParseQuery parses and resolves one SELECT statement into a workload
 // query.
@@ -118,19 +122,13 @@ func (d *Designer) WorkloadFromScript(script string) (*workload.Workload, error)
 // Explain plans a query under the current (or a hypothetical)
 // configuration and renders the plan tree.
 func (d *Designer) Explain(q workload.Query, cfg *catalog.Configuration) (string, error) {
-	env := d.env.WithConfig(d.currentConfig(cfg))
-	plan, err := env.Optimize(q.Stmt)
-	if err != nil {
-		return "", err
-	}
-	return plan.Explain(), nil
+	return d.eng.Explain(q.Stmt, d.currentConfig(cfg))
 }
 
 // Execute runs a query against the store under the materialized design and
 // returns its rows plus measured I/O.
 func (d *Designer) Execute(q workload.Query) (*executor.Result, error) {
-	env := d.env.WithConfig(d.store.MaterializedConfiguration())
-	plan, err := env.Optimize(q.Stmt)
+	plan, err := d.eng.Optimize(q.Stmt, d.store.MaterializedConfiguration())
 	if err != nil {
 		return nil, err
 	}
@@ -138,9 +136,9 @@ func (d *Designer) Execute(q workload.Query) (*executor.Result, error) {
 }
 
 // Cost estimates one query's cost under a configuration (nil = current
-// materialized design).
+// materialized design) with the full optimizer.
 func (d *Designer) Cost(q workload.Query, cfg *catalog.Configuration) (float64, error) {
-	return d.env.WithConfig(d.currentConfig(cfg)).Cost(q.Stmt)
+	return d.eng.FullCost(q.Stmt, d.currentConfig(cfg))
 }
 
 // Materialize physically builds the given indexes in the store (Scenario
@@ -163,9 +161,11 @@ func (d *Designer) Materialize(indexes []*catalog.Index) (storage.IOCounter, err
 		}
 		total.Add(io)
 	}
-	// The base environment now reflects the new physical design.
-	d.env = d.env.WithConfig(d.store.MaterializedConfiguration())
-	d.session = whatif.NewSession(d.store.Schema, d.store.Stats, d.store.MaterializedConfiguration())
+	// One invalidation point: the engine rebuilds the optimizer
+	// environment, the what-if session, AND the INUM cache against the new
+	// physical design (the old cache's templates and memoized access costs
+	// belong to the previous configuration generation).
+	d.eng.SetBaseConfig(d.store.MaterializedConfiguration())
 	return total, nil
 }
 
@@ -178,22 +178,22 @@ func (d *Designer) currentConfig(cfg *catalog.Configuration) *catalog.Configurat
 }
 
 // NewOnlineTuner creates a COLT tuner seeded with the current materialized
-// design (Scenario 3).
+// design (Scenario 3). The tuner shares the designer's costing engine.
 func (d *Designer) NewOnlineTuner(opts colt.Options) *colt.Tuner {
-	return colt.New(d.env, d.store.Stats, d.store.MaterializedConfiguration(), opts)
+	return colt.New(d.eng, d.store.MaterializedConfiguration(), opts)
 }
 
 // AdviseGreedy runs the DTA-style greedy baseline over the same candidate
 // set CoPhy would use — the comparison the paper's introduction draws.
 func (d *Designer) AdviseGreedy(w *workload.Workload, budgetPages int64) (*greedy.Result, error) {
-	cands := d.session.GenerateCandidates(w, whatif.DefaultCandidateOptions())
-	adv := greedy.New(d.cache, cands)
+	cands := d.eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	adv := greedy.New(d.eng, cands)
 	return adv.Advise(w, greedy.Options{StorageBudgetPages: budgetPages, BenefitPerPage: true})
 }
 
 // AdviseCoPhy runs only the CoPhy index advisor with explicit options.
 func (d *Designer) AdviseCoPhy(w *workload.Workload, opts cophy.Options) (*cophy.Result, error) {
-	cands := d.session.GenerateCandidates(w, whatif.DefaultCandidateOptions())
-	adv := cophy.New(d.cache, cands)
+	cands := d.eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	adv := cophy.New(d.eng, cands)
 	return adv.Advise(w, opts)
 }

@@ -19,6 +19,11 @@ import (
 type DesignSession struct {
 	d   *Designer
 	cfg *catalog.Configuration
+	// joinOpts are session-scoped optimizer switches (SetJoinControl);
+	// they steer this session's Evaluate/Explain without touching the
+	// designer-wide engine.
+	joinOpts    optimizer.Options
+	hasJoinOpts bool
 }
 
 // NewDesignSession starts an interactive what-if session on top of the
@@ -32,7 +37,7 @@ func (s *DesignSession) Config() *catalog.Configuration { return s.cfg.Clone() }
 
 // AddIndex adds a sized hypothetical index to the design.
 func (s *DesignSession) AddIndex(table string, columns ...string) (*catalog.Index, error) {
-	ix, err := s.d.session.HypotheticalIndex(table, columns...)
+	ix, err := s.d.eng.HypotheticalIndex(table, columns...)
 	if err != nil {
 		return nil, err
 	}
@@ -124,12 +129,21 @@ func (s *DesignSession) AddHorizontalPartition(table, column string, k int) erro
 // Evaluate reports the benefit of the session's design for the workload —
 // the numbers Scenario 1's panel shows.
 func (s *DesignSession) Evaluate(w *workload.Workload) (*whatif.Report, error) {
-	return s.d.session.EvaluateWorkload(w, s.cfg)
+	return s.whatifSession().EvaluateWorkload(w, s.cfg)
 }
 
 // Explain renders the plan one query would take under the design.
 func (s *DesignSession) Explain(q workload.Query) (string, error) {
-	return s.d.session.Explain(q.Stmt, s.cfg)
+	return s.whatifSession().Explain(q.Stmt, s.cfg)
+}
+
+// whatifSession resolves the session to evaluate against: the engine's
+// shared session, or a derived one when join controls are set.
+func (s *DesignSession) whatifSession() *whatif.Session {
+	if s.hasJoinOpts {
+		return s.d.eng.SessionWith(s.joinOpts)
+	}
+	return s.d.eng.Session()
 }
 
 // InteractionGraph computes the interaction graph between the design's
@@ -141,7 +155,7 @@ func (s *DesignSession) InteractionGraph(w *workload.Workload) (*interaction.Gra
 			hypo = append(hypo, ix)
 		}
 	}
-	return interaction.Analyze(s.d.cache, w, hypo, interaction.DefaultOptions())
+	return interaction.Analyze(s.d.eng, w, hypo, interaction.DefaultOptions())
 }
 
 // RewrittenQueries returns, for every workload query affected by the
@@ -157,8 +171,11 @@ func (s *DesignSession) RewrittenQueries(w *workload.Workload) map[string]string
 	return out
 }
 
-// SetJoinControl steers join methods for subsequent Evaluate/Explain calls
-// (the what-if join component).
+// SetJoinControl steers join methods for this session's subsequent
+// Evaluate/Explain calls (the what-if join component). The switches are
+// scoped to the design session: advisor pricing and query execution on the
+// designer keep the unrestricted optimizer.
 func (s *DesignSession) SetJoinControl(opts optimizer.Options) {
-	s.d.session.SetJoinControl(opts)
+	s.joinOpts = opts
+	s.hasJoinOpts = true
 }

@@ -7,8 +7,13 @@
 // repro/internal/{whatif,inum,cophy,autopart,interaction,schedule,colt};
 // and the database substrate (SQL parser, catalog, statistics, storage with
 // a real B-tree, executor, cost-based optimizer, SDSS-like workload) in the
-// remaining internal packages. See DESIGN.md for the full inventory and
-// EXPERIMENTS.md for the paper-versus-measured record.
+// remaining internal packages. All cost estimation is unified behind
+// repro/internal/engine — a concurrency-safe handle that owns the
+// optimizer environment, the INUM cache, and the what-if session with
+// explicit configuration versioning, and sweeps candidate designs over a
+// bounded worker pool. See README.md for the package map, DESIGN.md for
+// the full inventory, and EXPERIMENTS.md for the paper-versus-measured
+// record.
 //
 // The benchmark harness in bench_test.go regenerates every figure,
 // scenario, and quantitative claim of the paper (experiments E2–E12 in

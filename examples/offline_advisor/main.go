@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"repro/designer"
-	"repro/internal/optimizer"
 	"repro/internal/schedule"
 	"repro/internal/workload"
 )
@@ -41,7 +40,7 @@ func main() {
 	// The schedule comparison the demo motivates: interaction-aware
 	// ordering accrues benefit earlier than a naive ranking.
 	if len(advice.Indexes) >= 2 {
-		sched := schedule.New(d.Cache(), d.Store().Stats, optimizer.DefaultCostParams())
+		sched := schedule.New(d.Engine())
 		obliv, err := sched.Oblivious(w, advice.Indexes)
 		if err != nil {
 			log.Fatal(err)

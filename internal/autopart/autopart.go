@@ -24,9 +24,8 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/sqlparse"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -88,45 +87,37 @@ func (r *Result) Improvement() float64 {
 
 // Advisor suggests partitions for a workload.
 type Advisor struct {
-	cache  *inum.Cache
-	schema *catalog.Schema
-	stats  *stats.Catalog
+	eng *engine.Engine
 }
 
-// New creates a partition advisor. The INUM cache must be built over the
-// same schema/statistics.
-func New(cache *inum.Cache, schema *catalog.Schema, st *stats.Catalog) *Advisor {
-	return &Advisor{cache: cache, schema: schema, stats: st}
+// New creates a partition advisor over the shared costing engine (which
+// carries the partition-extended INUM cost model).
+func New(eng *engine.Engine) *Advisor {
+	return &Advisor{eng: eng}
 }
 
 // Advise computes vertical (and optionally horizontal) layouts per table.
 // base is the configuration to extend (typically empty or the current
-// index set); it is not mutated.
+// index set); it is not mutated. Candidate layouts within each search step
+// are priced with one parallel engine sweep.
 func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts Options) (*Result, error) {
 	if base == nil {
 		base = catalog.NewConfiguration()
 	}
 	res := &Result{Config: base.Clone()}
 
-	prepared := make([]*inum.CachedQuery, len(w.Queries))
-	for i, q := range w.Queries {
-		cq, err := a.cache.Prepare(q.ID, q.Stmt, base.Indexes)
-		if err != nil {
-			return nil, err
-		}
-		prepared[i] = cq
+	// Pin one engine generation for the whole partitioning search.
+	v := a.eng.Pin()
+	if err := v.Prepare(w, base.Indexes); err != nil {
+		return nil, err
 	}
 	cost := func(cfg *catalog.Configuration) (float64, error) {
-		var total float64
-		for i, q := range w.Queries {
-			c, err := a.cache.CostFor(prepared[i], cfg)
-			if err != nil {
-				return 0, err
-			}
-			res.PricingCalls++
-			total += c * q.Weight
-		}
-		return total, nil
+		res.PricingCalls += len(w.Queries)
+		return v.WorkloadCost(w, cfg)
+	}
+	sweep := func(cfgs []*catalog.Configuration) ([]float64, error) {
+		res.PricingCalls += len(cfgs) * len(w.Queries)
+		return v.SweepConfigs(w, cfgs)
 	}
 
 	baseline, err := cost(res.Config)
@@ -136,13 +127,13 @@ func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts
 	res.BaselineCost = baseline
 	current := baseline
 
-	for _, t := range a.schema.Tables() {
+	for _, t := range a.eng.Schema().Tables() {
 		tr := TableResult{Table: t.Name, CostBefore: current}
 
 		// --- Vertical. -----------------------------------------------------
 		frags := a.usageFragments(w, t)
 		if len(frags) >= 2 {
-			layout, improved, newCost, err := a.greedyMerge(t, frags, res.Config, cost, current, opts)
+			layout, improved, newCost, err := a.greedyMerge(t, frags, res.Config, cost, sweep, current, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +146,7 @@ func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts
 
 		// --- Horizontal. ----------------------------------------------------
 		if len(opts.HorizontalFragments) > 0 {
-			layout, improved, newCost, err := a.bestHorizontal(w, t, res.Config, cost, current, opts)
+			layout, improved, newCost, err := a.bestHorizontal(w, t, res.Config, sweep, current, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -229,11 +220,13 @@ func (a *Advisor) usageFragments(w *workload.Workload, t *catalog.Table) [][]str
 	return out
 }
 
-// greedyMerge runs AutoPart's pairwise merge loop for one table.
+// greedyMerge runs AutoPart's pairwise merge loop for one table. Each
+// round prices every candidate merge in one parallel engine sweep.
 func (a *Advisor) greedyMerge(
 	t *catalog.Table, frags [][]string,
 	cfg *catalog.Configuration,
 	cost func(*catalog.Configuration) (float64, error),
+	sweep func([]*catalog.Configuration) ([]float64, error),
 	current float64, opts Options,
 ) (*catalog.VerticalLayout, bool, float64, error) {
 	layout := &catalog.VerticalLayout{Table: strings.ToLower(t.Name), Fragments: frags}
@@ -245,30 +238,36 @@ func (a *Advisor) greedyMerge(
 	}
 
 	for len(layout.Fragments) > 1 {
-		type merge struct {
-			i, j int
-			cost float64
-		}
-		bestMerge := merge{i: -1, cost: best}
+		type merge struct{ i, j int }
+		var pairs []merge
+		var trials []*catalog.Configuration
 		for i := 0; i < len(layout.Fragments); i++ {
 			for j := i + 1; j < len(layout.Fragments); j++ {
 				merged := mergeFragments(layout.Fragments, i, j)
 				trial := cfg.Clone()
 				trial.SetVertical(&catalog.VerticalLayout{Table: layout.Table, Fragments: merged})
-				c, err := cost(trial)
-				if err != nil {
-					return nil, false, 0, err
-				}
-				if c < bestMerge.cost-1e-9 {
-					bestMerge = merge{i: i, j: j, cost: c}
-				}
+				pairs = append(pairs, merge{i: i, j: j})
+				trials = append(trials, trial)
 			}
 		}
-		if bestMerge.i < 0 {
+		costs, err := sweep(trials)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		// Pick the first strictly-improving minimum in pair order — the
+		// same merge the serial loop would apply.
+		bestK := -1
+		bestCost := best
+		for k := range pairs {
+			if costs[k] < bestCost-1e-9 {
+				bestK, bestCost = k, costs[k]
+			}
+		}
+		if bestK < 0 {
 			break
 		}
-		layout.Fragments = mergeFragments(layout.Fragments, bestMerge.i, bestMerge.j)
-		best = bestMerge.cost
+		layout.Fragments = mergeFragments(layout.Fragments, pairs[bestK].i, pairs[bestK].j)
+		best = bestCost
 	}
 
 	// Adopt only when the final layout clears the improvement bar against
@@ -297,18 +296,19 @@ func mergeFragments(frags [][]string, i, j int) [][]string {
 }
 
 // bestHorizontal tries range layouts on the table's most range-filtered
-// column with split points at histogram quantiles.
+// column with split points at histogram quantiles; the fragment-count
+// trials are priced in one parallel engine sweep.
 func (a *Advisor) bestHorizontal(
 	w *workload.Workload, t *catalog.Table,
 	cfg *catalog.Configuration,
-	cost func(*catalog.Configuration) (float64, error),
+	sweep func([]*catalog.Configuration) ([]float64, error),
 	current float64, opts Options,
 ) (*catalog.HorizontalLayout, bool, float64, error) {
 	col := a.rangeFilteredColumn(w, t)
 	if col == "" {
 		return nil, false, current, nil
 	}
-	ts := a.stats.Table(t.Name)
+	ts := a.eng.Stats().Table(t.Name)
 	if ts == nil {
 		return nil, false, current, nil
 	}
@@ -317,8 +317,8 @@ func (a *Advisor) bestHorizontal(
 		return nil, false, current, nil
 	}
 
-	bestCost := current
-	var bestLayout *catalog.HorizontalLayout
+	var layouts []*catalog.HorizontalLayout
+	var trials []*catalog.Configuration
 	for _, k := range opts.HorizontalFragments {
 		if k < 2 {
 			continue
@@ -330,12 +330,18 @@ func (a *Advisor) bestHorizontal(
 		layout := &catalog.HorizontalLayout{Table: strings.ToLower(t.Name), Column: col, Bounds: bounds}
 		trial := cfg.Clone()
 		trial.SetHorizontal(layout)
-		c, err := cost(trial)
-		if err != nil {
-			return nil, false, 0, err
-		}
-		if c < bestCost-1e-9 {
-			bestCost = c
+		layouts = append(layouts, layout)
+		trials = append(trials, trial)
+	}
+	costs, err := sweep(trials)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	bestCost := current
+	var bestLayout *catalog.HorizontalLayout
+	for k, layout := range layouts {
+		if costs[k] < bestCost-1e-9 {
+			bestCost = costs[k]
 			bestLayout = layout
 		}
 	}

@@ -6,14 +6,13 @@ import (
 
 	"repro/internal/autopart"
 	"repro/internal/catalog"
-	"repro/internal/inum"
-	"repro/internal/optimizer"
+	"repro/internal/engine"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
 
 type fixture struct {
-	cache  *inum.Cache
+	eng    *engine.Engine
 	schema *catalog.Schema
 	adv    *autopart.Advisor
 	w      *workload.Workload
@@ -25,8 +24,7 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
-	cache := inum.New(env)
+	eng := engine.New(store.Schema, store.Stats, nil)
 	// A photometry-heavy workload: narrow column sets over the wide table.
 	w, err := workload.NewWorkloadFrom(store.Schema, 72, 12, []workload.Template{
 		*workload.TemplateByName("cone_search"),
@@ -38,9 +36,9 @@ func newFixture(t *testing.T) *fixture {
 		t.Fatal(err)
 	}
 	return &fixture{
-		cache:  cache,
+		eng:    eng,
 		schema: store.Schema,
-		adv:    autopart.New(cache, store.Schema, store.Stats),
+		adv:    autopart.New(eng),
 		w:      w,
 	}
 }

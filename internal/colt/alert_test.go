@@ -10,8 +10,8 @@ import (
 func TestAlertString(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 30, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 30, false)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -29,8 +29,8 @@ func TestAlertString(t *testing.T) {
 func TestEpochReportsAreSequential(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 55, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 55, false)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}

@@ -21,13 +21,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/optimizer"
 	"repro/internal/schedule"
 	"repro/internal/sqlparse"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -116,12 +116,18 @@ type candState struct {
 	epochRelevant int     // queries this epoch the candidate was relevant to
 }
 
+// tunerSeq distinguishes tuners sharing one engine (see Tuner.idPrefix).
+var tunerSeq atomic.Int64
+
 // Tuner is the online tuning engine.
 type Tuner struct {
-	env   *optimizer.Env
-	cache *inum.Cache
-	stats *stats.Catalog
-	opts  Options
+	eng  *engine.Engine
+	opts Options
+	// idPrefix namespaces this tuner's INUM entries in the shared engine
+	// cache: stream query IDs may collide with an offline workload's (both
+	// are commonly q0..qN for different SQL), and INUM's Prepare is
+	// idempotent per ID.
+	idPrefix string
 
 	current    *catalog.Configuration
 	candidates map[string]*candState
@@ -138,9 +144,9 @@ type Tuner struct {
 	onAlert func(Alert)
 }
 
-// New creates a tuner over the schema/statistics snapshot. initial may be
-// nil (no indexes).
-func New(env *optimizer.Env, st *stats.Catalog, initial *catalog.Configuration, opts Options) *Tuner {
+// New creates a tuner over the shared costing engine. initial may be nil
+// (no indexes).
+func New(eng *engine.Engine, initial *catalog.Configuration, opts Options) *Tuner {
 	if opts.EpochLength <= 0 {
 		opts.EpochLength = 25
 	}
@@ -154,15 +160,19 @@ func New(env *optimizer.Env, st *stats.Catalog, initial *catalog.Configuration, 
 		initial = catalog.NewConfiguration()
 	}
 	return &Tuner{
-		env:             env,
-		cache:           inum.New(env),
-		stats:           st,
+		eng:             eng,
 		opts:            opts,
+		idPrefix:        fmt.Sprintf("colt%d|", tunerSeq.Add(1)),
 		current:         initial.Clone(),
 		candidates:      make(map[string]*candState),
 		budgetThisEpoch: opts.WhatIfBudget,
 	}
 }
+
+// Close releases the tuner's INUM entries from the shared engine cache.
+// Call it when retiring a tuner on a long-lived designer so dead tuners'
+// cached templates do not accumulate; the tuner must not be used after.
+func (t *Tuner) Close() int { return t.eng.EvictPrefix(t.idPrefix) }
 
 // OnAlert registers a callback invoked for every alert.
 func (t *Tuner) OnAlert(fn func(Alert)) { t.onAlert = fn }
@@ -180,11 +190,13 @@ func (t *Tuner) Reports() []EpochReport { return t.reports }
 // profiling within the what-if budget, and epoch accounting. It returns the
 // query's estimated cost under the live configuration.
 func (t *Tuner) Observe(q workload.Query) (float64, error) {
-	cq, err := t.cache.Prepare(q.ID, q.Stmt, nil)
-	if err != nil {
-		return 0, err
-	}
-	curCost, err := t.cache.CostFor(cq, t.current)
+	// Pin one generation per observation, and cost under the tuner's
+	// namespace so shared-engine entries for other components (or other
+	// tuners) can never alias this query's ID.
+	v := t.eng.Pin()
+	nq := q
+	nq.ID = t.idPrefix + q.ID
+	curCost, err := v.QueryCost(nq, t.current)
 	if err != nil {
 		return 0, err
 	}
@@ -214,7 +226,7 @@ func (t *Tuner) Observe(q workload.Query) (float64, error) {
 			if t.current.HasIndex(st.ix.Key()) {
 				continue // already materialized; benefit captured in curCost
 			}
-			withIx, err := t.cache.CostFor(cq, t.current.WithIndex(st.ix))
+			withIx, err := v.QueryCost(nq, t.current.WithIndex(st.ix))
 			if err != nil {
 				return 0, err
 			}
@@ -311,7 +323,7 @@ func (t *Tuner) endEpoch() error {
 		}
 		var buildCost float64
 		for _, ix := range diffIndexes(proposed, t.current) {
-			buildCost += schedule.BuildCost(ix, t.stats, t.env.Params)
+			buildCost += schedule.BuildCost(ix, t.eng.Stats(), t.eng.Params())
 		}
 		if buildCost > 0 && expectedBenefit*float64(horizon) < buildCost {
 			adopt = false
@@ -363,11 +375,11 @@ func (t *Tuner) endEpoch() error {
 
 // sizedIndex builds a single-column hypothetical index with realistic size.
 func (t *Tuner) sizedIndex(table, column string) *catalog.Index {
-	tab := t.env.Schema.Table(table)
+	tab := t.eng.Schema().Table(table)
 	if tab == nil || !tab.HasColumn(column) {
 		return nil
 	}
-	ts := t.stats.Table(table)
+	ts := t.eng.Stats().Table(table)
 	rows := int64(1000)
 	if ts != nil {
 		rows = ts.RowCount

@@ -7,24 +7,24 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/colt"
-	"repro/internal/optimizer"
+	"repro/internal/engine"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
 
-func newTuner(t *testing.T, opts colt.Options) (*colt.Tuner, *optimizer.Env) {
+func newTuner(t *testing.T, opts colt.Options) (*colt.Tuner, *engine.Engine) {
 	t.Helper()
 	store, err := workload.Generate(workload.TinySize(), 101)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
-	return colt.New(env, store.Stats, nil, opts), env
+	eng := engine.New(store.Schema, store.Stats, nil)
+	return colt.New(eng, nil, opts), eng
 }
 
 // indexFriendlyStream builds a stream dominated by covering-scan queries so
 // single-column indexes genuinely help on the tiny dataset.
-func indexFriendlyStream(t *testing.T, env *optimizer.Env, n int, phase2 bool) []workload.Query {
+func indexFriendlyStream(t *testing.T, eng *engine.Engine, n int, phase2 bool) []workload.Query {
 	t.Helper()
 	var sqls []string
 	if !phase2 {
@@ -45,7 +45,7 @@ func indexFriendlyStream(t *testing.T, env *optimizer.Env, n int, phase2 bool) [
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sqlparse.Resolve(stmt, env.Schema); err != nil {
+		if err := sqlparse.Resolve(stmt, eng.Schema()); err != nil {
 			t.Fatal(err)
 		}
 		out = append(out, workload.Query{
@@ -58,8 +58,8 @@ func indexFriendlyStream(t *testing.T, env *optimizer.Env, n int, phase2 bool) [
 func TestTunerAdoptsBeneficialIndexes(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 40, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 40, false)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +82,10 @@ func TestTunerAdoptsBeneficialIndexes(t *testing.T) {
 func TestTunerAdaptsToDrift(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
+	tuner, eng := newTuner(t, opts)
 
-	phase1 := indexFriendlyStream(t, env, 40, false)
-	phase2 := indexFriendlyStream(t, env, 60, true)
+	phase1 := indexFriendlyStream(t, eng, 40, false)
+	phase2 := indexFriendlyStream(t, eng, 60, true)
 	if _, err := tuner.ObserveAll(phase1); err != nil {
 		t.Fatal(err)
 	}
@@ -112,9 +112,9 @@ func TestTunerRespectsSpaceBudget(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
 	opts.SpaceBudgetPages = 40 // roughly one small index
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 40, false)
-	stream = append(stream, indexFriendlyStream(t, env, 40, true)...)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 40, false)
+	stream = append(stream, indexFriendlyStream(t, eng, 40, true)...)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -131,8 +131,8 @@ func TestTunerAlertOnlyMode(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
 	opts.AutoMaterialize = false
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 40, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 40, false)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -152,9 +152,9 @@ func TestTunerAlertOnlyMode(t *testing.T) {
 func TestTunerSelfRegulatesBudget(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
+	tuner, eng := newTuner(t, opts)
 	// A long stable stream: after convergence, what-if usage should drop.
-	stream := indexFriendlyStream(t, env, 120, false)
+	stream := indexFriendlyStream(t, eng, 120, false)
 	if _, err := tuner.ObserveAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +172,8 @@ func TestTunerSelfRegulatesBudget(t *testing.T) {
 func TestTunerCostReflectsAdoptedIndexes(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 60, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 60, false)
 	costs := make([]float64, 0, len(stream))
 	for _, q := range stream {
 		c, err := tuner.Observe(q)

@@ -12,8 +12,8 @@ import (
 func TestRunConsumesStreamUntilClose(t *testing.T) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = 10
-	tuner, env := newTuner(t, opts)
-	stream := indexFriendlyStream(t, env, 40, false)
+	tuner, eng := newTuner(t, opts)
+	stream := indexFriendlyStream(t, eng, 40, false)
 
 	ch := make(chan workload.Query)
 	done := make(chan error, 1)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/inum"
 	"repro/internal/lp"
 	"repro/internal/workload"
@@ -112,14 +113,15 @@ type atom struct {
 
 // Advisor runs CoPhy over a fixed workload and candidate set.
 type Advisor struct {
-	cache      *inum.Cache
+	eng        *engine.Engine
 	candidates []*catalog.Index
 }
 
-// New creates an advisor over an INUM cache and a candidate index set
-// (typically whatif.Session.GenerateCandidates output).
-func New(cache *inum.Cache, candidates []*catalog.Index) *Advisor {
-	return &Advisor{cache: cache, candidates: candidates}
+// New creates an advisor over the shared costing engine and a candidate
+// index set (typically engine.GenerateCandidates output). Atom pricing runs
+// through the engine's parallel sweep.
+func New(eng *engine.Engine, candidates []*catalog.Index) *Advisor {
+	return &Advisor{eng: eng, candidates: candidates}
 }
 
 // Candidates exposes the advisor's candidate set.
@@ -136,6 +138,11 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 
 	res := &Result{}
 
+	// Pin one engine generation for the whole run: every base cost and
+	// atom sweep prices against the same cache/env even if the engine is
+	// reconfigured concurrently.
+	v := a.eng.Pin()
+
 	// Prepare INUM entries and per-query atoms.
 	type queryAtoms struct {
 		q     workload.Query
@@ -144,18 +151,18 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 	emptyCfg := catalog.NewConfiguration()
 	var all []queryAtoms
 	for _, q := range w.Queries {
-		cq, err := a.cache.Prepare(q.ID, q.Stmt, a.candidates)
+		cq, err := v.PrepareQuery(q, a.candidates)
 		if err != nil {
 			return nil, err
 		}
-		baseCost, err := a.cache.CostFor(cq, emptyCfg)
+		baseCost, err := v.QueryCost(q, emptyCfg)
 		if err != nil {
 			return nil, err
 		}
 		res.PricingCalls++
 		res.BaselineCost += baseCost * q.Weight
 
-		atoms, calls, err := a.enumerateAtoms(cq, q, baseCost, opts)
+		atoms, calls, err := a.enumerateAtoms(v, cq, q, baseCost, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -266,33 +273,38 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 
 // enumerateAtoms prices the plan atoms of one query: the all-sequential
 // atom plus cartesian combinations of the top candidate indexes per table.
-func (a *Advisor) enumerateAtoms(cq *inum.CachedQuery, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
+// Both pricing phases — singleton ranking and combo evaluation — run as
+// parallel engine sweeps; the resulting atom set is identical to the serial
+// enumeration because candidates are ranked and filtered in ordinal order.
+func (a *Advisor) enumerateAtoms(v *engine.View, cq *inum.CachedQuery, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
 	calls := 0
-	// Rank candidates per referenced table by single-index benefit.
+	// Rank candidates per referenced table by single-index benefit, priced
+	// in one parallel sweep over the singleton configurations.
 	type ranked struct {
 		ordinal int
 		benefit float64
 	}
-	perTable := map[string][]ranked{}
+	var refOrdinals []int
+	var singletons []*catalog.Configuration
 	for j, ix := range a.candidates {
 		lt := strings.ToLower(ix.Table)
-		referenced := false
 		for _, t := range cq.Tables {
 			if t == lt {
-				referenced = true
+				refOrdinals = append(refOrdinals, j)
+				singletons = append(singletons, catalog.NewConfiguration().WithIndex(ix))
 				break
 			}
 		}
-		if !referenced {
-			continue
-		}
-		cfg := catalog.NewConfiguration().WithIndex(ix)
-		c, err := a.cache.CostFor(cq, cfg)
-		if err != nil {
-			return nil, calls, err
-		}
-		calls++
-		if b := baseCost - c; b > 1e-9 {
+	}
+	singleCosts, err := v.SweepQueryConfigs(q, singletons)
+	if err != nil {
+		return nil, calls, err
+	}
+	calls += len(singletons)
+	perTable := map[string][]ranked{}
+	for k, j := range refOrdinals {
+		if b := baseCost - singleCosts[k]; b > 1e-9 {
+			lt := strings.ToLower(a.candidates[j].Table)
 			perTable[lt] = append(perTable[lt], ranked{ordinal: j, benefit: b})
 		}
 	}
@@ -333,6 +345,10 @@ func (a *Advisor) enumerateAtoms(cq *inum.CachedQuery, q workload.Query, baseCos
 		}
 		combos = next
 	}
+	// Price every combo in one parallel sweep, then filter in generation
+	// order so the retained atom set matches the serial enumeration.
+	var comboList [][]int
+	var comboCfgs []*catalog.Configuration
 	for _, combo := range combos {
 		if len(combo) == 0 {
 			continue // the all-seq atom is already in
@@ -341,11 +357,16 @@ func (a *Advisor) enumerateAtoms(cq *inum.CachedQuery, q workload.Query, baseCos
 		for _, j := range combo {
 			cfg = cfg.WithIndex(a.candidates[j])
 		}
-		c, err := a.cache.CostFor(cq, cfg)
-		if err != nil {
-			return nil, calls, err
-		}
-		calls++
+		comboList = append(comboList, combo)
+		comboCfgs = append(comboCfgs, cfg)
+	}
+	comboCosts, err := v.SweepQueryConfigs(q, comboCfgs)
+	if err != nil {
+		return nil, calls, err
+	}
+	calls += len(comboCfgs)
+	for k, combo := range comboList {
+		c := comboCosts[k]
 		if c >= baseCost-1e-9 {
 			continue // dominated by all-seq
 		}

@@ -6,16 +6,14 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cophy"
+	"repro/internal/engine"
 	"repro/internal/greedy"
-	"repro/internal/inum"
-	"repro/internal/optimizer"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
 type fixture struct {
-	env   *optimizer.Env
-	cache *inum.Cache
+	eng   *engine.Engine
 	w     *workload.Workload
 	cands []*catalog.Index
 }
@@ -28,24 +26,23 @@ func newFixture(t *testing.T, nQueries, maxCands int) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
+	eng := engine.New(store.Schema, store.Stats, nil)
 	w, err := workload.NewWorkload(store.Schema, 52, nQueries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := whatif.NewSession(store.Schema, store.Stats, nil)
 	opts := whatif.DefaultCandidateOptions()
 	opts.MaxPerTable = 4
-	cands := sess.GenerateCandidates(w, opts)
+	cands := eng.GenerateCandidates(w, opts)
 	if len(cands) > maxCands {
 		cands = cands[:maxCands]
 	}
-	return &fixture{env: env, cache: inum.New(env), w: w, cands: cands}
+	return &fixture{eng: eng, w: w, cands: cands}
 }
 
 func TestAdviseImprovesWorkload(t *testing.T) {
 	f := newFixture(t, 12, 24)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	res, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +72,7 @@ func TestAdviseImprovesWorkload(t *testing.T) {
 // enumeration (both priced with the same INUM cache).
 func TestCoPhyMatchesExhaustive(t *testing.T) {
 	f := newFixture(t, 6, 8)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 
 	// Atom enumeration must be generous enough to represent every subset.
 	opts := cophy.DefaultOptions()
@@ -85,7 +82,7 @@ func TestCoPhyMatchesExhaustive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := greedy.Exhaustive(f.cache, f.cands, f.w, 0)
+	exh, err := greedy.Exhaustive(f.eng, f.cands, f.w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +101,7 @@ func TestCoPhyMatchesExhaustiveUnderBudget(t *testing.T) {
 	}
 	budget := total / 2
 
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	opts := cophy.DefaultOptions()
 	opts.StorageBudgetPages = budget
 	opts.MaxIndexesPerQueryTable = 8
@@ -120,7 +117,7 @@ func TestCoPhyMatchesExhaustiveUnderBudget(t *testing.T) {
 	if used > budget {
 		t.Fatalf("budget violated: %d > %d", used, budget)
 	}
-	exh, err := greedy.Exhaustive(f.cache, f.cands, f.w, budget)
+	exh, err := greedy.Exhaustive(f.eng, f.cands, f.w, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +135,7 @@ func TestCoPhyAtLeastAsGoodAsGreedy(t *testing.T) {
 		total += ix.EstimatedPages
 	}
 	for _, budget := range []int64{total / 4, total / 2, total} {
-		adv := cophy.New(f.cache, f.cands)
+		adv := cophy.New(f.eng, f.cands)
 		copts := cophy.DefaultOptions()
 		copts.StorageBudgetPages = budget
 		copts.MaxIndexesPerQueryTable = 5
@@ -147,7 +144,7 @@ func TestCoPhyAtLeastAsGoodAsGreedy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gadv := greedy.New(f.cache, f.cands)
+		gadv := greedy.New(f.eng, f.cands)
 		gres, err := gadv.Advise(f.w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
 		if err != nil {
 			t.Fatal(err)
@@ -161,7 +158,7 @@ func TestCoPhyAtLeastAsGoodAsGreedy(t *testing.T) {
 
 func TestNodeBudgetProducesValidBound(t *testing.T) {
 	f := newFixture(t, 10, 16)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 
 	full, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
@@ -188,7 +185,7 @@ func TestNodeBudgetProducesValidBound(t *testing.T) {
 
 func TestAdviseBudgetZeroIsUnlimited(t *testing.T) {
 	f := newFixture(t, 6, 10)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	res, err := adv.Advise(f.w, cophy.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)

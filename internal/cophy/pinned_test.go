@@ -8,7 +8,7 @@ import (
 
 func TestPinnedKeysForceSelection(t *testing.T) {
 	f := newFixture(t, 8, 12)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 
 	// Baseline without pinning.
 	base, err := adv.Advise(f.w, cophy.DefaultOptions())
@@ -55,7 +55,7 @@ func TestPinnedKeysForceSelection(t *testing.T) {
 
 func TestPinnedUnknownKeyErrors(t *testing.T) {
 	f := newFixture(t, 4, 8)
-	adv := cophy.New(f.cache, f.cands)
+	adv := cophy.New(f.eng, f.cands)
 	opts := cophy.DefaultOptions()
 	opts.PinnedKeys = []string{"nosuch(table)"}
 	if _, err := adv.Advise(f.w, opts); err == nil {

@@ -1,0 +1,340 @@
+// Package engine is the single what-if costing layer every designer
+// component plans through. It owns the triple that used to be wired by hand
+// in each advisor — the optimizer environment (schema + statistics + cost
+// parameters), the INUM cost cache (§3.2.1), and the what-if session
+// (§3.1) — behind one concurrency-safe handle with explicit configuration
+// versioning: when the physical design changes (indexes are materialized,
+// join controls flip), the engine rebuilds all three members atomically and
+// bumps its version, so no consumer can keep pricing against a stale cache.
+//
+// On top of the unified layer the engine exposes bounded worker-pool sweep
+// primitives (SweepConfigs, SweepCandidates, SweepQueryConfigs, Evaluate)
+// that advisors use to price many hypothetical designs in parallel — the
+// hot path of CoPhy's atom enumeration, the interaction analyzer's lattice
+// walks, and greedy candidate selection. All sweeps take one snapshot of
+// the engine state at entry, so a concurrent invalidation never tears a
+// sweep in half, and results are deterministic: a parallel sweep returns
+// bit-for-bit the costs a serial loop would.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// snapshot is one immutable generation of the costing triple. Consumers
+// that need multiple consistent calls grab a snapshot once; the engine
+// never mutates a published snapshot, only swaps in a new one.
+type snapshot struct {
+	version uint64
+	base    *catalog.Configuration
+	env     *optimizer.Env
+	cache   *inum.Cache
+	session *whatif.Session
+}
+
+// Engine is the shared, concurrency-safe what-if costing handle.
+type Engine struct {
+	schema *catalog.Schema
+	stats  *stats.Catalog
+
+	mu   sync.RWMutex
+	snap *snapshot
+	opts optimizer.Options
+
+	// workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	workers int
+}
+
+// New creates an engine over a schema/statistics snapshot and a base
+// (currently materialized) configuration. base may be nil for "no physical
+// design".
+func New(schema *catalog.Schema, st *stats.Catalog, base *catalog.Configuration) *Engine {
+	e := &Engine{schema: schema, stats: st}
+	e.snap = e.build(base, optimizer.Options{}, 1)
+	return e
+}
+
+// build assembles a fresh generation of the triple.
+func (e *Engine) build(base *catalog.Configuration, opts optimizer.Options, version uint64) *snapshot {
+	if base == nil {
+		base = catalog.NewConfiguration()
+	}
+	env := optimizer.NewEnv(e.schema, e.stats, base).WithOptions(opts)
+	session := whatif.NewSession(e.schema, e.stats, base)
+	session.SetJoinControl(opts)
+	return &snapshot{
+		version: version,
+		base:    base,
+		env:     env,
+		cache:   inum.New(env),
+		session: session,
+	}
+}
+
+// snapshot returns the current generation under a read lock.
+func (e *Engine) snapshot() *snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snap
+}
+
+// View is one pinned configuration generation of the engine. An advisor
+// run spans many costing calls (prepare, base costs, many sweeps); pinning
+// a view at the start guarantees every one of them prices against the same
+// (env, cache, session) triple even if the engine is reconfigured
+// concurrently — the run stays internally consistent, and the next run
+// picks up the new generation.
+type View struct {
+	e *Engine
+	s *snapshot
+}
+
+// Pin captures the current generation. Costing methods on the returned
+// view are unaffected by subsequent SetBaseConfig/SetJoinControl calls.
+func (e *Engine) Pin() *View { return &View{e: e, s: e.snapshot()} }
+
+// Version reports the pinned generation.
+func (v *View) Version() uint64 { return v.s.version }
+
+// Base returns the pinned base configuration.
+func (v *View) Base() *catalog.Configuration { return v.s.base }
+
+// Version reports the configuration generation. It increments every time
+// the base configuration or the optimizer switches change.
+func (e *Engine) Version() uint64 { return e.snapshot().version }
+
+// Schema exposes the logical schema.
+func (e *Engine) Schema() *catalog.Schema { return e.schema }
+
+// Stats exposes the statistics catalog.
+func (e *Engine) Stats() *stats.Catalog { return e.stats }
+
+// Params exposes the optimizer cost parameters.
+func (e *Engine) Params() optimizer.CostParams { return e.snapshot().env.Params }
+
+// Env exposes the current optimizer environment (base configuration).
+func (e *Engine) Env() *optimizer.Env { return e.snapshot().env }
+
+// Cache exposes the current INUM cost cache. The pointer identity changes
+// on invalidation — do not hold it across configuration changes; prefer the
+// engine's costing methods, which snapshot internally.
+func (e *Engine) Cache() *inum.Cache { return e.snapshot().cache }
+
+// Session exposes the current what-if session.
+func (e *Engine) Session() *whatif.Session { return e.snapshot().session }
+
+// Base returns the current base (materialized) configuration.
+func (e *Engine) Base() *catalog.Configuration { return e.snapshot().base }
+
+// SetWorkers bounds sweep parallelism (0 restores the GOMAXPROCS default).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
+}
+
+// SetBaseConfig swaps the base configuration and invalidates every cached
+// artifact: environment, what-if session, and — crucially — the INUM cache,
+// whose memoized access costs and plan templates were computed for the old
+// generation. Designer.Materialize calls this after physically building
+// indexes.
+func (e *Engine) SetBaseConfig(base *catalog.Configuration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.snap = e.build(base, e.opts, e.snap.version+1)
+}
+
+// SetJoinControl flips the what-if join component's optimizer switches for
+// all subsequent costings, engine-wide. Cached INUM templates embed join
+// choices, so the cache is invalidated alongside. For join steering scoped
+// to one exploration (a design session) use SessionWith instead.
+func (e *Engine) SetJoinControl(opts optimizer.Options) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts = opts
+	e.snap = e.build(e.snap.base, opts, e.snap.version+1)
+}
+
+// SessionWith returns a throwaway what-if session over the engine's
+// current base configuration with the given optimizer switches applied.
+// The engine itself — its environment, cache, and version — is untouched,
+// so per-session join steering cannot leak into other consumers' costing.
+func (e *Engine) SessionWith(opts optimizer.Options) *whatif.Session {
+	snap := e.snapshot()
+	s := whatif.NewSession(e.schema, e.stats, snap.base)
+	s.SetJoinControl(opts)
+	return s
+}
+
+// Invalidate rebuilds the current generation in place (same base
+// configuration, fresh INUM cache). Use after external statistics changes.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.snap = e.build(e.snap.base, e.opts, e.snap.version+1)
+}
+
+// resolve substitutes the snapshot base configuration for nil.
+func (s *snapshot) resolve(cfg *catalog.Configuration) *catalog.Configuration {
+	if cfg != nil {
+		return cfg
+	}
+	return s.base
+}
+
+// HypotheticalIndex constructs a sized what-if index (leaf pages and height
+// estimated from statistics, §2's honest-size requirement).
+func (e *Engine) HypotheticalIndex(table string, columns ...string) (*catalog.Index, error) {
+	return e.snapshot().session.HypotheticalIndex(table, columns...)
+}
+
+// GenerateCandidates enumerates sized candidate indexes implied by the
+// workload's predicate structure.
+func (e *Engine) GenerateCandidates(w *workload.Workload, opts whatif.CandidateOptions) []*catalog.Index {
+	return e.snapshot().session.GenerateCandidates(w, opts)
+}
+
+// Prepare primes the INUM cache for every workload query. candidates guide
+// which interesting orders get plan templates (pass the set you intend to
+// sweep). Prepare is idempotent per query ID within a configuration
+// generation.
+func (e *Engine) Prepare(w *workload.Workload, candidates []*catalog.Index) error {
+	return e.Pin().Prepare(w, candidates)
+}
+
+// Prepare primes the pinned generation's INUM cache for every workload
+// query.
+func (v *View) Prepare(w *workload.Workload, candidates []*catalog.Index) error {
+	for _, q := range w.Queries {
+		if _, err := v.s.cache.Prepare(q.ID, q.Stmt, candidates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrepareQuery primes the INUM cache for one query and returns the entry.
+func (e *Engine) PrepareQuery(q workload.Query, candidates []*catalog.Index) (*inum.CachedQuery, error) {
+	return e.Pin().PrepareQuery(q, candidates)
+}
+
+// PrepareQuery primes the pinned INUM cache for one query.
+func (v *View) PrepareQuery(q workload.Query, candidates []*catalog.Index) (*inum.CachedQuery, error) {
+	return v.s.cache.Prepare(q.ID, q.Stmt, candidates)
+}
+
+// QueryCost prices one query under a configuration through the INUM cache
+// (nil = the engine's base configuration). The query is prepared on demand.
+func (e *Engine) QueryCost(q workload.Query, cfg *catalog.Configuration) (float64, error) {
+	return e.Pin().QueryCost(q, cfg)
+}
+
+// QueryCost prices one query against the pinned generation (nil = the
+// pinned base configuration).
+func (v *View) QueryCost(q workload.Query, cfg *catalog.Configuration) (float64, error) {
+	return v.s.queryCost(q, v.s.resolve(cfg))
+}
+
+func (s *snapshot) queryCost(q workload.Query, cfg *catalog.Configuration) (float64, error) {
+	cq, err := s.cache.Prepare(q.ID, q.Stmt, nil)
+	if err != nil {
+		return 0, err
+	}
+	return s.cache.CostFor(cq, cfg)
+}
+
+// WorkloadCost sums weighted INUM-cached query costs under a configuration
+// (nil = base).
+func (e *Engine) WorkloadCost(w *workload.Workload, cfg *catalog.Configuration) (float64, error) {
+	return e.Pin().WorkloadCost(w, cfg)
+}
+
+// WorkloadCost sums weighted INUM-cached query costs against the pinned
+// generation.
+func (v *View) WorkloadCost(w *workload.Workload, cfg *catalog.Configuration) (float64, error) {
+	return v.s.workloadCost(w, v.s.resolve(cfg))
+}
+
+func (s *snapshot) workloadCost(w *workload.Workload, cfg *catalog.Configuration) (float64, error) {
+	var total float64
+	for _, q := range w.Queries {
+		c, err := s.queryCost(q, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		total += c * q.Weight
+	}
+	return total, nil
+}
+
+// FullCost prices a statement with the complete optimizer, bypassing the
+// INUM cache — the E8 comparison baseline and the exactness fallback.
+func (e *Engine) FullCost(stmt *sqlparse.SelectStmt, cfg *catalog.Configuration) (float64, error) {
+	return e.Pin().FullCost(stmt, cfg)
+}
+
+// FullCost prices a statement with the complete optimizer against the
+// pinned generation.
+func (v *View) FullCost(stmt *sqlparse.SelectStmt, cfg *catalog.Configuration) (float64, error) {
+	return v.s.env.WithConfig(v.s.resolve(cfg)).Cost(stmt)
+}
+
+// Optimize plans a statement under a configuration (nil = base) and returns
+// the full plan tree.
+func (e *Engine) Optimize(stmt *sqlparse.SelectStmt, cfg *catalog.Configuration) (*optimizer.Plan, error) {
+	snap := e.snapshot()
+	return snap.env.WithConfig(snap.resolve(cfg)).Optimize(stmt)
+}
+
+// Explain plans a statement under a configuration and renders the plan.
+func (e *Engine) Explain(stmt *sqlparse.SelectStmt, cfg *catalog.Configuration) (string, error) {
+	plan, err := e.Optimize(stmt, cfg)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+// CacheStats reports the current generation's full-optimization and cached
+// costing counters (the E8 telemetry).
+func (e *Engine) CacheStats() (fullOpts, cachedCostings int64) {
+	return e.snapshot().cache.Stats()
+}
+
+// EvictPrefix drops INUM entries whose query ID starts with prefix from
+// the current generation's cache, returning the count. Long-lived engines
+// shared by transient components (online tuners) use this to bound cache
+// growth.
+func (e *Engine) EvictPrefix(prefix string) int {
+	return e.snapshot().cache.EvictPrefix(prefix)
+}
+
+// workerCount resolves the sweep pool size for n jobs.
+func (e *Engine) workerCount(n int) int {
+	e.mu.RLock()
+	workers := e.workers
+	e.mu.RUnlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// sweep runs fn(0..n-1) over a bounded worker pool and returns the
+// first-index error (deterministic regardless of completion order). Work is
+// handed out through an atomic counter, so per-job overhead is a single
+// atomic add rather than a channel round-trip.
+func (e *Engine) sweep(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers := e.workerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepConfigs prices the whole workload under every configuration in
+// parallel, through the INUM cache. costs[i] corresponds to cfgs[i]; a nil
+// configuration means the engine's base. Results are identical to calling
+// WorkloadCost serially per configuration.
+func (e *Engine) SweepConfigs(w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
+	return e.Pin().SweepConfigs(w, cfgs)
+}
+
+// SweepConfigs prices the workload under every configuration in parallel
+// against the pinned generation.
+func (v *View) SweepConfigs(w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
+	if err := v.prepareAll(w); err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(cfgs))
+	err := v.e.sweep(len(cfgs), func(i int) error {
+		c, err := v.s.workloadCost(w, v.s.resolve(cfgs[i]))
+		if err != nil {
+			return err
+		}
+		costs[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// SweepCandidates prices, in parallel, the workload under base extended by
+// each candidate index on its own: costs[i] is the workload cost under
+// base ∪ {cands[i]}. This is the inner loop of greedy selection and
+// materialization scheduling.
+func (e *Engine) SweepCandidates(w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
+	return e.Pin().SweepCandidates(w, base, cands)
+}
+
+// SweepCandidates prices base ∪ {cands[i]} per candidate against the
+// pinned generation.
+func (v *View) SweepCandidates(w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
+	if err := v.prepareAll(w); err != nil {
+		return nil, err
+	}
+	base = v.s.resolve(base)
+	costs := make([]float64, len(cands))
+	err := v.e.sweep(len(cands), func(i int) error {
+		c, err := v.s.workloadCost(w, base.WithIndex(cands[i]))
+		if err != nil {
+			return err
+		}
+		costs[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// SweepQueryConfigs prices one query under many configurations in parallel
+// — CoPhy's atom pricing. costs[i] corresponds to cfgs[i].
+func (e *Engine) SweepQueryConfigs(q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
+	return e.Pin().SweepQueryConfigs(q, cfgs)
+}
+
+// SweepQueryConfigs prices one query under many configurations in parallel
+// against the pinned generation.
+func (v *View) SweepQueryConfigs(q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
+	cq, err := v.s.cache.Prepare(q.ID, q.Stmt, nil)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(cfgs))
+	err = v.e.sweep(len(cfgs), func(i int) error {
+		c, err := v.s.cache.CostFor(cq, v.s.resolve(cfgs[i]))
+		if err != nil {
+			return err
+		}
+		costs[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// prepareAll primes INUM entries for every workload query (nil candidate
+// guidance; callers wanting candidate-guided templates call Prepare first).
+func (v *View) prepareAll(w *workload.Workload) error {
+	for _, q := range w.Queries {
+		if _, err := v.s.cache.Prepare(q.ID, q.Stmt, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evaluate costs every query under the base and the hypothetical
+// configuration with the full optimizer and returns the benefit report the
+// demo's Scenario 1/2 panels display. It delegates to the snapshot's
+// what-if session (whose evaluation is itself parallel), so there is one
+// Report implementation and it always runs against a consistent generation.
+func (e *Engine) Evaluate(w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
+	return e.snapshot().session.EvaluateWorkload(w, cfg)
+}

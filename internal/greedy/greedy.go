@@ -7,6 +7,9 @@
 //
 // The package also provides exhaustive enumeration for small instances, the
 // ground truth used to verify CoPhy's optimality claims in tests.
+//
+// All what-if pricing flows through the shared costing engine; each greedy
+// step evaluates the surviving candidates with one parallel sweep.
 package greedy
 
 import (
@@ -14,7 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -44,52 +47,40 @@ func (r *Result) Improvement() float64 {
 	return (r.BaselineCost - r.Objective) / r.BaselineCost
 }
 
-// Advisor runs the greedy heuristic over a candidate set using INUM for
-// what-if pricing.
+// Advisor runs the greedy heuristic over a candidate set using the engine's
+// INUM-cached what-if pricing.
 type Advisor struct {
-	cache      *inum.Cache
+	eng        *engine.Engine
 	candidates []*catalog.Index
 }
 
 // New creates a greedy advisor.
-func New(cache *inum.Cache, candidates []*catalog.Index) *Advisor {
-	return &Advisor{cache: cache, candidates: candidates}
+func New(eng *engine.Engine, candidates []*catalog.Index) *Advisor {
+	return &Advisor{eng: eng, candidates: candidates}
 }
 
-// workloadCost prices the whole workload under cfg via INUM.
-func (a *Advisor) workloadCost(w *workload.Workload, cfg *catalog.Configuration, calls *int) (float64, error) {
-	var total float64
-	for _, q := range w.Queries {
-		cq, err := a.cache.Prepare(q.ID, q.Stmt, a.candidates)
-		if err != nil {
-			return 0, err
-		}
-		c, err := a.cache.CostFor(cq, cfg)
-		if err != nil {
-			return 0, err
-		}
-		*calls++
-		total += c * q.Weight
-	}
-	return total, nil
-}
-
-// Advise runs the greedy loop.
+// Advise runs the greedy loop. Every iteration prices the eligible
+// candidates against the current configuration in one parallel sweep.
 func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
+	// Pin one engine generation for the whole greedy run.
+	v := a.eng.Pin()
+	if err := v.Prepare(w, a.candidates); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	cfg := catalog.NewConfiguration()
-	cur, err := a.workloadCost(w, cfg, &res.PricingCalls)
+	cur, err := v.WorkloadCost(w, cfg)
 	if err != nil {
 		return nil, err
 	}
+	res.PricingCalls += len(w.Queries)
 	res.BaselineCost = cur
 
 	remaining := append([]*catalog.Index(nil), a.candidates...)
 	var usedPages int64
 	for {
-		bestIdx := -1
-		bestScore := 0.0
-		bestCost := cur
+		// Eligible candidates this round, in stable ordinal order.
+		var elig []int
 		for i, ix := range remaining {
 			if ix == nil {
 				continue
@@ -97,12 +88,27 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 			if opts.StorageBudgetPages > 0 && usedPages+ix.EstimatedPages > opts.StorageBudgetPages {
 				continue
 			}
-			trial := cfg.WithIndex(ix)
-			c, err := a.workloadCost(w, trial, &res.PricingCalls)
-			if err != nil {
-				return nil, err
-			}
-			benefit := cur - c
+			elig = append(elig, i)
+		}
+		if len(elig) == 0 {
+			break
+		}
+		trials := make([]*catalog.Index, len(elig))
+		for k, i := range elig {
+			trials[k] = remaining[i]
+		}
+		costs, err := v.SweepCandidates(w, cfg, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.PricingCalls += len(trials) * len(w.Queries)
+
+		bestIdx := -1
+		bestScore := 0.0
+		bestCost := cur
+		for k, i := range elig {
+			ix := remaining[i]
+			benefit := cur - costs[k]
 			if benefit <= 1e-9 {
 				continue
 			}
@@ -113,7 +119,7 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 			if score > bestScore {
 				bestScore = score
 				bestIdx = i
-				bestCost = c
+				bestCost = costs[k]
 			}
 		}
 		if bestIdx < 0 {
@@ -134,42 +140,74 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 
 // Exhaustive enumerates every candidate subset within budget and returns
 // the true optimum. Exponential — use only with small candidate sets (the
-// E7 ground truth).
-func Exhaustive(cache *inum.Cache, candidates []*catalog.Index, w *workload.Workload, budgetPages int64) (*Result, error) {
-	a := New(cache, candidates)
+// E7 ground truth). Subsets are priced in bounded parallel batches so peak
+// memory stays fixed instead of materializing all 2^n configurations.
+func Exhaustive(eng *engine.Engine, candidates []*catalog.Index, w *workload.Workload, budgetPages int64) (*Result, error) {
+	// Pin one engine generation for the whole enumeration.
+	v := eng.Pin()
+	if err := v.Prepare(w, candidates); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	n := len(candidates)
-	best := math.Inf(1)
-	var bestSet []*catalog.Index
+	const batchSize = 4096
 
+	best := math.Inf(1)
+	bestMask := 0
+	masks := make([]int, 0, batchSize)
+	cfgs := make([]*catalog.Configuration, 0, batchSize)
+	flush := func() error {
+		if len(cfgs) == 0 {
+			return nil
+		}
+		costs, err := v.SweepConfigs(w, cfgs)
+		if err != nil {
+			return err
+		}
+		res.PricingCalls += len(cfgs) * len(w.Queries)
+		for k, mask := range masks {
+			if mask == 0 {
+				res.BaselineCost = costs[k]
+			}
+			if costs[k] < best {
+				best = costs[k]
+				bestMask = mask
+			}
+		}
+		masks = masks[:0]
+		cfgs = cfgs[:0]
+		return nil
+	}
 	for mask := 0; mask < 1<<n; mask++ {
 		cfg := catalog.NewConfiguration()
 		var pages int64
-		var set []*catalog.Index
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
 				cfg = cfg.WithIndex(candidates[i])
 				pages += candidates[i].EstimatedPages
-				set = append(set, candidates[i])
 			}
 		}
 		if budgetPages > 0 && pages > budgetPages {
 			continue
 		}
-		c, err := a.workloadCost(w, cfg, &res.PricingCalls)
-		if err != nil {
-			return nil, err
-		}
-		if mask == 0 {
-			res.BaselineCost = c
-		}
-		if c < best {
-			best = c
-			bestSet = set
+		masks = append(masks, mask)
+		cfgs = append(cfgs, cfg)
+		if len(cfgs) >= batchSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
 		}
 	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
 	res.Objective = best
-	res.Indexes = bestSet
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			res.Indexes = append(res.Indexes, candidates[i])
+		}
+	}
 	sort.Slice(res.Indexes, func(i, j int) bool { return res.Indexes[i].Key() < res.Indexes[j].Key() })
 	return res, nil
 }

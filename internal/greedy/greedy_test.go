@@ -4,37 +4,35 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/greedy"
-	"repro/internal/inum"
-	"repro/internal/optimizer"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
-func fixture(t *testing.T, nQueries, maxCands int) (*inum.Cache, []*catalog.Index, *workload.Workload) {
+func fixture(t *testing.T, nQueries, maxCands int) (*engine.Engine, []*catalog.Index, *workload.Workload) {
 	t.Helper()
 	store, err := workload.Generate(workload.TinySize(), 61)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
+	eng := engine.New(store.Schema, store.Stats, nil)
 	w, err := workload.NewWorkload(store.Schema, 62, nQueries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := whatif.NewSession(store.Schema, store.Stats, nil)
 	opts := whatif.DefaultCandidateOptions()
 	opts.MaxPerTable = 4
-	cands := sess.GenerateCandidates(w, opts)
+	cands := eng.GenerateCandidates(w, opts)
 	if len(cands) > maxCands {
 		cands = cands[:maxCands]
 	}
-	return inum.New(env), cands, w
+	return eng, cands, w
 }
 
 func TestGreedyImproves(t *testing.T) {
-	cache, cands, w := fixture(t, 12, 20)
-	adv := greedy.New(cache, cands)
+	eng, cands, w := fixture(t, 12, 20)
+	adv := greedy.New(eng, cands)
 	res, err := adv.Advise(w, greedy.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -51,13 +49,13 @@ func TestGreedyImproves(t *testing.T) {
 }
 
 func TestGreedyRespectsBudget(t *testing.T) {
-	cache, cands, w := fixture(t, 8, 16)
+	eng, cands, w := fixture(t, 8, 16)
 	var total int64
 	for _, ix := range cands {
 		total += ix.EstimatedPages
 	}
 	budget := total / 4
-	adv := greedy.New(cache, cands)
+	adv := greedy.New(eng, cands)
 	res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
 	if err != nil {
 		t.Fatal(err)
@@ -72,8 +70,8 @@ func TestGreedyRespectsBudget(t *testing.T) {
 }
 
 func TestGreedyNeverWorseThanBaseline(t *testing.T) {
-	cache, cands, w := fixture(t, 8, 10)
-	adv := greedy.New(cache, cands)
+	eng, cands, w := fixture(t, 8, 10)
+	adv := greedy.New(eng, cands)
 	for _, budget := range []int64{0, 1, 100, 100000} {
 		res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget})
 		if err != nil {
@@ -87,13 +85,13 @@ func TestGreedyNeverWorseThanBaseline(t *testing.T) {
 }
 
 func TestExhaustiveAtLeastAsGoodAsGreedy(t *testing.T) {
-	cache, cands, w := fixture(t, 6, 8)
-	adv := greedy.New(cache, cands)
+	eng, cands, w := fixture(t, 6, 8)
+	adv := greedy.New(eng, cands)
 	gres, err := adv.Advise(w, greedy.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := greedy.Exhaustive(cache, cands, w, 0)
+	eres, err := greedy.Exhaustive(eng, cands, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -54,9 +54,11 @@ type Graph struct {
 }
 
 // Analyze computes pairwise interaction degrees for the index set against
-// the workload. All costs flow through the INUM cache, which is what makes
-// the quadratic pair sweep interactive.
-func Analyze(cache *inum.Cache, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
+// the workload. All costs flow through the engine's INUM cache, and each
+// pair's lattice walk — the four corner configurations of every sampled
+// context — is priced with one parallel engine sweep, which is what makes
+// the quadratic pair analysis interactive.
+func Analyze(eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
 	if opts.SampleContexts < 0 {
 		opts.SampleContexts = 0
 	}
@@ -65,52 +67,36 @@ func Analyze(cache *inum.Cache, w *workload.Workload, indexes []*catalog.Index, 
 	if n < 2 {
 		return g, nil
 	}
-	prepared := make([]*inum.CachedQuery, len(w.Queries))
-	for i, q := range w.Queries {
-		cq, err := cache.Prepare(q.ID, q.Stmt, indexes)
-		if err != nil {
-			return nil, err
-		}
-		prepared[i] = cq
-	}
-	workloadCost := func(cfg *catalog.Configuration) (float64, error) {
-		var total float64
-		for i, q := range w.Queries {
-			c, err := cache.CostFor(prepared[i], cfg)
-			if err != nil {
-				return 0, err
-			}
-			total += c * q.Weight
-		}
-		return total, nil
+	// Pin one engine generation for the whole pair analysis.
+	v := eng.Pin()
+	if err := v.Prepare(w, indexes); err != nil {
+		return nil, err
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			contexts := sampleContexts(rng, n, a, b, opts.SampleContexts)
-			maxDoi := 0.0
+			// Lattice corners per context: X, X∪{a}, X∪{b}, X∪{a,b}.
+			cfgs := make([]*catalog.Configuration, 0, 4*len(contexts))
 			for _, ctx := range contexts {
 				base := catalog.NewConfiguration()
 				for _, k := range ctx {
 					base = base.WithIndex(indexes[k])
 				}
-				cX, err := workloadCost(base)
-				if err != nil {
-					return nil, err
-				}
-				cXa, err := workloadCost(base.WithIndex(indexes[a]))
-				if err != nil {
-					return nil, err
-				}
-				cXb, err := workloadCost(base.WithIndex(indexes[b]))
-				if err != nil {
-					return nil, err
-				}
-				cXab, err := workloadCost(base.WithIndex(indexes[a]).WithIndex(indexes[b]))
-				if err != nil {
-					return nil, err
-				}
+				cfgs = append(cfgs,
+					base,
+					base.WithIndex(indexes[a]),
+					base.WithIndex(indexes[b]),
+					base.WithIndex(indexes[a]).WithIndex(indexes[b]))
+			}
+			costs, err := v.SweepConfigs(w, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			maxDoi := 0.0
+			for ci := range contexts {
+				cX, cXa, cXb, cXab := costs[4*ci], costs[4*ci+1], costs[4*ci+2], costs[4*ci+3]
 				if cXab <= 0 {
 					continue
 				}

@@ -6,17 +6,14 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/interaction"
-	"repro/internal/inum"
-	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
-	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
 type fixture struct {
-	cache   *inum.Cache
-	sess    *whatif.Session
+	eng     *engine.Engine
 	w       *workload.Workload
 	indexes []*catalog.Index
 }
@@ -27,8 +24,7 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
-	sess := whatif.NewSession(store.Schema, store.Stats, nil)
+	eng := engine.New(store.Schema, store.Stats, nil)
 
 	// A hand-built workload whose queries are clearly index-friendly
 	// (covering index-only scans), so the configuration lattice has real
@@ -54,7 +50,7 @@ func newFixture(t *testing.T) *fixture {
 	}
 
 	mk := func(table string, cols ...string) *catalog.Index {
-		ix, err := sess.HypotheticalIndex(table, cols...)
+		ix, err := eng.HypotheticalIndex(table, cols...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,12 +65,12 @@ func newFixture(t *testing.T) *fixture {
 		mk("specobj", "z"),
 		mk("neighbors", "distance"),
 	}
-	return &fixture{cache: inum.New(env), sess: sess, w: w, indexes: indexes}
+	return &fixture{eng: eng, w: w, indexes: indexes}
 }
 
 func TestAnalyzeFindsSubstituteInteraction(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +93,11 @@ func TestAnalyzeFindsSubstituteInteraction(t *testing.T) {
 
 func TestDoiSymmetricAndDeterministic(t *testing.T) {
 	f := newFixture(t)
-	g1, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g1, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g2, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +122,7 @@ func TestDoiSymmetricAndDeterministic(t *testing.T) {
 
 func TestTopKFilter(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +145,7 @@ func TestTopKFilter(t *testing.T) {
 
 func TestStableSubsets(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +178,7 @@ func TestStableSubsets(t *testing.T) {
 
 func TestDOTAndRender(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,14 +194,14 @@ func TestDOTAndRender(t *testing.T) {
 
 func TestAnalyzeSmallSets(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes[:1], interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes[:1], interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(g.Edges) != 0 {
 		t.Fatal("single index cannot interact")
 	}
-	g0, err := interaction.Analyze(f.cache, f.w, nil, interaction.DefaultOptions())
+	g0, err := interaction.Analyze(f.eng, f.w, nil, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +212,7 @@ func TestAnalyzeSmallSets(t *testing.T) {
 
 func TestMatrixRendering(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +234,7 @@ func TestMatrixRendering(t *testing.T) {
 		}
 	}
 	// Empty graph renders gracefully.
-	empty, err := interaction.Analyze(f.cache, f.w, nil, interaction.DefaultOptions())
+	empty, err := interaction.Analyze(f.eng, f.w, nil, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

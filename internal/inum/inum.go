@@ -53,8 +53,9 @@ type CachedQuery struct {
 	// accessMemo caches per-table access costs keyed by
 	// table|order|index-subset|layout signature: most CostFor calls in a
 	// configuration sweep become pure map lookups, which is where INUM's
-	// orders-of-magnitude speedup comes from.
-	memoMu     sync.Mutex
+	// orders-of-magnitude speedup comes from. Hits take only the read lock
+	// so parallel sweeps (engine.SweepConfigs) scale across cores.
+	memoMu     sync.RWMutex
 	accessMemo map[string]float64
 	// prepOptimizerCalls counts the full optimizations spent in Prepare;
 	// amortized over every subsequent CostFor call.
@@ -115,6 +116,23 @@ func (c *Cache) Get(id string) *CachedQuery {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.entries[id]
+}
+
+// EvictPrefix removes every cached entry whose query ID starts with prefix
+// and reports how many were dropped. Components that namespace their
+// entries (e.g. the online tuner) use this to release their share of a
+// long-lived shared cache.
+func (c *Cache) EvictPrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id := range c.entries {
+		if strings.HasPrefix(id, prefix) {
+			delete(c.entries, id)
+			n++
+		}
+	}
+	return n
 }
 
 // build computes the template set for a query.
@@ -276,12 +294,12 @@ func (c *Cache) accessCost(q *CachedQuery, env *optimizer.Env, table string, tpl
 		orderSig = o[0].Column
 	}
 	key := table + "|" + orderSig + "|" + designSig
-	q.memoMu.Lock()
+	q.memoMu.RLock()
 	if v, ok := q.accessMemo[key]; ok {
-		q.memoMu.Unlock()
+		q.memoMu.RUnlock()
 		return v, nil
 	}
-	q.memoMu.Unlock()
+	q.memoMu.RUnlock()
 
 	acc, err := env.BestAccessWith(q.accessCtx, table, tpl.orders[table])
 	if err != nil {

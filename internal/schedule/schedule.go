@@ -22,7 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -88,42 +88,35 @@ func BuildCost(ix *catalog.Index, st *stats.Catalog, params optimizer.CostParams
 	return heapScan + sortCPU + leafWrite + rows*params.CPUTupleCost
 }
 
-// Scheduler orders index builds using INUM-estimated workload costs.
+// Scheduler orders index builds using the engine's INUM-estimated workload
+// costs.
 type Scheduler struct {
-	cache  *inum.Cache
-	stats  *stats.Catalog
-	params optimizer.CostParams
+	eng *engine.Engine
 }
 
-// New creates a scheduler.
-func New(cache *inum.Cache, st *stats.Catalog, params optimizer.CostParams) *Scheduler {
-	return &Scheduler{cache: cache, stats: st, params: params}
+// New creates a scheduler over the shared costing engine.
+func New(eng *engine.Engine) *Scheduler {
+	return &Scheduler{eng: eng}
 }
 
-// workloadCost prices the workload under a configuration.
-func (s *Scheduler) workloadCost(w *workload.Workload, indexes []*catalog.Index, cfg *catalog.Configuration) (float64, error) {
-	var total float64
-	for _, q := range w.Queries {
-		cq, err := s.cache.Prepare(q.ID, q.Stmt, indexes)
-		if err != nil {
-			return 0, err
-		}
-		c, err := s.cache.CostFor(cq, cfg)
-		if err != nil {
-			return 0, err
-		}
-		total += c * q.Weight
+// workloadCost prices the workload under a configuration against a pinned
+// engine view.
+func workloadCost(v *engine.View, w *workload.Workload, indexes []*catalog.Index, cfg *catalog.Configuration) (float64, error) {
+	if err := v.Prepare(w, indexes); err != nil {
+		return 0, err
 	}
-	return total, nil
+	return v.WorkloadCost(w, cfg)
 }
 
 // Greedy computes the interaction-aware schedule: at each step it builds
 // the index with the best marginal-benefit-to-build-cost ratio relative to
-// the prefix already built.
+// the prefix already built. Every step prices the remaining candidates in
+// one parallel engine sweep.
 func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	v := s.eng.Pin()
 	out := &Schedule{}
 	cfg := catalog.NewConfiguration()
-	cur, err := s.workloadCost(w, indexes, cfg)
+	cur, err := workloadCost(v, w, indexes, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,19 +124,18 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 
 	remaining := append([]*catalog.Index(nil), indexes...)
 	for len(remaining) > 0 {
+		costs, err := v.SweepCandidates(w, cfg, remaining)
+		if err != nil {
+			return nil, err
+		}
 		bestI := -1
 		bestRate := math.Inf(-1)
 		bestCost := 0.0
 		for i, ix := range remaining {
-			trial := cfg.WithIndex(ix)
-			c, err := s.workloadCost(w, indexes, trial)
-			if err != nil {
-				return nil, err
-			}
-			build := BuildCost(ix, s.stats, s.params)
-			rate := (cur - c) / math.Max(build, 1e-9)
+			build := BuildCost(ix, s.eng.Stats(), s.eng.Params())
+			rate := (cur - costs[i]) / math.Max(build, 1e-9)
 			if rate > bestRate {
-				bestRate, bestI, bestCost = rate, i, c
+				bestRate, bestI, bestCost = rate, i, costs[i]
 			}
 		}
 		ix := remaining[bestI]
@@ -152,7 +144,7 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 		cur = bestCost
 		out.Steps = append(out.Steps, Step{
 			Index:     ix,
-			BuildCost: BuildCost(ix, s.stats, s.params),
+			BuildCost: BuildCost(ix, s.eng.Stats(), s.eng.Params()),
 			CostAfter: cur,
 		})
 	}
@@ -163,9 +155,10 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 // Oblivious computes the interaction-oblivious baseline: indexes ranked
 // once by standalone benefit per build cost, never re-evaluated.
 func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	v := s.eng.Pin()
 	out := &Schedule{}
 	empty := catalog.NewConfiguration()
-	base, err := s.workloadCost(w, indexes, empty)
+	base, err := workloadCost(v, w, indexes, empty)
 	if err != nil {
 		return nil, err
 	}
@@ -175,27 +168,27 @@ func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*
 		ix   *catalog.Index
 		rate float64
 	}
+	costs, err := v.SweepCandidates(w, empty, indexes)
+	if err != nil {
+		return nil, err
+	}
 	var order []ranked
-	for _, ix := range indexes {
-		c, err := s.workloadCost(w, indexes, empty.WithIndex(ix))
-		if err != nil {
-			return nil, err
-		}
-		build := BuildCost(ix, s.stats, s.params)
-		order = append(order, ranked{ix: ix, rate: (base - c) / math.Max(build, 1e-9)})
+	for i, ix := range indexes {
+		build := BuildCost(ix, s.eng.Stats(), s.eng.Params())
+		order = append(order, ranked{ix: ix, rate: (base - costs[i]) / math.Max(build, 1e-9)})
 	}
 	sort.SliceStable(order, func(i, j int) bool { return order[i].rate > order[j].rate })
 
 	cfg := catalog.NewConfiguration()
 	for _, r := range order {
 		cfg = cfg.WithIndex(r.ix)
-		c, err := s.workloadCost(w, indexes, cfg)
+		c, err := workloadCost(v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     r.ix,
-			BuildCost: BuildCost(r.ix, s.stats, s.params),
+			BuildCost: BuildCost(r.ix, s.eng.Stats(), s.eng.Params()),
 			CostAfter: c,
 		})
 	}
@@ -213,8 +206,9 @@ func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*
 // output). The merged schedule evaluates the true cumulative cost at the
 // end so the AUC is comparable with Greedy's.
 func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Index, subsets [][]int) (*Schedule, error) {
+	v := s.eng.Pin()
 	out := &Schedule{}
-	base, err := s.workloadCost(w, indexes, catalog.NewConfiguration())
+	base, err := workloadCost(v, w, indexes, catalog.NewConfiguration())
 	if err != nil {
 		return nil, err
 	}
@@ -235,24 +229,23 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 			sub = append(sub, indexes[ord])
 		}
 		cfg := catalog.NewConfiguration()
-		cur, err := s.workloadCost(w, indexes, cfg)
+		cur, err := workloadCost(v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		remaining := sub
 		for len(remaining) > 0 {
+			costs, err := v.SweepCandidates(w, cfg, remaining)
+			if err != nil {
+				return nil, err
+			}
 			bestI := -1
 			bestRate := math.Inf(-1)
 			bestCost := 0.0
 			for i, ix := range remaining {
-				trial := cfg.WithIndex(ix)
-				c, err := s.workloadCost(w, indexes, trial)
-				if err != nil {
-					return nil, err
-				}
-				rate := (cur - c) / math.Max(BuildCost(ix, s.stats, s.params), 1e-9)
+				rate := (cur - costs[i]) / math.Max(BuildCost(ix, s.eng.Stats(), s.eng.Params()), 1e-9)
 				if rate > bestRate {
-					bestRate, bestI, bestCost = rate, i, c
+					bestRate, bestI, bestCost = rate, i, costs[i]
 				}
 			}
 			ix := remaining[bestI]
@@ -269,13 +262,13 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 	cfg := catalog.NewConfiguration()
 	for _, r := range merged {
 		cfg = cfg.WithIndex(r.ix)
-		c, err := s.workloadCost(w, indexes, cfg)
+		c, err := workloadCost(v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     r.ix,
-			BuildCost: BuildCost(r.ix, s.stats, s.params),
+			BuildCost: BuildCost(r.ix, s.eng.Stats(), s.eng.Params()),
 			CostAfter: c,
 		})
 	}
@@ -286,22 +279,23 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 // FixedOrder evaluates a user-supplied build order (for what-if schedule
 // comparisons in the CLI).
 func (s *Scheduler) FixedOrder(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	v := s.eng.Pin()
 	out := &Schedule{}
 	cfg := catalog.NewConfiguration()
-	base, err := s.workloadCost(w, indexes, cfg)
+	base, err := workloadCost(v, w, indexes, cfg)
 	if err != nil {
 		return nil, err
 	}
 	out.BaseCost = base
 	for _, ix := range indexes {
 		cfg = cfg.WithIndex(ix)
-		c, err := s.workloadCost(w, indexes, cfg)
+		c, err := workloadCost(v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     ix,
-			BuildCost: BuildCost(ix, s.stats, s.params),
+			BuildCost: BuildCost(ix, s.eng.Stats(), s.eng.Params()),
 			CostAfter: c,
 		})
 	}

@@ -5,16 +5,14 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
-	"repro/internal/inum"
+	"repro/internal/engine"
 	"repro/internal/optimizer"
 	"repro/internal/schedule"
-	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
 type fixture struct {
-	cache   *inum.Cache
-	stats   *optimizer.Env
+	eng     *engine.Engine
 	sched   *schedule.Scheduler
 	w       *workload.Workload
 	indexes []*catalog.Index
@@ -26,15 +24,13 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := optimizer.NewEnv(store.Schema, store.Stats, nil)
-	cache := inum.New(env)
-	sess := whatif.NewSession(store.Schema, store.Stats, nil)
+	eng := engine.New(store.Schema, store.Stats, nil)
 	w, err := workload.NewWorkload(store.Schema, 92, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mk := func(table string, cols ...string) *catalog.Index {
-		ix, err := sess.HypotheticalIndex(table, cols...)
+		ix, err := eng.HypotheticalIndex(table, cols...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +45,7 @@ func newFixture(t *testing.T) *fixture {
 		mk("neighbors", "objid"),
 	}
 	return &fixture{
-		cache: cache, sched: schedule.New(cache, store.Stats, env.Params),
+		eng: eng, sched: schedule.New(eng),
 		w: w, indexes: indexes,
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 func TestGreedyBySubsetsMatchesGreedy(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.cache, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
