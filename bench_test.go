@@ -1,149 +1,67 @@
-// Experiment harness: one benchmark per figure/scenario/claim of the paper
-// (DESIGN.md §3, experiments E2–E12). Quality figures — improvement
-// percentages, optimality gaps, speedups, AUC ratios — are attached to the
-// benchmark output as custom metrics via b.ReportMetric, so a single
+// Experiment benchmarks: one benchmark per figure/scenario/claim of the
+// paper (DESIGN.md §3, experiments E2–E12). Every benchmark is a thin
+// wrapper over the shared harness in internal/bench — the same fixtures and
+// step functions the `dbdesigner bench` subcommand runs to emit the
+// BENCH_<label>.json perf trajectory — so
 //
 //	go test -bench=. -benchmem .
 //
-// run prints both the performance and the reproduced result shapes that
-// EXPERIMENTS.md records.
+// and the CI bench job measure identical code paths. Quality figures —
+// improvement percentages, optimality gaps, speedups, AUC ratios — are
+// attached to the benchmark output as custom metrics via b.ReportMetric.
 package repro_test
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 	"time"
 
-	"repro/designer"
-	"repro/internal/autopart"
-	"repro/internal/catalog"
-	"repro/internal/colt"
-	"repro/internal/cophy"
-	"repro/internal/engine"
-	"repro/internal/greedy"
-	"repro/internal/interaction"
-	"repro/internal/lp"
-	"repro/internal/optimizer"
-	"repro/internal/schedule"
-	"repro/internal/whatif"
-	"repro/internal/workload"
+	"repro/internal/bench"
 )
 
-// fixture is the shared experiment environment, built once. All costing
-// flows through the shared engine handle.
-type fixture struct {
-	store *designer.Designer
-	w     *workload.Workload
-	cands []*catalog.Index
-	eng   *engine.Engine
-}
-
-var (
-	fixOnce sync.Once
-	fix     *fixture
-	fixErr  error
-)
-
-// getFixture builds the small SDSS dataset and a 24-query workload shared
-// by all experiments.
-func getFixture(b *testing.B) *fixture {
+// sharedEnv returns the package-wide experiment environment: the small SDSS
+// dataset (seed 1) with a 24-query uniform workload, pre-warmed INUM cache.
+// All benchmarks share it through the bench package's process-wide cache.
+func sharedEnv(b *testing.B) *bench.Env {
 	b.Helper()
-	fixOnce.Do(func() {
-		store, err := workload.Generate(workload.SmallSize(), 1)
-		if err != nil {
-			fixErr = err
-			return
-		}
-		d := designer.Open(store)
-		w, err := workload.NewWorkload(store.Schema, 2, 24)
-		if err != nil {
-			fixErr = err
-			return
-		}
-		eng := engine.New(store.Schema, store.Stats, nil)
-		cands := eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
-		fix = &fixture{store: d, w: w, cands: cands, eng: eng}
-		// Pre-warm the INUM cache so per-op numbers isolate costing.
-		if err := eng.Prepare(w, cands); err != nil {
-			fixErr = err
-			return
-		}
-	})
-	if fixErr != nil {
-		b.Fatal(fixErr)
+	env, err := bench.CachedEnv("small", 1, "uniform", 24)
+	if err != nil {
+		b.Fatal(err)
 	}
-	return fix
-}
-
-// freshEngine builds an unshared engine over the fixture's dataset (for
-// benchmarks that measure cold-cache behaviour).
-func (f *fixture) freshEngine() *engine.Engine {
-	st := f.store.Store()
-	return engine.New(st.Schema, st.Stats, nil)
+	return env
 }
 
 // --- E8: INUM vs full optimizer ("orders of magnitude" claim) -------------
 
 func BenchmarkINUMVsOptimizer(b *testing.B) {
-	f := getFixture(b)
-	// A rotating set of configurations exercises the sweep, half memo hits
-	// and half fresh per-table designs — the advisor's actual access mix.
-	configs := make([]*catalog.Configuration, 0, 16)
-	for i := 0; i < 16; i++ {
-		cfg := catalog.NewConfiguration()
-		for j, ix := range f.cands {
-			if (j+i)%4 == 0 {
-				cfg = cfg.WithIndex(ix)
-			}
-		}
-		configs = append(configs, cfg)
-	}
+	env := sharedEnv(b)
+	cfgs := env.RotatingConfigs(16)
 	b.Run("INUM", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q := f.w.Queries[i%len(f.w.Queries)]
-			if _, err := f.eng.QueryCost(q, configs[i%len(configs)]); err != nil {
+			if err := env.INUMCostOnce(i, cfgs); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("FullOptimizer", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q := f.w.Queries[i%len(f.w.Queries)]
-			if _, err := f.eng.FullCost(q.Stmt, configs[i%len(configs)]); err != nil {
+			if err := env.FullCostOnce(i, cfgs); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	// The latency-independent form of the paper's claim: how many
-	// configuration costings a full designer pipeline (CoPhy + interaction
-	// analysis + scheduling) performs per full optimizer invocation. With a
-	// PostgreSQL-class optimizer (milliseconds per call) this ratio IS the
-	// wall-clock speedup; our reimplemented optimizer is microsecond-fast,
-	// so wall-clock shows a smaller factor while the call ratio preserves
-	// the paper's "orders of magnitude" shape.
+	// The latency-independent form of the paper's claim: how many cached
+	// costings a full designer pipeline performs per full optimizer
+	// invocation. With a PostgreSQL-class optimizer (milliseconds per call)
+	// this ratio IS the wall-clock speedup.
 	b.Run("CallsAvoided", func(b *testing.B) {
 		var ratio float64
 		for i := 0; i < b.N; i++ {
-			eng := f.freshEngine()
-			adv := cophy.New(eng, f.cands)
-			res, err := adv.Advise(f.w, cophy.DefaultOptions())
+			r, err := env.PipelineCallsAvoided()
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(res.Indexes) >= 2 {
-				if _, err := interaction.Analyze(eng, f.w, res.Indexes, interaction.DefaultOptions()); err != nil {
-					b.Fatal(err)
-				}
-				sched := schedule.New(eng)
-				if _, err := sched.Greedy(f.w, res.Indexes); err != nil {
-					b.Fatal(err)
-				}
-			}
-			full, cached := eng.CacheStats()
-			if full > 0 {
-				ratio = float64(cached) / float64(full)
-			}
+			ratio = r
 		}
 		b.ReportMetric(ratio, "costings_per_optimizer_call")
 	})
@@ -152,11 +70,8 @@ func BenchmarkINUMVsOptimizer(b *testing.B) {
 // --- E7: CoPhy vs greedy quality across budgets ----------------------------
 
 func BenchmarkCoPhyVsGreedy(b *testing.B) {
-	f := getFixture(b)
-	var total int64
-	for _, ix := range f.cands {
-		total += ix.EstimatedPages
-	}
+	env := sharedEnv(b)
+	total := env.CandidateFootprint()
 	for _, frac := range []struct {
 		name string
 		f    float64
@@ -165,15 +80,11 @@ func BenchmarkCoPhyVsGreedy(b *testing.B) {
 			budget := int64(float64(total) * frac.f)
 			var winBy, gap float64
 			for i := 0; i < b.N; i++ {
-				copts := cophy.DefaultOptions()
-				copts.StorageBudgetPages = budget
-				cadv := cophy.New(f.eng, f.cands)
-				cres, err := cadv.Advise(f.w, copts)
+				cres, err := env.CoPhy(budget, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
-				gadv := greedy.New(f.eng, f.cands)
-				gres, err := gadv.Advise(f.w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
+				gres, err := env.Greedy(budget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -189,11 +100,8 @@ func BenchmarkCoPhyVsGreedy(b *testing.B) {
 // --- E10: solver time/quality trade-off ------------------------------------
 
 func BenchmarkCoPhyTimeQuality(b *testing.B) {
-	f := getFixture(b)
-	var total int64
-	for _, ix := range f.cands {
-		total += ix.EstimatedPages
-	}
+	env := sharedEnv(b)
+	total := env.CandidateFootprint()
 	for _, nodes := range []int{1, 4, 16, 0} {
 		name := fmt.Sprintf("nodes%d", nodes)
 		if nodes == 0 {
@@ -202,11 +110,7 @@ func BenchmarkCoPhyTimeQuality(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var gap float64
 			for i := 0; i < b.N; i++ {
-				opts := cophy.DefaultOptions()
-				opts.StorageBudgetPages = total / 2
-				opts.NodeBudget = nodes
-				adv := cophy.New(f.eng, f.cands)
-				res, err := adv.Advise(f.w, opts)
+				res, err := env.CoPhy(total/2, nodes)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -220,24 +124,16 @@ func BenchmarkCoPhyTimeQuality(b *testing.B) {
 // --- E9: interaction-aware schedule vs oblivious ----------------------------
 
 func BenchmarkScheduleQuality(b *testing.B) {
-	f := getFixture(b)
-	adv := cophy.New(f.eng, f.cands)
-	res, err := adv.Advise(f.w, cophy.DefaultOptions())
-	if err != nil {
+	env := sharedEnv(b)
+	if advised, err := env.Advised(); err != nil {
 		b.Fatal(err)
-	}
-	if len(res.Indexes) < 2 {
+	} else if len(advised) < 2 {
 		b.Skip("not enough advised indexes to schedule")
 	}
-	sched := schedule.New(f.eng)
 	var awareAUC, oblivAUC float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		aware, err := sched.Greedy(f.w, res.Indexes)
-		if err != nil {
-			b.Fatal(err)
-		}
-		obliv, err := sched.Oblivious(f.w, res.Indexes)
+		aware, obliv, err := env.Schedules()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,19 +145,16 @@ func BenchmarkScheduleQuality(b *testing.B) {
 // --- E2: interaction graph (Figure 2) ---------------------------------------
 
 func BenchmarkInteractionGraph(b *testing.B) {
-	f := getFixture(b)
-	adv := cophy.New(f.eng, f.cands)
-	res, err := adv.Advise(f.w, cophy.DefaultOptions())
-	if err != nil {
+	env := sharedEnv(b)
+	if advised, err := env.Advised(); err != nil {
 		b.Fatal(err)
-	}
-	if len(res.Indexes) < 2 {
+	} else if len(advised) < 2 {
 		b.Skip("not enough indexes")
 	}
 	var edges int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := interaction.Analyze(f.eng, f.w, res.Indexes, interaction.DefaultOptions())
+		g, err := env.InteractionGraph(4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,33 +166,20 @@ func BenchmarkInteractionGraph(b *testing.B) {
 // --- E3 / E11: AutoPart (Figure 3, wide-table claim) ------------------------
 
 func BenchmarkAutoPart(b *testing.B) {
-	// Fresh designer per run: AutoPart evaluates many layouts; use the
-	// photometric workload that motivates vertical partitioning.
-	store, err := workload.Generate(workload.SmallSize(), 3)
+	// Partition-only advice (no indexes) over the photometric workload that
+	// motivates vertical partitioning isolates the E11 claim.
+	env := sharedEnv(b)
+	w, err := env.AutoPartWorkload()
 	if err != nil {
 		b.Fatal(err)
 	}
-	d := designer.Open(store)
-	w, err := workload.NewWorkloadFrom(store.Schema, 4, 12, []workload.Template{
-		*workload.TemplateByName("cone_search"),
-		*workload.TemplateByName("bright_stars"),
-		*workload.TemplateByName("mag_range"),
-		*workload.TemplateByName("ra_slice"),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Partition-only advice (no indexes) isolates the E11 claim: how much
-	// the wide-table workload gains from AutoPart layouts alone.
-	adv := autopart.New(d.Engine())
 	var improvement float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := adv.Advise(w, nil, autopart.DefaultOptions())
+		improvement, err = env.AutoPartImprovement(w)
 		if err != nil {
 			b.Fatal(err)
 		}
-		improvement = res.Improvement() * 100
 	}
 	b.ReportMetric(improvement, "improvement_%")
 }
@@ -307,29 +187,18 @@ func BenchmarkAutoPart(b *testing.B) {
 // --- E4: Scenario 1 what-if session ------------------------------------------
 
 func BenchmarkWhatIfSession(b *testing.B) {
-	f := getFixture(b)
-	cfg := catalog.NewConfiguration()
-	for _, spec := range [][]string{{"ra", "dec"}, {"type", "psfmag_r"}} {
-		ix, err := f.eng.HypotheticalIndex("photoobj", spec...)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cfg = cfg.WithIndex(ix)
-	}
-	ix, err := f.eng.HypotheticalIndex("specobj", "bestobjid")
+	env := sharedEnv(b)
+	cfg, err := env.WhatIfDemoConfig()
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg = cfg.WithIndex(ix)
-
 	var benefit float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := f.eng.Evaluate(f.w, cfg)
+		benefit, err = env.WhatIfBenefit(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		benefit = rep.AvgBenefitPct()
 	}
 	b.ReportMetric(benefit, "benefit_%")
 }
@@ -337,23 +206,17 @@ func BenchmarkWhatIfSession(b *testing.B) {
 // --- E5: Scenario 2 full pipeline --------------------------------------------
 
 func BenchmarkOfflineAdvisor(b *testing.B) {
-	store, err := workload.Generate(workload.TinySize(), 5)
-	if err != nil {
-		b.Fatal(err)
-	}
-	d := designer.Open(store)
-	w, err := workload.NewWorkload(store.Schema, 6, 16)
+	env, err := bench.CachedEnv("tiny", 5, "uniform", 16)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var improvement float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		advice, err := d.Advise(w, designer.AdviceOptions{Partitions: true, Interactions: true})
+		improvement, _, err = env.OfflineAdvise()
 		if err != nil {
 			b.Fatal(err)
 		}
-		improvement = advice.Report.AvgBenefitPct()
 	}
 	b.ReportMetric(improvement, "improvement_%")
 }
@@ -361,72 +224,40 @@ func BenchmarkOfflineAdvisor(b *testing.B) {
 // --- E6: Scenario 3 COLT stream ----------------------------------------------
 
 func BenchmarkCOLTStream(b *testing.B) {
-	store, err := workload.Generate(workload.SmallSize(), 7)
+	env, err := bench.CachedEnv("small", 7, "drifting", 24)
 	if err != nil {
 		b.Fatal(err)
 	}
-	d := designer.Open(store)
-	stream, err := workload.Stream(store.Schema, 8, workload.DefaultDriftPhases(100))
+	// Dataset, stream, and static baseline are prepared once; the timed
+	// loop covers only the tuner's observation path.
+	fix, err := env.COLTFixture(300)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var savings float64
+	var res *bench.COLTResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opts := colt.DefaultOptions()
-		opts.EpochLength = 25
-		tuner := d.NewOnlineTuner(opts)
-		adaptive, err := tuner.ObserveAll(stream)
+		res, err = fix.Run(25)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.StopTimer()
-		var static float64
-		empty := catalog.NewConfiguration()
-		for _, q := range stream {
-			cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			c, err := d.Cache().CostFor(cq, empty)
-			if err != nil {
-				b.Fatal(err)
-			}
-			static += c
-		}
-		savings = (static - adaptive) / static * 100
-		b.StartTimer()
 	}
-	b.ReportMetric(savings, "savings_%")
-	b.ReportMetric(float64(len(stream)), "queries")
+	b.ReportMetric(res.SavingsPct, "savings_%")
+	b.ReportMetric(float64(res.Queries), "queries")
 }
 
 // --- E12: size-zero what-if distortion ---------------------------------------
 
 func BenchmarkWhatIfSizeModel(b *testing.B) {
-	f := getFixture(b)
-	ix, err := f.eng.HypotheticalIndex("photoobj", "psfmag_r")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := catalog.NewConfiguration().WithIndex(ix)
-	q, err := f.store.ParseQuery("e12", "SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 18 AND 20")
-	if err != nil {
-		b.Fatal(err)
-	}
+	env := sharedEnv(b)
 	var distortion float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		honest, err := f.eng.FullCost(q.Stmt, cfg)
+		var err error
+		distortion, err = env.SizeModelDistortion()
 		if err != nil {
 			b.Fatal(err)
 		}
-		zeroEnv := f.eng.Env().WithConfig(cfg).WithOptions(optimizer.Options{ZeroSizeWhatIf: true})
-		zero, err := zeroEnv.Cost(q.Stmt)
-		if err != nil {
-			b.Fatal(err)
-		}
-		distortion = honest / zero
 	}
 	b.ReportMetric(distortion, "honest_vs_zero_x")
 }
@@ -437,20 +268,16 @@ func BenchmarkWhatIfSizeModel(b *testing.B) {
 // workload improvement at each cap.
 
 func BenchmarkAblationCandidates(b *testing.B) {
-	f := getFixture(b)
+	env := sharedEnv(b)
 	for _, cap := range []int{2, 6, 12} {
 		b.Run(fmt.Sprintf("maxPerTable%d", cap), func(b *testing.B) {
 			var improvement float64
 			for i := 0; i < b.N; i++ {
-				opts := whatif.DefaultCandidateOptions()
-				opts.MaxPerTable = cap
-				cands := f.eng.GenerateCandidates(f.w, opts)
-				adv := cophy.New(f.freshEngine(), cands)
-				res, err := adv.Advise(f.w, cophy.DefaultOptions())
+				var err error
+				improvement, _, err = env.AblationImprovement(cap)
 				if err != nil {
 					b.Fatal(err)
 				}
-				improvement = res.Improvement() * 100
 			}
 			b.ReportMetric(improvement, "improvement_%")
 		})
@@ -462,22 +289,17 @@ func BenchmarkAblationCandidates(b *testing.B) {
 // find stronger interactions. The metric is the total doi mass discovered.
 
 func BenchmarkAblationInteractionSampling(b *testing.B) {
-	f := getFixture(b)
-	adv := cophy.New(f.eng, f.cands)
-	res, err := adv.Advise(f.w, cophy.DefaultOptions())
-	if err != nil {
+	env := sharedEnv(b)
+	if advised, err := env.Advised(); err != nil {
 		b.Fatal(err)
-	}
-	if len(res.Indexes) < 2 {
+	} else if len(advised) < 2 {
 		b.Skip("not enough indexes")
 	}
 	for _, samples := range []int{0, 2, 8} {
 		b.Run(fmt.Sprintf("contexts%d", samples), func(b *testing.B) {
 			var mass float64
 			for i := 0; i < b.N; i++ {
-				opts := interaction.DefaultOptions()
-				opts.SampleContexts = samples
-				g, err := interaction.Analyze(f.eng, f.w, res.Indexes, opts)
+				g, err := env.InteractionGraph(samples)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -496,21 +318,11 @@ func BenchmarkAblationInteractionSampling(b *testing.B) {
 func BenchmarkSolverScaling(b *testing.B) {
 	for _, n := range []int{10, 20, 40} {
 		b.Run(fmt.Sprintf("binaries%d", n), func(b *testing.B) {
-			p := lp.NewProblem(n)
-			for i := 0; i < n; i++ {
-				p.Binary[i] = true
-				p.Objective[i] = -float64(1 + i%7)
-			}
-			coefs := map[int]float64{}
-			for i := 0; i < n; i++ {
-				coefs[i] = float64(1 + (i*3)%5)
-			}
-			p.AddConstraint(coefs, lp.LE, float64(n))
+			p := bench.SolverProblem(n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sol := lp.SolveMIP(p, lp.MIPOptions{})
-				if sol.Status != lp.StatusOptimal {
-					b.Fatalf("status %v", sol.Status)
+				if _, err := bench.SolveOnce(p); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})
@@ -521,39 +333,22 @@ func BenchmarkSolverScaling(b *testing.B) {
 // The engine layer's reason to exist beyond correctness: the same
 // configuration sweep, priced through the shared INUM cache, split over a
 // GOMAXPROCS worker pool. Results are bit-for-bit identical to the serial
-// sweep (see internal/engine tests); this benchmark records the wall-clock
-// ratio for the perf trajectory.
+// sweep (see internal/engine tests and the harness's parity check); this
+// benchmark records the wall-clock ratio for the perf trajectory.
 
 func BenchmarkEngineParallelSweep(b *testing.B) {
-	f := getFixture(b)
-	// A family of distinct configurations large enough that one sweep does
-	// real per-config work (distinct per-table design signatures).
-	cfgs := make([]*catalog.Configuration, 0, 64)
-	for i := 0; i < 64; i++ {
-		cfg := catalog.NewConfiguration()
-		for j, ix := range f.cands {
-			if (i+j)%5 == 0 || (i*j)%7 == 1 {
-				cfg = cfg.WithIndex(ix)
-			}
-		}
-		cfgs = append(cfgs, cfg)
-	}
-	defer f.eng.SetWorkers(0)
-
+	env := sharedEnv(b)
+	cfgs := env.SweepFamily(64)
 	b.Run("Serial", func(b *testing.B) {
-		f.eng.SetWorkers(1)
-		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+			if err := env.SweepOnce(1, cfgs); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Parallel", func(b *testing.B) {
-		f.eng.SetWorkers(0) // GOMAXPROCS
-		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+			if err := env.SweepOnce(0, cfgs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -561,16 +356,14 @@ func BenchmarkEngineParallelSweep(b *testing.B) {
 	b.Run("Speedup", func(b *testing.B) {
 		var serial, parallel time.Duration
 		for i := 0; i < b.N; i++ {
-			f.eng.SetWorkers(1)
 			start := time.Now()
-			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+			if err := env.SweepOnce(1, cfgs); err != nil {
 				b.Fatal(err)
 			}
 			serial += time.Since(start)
 
-			f.eng.SetWorkers(0)
 			start = time.Now()
-			if _, err := f.eng.SweepConfigs(f.w, cfgs); err != nil {
+			if err := env.SweepOnce(0, cfgs); err != nil {
 				b.Fatal(err)
 			}
 			parallel += time.Since(start)

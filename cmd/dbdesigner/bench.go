@@ -1,0 +1,153 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// cmdBench runs the shared experiment harness (internal/bench) and emits
+// the perf-trajectory document BENCH_<label>.json — the same measurements
+// `go test -bench` reports, in machine-comparable form.
+func cmdBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	profile := fs.String("profile", "smoke", "suite profile: smoke|quick|full")
+	sizes := fs.String("sizes", "", "comma-separated dataset sizes (tiny|small|medium); overrides the profile")
+	seed := fs.Int64("seed", 0, "single dataset seed; overrides the profile when set")
+	seeds := fs.String("seeds", "", "comma-separated dataset seeds; overrides --seed")
+	workloads := fs.String("workloads", "", "comma-separated workload profiles ("+strings.Join(workload.ProfileNames(), "|")+"); overrides the profile")
+	experiments := fs.String("experiments", "", "comma-separated experiments ("+strings.Join(bench.ExperimentNames(), "|")+"); overrides the profile")
+	queries := fs.Int("queries", 0, "workload queries per matrix cell; overrides the profile")
+	repeat := fs.Int("repeat", 0, "timing repetitions; overrides the profile")
+	label := fs.String("label", "", "output label (default: the profile name)")
+	out := fs.String("out", ".", "directory for BENCH_<label>.json")
+	jsonOut := fs.Bool("json", false, "print the JSON document to stdout instead of the table")
+	baseline := fs.String("baseline", "", "baseline BENCH_*.json to compare against (warn-only)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := bench.SpecForProfile(*profile)
+	if err != nil {
+		return err
+	}
+	// Detect explicitly passed flags: 0 is a legitimate seed, so presence —
+	// not value — decides whether --seed overrides the profile.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *sizes != "" {
+		spec.Sizes = splitCSV(*sizes)
+	}
+	if set["seed"] {
+		spec.Seeds = []int64{*seed}
+	}
+	if *seeds != "" {
+		spec.Seeds = nil
+		for _, s := range splitCSV(*seeds) {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q", s)
+			}
+			spec.Seeds = append(spec.Seeds, v)
+		}
+	}
+	if *workloads != "" {
+		spec.Workloads = splitCSV(*workloads)
+	}
+	if *experiments != "" {
+		spec.Experiments = splitCSV(*experiments)
+	}
+	if *queries > 0 {
+		spec.Queries = *queries
+	}
+	if *repeat > 0 {
+		spec.Repeat = *repeat
+	}
+	if *label != "" {
+		spec.Label = *label
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	res, err := bench.Run(spec, logf)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*out, "BENCH_"+spec.Label+".json")
+	if err := res.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d experiment cells)\n", path, len(res.Experiments))
+
+	if *jsonOut {
+		b, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(b); err != nil {
+			return err
+		}
+	} else {
+		printBenchTable(stdout, res)
+	}
+
+	// The comparison is diagnostics, not data: it goes to stderr so that
+	// `--json > file` still captures a clean document, and it never fails
+	// the command (warn-only — CI prints it, humans decide).
+	if *baseline != "" {
+		base, err := bench.ReadResult(*baseline)
+		if err != nil {
+			return err
+		}
+		warns := bench.Compare(base, res, 5.0, 2.0)
+		if len(warns) == 0 {
+			fmt.Fprintf(stderr, "baseline %s: no drift (quality tol 5%%, timing tol 2.0x)\n", *baseline)
+		}
+		for _, w := range warns {
+			fmt.Fprintf(stderr, "WARN %s\n", w)
+		}
+	}
+	return nil
+}
+
+// printBenchTable renders the result as a human-readable table: one row per
+// metric, grouped by experiment cell.
+func printBenchTable(w io.Writer, res *bench.Result) {
+	fmt.Fprintf(w, "bench %s (schema v%d, %s %s/%s, GOMAXPROCS=%d)\n",
+		res.Label, res.SchemaVersion, res.Env.GoVersion, res.Env.GOOS, res.Env.GOARCH, res.Env.GOMAXPROCS)
+	for _, x := range res.Experiments {
+		fmt.Fprintf(w, "\n%s  [size=%s workload=%s seed=%d]\n", x.Name, x.Size, x.Workload, x.Seed)
+		for _, k := range bench.SortedKeys(x.Quality) {
+			fmt.Fprintf(w, "  %-36s %14.4f\n", k, x.Quality[k])
+		}
+		for _, k := range bench.SortedKeys(x.Counts) {
+			fmt.Fprintf(w, "  %-36s %14d\n", k, x.Counts[k])
+		}
+		for _, k := range bench.SortedKeys(x.TimingNs) {
+			if strings.HasSuffix(k, "_x") {
+				fmt.Fprintf(w, "  %-36s %14.2fx\n", k, x.TimingNs[k])
+			} else {
+				fmt.Fprintf(w, "  %-36s %12.1fµs\n", k, x.TimingNs[k]/1e3)
+			}
+		}
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed (cmdGenerate/cmdCompare write straight to os.Stdout).
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestCmdGenerateSmoke(t *testing.T) {
+	args := []string{"--size", "tiny", "--seed", "1"}
+	out1 := captureStdout(t, func() error { return cmdGenerate(args) })
+	out2 := captureStdout(t, func() error { return cmdGenerate(args) })
+	if out1 != out2 {
+		t.Fatalf("generate output not deterministic under fixed seed:\n%s\nvs\n%s", out1, out2)
+	}
+	for _, table := range []string{"photoobj", "specobj", "neighbors", "field"} {
+		if !strings.Contains(out1, table) {
+			t.Errorf("generate output missing table %q:\n%s", table, out1)
+		}
+	}
+	if !strings.Contains(out1, "2000 rows") {
+		t.Errorf("tiny photoobj should report 2000 rows:\n%s", out1)
+	}
+}
+
+func TestCmdGenerateEmitWorkload(t *testing.T) {
+	args := []string{"--size", "tiny", "--seed", "1", "--queries", "6", "--emit-workload"}
+	out1 := captureStdout(t, func() error { return cmdGenerate(args) })
+	out2 := captureStdout(t, func() error { return cmdGenerate(args) })
+	if out1 != out2 {
+		t.Fatal("emitted workload not deterministic under fixed seed")
+	}
+	if got := strings.Count(out1, "SELECT"); got != 6 {
+		t.Errorf("emitted %d SELECTs, want 6:\n%s", got, out1)
+	}
+}
+
+func TestCmdCompareSmoke(t *testing.T) {
+	args := []string{"--size", "tiny", "--seed", "1", "--queries", "8"}
+	out1 := captureStdout(t, func() error { return cmdCompare(args) })
+	out2 := captureStdout(t, func() error { return cmdCompare(args) })
+	if out1 != out2 {
+		t.Fatalf("compare output not deterministic under fixed seed:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "budget(pages)") {
+		t.Errorf("missing header:\n%s", out1)
+	}
+	// Four budget fractions → four data rows.
+	lines := strings.Split(strings.TrimSpace(out1), "\n")
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want header + 4 budget rows:\n%s", len(lines), out1)
+	}
+}
+
+// benchArgs is a fast single-cell matrix for CLI tests.
+func benchArgs(dir string, extra ...string) []string {
+	base := []string{
+		"--profile", "smoke",
+		"--sizes", "tiny",
+		"--seed", "1",
+		"--workloads", "uniform",
+		"--experiments", "parallel_sweep,size_model",
+		"--queries", "8",
+		"--out", dir,
+		"-q",
+	}
+	return append(base, extra...)
+}
+
+func TestCmdBenchWritesValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := cmdBench(benchArgs(dir, "--json"), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	res, err := bench.ReadResult(path)
+	if err != nil {
+		t.Fatalf("emitted file invalid: %v", err)
+	}
+	if res.SchemaVersion != bench.SchemaVersion || res.Label != "smoke" {
+		t.Fatalf("unexpected header: %+v", res)
+	}
+	if len(res.Experiments) != 2 {
+		t.Fatalf("got %d experiments, want 2", len(res.Experiments))
+	}
+	// --json must print the same document to stdout.
+	if !strings.Contains(stdout.String(), `"schema_version": 1`) {
+		t.Errorf("--json did not print the document:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "wrote ") {
+		t.Errorf("missing write notice on stderr:\n%s", stderr.String())
+	}
+}
+
+func TestCmdBenchStableAcrossRuns(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	var sink bytes.Buffer
+	if err := cmdBench(benchArgs(dir1), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench(benchArgs(dir2), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := bench.ReadResult(filepath.Join(dir1, "BENCH_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := bench.ReadResult(filepath.Join(dir2, "BENCH_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := r1.StableJSON()
+	s2, _ := r2.StableJSON()
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("bench quality/count fields not byte-stable:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestCmdBenchHumanTableAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := cmdBench(benchArgs(dir), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	table := stdout.String()
+	for _, want := range []string{"parallel_sweep", "size_model", "honest_vs_zero_x", "speedup_x"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Re-run against the just-written file as baseline: identical quality
+	// metrics must produce the no-drift notice on stderr, warn-only.
+	stderr.Reset()
+	baseline := filepath.Join(dir, "BENCH_smoke.json")
+	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", baseline), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "no drift") {
+		t.Errorf("baseline self-comparison should report no drift:\n%s", stderr.String())
+	}
+}
+
+func TestCmdBenchRejectsBadSelections(t *testing.T) {
+	var sink bytes.Buffer
+	if err := cmdBench([]string{"--profile", "nope"}, &sink, &sink); err == nil {
+		t.Error("unknown suite profile should error")
+	}
+	if err := cmdBench(benchArgs(t.TempDir(), "--experiments", "nope"), &sink, &sink); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := cmdBench(benchArgs(t.TempDir(), "--workloads", "nope"), &sink, &sink); err == nil {
+		t.Error("unknown workload profile should error")
+	}
+}

@@ -15,6 +15,7 @@
 //	partition     automatic partition suggestion panel (Figure 3)
 //	explain       plan one query under the current design
 //	compare       CoPhy vs greedy baseline across storage budgets
+//	bench         run the experiment harness, emit BENCH_<label>.json
 //	generate      describe the synthetic SDSS dataset
 //
 // All commands accept --size (tiny|small|medium) and --seed; the dataset is
@@ -52,6 +53,8 @@ func main() {
 		err = cmdExplain(args)
 	case "compare":
 		err = cmdCompare(args)
+	case "bench":
+		err = cmdBench(args, os.Stdout, os.Stderr)
 	case "generate":
 		err = cmdGenerate(args)
 	case "help", "-h", "--help":
@@ -78,6 +81,7 @@ Commands:
   partition     automatic partition suggestion panel (Figure 3)
   explain       plan one query under the current design
   compare       CoPhy vs greedy baseline across storage budgets
+  bench         run the experiment harness, emit BENCH_<label>.json
   generate      describe the synthetic SDSS dataset
 
 Run 'dbdesigner <command> -h' for command flags.

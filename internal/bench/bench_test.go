@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testSpec is a minimal, fast matrix for unit tests.
+func testSpec() Spec {
+	return Spec{
+		Label:       "test",
+		Profile:     "smoke",
+		Sizes:       []string{"tiny"},
+		Seeds:       []int64{1},
+		Workloads:   []string{"uniform"},
+		Experiments: CoreExperiments,
+		Queries:     12,
+		Repeat:      1,
+		StreamLen:   50,
+		EpochLen:    25,
+	}
+}
+
+func TestRunProducesValidatedResult(t *testing.T) {
+	res, err := Run(testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Experiments) != len(CoreExperiments) {
+		t.Fatalf("got %d experiments, want %d", len(res.Experiments), len(CoreExperiments))
+	}
+	byName := map[string]Experiment{}
+	for _, x := range res.Experiments {
+		byName[x.Name] = x
+	}
+	if _, ok := byName["inum_vs_optimizer"].Quality["costings_per_optimizer_call"]; !ok {
+		t.Error("inum_vs_optimizer missing calls-avoided ratio")
+	}
+	if v := byName["parallel_sweep"].Quality["parity_max_abs_diff"]; v != 0 {
+		t.Errorf("parallel sweep parity broken: max diff %v", v)
+	}
+	if byName["cophy_vs_greedy"].Quality["budget100_gap_pct"] > 1e-9 {
+		t.Errorf("unlimited-node CoPhy should prove optimality, gap %v",
+			byName["cophy_vs_greedy"].Quality["budget100_gap_pct"])
+	}
+	if byName["colt_convergence"].Counts["queries"] != 50 {
+		t.Errorf("colt stream length = %d, want 50", byName["colt_convergence"].Counts["queries"])
+	}
+	for _, x := range res.Experiments {
+		if len(x.TimingNs) == 0 && x.Name != "interaction_schedule" {
+			t.Errorf("%s has no timing metrics", x.Name)
+		}
+	}
+}
+
+func TestStableJSONIsByteStableAcrossRuns(t *testing.T) {
+	a, err := Run(testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("stable JSON differs across identical runs:\n--- run1\n%s\n--- run2\n%s", aj, bj)
+	}
+	if strings.Contains(string(aj), "timing_ns") {
+		t.Error("stable JSON leaks timing fields")
+	}
+	if strings.Contains(string(aj), "go_version\": \"go") {
+		t.Error("stable JSON leaks machine environment")
+	}
+}
+
+func TestExhaustiveGroundTruthOnSmallCandidateSets(t *testing.T) {
+	spec := testSpec()
+	spec.Queries = 5 // few queries → enumerable candidate set
+	spec.Experiments = []string{"cophy_vs_greedy"}
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Experiments[0]
+	if x.Counts["candidates"] > 14 {
+		t.Skipf("candidate set too large to enumerate (%d)", x.Counts["candidates"])
+	}
+	ratio, ok := x.Quality["budget50_optimal_ratio"]
+	if !ok {
+		t.Fatal("missing budget50_optimal_ratio despite enumerable candidates")
+	}
+	// CoPhy can never beat the exhaustive optimum; equal is expected when
+	// the BIP is solved to optimality.
+	if ratio < 0.999 {
+		t.Errorf("cophy beat the exhaustive optimum? ratio %v", ratio)
+	}
+	if ratio > 1.05 {
+		t.Errorf("cophy more than 5%% off the exhaustive optimum: ratio %v", ratio)
+	}
+}
+
+func TestResultFileRoundTrip(t *testing.T) {
+	res, err := Run(testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := res.StableJSON()
+	bj, _ := back.StableJSON()
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("round-tripped result differs in stable form")
+	}
+}
+
+func TestValidateRejectsBrokenDocuments(t *testing.T) {
+	good := &Result{
+		SchemaVersion: SchemaVersion,
+		Label:         "x",
+		Experiments: []Experiment{{
+			Name: "e", Size: "tiny", Workload: "uniform",
+			Counts: map[string]int64{"n": 1},
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Result{
+		"wrong version": {SchemaVersion: 99, Label: "x",
+			Experiments: good.Experiments},
+		"no label": {SchemaVersion: SchemaVersion,
+			Experiments: good.Experiments},
+		"no experiments": {SchemaVersion: SchemaVersion, Label: "x"},
+		"no metrics": {SchemaVersion: SchemaVersion, Label: "x",
+			Experiments: []Experiment{{Name: "e", Size: "tiny", Workload: "uniform"}}},
+		"duplicate cell": {SchemaVersion: SchemaVersion, Label: "x",
+			Experiments: append(append([]Experiment{}, good.Experiments...), good.Experiments...)},
+	}
+	for name, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate() passed, want error", name)
+		}
+	}
+}
+
+func TestCompareFlagsDriftAndRegressions(t *testing.T) {
+	mk := func() *Result {
+		return &Result{
+			SchemaVersion: SchemaVersion,
+			Label:         "x",
+			Experiments: []Experiment{{
+				Name: "e", Size: "tiny", Workload: "uniform", Seed: 1,
+				Quality:  map[string]float64{"improvement_pct": 50},
+				Counts:   map[string]int64{"indexes": 4},
+				TimingNs: map[string]float64{"advise": 1000, "speedup_x": 1.0},
+			}},
+		}
+	}
+	base, cur := mk(), mk()
+	if warns := Compare(base, cur, 1, 1.5); len(warns) != 0 {
+		t.Fatalf("identical results produced warnings: %v", warns)
+	}
+	cur.Experiments[0].Quality["improvement_pct"] = 40 // -20% drift
+	cur.Experiments[0].Counts["indexes"] = 5
+	cur.Experiments[0].TimingNs["advise"] = 5000    // 5x slower
+	cur.Experiments[0].TimingNs["speedup_x"] = 10.0 // ratios never warn
+	warns := Compare(base, cur, 1, 1.5)
+	var msgs []string
+	for _, w := range warns {
+		msgs = append(msgs, w.String())
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"improvement_pct drifted", "count indexes changed", "timing advise regressed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing warning %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "speedup_x") {
+		t.Errorf("ratio metric should not warn:\n%s", joined)
+	}
+	if len(warns) != 3 {
+		t.Errorf("got %d warnings, want 3: %v", len(warns), msgs)
+	}
+
+	// Cells present on only one side are reported.
+	extra := mk()
+	extra.Experiments = append(extra.Experiments, Experiment{
+		Name: "new", Size: "tiny", Workload: "uniform",
+		Counts: map[string]int64{"n": 1},
+	})
+	warns = Compare(base, extra, 1, 1.5)
+	if len(warns) != 1 || !strings.Contains(warns[0].String(), "new experiment cell") {
+		t.Errorf("new-cell warning missing: %v", warns)
+	}
+	warns = Compare(extra, base, 1, 1.5)
+	if len(warns) != 1 || !strings.Contains(warns[0].String(), "missing from current run") {
+		t.Errorf("missing-cell warning missing: %v", warns)
+	}
+}
+
+func TestSpecForProfile(t *testing.T) {
+	for _, name := range []string{"smoke", "quick", "full"} {
+		spec, err := SpecForProfile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Profile != name {
+			t.Errorf("profile %s resolved to %s", name, spec.Profile)
+		}
+	}
+	if _, err := SpecForProfile("nope"); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+	spec := Spec{Experiments: []string{"nope"}}
+	if _, err := Run(spec, nil); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

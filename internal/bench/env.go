@@ -1,0 +1,191 @@
+// Package bench is the shared experiment harness behind the repository's
+// performance trajectory. It runs the paper's experiment suite — INUM vs
+// full-optimizer speedup (E8), CoPhy vs greedy design quality across
+// storage budgets (E7), COLT convergence under workload drift (E6),
+// interaction-aware schedule quality (E2/E9), and engine parallel-sweep
+// scaling — over a matrix of dataset sizes, seeds, and workload profiles,
+// and emits one schema-versioned result document (BENCH_<label>.json) per
+// run. The `dbdesigner bench` subcommand and every Benchmark* in
+// bench_test.go are thin wrappers over this package, so the numbers CI
+// records and the numbers `go test -bench` prints come from the same code.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/designer"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Env is one cell of the experiment matrix: a generated dataset, a workload
+// drawn from one profile, the candidate index set, and the shared costing
+// engine (pre-warmed INUM cache). Building an Env is the expensive part of
+// every experiment; the harness and the Go benchmarks share built Envs
+// through CachedEnv.
+type Env struct {
+	SizeName string
+	Seed     int64
+	Profile  string
+	NumQ     int
+
+	Store *storage.Store
+	D     *designer.Designer
+	W     *workload.Workload
+	Cands []*catalog.Index
+	Eng   *engine.Engine
+
+	// advised caches the default CoPhy recommendation (used by the
+	// interaction and schedule experiments, which analyze an advised set).
+	advisedOnce sync.Once
+	advised     []*catalog.Index
+	advisedErr  error
+}
+
+// NewEnv generates the dataset (dataset seed = seed), draws NumQ queries
+// from the named workload profile (workload seed = seed+1, so dataset and
+// workload randomness stay independent), enumerates candidates, and warms
+// the INUM cache.
+func NewEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error) {
+	size, err := workload.SizeByName(sizeName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	store, err := workload.Generate(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	d := designer.Open(store)
+	w, err := p.Generate(store.Schema, seed+1, numQ)
+	if err != nil {
+		return nil, err
+	}
+	eng := d.Engine()
+	cands := eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	if err := eng.Prepare(w, cands); err != nil {
+		return nil, err
+	}
+	return &Env{
+		SizeName: sizeName,
+		Seed:     seed,
+		Profile:  profile,
+		NumQ:     numQ,
+		Store:    store,
+		D:        d,
+		W:        w,
+		Cands:    cands,
+		Eng:      eng,
+	}, nil
+}
+
+var (
+	envMu    sync.Mutex
+	envCache = map[string]*Env{}
+)
+
+// CachedEnv returns a process-wide shared Env for the given matrix cell,
+// building it on first use. Benchmarks use this so thirteen Benchmark*
+// functions pay for one dataset generation, exactly like the old package
+// fixture did.
+func CachedEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error) {
+	key := fmt.Sprintf("%s/%d/%s/%d", sizeName, seed, profile, numQ)
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[key]; ok {
+		return e, nil
+	}
+	e, err := NewEnv(sizeName, seed, profile, numQ)
+	if err != nil {
+		return nil, err
+	}
+	envCache[key] = e
+	return e, nil
+}
+
+// FreshDesigner generates an unshared copy of the Env's dataset and opens a
+// designer over it — for experiments that mutate physical state (COLT's
+// auto-materialization, offline advisors that build indexes) and must not
+// poison the shared engine's caches.
+func (e *Env) FreshDesigner() (*designer.Designer, error) {
+	size, err := workload.SizeByName(e.SizeName)
+	if err != nil {
+		return nil, err
+	}
+	store, err := workload.Generate(size, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return designer.Open(store), nil
+}
+
+// FreshEngine builds an unshared, cold-cache engine over the Env's dataset
+// (for cold-path measurements like the pipeline calls-avoided ratio).
+func (e *Env) FreshEngine() *engine.Engine {
+	return engine.New(e.Store.Schema, e.Store.Stats, nil)
+}
+
+// Advised returns the default CoPhy recommendation over the Env's workload,
+// computed once and shared (the interaction and schedule experiments both
+// start from "the advised set").
+func (e *Env) Advised() ([]*catalog.Index, error) {
+	e.advisedOnce.Do(func() {
+		res, err := e.CoPhy(0, 0)
+		if err != nil {
+			e.advisedErr = err
+			return
+		}
+		e.advised = res.Indexes
+	})
+	return e.advised, e.advisedErr
+}
+
+// CandidateFootprint sums the estimated pages of all candidate indexes —
+// the 100% point of the storage-budget axis.
+func (e *Env) CandidateFootprint() int64 {
+	var total int64
+	for _, ix := range e.Cands {
+		total += ix.EstimatedPages
+	}
+	return total
+}
+
+// RotatingConfigs builds n configurations that cycle through the candidate
+// set with different phases — the advisor's actual access mix of memo hits
+// and fresh per-table designs (E8's sweep shape).
+func (e *Env) RotatingConfigs(n int) []*catalog.Configuration {
+	configs := make([]*catalog.Configuration, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := catalog.NewConfiguration()
+		for j, ix := range e.Cands {
+			if (j+i)%4 == 0 {
+				cfg = cfg.WithIndex(ix)
+			}
+		}
+		configs = append(configs, cfg)
+	}
+	return configs
+}
+
+// SweepFamily builds n distinct configurations with varied per-table design
+// signatures — enough per-config work that a parallel sweep is meaningful.
+func (e *Env) SweepFamily(n int) []*catalog.Configuration {
+	cfgs := make([]*catalog.Configuration, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := catalog.NewConfiguration()
+		for j, ix := range e.Cands {
+			if (i+j)%5 == 0 || (i*j)%7 == 1 {
+				cfg = cfg.WithIndex(ix)
+			}
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}

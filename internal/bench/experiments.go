@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/designer"
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/colt"
+	"repro/internal/cophy"
+	"repro/internal/greedy"
+	"repro/internal/interaction"
+	"repro/internal/lp"
+	"repro/internal/optimizer"
+	"repro/internal/schedule"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Step functions: each is one logical unit of measured work, shared between
+// the harness runners below and the Benchmark* wrappers in bench_test.go.
+// ---------------------------------------------------------------------------
+
+// INUMCostOnce prices one (query, configuration) pair through the INUM
+// cache — E8's fast path.
+func (e *Env) INUMCostOnce(i int, cfgs []*catalog.Configuration) error {
+	q := e.W.Queries[i%len(e.W.Queries)]
+	_, err := e.Eng.QueryCost(q, cfgs[i%len(cfgs)])
+	return err
+}
+
+// FullCostOnce prices one (query, configuration) pair with the complete
+// optimizer — E8's baseline.
+func (e *Env) FullCostOnce(i int, cfgs []*catalog.Configuration) error {
+	q := e.W.Queries[i%len(e.W.Queries)]
+	_, err := e.Eng.FullCost(q.Stmt, cfgs[i%len(cfgs)])
+	return err
+}
+
+// PipelineCallsAvoided runs a full designer pipeline (CoPhy + interaction
+// analysis + scheduling) on a cold engine and reports how many cached
+// costings were served per full optimizer invocation — the
+// latency-independent form of the paper's "orders of magnitude" claim.
+func (e *Env) PipelineCallsAvoided() (ratio float64, err error) {
+	eng := e.FreshEngine()
+	adv := cophy.New(eng, e.Cands)
+	res, err := adv.Advise(e.W, cophy.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Indexes) >= 2 {
+		if _, err := interaction.Analyze(eng, e.W, res.Indexes, interaction.DefaultOptions()); err != nil {
+			return 0, err
+		}
+		sched := schedule.New(eng)
+		if _, err := sched.Greedy(e.W, res.Indexes); err != nil {
+			return 0, err
+		}
+	}
+	full, cached := eng.CacheStats()
+	if full > 0 {
+		ratio = float64(cached) / float64(full)
+	}
+	return ratio, nil
+}
+
+// CoPhy runs the CoPhy advisor over the Env's workload and candidates with
+// the given storage budget (0 = unlimited) and node budget (0 = prove
+// optimality).
+func (e *Env) CoPhy(budgetPages int64, nodeBudget int) (*cophy.Result, error) {
+	opts := cophy.DefaultOptions()
+	opts.StorageBudgetPages = budgetPages
+	opts.NodeBudget = nodeBudget
+	return cophy.New(e.Eng, e.Cands).Advise(e.W, opts)
+}
+
+// Greedy runs the DTA-style greedy baseline at a storage budget.
+func (e *Env) Greedy(budgetPages int64) (*greedy.Result, error) {
+	return greedy.New(e.Eng, e.Cands).Advise(e.W,
+		greedy.Options{StorageBudgetPages: budgetPages, BenefitPerPage: true})
+}
+
+// Exhaustive enumerates every candidate subset within the budget — ground
+// truth for small candidate sets.
+func (e *Env) Exhaustive(budgetPages int64) (*greedy.Result, error) {
+	return greedy.Exhaustive(e.Eng, e.Cands, e.W, budgetPages)
+}
+
+// InteractionGraph analyzes the advised index set's interactions with the
+// given number of sampled contexts (E2).
+func (e *Env) InteractionGraph(sampleContexts int) (*interaction.Graph, error) {
+	advised, err := e.Advised()
+	if err != nil {
+		return nil, err
+	}
+	if len(advised) < 2 {
+		return nil, nil
+	}
+	opts := interaction.DefaultOptions()
+	opts.SampleContexts = sampleContexts
+	return interaction.Analyze(e.Eng, e.W, advised, opts)
+}
+
+// Schedules builds the interaction-aware and oblivious materialization
+// schedules over the advised set (E9). Both are nil when fewer than two
+// indexes are advised.
+func (e *Env) Schedules() (aware, oblivious *schedule.Schedule, err error) {
+	advised, err := e.Advised()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(advised) < 2 {
+		return nil, nil, nil
+	}
+	sched := schedule.New(e.Eng)
+	aware, err = sched.Greedy(e.W, advised)
+	if err != nil {
+		return nil, nil, err
+	}
+	oblivious, err = sched.Oblivious(e.W, advised)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aware, oblivious, nil
+}
+
+// COLTResult is the outcome of one online-tuning run over a stream.
+type COLTResult struct {
+	SavingsPct    float64 // adaptive vs static-empty cumulative cost
+	Queries       int
+	Epochs        int
+	ConfigChanges int
+	Alerts        int
+	// ObserveNs is the wall-clock time spent in Tuner.ObserveAll only —
+	// dataset, stream, and static-baseline preparation are excluded, so
+	// observe_per_query tracks the tuner, not the generators.
+	ObserveNs float64
+}
+
+// COLTFixture is the prepared state for online-tuning runs: an unshared
+// designer over a copy of the Env's dataset, the profile-drawn stream
+// (stream seed = dataset seed + 2), and the static no-index baseline cost,
+// all computed once so repeated Run calls time only the tuner.
+type COLTFixture struct {
+	d      *designer.Designer
+	stream []workload.Query
+	static float64
+}
+
+// COLTFixture builds the online-tuning fixture for the E6 experiment.
+func (e *Env) COLTFixture(streamLen int) (*COLTFixture, error) {
+	p, err := workload.ProfileByName(e.Profile)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.FreshDesigner()
+	if err != nil {
+		return nil, err
+	}
+	stream, err := p.GenerateStream(d.Schema(), e.Seed+2, streamLen)
+	if err != nil {
+		return nil, err
+	}
+	var static float64
+	empty := catalog.NewConfiguration()
+	for _, q := range stream {
+		cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.Cache().CostFor(cq, empty)
+		if err != nil {
+			return nil, err
+		}
+		static += c
+	}
+	return &COLTFixture{d: d, stream: stream, static: static}, nil
+}
+
+// Run streams the fixture through a fresh COLT tuner and reports savings
+// against the precomputed static baseline (E6).
+func (f *COLTFixture) Run(epochLen int) (*COLTResult, error) {
+	opts := colt.DefaultOptions()
+	opts.EpochLength = epochLen
+	tuner := f.d.NewOnlineTuner(opts)
+	defer tuner.Close()
+	start := time.Now()
+	adaptive, err := tuner.ObserveAll(f.stream)
+	if err != nil {
+		return nil, err
+	}
+	out := &COLTResult{
+		Queries:   len(f.stream),
+		Alerts:    len(tuner.Alerts()),
+		ObserveNs: float64(time.Since(start).Nanoseconds()),
+	}
+	if f.static > 0 {
+		out.SavingsPct = (f.static - adaptive) / f.static * 100
+	}
+	for _, r := range tuner.Reports() {
+		out.Epochs++
+		if r.ConfigChanged {
+			out.ConfigChanges++
+		}
+	}
+	return out, nil
+}
+
+// COLTStream is COLTFixture + one Run — the harness's single-shot form.
+func (e *Env) COLTStream(streamLen, epochLen int) (*COLTResult, error) {
+	f, err := e.COLTFixture(streamLen)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(epochLen)
+}
+
+// SweepOnce runs one configuration sweep over the Env's workload with the
+// given worker count (1 = serial, 0 = GOMAXPROCS) and restores the engine's
+// worker default before returning.
+func (e *Env) SweepOnce(workers int, cfgs []*catalog.Configuration) error {
+	e.Eng.SetWorkers(workers)
+	defer e.Eng.SetWorkers(0)
+	_, err := e.Eng.SweepConfigs(e.W, cfgs)
+	return err
+}
+
+// SweepParity verifies the parallel sweep is bit-for-bit identical to the
+// serial sweep and returns the maximum absolute cost difference (0 when the
+// determinism contract holds).
+func (e *Env) SweepParity(cfgs []*catalog.Configuration) (float64, error) {
+	e.Eng.SetWorkers(1)
+	serial, err := e.Eng.SweepConfigs(e.W, cfgs)
+	e.Eng.SetWorkers(0)
+	if err != nil {
+		return 0, err
+	}
+	parallel, err := e.Eng.SweepConfigs(e.W, cfgs)
+	if err != nil {
+		return 0, err
+	}
+	var maxDiff float64
+	for i := range serial {
+		d := serial[i] - parallel[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff, nil
+}
+
+// WhatIfDemoConfig builds Scenario 1's demo design: two composite photoobj
+// indexes plus the specobj join key.
+func (e *Env) WhatIfDemoConfig() (*catalog.Configuration, error) {
+	cfg := catalog.NewConfiguration()
+	for _, spec := range [][]string{{"ra", "dec"}, {"type", "psfmag_r"}} {
+		ix, err := e.Eng.HypotheticalIndex("photoobj", spec...)
+		if err != nil {
+			return nil, err
+		}
+		cfg = cfg.WithIndex(ix)
+	}
+	ix, err := e.Eng.HypotheticalIndex("specobj", "bestobjid")
+	if err != nil {
+		return nil, err
+	}
+	return cfg.WithIndex(ix), nil
+}
+
+// WhatIfBenefit evaluates a hypothetical configuration over the workload
+// and returns the workload-level benefit percentage (E4).
+func (e *Env) WhatIfBenefit(cfg *catalog.Configuration) (float64, error) {
+	rep, err := e.Eng.Evaluate(e.W, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return rep.AvgBenefitPct(), nil
+}
+
+// OfflineAdvise runs the full Scenario 2 pipeline (indexes + partitions +
+// interactions) on a fresh designer and returns the advised improvement
+// percentage (E5). adviseNs covers only the Advise call — dataset
+// regeneration is excluded from the measurement.
+func (e *Env) OfflineAdvise() (improvementPct, adviseNs float64, err error) {
+	d, err := e.FreshDesigner()
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	advice, err := d.Advise(e.W, designer.AdviceOptions{Partitions: true, Interactions: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	return advice.Report.AvgBenefitPct(), float64(time.Since(start).Nanoseconds()), nil
+}
+
+// AutoPartWorkload draws the photometric 4-template workload that motivates
+// vertical partitioning (E3/E11), with workload seed = dataset seed + 3.
+func (e *Env) AutoPartWorkload() (*workload.Workload, error) {
+	return workload.NewWorkloadFrom(e.Store.Schema, e.Seed+3, 12, []workload.Template{
+		*workload.TemplateByName("cone_search"),
+		*workload.TemplateByName("bright_stars"),
+		*workload.TemplateByName("mag_range"),
+		*workload.TemplateByName("ra_slice"),
+	})
+}
+
+// AutoPartImprovement runs partition-only advice (no indexes) over the
+// photometric workload and returns the improvement percentage.
+func (e *Env) AutoPartImprovement(w *workload.Workload) (float64, error) {
+	res, err := autopart.New(e.Eng).Advise(w, nil, autopart.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	return res.Improvement() * 100, nil
+}
+
+// SizeModelDistortion compares honest what-if sizing against the size-zero
+// model on a selective range scan and returns honest/zero (E12).
+func (e *Env) SizeModelDistortion() (float64, error) {
+	ix, err := e.Eng.HypotheticalIndex("photoobj", "psfmag_r")
+	if err != nil {
+		return 0, err
+	}
+	cfg := catalog.NewConfiguration().WithIndex(ix)
+	q, err := e.D.ParseQuery("e12", "SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 18 AND 20")
+	if err != nil {
+		return 0, err
+	}
+	honest, err := e.Eng.FullCost(q.Stmt, cfg)
+	if err != nil {
+		return 0, err
+	}
+	zeroEnv := e.Eng.Env().WithConfig(cfg).WithOptions(optimizer.Options{ZeroSizeWhatIf: true})
+	zero, err := zeroEnv.Cost(q.Stmt)
+	if err != nil {
+		return 0, err
+	}
+	if zero == 0 {
+		return 0, fmt.Errorf("bench: zero-size cost is 0")
+	}
+	return honest / zero, nil
+}
+
+// AblationImprovement re-enumerates candidates with a per-table cap and
+// reports the advised improvement at that width (the candidate-width
+// ablation).
+func (e *Env) AblationImprovement(maxPerTable int) (improvementPct float64, candidates int, err error) {
+	opts := whatif.DefaultCandidateOptions()
+	opts.MaxPerTable = maxPerTable
+	cands := e.Eng.GenerateCandidates(e.W, opts)
+	res, err := cophy.New(e.FreshEngine(), cands).Advise(e.W, cophy.DefaultOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Improvement() * 100, len(cands), nil
+}
+
+// SolverProblem builds the n-binary knapsack-shaped MIP used by the solver
+// scaling benchmark.
+func SolverProblem(n int) *lp.Problem {
+	p := lp.NewProblem(n)
+	for i := 0; i < n; i++ {
+		p.Binary[i] = true
+		p.Objective[i] = -float64(1 + i%7)
+	}
+	coefs := map[int]float64{}
+	for i := 0; i < n; i++ {
+		coefs[i] = float64(1 + (i*3)%5)
+	}
+	p.AddConstraint(coefs, lp.LE, float64(n))
+	return p
+}
+
+// SolveOnce solves the scaling MIP once, erroring unless optimal.
+func SolveOnce(p *lp.Problem) (nodes int, err error) {
+	sol := lp.SolveMIP(p, lp.MIPOptions{})
+	if sol.Status != lp.StatusOptimal {
+		return 0, fmt.Errorf("bench: MIP status %v", sol.Status)
+	}
+	return sol.Nodes, nil
+}
+
+// timeOp measures the average wall-clock nanoseconds of op over `reps`
+// repetitions (at least one).
+func timeOp(reps int, op func() error) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := op(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_*.json document layout. Bump it on
+// any incompatible change so trajectory tooling can refuse to compare
+// across layouts.
+const SchemaVersion = 1
+
+// Result is one harness run: the perf-trajectory document serialized to
+// BENCH_<label>.json. Quality and Counts fields are deterministic for a
+// given (spec, seed) — byte-stable across runs — while Timing and RunEnv
+// vary with the machine and are excluded from the stable form.
+type Result struct {
+	SchemaVersion int          `json:"schema_version"`
+	Label         string       `json:"label"`
+	Profile       string       `json:"profile"`
+	Env           RunEnv       `json:"env"`
+	Experiments   []Experiment `json:"experiments"`
+}
+
+// RunEnv records where the numbers came from (informational only).
+type RunEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentRunEnv captures the running toolchain and machine shape.
+func CurrentRunEnv() RunEnv {
+	return RunEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Experiment is one cell of the matrix: an experiment name run at one
+// (size, workload profile, seed) point.
+type Experiment struct {
+	Name     string `json:"name"`
+	Size     string `json:"size"`
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	// Quality holds deterministic design-quality metrics (improvement
+	// percentages, optimality gaps, cost ratios, savings).
+	Quality map[string]float64 `json:"quality,omitempty"`
+	// Counts holds deterministic cardinalities (queries, candidates,
+	// advised indexes, epochs, solver nodes).
+	Counts map[string]int64 `json:"counts,omitempty"`
+	// TimingNs holds wall-clock measurements in nanoseconds (and derived
+	// speedup ratios, suffixed _x). Machine-dependent; excluded from the
+	// stable form.
+	TimingNs map[string]float64 `json:"timing_ns,omitempty"`
+}
+
+// key identifies an experiment cell for baseline matching.
+func (x Experiment) key() string {
+	return fmt.Sprintf("%s|%s|%s|%d", x.Name, x.Size, x.Workload, x.Seed)
+}
+
+// JSON renders the full document, indented, with a trailing newline.
+func (r *Result) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// StableJSON renders only the run-independent portion of the document: the
+// schema header and every experiment's quality/count metrics, with timing
+// and machine info stripped. Two runs of the same spec on any machines must
+// produce byte-identical StableJSON — this is the property CI's baseline
+// comparison and the determinism acceptance test key on.
+func (r *Result) StableJSON() ([]byte, error) {
+	stable := Result{
+		SchemaVersion: r.SchemaVersion,
+		Label:         r.Label,
+		Profile:       r.Profile,
+		Experiments:   make([]Experiment, len(r.Experiments)),
+	}
+	for i, x := range r.Experiments {
+		x.TimingNs = nil
+		stable.Experiments[i] = x
+	}
+	b, err := json.MarshalIndent(stable, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks the document against the schema: version match, non-empty
+// label and experiment list, and complete experiment cells with at least
+// one deterministic metric each.
+func (r *Result) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Label == "" {
+		return fmt.Errorf("bench: empty label")
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("bench: no experiments")
+	}
+	seen := map[string]bool{}
+	for i, x := range r.Experiments {
+		if x.Name == "" || x.Size == "" || x.Workload == "" {
+			return fmt.Errorf("bench: experiment %d incomplete: %+v", i, x)
+		}
+		if len(x.Quality) == 0 && len(x.Counts) == 0 {
+			return fmt.Errorf("bench: experiment %s has no deterministic metrics", x.key())
+		}
+		if seen[x.key()] {
+			return fmt.Errorf("bench: duplicate experiment cell %s", x.key())
+		}
+		seen[x.key()] = true
+	}
+	return nil
+}
+
+// WriteFile validates and writes the document to path.
+func (r *Result) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadResult loads and validates a BENCH_*.json document.
+func ReadResult(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Warning is one baseline-comparison finding. Comparisons are advisory
+// (warn-only): the caller prints them and decides whether to gate.
+type Warning struct {
+	Cell    string
+	Message string
+}
+
+func (w Warning) String() string { return w.Cell + ": " + w.Message }
+
+// Compare diffs a new result against a baseline. Quality metrics that drift
+// by more than qualityTolPct percent (relative) and timings that regress by
+// more than timingTolX (ratio) produce warnings, as do cells or metrics
+// present on only one side. A nil/empty return means the run is consistent
+// with the baseline.
+func Compare(baseline, current *Result, qualityTolPct, timingTolX float64) []Warning {
+	var warns []Warning
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return []Warning{{Cell: "schema", Message: fmt.Sprintf(
+			"schema_version %d vs baseline %d — not comparable",
+			current.SchemaVersion, baseline.SchemaVersion)}}
+	}
+	base := map[string]Experiment{}
+	for _, x := range baseline.Experiments {
+		base[x.key()] = x
+	}
+	cur := map[string]Experiment{}
+	for _, x := range current.Experiments {
+		cur[x.key()] = x
+	}
+	var keys []string
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			warns = append(warns, Warning{Cell: k, Message: "present in baseline, missing from current run"})
+			continue
+		}
+		warns = append(warns, compareQuality(k, b.Quality, c.Quality, qualityTolPct)...)
+		warns = append(warns, compareCounts(k, b.Counts, c.Counts)...)
+		warns = append(warns, compareTiming(k, b.TimingNs, c.TimingNs, timingTolX)...)
+	}
+	var curKeys []string
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			curKeys = append(curKeys, k)
+		}
+	}
+	sort.Strings(curKeys)
+	for _, k := range curKeys {
+		warns = append(warns, Warning{Cell: k, Message: "new experiment cell (no baseline)"})
+	}
+	return warns
+}
+
+func compareQuality(cell string, base, cur map[string]float64, tolPct float64) []Warning {
+	var warns []Warning
+	for _, m := range SortedKeys(base) {
+		bv := base[m]
+		cv, ok := cur[m]
+		if !ok {
+			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf("quality metric %s missing", m)})
+			continue
+		}
+		denom := bv
+		if denom < 0 {
+			denom = -denom
+		}
+		if denom < 1e-9 {
+			denom = 1e-9
+		}
+		driftPct := (cv - bv) / denom * 100
+		if driftPct > tolPct || driftPct < -tolPct {
+			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+				"quality %s drifted %+.1f%% (baseline %.4g, current %.4g)", m, driftPct, bv, cv)})
+		}
+	}
+	return warns
+}
+
+func compareCounts(cell string, base, cur map[string]int64) []Warning {
+	var warns []Warning
+	for _, m := range SortedKeys(base) {
+		bv := base[m]
+		cv, ok := cur[m]
+		if !ok {
+			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf("count %s missing", m)})
+			continue
+		}
+		if cv != bv {
+			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+				"count %s changed: baseline %d, current %d", m, bv, cv)})
+		}
+	}
+	return warns
+}
+
+func compareTiming(cell string, base, cur map[string]float64, tolX float64) []Warning {
+	var warns []Warning
+	for _, m := range SortedKeys(base) {
+		bv := base[m]
+		cv, ok := cur[m]
+		if !ok || bv <= 0 {
+			continue
+		}
+		// Only flag slowdowns on wall-clock metrics; ratios (speedup_x
+		// suffixed _x) and sub-nanosecond noise are informational.
+		if len(m) > 2 && m[len(m)-2:] == "_x" {
+			continue
+		}
+		if cv/bv > tolX {
+			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+				"timing %s regressed %.1fx (baseline %.0fns, current %.0fns)", m, cv/bv, bv, cv)})
+		}
+	}
+	return warns
+}
+
+// SortedKeys returns a map's string keys in sorted order — metric maps are
+// always rendered and compared in this canonical order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

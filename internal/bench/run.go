@@ -1,0 +1,569 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/schedule"
+)
+
+// Spec selects what one harness run measures: the experiment subset and the
+// (size × seed × workload profile) matrix it sweeps.
+type Spec struct {
+	// Label names the emitted document (BENCH_<label>.json).
+	Label string
+	// Profile is the suite profile the spec was derived from (smoke, quick,
+	// full, or custom).
+	Profile string
+	// Sizes are dataset size labels (tiny|small|medium).
+	Sizes []string
+	// Seeds are dataset seeds; workload/stream seeds derive from them.
+	Seeds []int64
+	// Workloads are workload profile names (internal/workload.Profiles).
+	// The first profile runs every selected experiment; additional
+	// profiles run only the workload-sensitive ones.
+	Workloads []string
+	// Experiments are experiment names from Experiments(); empty selects
+	// the suite profile's default set.
+	Experiments []string
+	// Queries is the workload size per cell.
+	Queries int
+	// Repeat is how many repetitions timing measurements average over.
+	Repeat int
+	// StreamLen and EpochLen shape the COLT convergence experiment.
+	StreamLen int
+	EpochLen  int
+}
+
+// CoreExperiments are the paper's headline suite, run by every profile.
+var CoreExperiments = []string{
+	"inum_vs_optimizer",
+	"cophy_vs_greedy",
+	"colt_convergence",
+	"interaction_schedule",
+	"parallel_sweep",
+}
+
+// ExtraExperiments are the secondary figures and ablations.
+var ExtraExperiments = []string{
+	"whatif_session",
+	"offline_advisor",
+	"autopart",
+	"size_model",
+	"candidate_ablation",
+	"solver_scaling",
+}
+
+// workloadSensitive marks experiments whose result depends on the workload
+// profile. Insensitive experiments (fixed template sets, pure solver
+// scaling) run once per (size, seed) on the first profile only.
+var workloadSensitive = map[string]bool{
+	"inum_vs_optimizer":    true,
+	"cophy_vs_greedy":      true,
+	"colt_convergence":     true,
+	"interaction_schedule": true,
+	"parallel_sweep":       true,
+	"whatif_session":       true,
+	"offline_advisor":      true,
+	"candidate_ablation":   true,
+}
+
+// ExperimentNames lists every registered experiment in canonical order.
+func ExperimentNames() []string {
+	return append(append([]string{}, CoreExperiments...), ExtraExperiments...)
+}
+
+// SmokeSpec is the CI profile: tiny dataset, one seed, two workload
+// profiles, the core suite, single-shot timings. It is sized to finish in
+// well under a minute on one core.
+func SmokeSpec() Spec {
+	return Spec{
+		Label:     "smoke",
+		Profile:   "smoke",
+		Sizes:     []string{"tiny"},
+		Seeds:     []int64{1},
+		Workloads: []string{"uniform", "zipf"},
+		Queries:   16,
+		Repeat:    1,
+		StreamLen: 75,
+		EpochLen:  25,
+	}
+}
+
+// QuickSpec adds the small dataset and the drifting profile — a local
+// pre-merge check.
+func QuickSpec() Spec {
+	return Spec{
+		Label:       "quick",
+		Profile:     "quick",
+		Sizes:       []string{"tiny", "small"},
+		Seeds:       []int64{1},
+		Workloads:   []string{"uniform", "zipf", "drifting"},
+		Experiments: append(append([]string{}, CoreExperiments...), "whatif_session", "offline_advisor"),
+		Queries:     24,
+		Repeat:      2,
+		StreamLen:   150,
+		EpochLen:    25,
+	}
+}
+
+// FullSpec is the complete matrix: every experiment over every workload
+// profile, two seeds, with averaged timings.
+func FullSpec() Spec {
+	return Spec{
+		Label:       "full",
+		Profile:     "full",
+		Sizes:       []string{"tiny", "small"},
+		Seeds:       []int64{1, 2},
+		Workloads:   []string{"uniform", "zipf", "template_heavy", "drifting", "update_heavy"},
+		Experiments: ExperimentNames(),
+		Queries:     24,
+		Repeat:      3,
+		StreamLen:   300,
+		EpochLen:    25,
+	}
+}
+
+// SpecForProfile resolves a suite profile name.
+func SpecForProfile(name string) (Spec, error) {
+	switch name {
+	case "smoke":
+		return SmokeSpec(), nil
+	case "quick":
+		return QuickSpec(), nil
+	case "full":
+		return FullSpec(), nil
+	}
+	return Spec{}, fmt.Errorf("bench: unknown suite profile %q (smoke|quick|full)", name)
+}
+
+// normalize fills spec defaults and validates the selections.
+func (s *Spec) normalize() error {
+	if s.Label == "" {
+		s.Label = s.Profile
+	}
+	if s.Label == "" {
+		s.Label = "custom"
+	}
+	if len(s.Experiments) == 0 {
+		s.Experiments = append([]string{}, CoreExperiments...)
+	}
+	if s.Queries <= 0 {
+		s.Queries = 16
+	}
+	if s.Repeat <= 0 {
+		s.Repeat = 1
+	}
+	if s.StreamLen <= 0 {
+		s.StreamLen = 75
+	}
+	if s.EpochLen <= 0 {
+		s.EpochLen = 25
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []string{"tiny"}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{"uniform"}
+	}
+	for _, name := range s.Experiments {
+		if runners[name] == nil {
+			return fmt.Errorf("bench: unknown experiment %q (have %v)", name, ExperimentNames())
+		}
+	}
+	return nil
+}
+
+// runner computes one experiment's metrics inside a prepared Env.
+type runner func(e *Env, spec Spec, x *Experiment) error
+
+var runners = map[string]runner{
+	"inum_vs_optimizer":    runINUMVsOptimizer,
+	"cophy_vs_greedy":      runCoPhyVsGreedy,
+	"colt_convergence":     runCOLTConvergence,
+	"interaction_schedule": runInteractionSchedule,
+	"parallel_sweep":       runParallelSweep,
+	"whatif_session":       runWhatIfSession,
+	"offline_advisor":      runOfflineAdvisor,
+	"autopart":             runAutoPart,
+	"size_model":           runSizeModel,
+	"candidate_ablation":   runCandidateAblation,
+	"solver_scaling":       runSolverScaling,
+}
+
+// Run executes the spec's experiment matrix and returns the trajectory
+// document. logf (optional) receives progress lines.
+func Run(spec Spec, logf func(format string, args ...any)) (*Result, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Label:         spec.Label,
+		Profile:       spec.Profile,
+		Env:           CurrentRunEnv(),
+	}
+	for _, size := range spec.Sizes {
+		for _, seed := range spec.Seeds {
+			for wi, profile := range spec.Workloads {
+				// One Env per cell, dropped when the cell completes: the
+				// harness's peak memory is a single dataset + cache, not the
+				// whole matrix. (Benchmarks share Envs via CachedEnv instead
+				// — a test binary only ever builds a handful.)
+				env, err := NewEnv(size, seed, profile, spec.Queries)
+				if err != nil {
+					return nil, fmt.Errorf("bench: env %s/%d/%s: %w", size, seed, profile, err)
+				}
+				for _, name := range spec.Experiments {
+					if wi > 0 && !workloadSensitive[name] {
+						continue
+					}
+					start := time.Now()
+					x := Experiment{
+						Name:     name,
+						Size:     size,
+						Workload: profile,
+						Seed:     seed,
+						Quality:  map[string]float64{},
+						Counts:   map[string]int64{},
+						TimingNs: map[string]float64{},
+					}
+					if err := runners[name](env, spec, &x); err != nil {
+						return nil, fmt.Errorf("bench: %s [%s/%s/seed %d]: %w", name, size, profile, seed, err)
+					}
+					res.Experiments = append(res.Experiments, x)
+					logf("bench: %-22s %s/%s seed=%d  (%.2fs)",
+						name, size, profile, seed, time.Since(start).Seconds())
+				}
+			}
+		}
+	}
+	sortExperiments(res.Experiments)
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sortExperiments orders cells canonically so document layout never depends
+// on map or goroutine scheduling.
+func sortExperiments(xs []Experiment) {
+	order := map[string]int{}
+	for i, name := range ExperimentNames() {
+		order[name] = i
+	}
+	sort.SliceStable(xs, func(i, j int) bool {
+		a, b := xs[i], xs[j]
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return order[a.Name] < order[b.Name]
+	})
+}
+
+// --- experiment runners ----------------------------------------------------
+
+// runINUMVsOptimizer measures the E8 speedup: INUM-cached costing vs the
+// full optimizer over a rotating configuration mix, plus the pipeline-level
+// calls-avoided ratio.
+func runINUMVsOptimizer(e *Env, spec Spec, x *Experiment) error {
+	cfgs := e.RotatingConfigs(16)
+	ops := 4 * len(e.W.Queries)
+	inumNs, err := timeOp(spec.Repeat, func() error {
+		for i := 0; i < ops; i++ {
+			if err := e.INUMCostOnce(i, cfgs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fullNs, err := timeOp(spec.Repeat, func() error {
+		for i := 0; i < ops; i++ {
+			if err := e.FullCostOnce(i, cfgs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ratio, err := e.PipelineCallsAvoided()
+	if err != nil {
+		return err
+	}
+	x.Quality["costings_per_optimizer_call"] = ratio
+	x.Counts["queries"] = int64(len(e.W.Queries))
+	x.Counts["configs"] = int64(len(cfgs))
+	x.Counts["candidates"] = int64(len(e.Cands))
+	x.TimingNs["inum_cost"] = inumNs / float64(ops)
+	x.TimingNs["full_cost"] = fullNs / float64(ops)
+	if inumNs > 0 {
+		x.TimingNs["speedup_x"] = fullNs / inumNs
+	}
+	return nil
+}
+
+// runCoPhyVsGreedy sweeps storage budgets comparing CoPhy's cost and proven
+// gap against the greedy baseline (E7), with exhaustive ground truth when
+// the candidate set is small enough to enumerate.
+func runCoPhyVsGreedy(e *Env, spec Spec, x *Experiment) error {
+	total := e.CandidateFootprint()
+	for _, frac := range []struct {
+		label string
+		f     float64
+	}{{"budget25", 0.25}, {"budget50", 0.5}, {"budget100", 1.0}} {
+		budget := int64(float64(total) * frac.f)
+		var r *cophy.Result
+		cophyNs, err := timeOp(spec.Repeat, func() error {
+			var err error
+			r, err = e.CoPhy(budget, 0)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		var gobj float64
+		var gIndexes int
+		greedyNs, err := timeOp(spec.Repeat, func() error {
+			r, err := e.Greedy(budget)
+			if err != nil {
+				return err
+			}
+			gobj, gIndexes = r.Objective, len(r.Indexes)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if gobj > 0 {
+			x.Quality[frac.label+"_cophy_wins_pct"] = (gobj - r.Objective) / gobj * 100
+		}
+		x.Quality[frac.label+"_gap_pct"] = r.Gap() * 100
+		x.Quality[frac.label+"_cophy_improvement_pct"] = r.Improvement() * 100
+		x.Counts[frac.label+"_cophy_indexes"] = int64(len(r.Indexes))
+		x.Counts[frac.label+"_greedy_indexes"] = int64(gIndexes)
+		x.TimingNs[frac.label+"_cophy"] = cophyNs
+		x.TimingNs[frac.label+"_greedy"] = greedyNs
+
+		// Ground truth at the midpoint budget: cost ratio vs the exhaustive
+		// optimum, only when 2^|candidates| is enumerable.
+		if frac.label == "budget50" && len(e.Cands) <= 14 {
+			ex, err := e.Exhaustive(budget)
+			if err != nil {
+				return err
+			}
+			if ex.Objective > 0 {
+				x.Quality["budget50_optimal_ratio"] = r.Objective / ex.Objective
+			}
+			x.Counts["budget50_exhaustive_done"] = 1
+		}
+	}
+	x.Counts["candidates"] = int64(len(e.Cands))
+	return nil
+}
+
+// runCOLTConvergence streams profile-drawn queries through the online tuner
+// and records the adaptive savings against the static no-index baseline
+// (E6).
+func runCOLTConvergence(e *Env, spec Spec, x *Experiment) error {
+	out, err := e.COLTStream(spec.StreamLen, spec.EpochLen)
+	if err != nil {
+		return err
+	}
+	x.Quality["savings_pct"] = out.SavingsPct
+	x.Counts["queries"] = int64(out.Queries)
+	x.Counts["epochs"] = int64(out.Epochs)
+	x.Counts["config_changes"] = int64(out.ConfigChanges)
+	x.Counts["alerts"] = int64(out.Alerts)
+	if out.Queries > 0 {
+		x.TimingNs["observe_per_query"] = out.ObserveNs / float64(out.Queries)
+	}
+	return nil
+}
+
+// runInteractionSchedule analyzes the advised set's interaction graph (E2)
+// and compares interaction-aware against oblivious materialization order
+// (E9).
+func runInteractionSchedule(e *Env, spec Spec, x *Experiment) error {
+	advised, err := e.Advised()
+	if err != nil {
+		return err
+	}
+	x.Counts["advised_indexes"] = int64(len(advised))
+	if len(advised) < 2 {
+		return nil
+	}
+	g, err := e.InteractionGraph(4)
+	if err != nil {
+		return err
+	}
+	var mass float64
+	for _, edge := range g.Edges {
+		mass += edge.Doi
+	}
+	x.Counts["edges"] = int64(len(g.Edges))
+	x.Quality["total_doi"] = mass
+	var aware, obliv *schedule.Schedule
+	schedNs, err := timeOp(spec.Repeat, func() error {
+		var err error
+		aware, obliv, err = e.Schedules()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	x.Quality["aware_auc"] = aware.AUC
+	x.Quality["oblivious_auc"] = obliv.AUC
+	if obliv.AUC > 0 {
+		x.Quality["aware_wins_pct"] = (obliv.AUC - aware.AUC) / obliv.AUC * 100
+	}
+	x.TimingNs["schedule_pair"] = schedNs
+	return nil
+}
+
+// runParallelSweep measures the engine's worker-pool sweep against the
+// serial path and checks the determinism contract.
+func runParallelSweep(e *Env, spec Spec, x *Experiment) error {
+	cfgs := e.SweepFamily(32)
+	maxDiff, err := e.SweepParity(cfgs)
+	if err != nil {
+		return err
+	}
+	serialNs, err := timeOp(spec.Repeat, func() error { return e.SweepOnce(1, cfgs) })
+	if err != nil {
+		return err
+	}
+	parallelNs, err := timeOp(spec.Repeat, func() error { return e.SweepOnce(0, cfgs) })
+	if err != nil {
+		return err
+	}
+	x.Quality["parity_max_abs_diff"] = maxDiff
+	x.Counts["configs"] = int64(len(cfgs))
+	x.Counts["queries"] = int64(len(e.W.Queries))
+	x.TimingNs["serial_sweep"] = serialNs
+	x.TimingNs["parallel_sweep"] = parallelNs
+	if parallelNs > 0 {
+		x.TimingNs["speedup_x"] = serialNs / parallelNs
+	}
+	return nil
+}
+
+// runWhatIfSession evaluates Scenario 1's demo design (E4).
+func runWhatIfSession(e *Env, spec Spec, x *Experiment) error {
+	cfg, err := e.WhatIfDemoConfig()
+	if err != nil {
+		return err
+	}
+	var benefit float64
+	evalNs, err := timeOp(spec.Repeat, func() error {
+		var err error
+		benefit, err = e.WhatIfBenefit(cfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	x.Quality["benefit_pct"] = benefit
+	x.Counts["indexes"] = int64(len(cfg.Indexes))
+	x.TimingNs["evaluate"] = evalNs
+	return nil
+}
+
+// runOfflineAdvisor measures the full Scenario 2 pipeline (E5).
+func runOfflineAdvisor(e *Env, spec Spec, x *Experiment) error {
+	improvement, adviseNs, err := e.OfflineAdvise()
+	if err != nil {
+		return err
+	}
+	x.Quality["improvement_pct"] = improvement
+	x.Counts["queries"] = int64(len(e.W.Queries))
+	x.TimingNs["advise"] = adviseNs
+	return nil
+}
+
+// runAutoPart measures partition-only advice over the photometric workload
+// (E3/E11).
+func runAutoPart(e *Env, spec Spec, x *Experiment) error {
+	w, err := e.AutoPartWorkload()
+	if err != nil {
+		return err
+	}
+	var improvement float64
+	adviseNs, err := timeOp(spec.Repeat, func() error {
+		var err error
+		improvement, err = e.AutoPartImprovement(w)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	x.Quality["improvement_pct"] = improvement
+	x.Counts["queries"] = int64(len(w.Queries))
+	x.TimingNs["advise"] = adviseNs
+	return nil
+}
+
+// runSizeModel records the size-zero what-if distortion factor (E12).
+func runSizeModel(e *Env, spec Spec, x *Experiment) error {
+	distortion, err := e.SizeModelDistortion()
+	if err != nil {
+		return err
+	}
+	x.Quality["honest_vs_zero_x"] = distortion
+	x.Counts["queries"] = 1
+	return nil
+}
+
+// runCandidateAblation sweeps the per-table candidate cap (the enumeration
+// width ablation).
+func runCandidateAblation(e *Env, spec Spec, x *Experiment) error {
+	for _, cap := range []int{2, 6, 12} {
+		improvement, n, err := e.AblationImprovement(cap)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("cap%d", cap)
+		x.Quality[label+"_improvement_pct"] = improvement
+		x.Counts[label+"_candidates"] = int64(n)
+	}
+	return nil
+}
+
+// runSolverScaling times the branch-and-bound solver on growing binary
+// programs.
+func runSolverScaling(e *Env, spec Spec, x *Experiment) error {
+	for _, n := range []int{10, 20, 40} {
+		p := SolverProblem(n)
+		var nodes int
+		solveNs, err := timeOp(spec.Repeat, func() error {
+			var err error
+			nodes, err = SolveOnce(p)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("n%d", n)
+		x.Counts[label+"_nodes"] = int64(nodes)
+		x.TimingNs[label+"_solve"] = solveNs
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileRegistry(t *testing.T) {
+	want := []string{"drifting", "template_heavy", "uniform", "update_heavy", "zipf"}
+	if got := ProfileNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ProfileNames() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name || p.Description == "" {
+			t.Fatalf("profile %q incomplete: %+v", name, p)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+}
+
+func TestProfilesGenerateDeterministically(t *testing.T) {
+	schema := Schema()
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			a, err := p.Generate(schema, 7, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := p.Generate(schema, 7, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Queries) != 40 {
+				t.Fatalf("got %d queries", len(a.Queries))
+			}
+			for i := range a.Queries {
+				if a.Queries[i].SQL != b.Queries[i].SQL || a.Queries[i].Weight != b.Queries[i].Weight {
+					t.Fatalf("query %d differs across identical seeds:\n%s\n%s",
+						i, a.Queries[i].SQL, b.Queries[i].SQL)
+				}
+				if a.Queries[i].Stmt == nil {
+					t.Fatalf("query %d not resolved", i)
+				}
+			}
+		})
+	}
+}
+
+func TestZipfProfileIsSkewed(t *testing.T) {
+	schema := Schema()
+	p, err := ProfileByName("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Generate(schema, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, q := range w.Queries {
+		name := strings.SplitN(strings.TrimPrefix(q.ID, "zipf/"), "#", 2)[0]
+		counts[name]++
+	}
+	// The head template must dominate: Zipf with s=1.3 concentrates mass on
+	// the first rank far beyond the uniform share (200/12 ≈ 17).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 60 {
+		t.Fatalf("zipf head template drew %d/200, want ≥ 60 (counts %v)", max, counts)
+	}
+}
+
+func TestTemplateHeavyProfileConcentrates(t *testing.T) {
+	schema := Schema()
+	p, err := ProfileByName("template_heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Generate(schema, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, q := range w.Queries {
+		switch {
+		case strings.Contains(q.ID, "cone_search"),
+			strings.Contains(q.ID, "spec_join"),
+			strings.Contains(q.ID, "bright_stars"):
+			hot++
+			if q.Weight != 3 {
+				t.Fatalf("hot query %s weight = %v, want 3", q.ID, q.Weight)
+			}
+		}
+	}
+	if hot < 160 {
+		t.Fatalf("hot templates drew %d/200, want ≥ 160", hot)
+	}
+}
+
+func TestUpdateHeavyProfileIsPointDominated(t *testing.T) {
+	schema := Schema()
+	p, err := ProfileByName("update_heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Generate(schema, 9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := 0
+	for _, q := range w.Queries {
+		if strings.Contains(q.ID, "pk_update") ||
+			strings.Contains(q.ID, "spec_update") ||
+			strings.Contains(q.ID, "fk_touch") {
+			points++
+		}
+	}
+	if points < 120 || points == len(w.Queries) {
+		t.Fatalf("point lookups = %d/200, want dominated-but-mixed (~160)", points)
+	}
+}
+
+func TestDriftingStreamHasPhases(t *testing.T) {
+	schema := Schema()
+	p, err := ProfileByName("drifting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := p.GenerateStream(schema, 11, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 90 {
+		t.Fatalf("stream length = %d, want 90", len(qs))
+	}
+	// Lengths not divisible by the phase count must still be honored.
+	for _, n := range []int{1, 2, 100} {
+		odd, err := p.GenerateStream(schema, 11, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(odd) != n {
+			t.Fatalf("stream length = %d, want %d", len(odd), n)
+		}
+	}
+	// First and last thirds must draw from disjoint template sets
+	// (photometric vs neighbors phases).
+	if !strings.HasPrefix(qs[0].ID, "photometric/") {
+		t.Fatalf("stream starts with %s, want photometric phase", qs[0].ID)
+	}
+	if !strings.HasPrefix(qs[len(qs)-1].ID, "neighbors/") {
+		t.Fatalf("stream ends with %s, want neighbors phase", qs[len(qs)-1].ID)
+	}
+}
+
+func TestStationaryStreamMatchesGenerate(t *testing.T) {
+	schema := Schema()
+	p, err := ProfileByName("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := p.GenerateStream(schema, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Generate(schema, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i].SQL != w.Queries[i].SQL {
+			t.Fatalf("stream[%d] diverges from generate", i)
+		}
+	}
+}

@@ -10,6 +10,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/catalog"
 )
 
@@ -118,3 +120,19 @@ func MediumSize() Size {
 func TinySize() Size {
 	return Size{PhotoObj: 2000, SpecObj: 200, Neighbors: 3000, Field: 40}
 }
+
+// SizeByName resolves a dataset size label (tiny|small|medium).
+func SizeByName(name string) (Size, error) {
+	switch name {
+	case "tiny":
+		return TinySize(), nil
+	case "small":
+		return SmallSize(), nil
+	case "medium":
+		return MediumSize(), nil
+	}
+	return Size{}, fmt.Errorf("workload: unknown size %q (tiny|small|medium)", name)
+}
+
+// SizeNames lists the dataset size labels, smallest first.
+func SizeNames() []string { return []string{"tiny", "small", "medium"} }
