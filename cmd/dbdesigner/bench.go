@@ -108,8 +108,17 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		warns := bench.Compare(base, res, 5.0, 2.0)
-		if len(warns) == 0 {
-			fmt.Fprintf(stderr, "baseline %s: no drift (quality tol 5%%, timing tol 2.0x)\n", *baseline)
+		// Quality/count metrics are deterministic; timing is machine-local.
+		// Report the deterministic verdict separately so timing noise on a
+		// loaded machine cannot mask the quality answer.
+		qualityWarns := 0
+		for _, w := range warns {
+			if !strings.HasPrefix(w.Message, "timing ") {
+				qualityWarns++
+			}
+		}
+		if qualityWarns == 0 {
+			fmt.Fprintf(stderr, "baseline %s: no quality drift (tol 5%%; timing warn-only at 2.0x)\n", *baseline)
 		}
 		for _, w := range warns {
 			fmt.Fprintf(stderr, "WARN %s\n", w)

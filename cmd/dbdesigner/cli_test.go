@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -167,8 +170,8 @@ func TestCmdBenchHumanTableAndBaseline(t *testing.T) {
 	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", baseline), &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(stderr.String(), "no drift") {
-		t.Errorf("baseline self-comparison should report no drift:\n%s", stderr.String())
+	if !strings.Contains(stderr.String(), "no quality drift") {
+		t.Errorf("baseline self-comparison should report no quality drift:\n%s", stderr.String())
 	}
 }
 
@@ -182,5 +185,77 @@ func TestCmdBenchRejectsBadSelections(t *testing.T) {
 	}
 	if err := cmdBench(benchArgs(t.TempDir(), "--workloads", "nope"), &sink, &sink); err == nil {
 		t.Error("unknown workload profile should error")
+	}
+}
+
+// TestCmdServeSmoke boots the serve subcommand on an ephemeral port,
+// drives a session create → add-index → evaluate → advise round trip over
+// real HTTP, and exercises the graceful-shutdown path a SIGINT would take.
+func TestCmdServeSmoke(t *testing.T) {
+	ctl := &serveControl{ready: make(chan string, 1), stop: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe([]string{"--size", "tiny", "--seed", "1", "--addr", "127.0.0.1:0"}, ctl)
+	}()
+	var base string
+	select {
+	case addr := <-ctl.ready:
+		base = "http://" + addr + "/api/v1"
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not come up in 30s")
+	}
+
+	post := func(path, body string, want int) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d\n%s", path, resp.StatusCode, want, data)
+		}
+		out := map[string]any{}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("POST %s: bad JSON: %v\n%s", path, err, data)
+		}
+		return out
+	}
+
+	created := post("/sessions", "{}", http.StatusCreated)
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("no session id in %v", created)
+	}
+	post("/sessions/"+id+"/indexes",
+		`{"table": "photoobj", "columns": ["psfmag_r"]}`, http.StatusCreated)
+	rep := post("/sessions/"+id+"/evaluate",
+		`{"sql": ["SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"]}`, http.StatusOK)
+	if rep["base_total"].(float64) <= rep["new_total"].(float64) {
+		t.Fatalf("what-if index should help: %v", rep)
+	}
+	advice := post("/advise",
+		`{"sql": ["SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"]}`, http.StatusOK)
+	if _, ok := advice["ddl"].(string); !ok {
+		t.Fatalf("advise missing ddl: %v", advice)
+	}
+
+	// Graceful shutdown: runServe must return cleanly once stopped.
+	close(ctl.stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down in 15s")
+	}
+
+	// The port must no longer accept connections.
+	if _, err := http.Get(base + "/health"); err == nil {
+		t.Fatal("server still accepting after shutdown")
 	}
 }

@@ -1,6 +1,7 @@
 // Command dbdesigner is the terminal front-end of the automated,
 // interactive and portable DB designer — the demo driver for the paper's
-// three scenarios over the synthetic SDSS dataset.
+// three scenarios over the synthetic SDSS dataset, plus a service mode
+// that exposes the designer as a JSON-over-HTTP API.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //	advise        Scenario 2: automatic indexes + partitions + schedule
 //	whatif        Scenario 1: evaluate a manually specified design
 //	online        Scenario 3: continuous tuning over a drifting stream
+//	serve         run the designer as a JSON-over-HTTP service
 //	interactions  render the index-interaction graph (Figure 2)
 //	partition     automatic partition suggestion panel (Figure 3)
 //	explain       plan one query under the current design
@@ -28,7 +30,6 @@ import (
 	"os"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 		err = cmdWhatIf(args)
 	case "online":
 		err = cmdOnline(args)
+	case "serve":
+		err = cmdServe(args)
 	case "interactions":
 		err = cmdInteractions(args)
 	case "partition":
@@ -77,6 +80,7 @@ Commands:
   advise        Scenario 2: automatic indexes + partitions + schedule
   whatif        Scenario 1: evaluate a manually specified design
   online        Scenario 3: continuous tuning over a drifting stream
+  serve         run the designer as a JSON-over-HTTP service
   interactions  render the index-interaction graph (Figure 2)
   partition     automatic partition suggestion panel (Figure 3)
   explain       plan one query under the current design
@@ -98,23 +102,8 @@ func commonFlags(fs *flag.FlagSet) (size *string, seed *int64, queries *int) {
 
 // openDesigner generates the dataset and opens the designer over it.
 func openDesigner(size string, seed int64) (*designer.Designer, error) {
-	var sz workload.Size
-	switch size {
-	case "tiny":
-		sz = workload.TinySize()
-	case "small":
-		sz = workload.SmallSize()
-	case "medium":
-		sz = workload.MediumSize()
-	default:
-		return nil, fmt.Errorf("unknown size %q (tiny|small|medium)", size)
-	}
 	fmt.Fprintf(os.Stderr, "generating %s SDSS dataset (seed %d)...\n", size, seed)
-	store, err := workload.Generate(sz, seed)
-	if err != nil {
-		return nil, err
-	}
-	return designer.Open(store), nil
+	return designer.OpenSDSS(size, seed)
 }
 
 func cmdGenerate(args []string) error {
@@ -129,21 +118,19 @@ func cmdGenerate(args []string) error {
 		return err
 	}
 	if *emit {
-		w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+		w, err := d.GenerateWorkload(*seed+1, *queries)
 		if err != nil {
 			return err
 		}
-		for _, q := range w.Queries {
-			fmt.Printf("-- %s\n%s;\n", q.ID, q.SQL)
+		for _, q := range w.Queries() {
+			fmt.Printf("-- %s\n%s;\n", q.ID(), q.SQL())
 		}
 		return nil
 	}
 	fmt.Println("tables:")
-	for _, t := range d.Schema().Tables() {
-		h := d.Store().Heap(t.Name)
-		ts := d.Store().Stats.Table(t.Name)
+	for _, t := range d.Describe() {
 		fmt.Printf("  %-10s %8d rows %6d pages %3d columns (row width %d bytes)\n",
-			t.Name, h.RowCount(), ts.Pages, len(t.Columns), t.RowWidthBytes())
+			t.Name, t.RowCount, t.Pages, len(t.Columns), t.RowWidthBytes)
 	}
 	return nil
 }

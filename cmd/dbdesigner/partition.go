@@ -1,13 +1,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
 
-	"repro/internal/autopart"
-	"repro/internal/catalog"
-	"repro/internal/workload"
+	"repro/designer"
 )
 
 // cmdPartition renders the automatic partition suggestion panel — the
@@ -21,21 +20,21 @@ func cmdPartition(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
 	}
-	w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+	w, err := d.GenerateWorkload(*seed+1, *queries)
 	if err != nil {
 		return err
 	}
 
-	adv := autopart.New(d.Engine())
-	opts := autopart.DefaultOptions()
+	opts := designer.DefaultPartitionOptions()
 	if !*horizontal {
 		opts.HorizontalFragments = nil
 	}
-	res, err := adv.Advise(w, nil, opts)
+	res, err := d.AdvisePartitions(ctx, w, opts)
 	if err != nil {
 		return err
 	}
@@ -46,10 +45,10 @@ func cmdPartition(args []string) error {
 		fmt.Println("|   (no beneficial partitioning found)")
 	}
 	for _, tr := range res.Tables {
-		if tr.Vertical != nil {
-			fmt.Printf("|   VERTICAL   %s\n", wrapFragments(tr.Vertical.String(), "|              "))
+		if tr.Vertical != "" {
+			fmt.Printf("|   VERTICAL   %s\n", wrapFragments(tr.Vertical, "|              "))
 		}
-		if tr.Horizontal != nil {
+		if tr.Horizontal != "" {
 			fmt.Printf("|   HORIZONTAL %s\n", tr.Horizontal)
 		}
 		fmt.Printf("|              table benefit: %.1f%%\n", tr.Improvement()*100)
@@ -60,34 +59,22 @@ func cmdPartition(args []string) error {
 	fmt.Println("|")
 	fmt.Println("| Per-query benefit:")
 
-	empty := catalog.NewConfiguration()
-	for _, q := range w.Queries {
-		cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
-		if err != nil {
-			return err
-		}
-		before, err := d.Cache().CostFor(cq, empty)
-		if err != nil {
-			return err
-		}
-		after, err := d.Cache().CostFor(cq, res.Config)
-		if err != nil {
-			return err
-		}
-		pct := 0.0
-		if before > 0 {
-			pct = (before - after) / before * 100
-		}
-		fmt.Printf("|   %-28s %10.1f -> %10.1f  (%5.1f%%)\n", q.ID, before, after, pct)
+	rep, err := d.Evaluate(ctx, w, res.Config())
+	if err != nil {
+		return err
+	}
+	for _, qb := range rep.Queries {
+		fmt.Printf("|   %-28s %10.1f -> %10.1f  (%5.1f%%)\n",
+			qb.ID, qb.BaseCost, qb.NewCost, qb.BenefitPct())
 	}
 	fmt.Println("+-----------------------------------------------------------------------------------------+")
 
 	if *rewrites > 0 {
 		fmt.Println("\nRewritten queries for the new partitions:")
 		n := 0
-		for _, q := range w.Queries {
-			if sql, changed := autopart.RewriteQuery(q.Stmt, d.Schema(), res.Config); changed {
-				fmt.Printf("  %s:\n    %s\n", q.ID, sql)
+		for _, q := range w.Queries() {
+			if sql, ok := res.Rewritten[q.ID()]; ok {
+				fmt.Printf("  %s:\n    %s\n", q.ID(), sql)
 				if n++; n >= *rewrites {
 					break
 				}

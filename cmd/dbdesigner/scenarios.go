@@ -1,16 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/designer"
-	"repro/internal/colt"
-	"repro/internal/cophy"
-	"repro/internal/interaction"
-	"repro/internal/workload"
 )
 
 // cmdAdvise is Scenario 2: automatic index + partition suggestion with the
@@ -30,6 +28,7 @@ func cmdAdvise(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
@@ -38,19 +37,19 @@ func cmdAdvise(args []string) error {
 	if err != nil {
 		return err
 	}
-	var seeds []*designer.Index
+	var seeds []designer.Index
 	for _, spec := range seedSpecs {
 		table, cols, err := parseIndexSpec(spec)
 		if err != nil {
 			return err
 		}
-		ix, err := d.WhatIf().HypotheticalIndex(table, cols...)
+		ix, err := d.HypotheticalIndex(table, cols...)
 		if err != nil {
 			return err
 		}
 		seeds = append(seeds, ix)
 	}
-	advice, err := d.Advise(w, designer.AdviceOptions{
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{
 		StorageBudgetPages: *budget,
 		NodeBudget:         *nodes,
 		Partitions:         *partitions,
@@ -63,10 +62,10 @@ func cmdAdvise(args []string) error {
 	}
 	fmt.Print(advice.Summary())
 	if *ddl {
-		fmt.Printf("\n%s", advice.DDL(d.Schema()))
+		fmt.Printf("\n%s", advice.DDL())
 	}
 	if *materialize && len(advice.Indexes) > 0 {
-		io, err := d.Materialize(advice.Indexes)
+		io, err := d.Materialize(ctx, advice.Indexes)
 		if err != nil {
 			return err
 		}
@@ -87,11 +86,12 @@ func cmdWhatIf(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
 	}
-	w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+	w, err := d.GenerateWorkload(*seed+1, *queries)
 	if err != nil {
 		return err
 	}
@@ -133,7 +133,7 @@ func cmdWhatIf(args []string) error {
 		}
 	}
 
-	rep, err := s.Evaluate(w)
+	rep, err := s.Evaluate(ctx, w)
 	if err != nil {
 		return err
 	}
@@ -149,11 +149,11 @@ func cmdWhatIf(args []string) error {
 			marker, qb.ID, qb.BaseCost, qb.NewCost, qb.BenefitPct())
 	}
 
-	g, err := s.InteractionGraph(w)
+	g, err := s.InteractionGraph(ctx, w)
 	if err != nil {
 		return err
 	}
-	if len(g.Edges) > 0 {
+	if len(g.Edges()) > 0 {
 		fmt.Printf("\n=== Index interactions ===\n%s", g.Render(10))
 	}
 	if rw := s.RewrittenQueries(w); len(rw) > 0 {
@@ -179,22 +179,24 @@ func cmdOnline(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
 	}
-	opts := colt.DefaultOptions()
+	opts := designer.DefaultTunerOptions()
 	opts.EpochLength = *epoch
 	opts.SpaceBudgetPages = *budget
 	tuner := d.NewOnlineTuner(opts)
-	tuner.OnAlert(func(a colt.Alert) {
+	defer tuner.Close()
+	tuner.OnAlert(func(a designer.TunerAlert) {
 		fmt.Printf("ALERT  %s\n", a)
 	})
-	stream, err := workload.Stream(d.Schema(), *seed+2, workload.DefaultDriftPhases(*perPhase))
+	stream, err := d.DriftStream(*seed+2, *perPhase)
 	if err != nil {
 		return err
 	}
-	total, err := tuner.ObserveAll(stream)
+	total, err := tuner.ObserveAll(ctx, stream)
 	if err != nil {
 		return err
 	}
@@ -222,15 +224,16 @@ func cmdInteractions(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
 	}
-	w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+	w, err := d.GenerateWorkload(*seed+1, *queries)
 	if err != nil {
 		return err
 	}
-	advice, err := d.Advise(w, designer.AdviceOptions{})
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{})
 	if err != nil {
 		return err
 	}
@@ -238,7 +241,7 @@ func cmdInteractions(args []string) error {
 		fmt.Println("fewer than two advised indexes; nothing to interact")
 		return nil
 	}
-	g, err := interaction.Analyze(d.Engine(), w, advice.Indexes, interaction.DefaultOptions())
+	g, err := d.Interactions(ctx, w, advice.Indexes)
 	if err != nil {
 		return err
 	}
@@ -252,11 +255,7 @@ func cmdInteractions(args []string) error {
 			len(advice.Indexes), *topK, g.Render(*topK))
 		fmt.Println("\nstable subsets (doi >= 0.05 connects):")
 		for i, grp := range g.StableSubsets(0.05) {
-			var names []string
-			for _, ord := range grp {
-				names = append(names, g.Indexes[ord].Key())
-			}
-			fmt.Printf("  %d: %s\n", i+1, strings.Join(names, ", "))
+			fmt.Printf("  %d: %s\n", i+1, strings.Join(grp, ", "))
 		}
 	}
 	return nil
@@ -273,7 +272,7 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	if *sql == "" {
-		return fmt.Errorf("--sql is required")
+		return errors.New("--sql is required")
 	}
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
@@ -306,16 +305,17 @@ func cmdCompare(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 	d, err := openDesigner(*size, *seed)
 	if err != nil {
 		return err
 	}
-	w, err := workload.NewWorkload(d.Schema(), *seed+1, *queries)
+	w, err := d.GenerateWorkload(*seed+1, *queries)
 	if err != nil {
 		return err
 	}
 	// Determine the total candidate footprint for budget fractions.
-	probe, err := d.AdviseCoPhy(w, cophy.DefaultOptions())
+	probe, err := d.AdviseCoPhy(ctx, w, designer.DefaultSolverOptions())
 	if err != nil {
 		return err
 	}
@@ -329,13 +329,13 @@ func cmdCompare(args []string) error {
 	fmt.Println("budget(pages)  cophy-cost  cophy-gap  greedy-cost  cophy-wins-by")
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 		budget := int64(float64(total) * frac)
-		copts := cophy.DefaultOptions()
+		copts := designer.DefaultSolverOptions()
 		copts.StorageBudgetPages = budget
-		cres, err := d.AdviseCoPhy(w, copts)
+		cres, err := d.AdviseCoPhy(ctx, w, copts)
 		if err != nil {
 			return err
 		}
-		gres, err := d.AdviseGreedy(w, budget)
+		gres, err := d.AdviseGreedy(ctx, w, budget)
 		if err != nil {
 			return err
 		}
@@ -349,9 +349,9 @@ func cmdCompare(args []string) error {
 // loadWorkload reads a SQL script workload from a file, or generates the
 // default SDSS workload when the path is empty. Duplicate statements are
 // compressed into weights.
-func loadWorkload(d *designer.Designer, path string, seed int64, queries int) (*workload.Workload, error) {
+func loadWorkload(d *designer.Designer, path string, seed int64, queries int) (*designer.Workload, error) {
 	if path == "" {
-		return workload.NewWorkload(d.Schema(), seed, queries)
+		return d.GenerateWorkload(seed, queries)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -389,8 +389,8 @@ func parseVPartSpec(spec string, d *designer.Designer) (string, [][]string, erro
 		return "", nil, fmt.Errorf("bad vpart spec %q (want table:colA,colB|colC)", spec)
 	}
 	table := parts[0]
-	t := d.Schema().Table(table)
-	if t == nil {
+	info, ok := d.DescribeTable(table)
+	if !ok {
 		return "", nil, fmt.Errorf("unknown table %q", table)
 	}
 	var frags [][]string
@@ -410,14 +410,10 @@ func parseVPartSpec(spec string, d *designer.Designer) (string, [][]string, erro
 		}
 	}
 	// Remaining non-PK columns become the last fragment.
-	pk := map[string]bool{}
-	for _, c := range t.PrimaryKey {
-		pk[strings.ToLower(c)] = true
-	}
 	var rest []string
-	for _, c := range t.Columns {
+	for _, c := range info.Columns {
 		lc := strings.ToLower(c.Name)
-		if !used[lc] && !pk[lc] {
+		if !used[lc] && !c.PrimaryKey {
 			rest = append(rest, lc)
 		}
 	}

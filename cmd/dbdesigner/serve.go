@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/designer/serve"
+)
+
+// serveControl lets tests drive the serve loop: ready receives the bound
+// address once listening; closing stop triggers the same graceful shutdown
+// a SIGINT would.
+type serveControl struct {
+	ready chan string
+	stop  chan struct{}
+}
+
+// cmdServe runs the designer as a JSON-over-HTTP service until SIGINT or
+// SIGTERM, then shuts down gracefully.
+func cmdServe(args []string) error { return runServe(args, nil) }
+
+func runServe(args []string, ctl *serveControl) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	size, seed, _ := commonFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:0 for an ephemeral port)")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := openDesigner(*size, *seed)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(d)
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dbdesigner: serving the design API on http://%s/api/v1/\n", srv.Addr())
+	if ctl != nil && ctl.ready != nil {
+		ctl.ready <- srv.Addr()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var stop <-chan struct{}
+	if ctl != nil {
+		stop = ctl.stop
+	}
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "dbdesigner: %v received, shutting down...\n", sig)
+	case <-stop:
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "dbdesigner: shutdown complete")
+	return nil
+}

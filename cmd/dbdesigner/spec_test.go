@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
 func TestParseIndexSpec(t *testing.T) {
@@ -39,11 +38,10 @@ func TestParseHPartSpec(t *testing.T) {
 }
 
 func TestParseVPartSpecFillsRemainder(t *testing.T) {
-	store, err := workload.Generate(workload.TinySize(), 1)
+	d, err := designer.OpenSDSS("tiny", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := designer.Open(store)
 	table, frags, err := parseVPartSpec("photoobj:ra,dec|type", d)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +71,11 @@ func TestParseVPartSpecFillsRemainder(t *testing.T) {
 			seen[c]++
 		}
 	}
-	want := len(d.Schema().Table("photoobj").Columns) - 1 // minus PK
+	info, ok := d.DescribeTable("photoobj")
+	if !ok {
+		t.Fatal("photoobj missing from Describe")
+	}
+	want := len(info.Columns) - 1 // minus PK
 	if len(seen) != want {
 		t.Fatalf("covered %d columns, want %d", len(seen), want)
 	}

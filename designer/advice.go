@@ -1,6 +1,8 @@
 package designer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,7 +13,6 @@ import (
 	"repro/internal/interaction"
 	"repro/internal/schedule"
 	"repro/internal/whatif"
-	"repro/internal/workload"
 )
 
 // AdviceOptions configure a full automatic design run (Scenario 2).
@@ -26,10 +27,10 @@ type AdviceOptions struct {
 	// interaction-aware materialization schedule.
 	Interactions bool
 	// CandidateOptions tunes candidate enumeration; zero value = defaults.
-	CandidateOptions whatif.CandidateOptions
+	CandidateOptions CandidateOptions
 	// SeedIndexes are user-suggested candidates added to the automatically
 	// enumerated set — the paper's "starting point of the search" control.
-	SeedIndexes []*catalog.Index
+	SeedIndexes []Index
 	// PinIndexes additionally forces the seeds into the final solution.
 	PinIndexes bool
 }
@@ -38,40 +39,57 @@ type AdviceOptions struct {
 // panel contents.
 type Advice struct {
 	// Indexes is the recommended index set (CoPhy's solution).
-	Indexes []*catalog.Index
-	// CoPhy carries the solver telemetry (objective, bound, gap, nodes).
-	CoPhy *cophy.Result
+	Indexes []Index
+	// Solver carries the CoPhy telemetry (objective, bound, gap, nodes).
+	Solver *SolverResult
 	// Partitions is the AutoPart result (nil unless requested/beneficial).
-	Partitions *autopart.Result
+	Partitions *PartitionResult
 	// Report lists per-query and workload-level benefits of the complete
 	// design (indexes + partitions) versus the current configuration.
-	Report *whatif.Report
+	Report *Report
 	// Graph is the index-interaction graph over the recommendation.
-	Graph *interaction.Graph
+	Graph *InteractionGraph
 	// Schedule is the interaction-aware materialization order.
-	Schedule *schedule.Schedule
-	// Config is the complete advised configuration.
-	Config *catalog.Configuration
+	Schedule *Schedule
+
+	// cfg is the complete advised configuration; schema backs DDL
+	// rendering — the advice knows where it came from, so DDL() needs no
+	// arguments.
+	cfg    *catalog.Configuration
+	schema *catalog.Schema
 }
+
+// Config returns the complete advised configuration.
+func (a *Advice) Config() *Configuration { return configFromInternal(a.cfg) }
 
 // Advise runs the full automatic design pipeline (Scenario 2): candidate
 // generation → CoPhy BIP → AutoPart partitions → benefit report →
-// interaction graph → materialization schedule.
-func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, error) {
-	if len(w.Queries) == 0 {
-		return nil, fmt.Errorf("designer: empty workload")
+// interaction graph → materialization schedule. Each phase honors ctx; a
+// cancelled run returns ctx.Err() promptly, mid-sweep or mid-solve.
+func (d *Designer) Advise(ctx context.Context, w *Workload, opts AdviceOptions) (*Advice, error) {
+	iw := w.internal()
+	if len(iw.Queries) == 0 {
+		return nil, errors.New("designer: empty workload")
 	}
-	candOpts := opts.CandidateOptions
+	// One engine generation for the WHOLE pipeline: candidate generation,
+	// CoPhy, AutoPart, the benefit report, the interaction graph, and the
+	// schedule all price against the same snapshot, so a concurrent
+	// Materialize/Analyze cannot make the advice internally inconsistent
+	// (e.g. a report priced against a base that already contains the
+	// solver's indexes).
+	v := d.eng.Pin()
+	candOpts := opts.CandidateOptions.internal()
 	if candOpts.MaxPerTable == 0 {
 		candOpts = whatif.DefaultCandidateOptions()
 	}
-	cands := d.eng.GenerateCandidates(w, candOpts)
+	cands := v.Session().GenerateCandidates(iw, candOpts)
 	// User-suggested candidates join (and may be pinned into) the search.
 	have := make(map[string]bool, len(cands))
 	for _, ix := range cands {
 		have[ix.Key()] = true
 	}
-	for _, ix := range opts.SeedIndexes {
+	seeds := indexesToInternal(opts.SeedIndexes)
+	for _, ix := range seeds {
 		if !have[ix.Key()] {
 			cands = append(cands, ix)
 			have[ix.Key()] = true
@@ -82,55 +100,56 @@ func (d *Designer) Advise(w *workload.Workload, opts AdviceOptions) (*Advice, er
 	copts.StorageBudgetPages = opts.StorageBudgetPages
 	copts.NodeBudget = opts.NodeBudget
 	if opts.PinIndexes {
-		for _, ix := range opts.SeedIndexes {
+		for _, ix := range seeds {
 			copts.PinnedKeys = append(copts.PinnedKeys, ix.Key())
 		}
 	}
 	adv := cophy.New(d.eng, cands)
-	cres, err := adv.Advise(w, copts)
+	cres, err := adv.AdviseView(ctx, v, iw, copts)
 	if err != nil {
 		return nil, err
 	}
 
 	out := &Advice{
-		Indexes: cres.Indexes,
-		CoPhy:   cres,
-		Config:  catalog.NewConfiguration(),
+		Indexes: indexesFromInternal(cres.Indexes),
+		Solver:  solverResultFromInternal(cres),
+		cfg:     catalog.NewConfiguration(),
+		schema:  d.store.Schema,
 	}
 	for _, ix := range cres.Indexes {
-		out.Config = out.Config.WithIndex(ix)
+		out.cfg = out.cfg.WithIndex(ix)
 	}
 
 	if opts.Partitions {
 		papt := autopart.New(d.eng)
-		pres, err := papt.Advise(w, out.Config, autopart.DefaultOptions())
+		pres, err := papt.AdviseView(ctx, v, iw, out.cfg, autopart.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
 		if pres.Improvement() > 0 {
-			out.Partitions = pres
-			out.Config = pres.Config
+			out.Partitions = d.partitionResultFromInternal(iw, pres)
+			out.cfg = pres.Config
 		}
 	}
 
-	rep, err := d.eng.Evaluate(w, out.Config)
+	rep, err := v.Evaluate(ctx, iw, out.cfg)
 	if err != nil {
 		return nil, err
 	}
-	out.Report = rep
+	out.Report = reportFromInternal(rep)
 
 	if opts.Interactions && len(out.Indexes) >= 2 {
-		g, err := interaction.Analyze(d.eng, w, out.Indexes, interaction.DefaultOptions())
+		g, err := interaction.AnalyzeView(ctx, v, iw, cres.Indexes, interaction.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
-		out.Graph = g
+		out.Graph = graphFromInternal(g)
 		sched := schedule.New(d.eng)
-		s, err := sched.Greedy(w, out.Indexes)
+		s, err := sched.GreedyView(ctx, v, iw, cres.Indexes)
 		if err != nil {
 			return nil, err
 		}
-		out.Schedule = s
+		out.Schedule = scheduleFromInternal(s)
 	}
 	return out, nil
 }
@@ -147,17 +166,17 @@ func (a *Advice) Summary() string {
 	for _, ix := range a.Indexes {
 		fmt.Fprintf(&b, "  %-48s %8d pages\n", ix.Key(), ix.EstimatedPages)
 	}
-	if a.CoPhy != nil {
+	if a.Solver != nil {
 		fmt.Fprintf(&b, "  solver: objective=%.1f bound=%.1f gap=%.2f%% nodes=%d proven=%v\n",
-			a.CoPhy.Objective, a.CoPhy.Bound, a.CoPhy.Gap()*100, a.CoPhy.Nodes, a.CoPhy.Proven)
+			a.Solver.Objective, a.Solver.Bound, a.Solver.Gap()*100, a.Solver.Nodes, a.Solver.Proven)
 	}
 	if a.Partitions != nil && len(a.Partitions.Tables) > 0 {
 		b.WriteString("=== Suggested partitions ===\n")
 		for _, tr := range a.Partitions.Tables {
-			if tr.Vertical != nil {
+			if tr.Vertical != "" {
 				fmt.Fprintf(&b, "  vertical   %s\n", tr.Vertical)
 			}
-			if tr.Horizontal != nil {
+			if tr.Horizontal != "" {
 				fmt.Fprintf(&b, "  horizontal %s\n", tr.Horizontal)
 			}
 		}
@@ -166,7 +185,7 @@ func (a *Advice) Summary() string {
 		b.WriteString("=== Workload benefit ===\n")
 		fmt.Fprintf(&b, "  total: %.1f -> %.1f  (%.1f%% improvement)\n",
 			a.Report.BaseTotal, a.Report.NewTotal, a.Report.AvgBenefitPct())
-		qs := append([]whatif.QueryBenefit(nil), a.Report.Queries...)
+		qs := append([]QueryBenefit(nil), a.Report.Queries...)
 		sort.Slice(qs, func(i, j int) bool { return qs[i].Benefit() > qs[j].Benefit() })
 		n := len(qs)
 		if n > 8 {
@@ -180,7 +199,7 @@ func (a *Advice) Summary() string {
 			fmt.Fprintf(&b, "  ... and %d more queries\n", len(qs)-n)
 		}
 	}
-	if a.Graph != nil && len(a.Graph.Edges) > 0 {
+	if a.Graph != nil && len(a.Graph.g.Edges) > 0 {
 		b.WriteString("=== Index interactions (top 10) ===\n")
 		b.WriteString(indent(a.Graph.Render(10), "  "))
 	}

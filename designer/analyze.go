@@ -3,10 +3,6 @@ package designer
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/catalog"
-	"repro/internal/storage"
-	"repro/internal/workload"
 )
 
 // ExplainAnalysis pairs the optimizer's view of a query with its actual
@@ -20,7 +16,7 @@ type ExplainAnalysis struct {
 	// ActualRows is the number of rows the execution produced.
 	ActualRows int
 	// IO is the measured logical page I/O.
-	IO storage.IOCounter
+	IO IOStats
 }
 
 // String renders the analysis.
@@ -34,9 +30,14 @@ func (e *ExplainAnalysis) String() string {
 
 // ExplainAnalyze plans the query under the materialized design, executes
 // it, and reports estimated versus actual figures — the calibration view
-// that backs DESIGN.md's "estimated-vs-executed" substitution argument.
-func (d *Designer) ExplainAnalyze(q workload.Query) (*ExplainAnalysis, error) {
-	plan, err := d.eng.Optimize(q.Stmt, d.store.MaterializedConfiguration())
+// that backs the "estimated-vs-executed" substitution argument.
+func (d *Designer) ExplainAnalyze(q Query) (*ExplainAnalysis, error) {
+	if err := q.valid(); err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	plan, err := d.eng.Optimize(q.stmt, d.store.MaterializedConfiguration())
 	if err != nil {
 		return nil, err
 	}
@@ -49,49 +50,6 @@ func (d *Designer) ExplainAnalyze(q workload.Query) (*ExplainAnalysis, error) {
 		EstimatedCost: plan.TotalCost(),
 		EstimatedRows: plan.EstRows(),
 		ActualRows:    len(res.Rows),
-		IO:            res.IO,
+		IO:            ioFromInternal(res.IO),
 	}, nil
-}
-
-// CompressWorkload merges queries with identical canonical SQL, summing
-// their weights — the standard preprocessing step before advising on a
-// query log, where the same template instance repeats many times.
-func CompressWorkload(w *workload.Workload) *workload.Workload {
-	type slot struct {
-		idx int
-	}
-	seen := make(map[string]slot, len(w.Queries))
-	out := &workload.Workload{}
-	for _, q := range w.Queries {
-		key := q.Stmt.String()
-		if s, ok := seen[key]; ok {
-			out.Queries[s.idx].Weight += q.Weight
-			continue
-		}
-		seen[key] = slot{idx: len(out.Queries)}
-		out.Queries = append(out.Queries, q)
-	}
-	return out
-}
-
-// ConfigurationDiff describes what separates two physical designs.
-type ConfigurationDiff struct {
-	AddedIndexes   []*catalog.Index
-	DroppedIndexes []*catalog.Index
-}
-
-// DiffConfigurations reports the index changes from old to new.
-func DiffConfigurations(old, new *catalog.Configuration) ConfigurationDiff {
-	var d ConfigurationDiff
-	for _, ix := range new.Indexes {
-		if !old.HasIndex(ix.Key()) {
-			d.AddedIndexes = append(d.AddedIndexes, ix)
-		}
-	}
-	for _, ix := range old.Indexes {
-		if !new.HasIndex(ix.Key()) {
-			d.DroppedIndexes = append(d.DroppedIndexes, ix)
-		}
-	}
-	return d
 }

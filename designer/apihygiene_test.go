@@ -1,0 +1,168 @@
+package designer_test
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestAPIHygiene walks every exported identifier of the public packages
+// with go/types and fails if any internal/... type is reachable from the
+// public surface — the guarantee that external modules can name everything
+// the v2 facade exchanges. This is the machine-checked form of the facade
+// contract: aliases to internal types, internal types in exported struct
+// fields, and internal types in any exported signature all fail here.
+func TestAPIHygiene(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, path := range []string{"repro/designer", "repro/designer/serve"} {
+		pkg, err := imp.Import(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		checkPackage(t, pkg)
+	}
+}
+
+func checkPackage(t *testing.T, pkg *types.Package) {
+	t.Helper()
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		w := &hygieneWalker{t: t, pkg: pkg, seen: map[types.Type]bool{}}
+		switch o := obj.(type) {
+		case *types.TypeName:
+			w.checkTypeName(o)
+		case *types.Func:
+			w.check(o.Type(), pkg.Path()+"."+name)
+		case *types.Var, *types.Const:
+			w.check(obj.Type(), pkg.Path()+"."+name)
+		}
+	}
+}
+
+type hygieneWalker struct {
+	t    *testing.T
+	pkg  *types.Package
+	seen map[types.Type]bool
+}
+
+// isInternal reports whether the named type lives under an internal tree.
+func isInternal(obj *types.TypeName) bool {
+	if obj.Pkg() == nil {
+		return false // universe types (error, ...)
+	}
+	p := obj.Pkg().Path()
+	return strings.HasPrefix(p, "repro/internal/") || strings.Contains(p, "/internal/")
+}
+
+// checkTypeName vets one exported type declaration: its definition (alias
+// target or underlying exported structure) and the exported method set.
+func (w *hygieneWalker) checkTypeName(o *types.TypeName) {
+	where := w.pkg.Path() + "." + o.Name()
+	if o.IsAlias() {
+		// An alias's meaning IS the aliased type: `type Index =
+		// catalog.Index` would put an internal type on the surface.
+		w.check(o.Type(), where+" (alias target)")
+		return
+	}
+	named, ok := o.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	// Exported structure of the underlying type.
+	w.checkUnderlying(named.Underlying(), where)
+	// Exported methods (pointer method set covers both receivers).
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		w.check(m.Type(), where+"."+m.Name())
+	}
+}
+
+// checkUnderlying vets the parts of a defined type that are visible to
+// external users: exported struct fields and exported interface methods.
+// Unexported fields are opaque handles and deliberately allowed — that is
+// exactly how the facade wraps internal state.
+func (w *hygieneWalker) checkUnderlying(u types.Type, where string) {
+	switch ut := u.(type) {
+	case *types.Struct:
+		for i := 0; i < ut.NumFields(); i++ {
+			f := ut.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			w.check(f.Type(), where+"."+f.Name())
+		}
+	case *types.Interface:
+		for i := 0; i < ut.NumExplicitMethods(); i++ {
+			m := ut.ExplicitMethod(i)
+			if m.Exported() {
+				w.check(m.Type(), where+"."+m.Name())
+			}
+		}
+	default:
+		w.check(u, where)
+	}
+}
+
+// check recursively vets a type reference appearing on the public surface.
+func (w *hygieneWalker) check(t types.Type, where string) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		if isInternal(tt.Obj()) {
+			w.t.Errorf("%s leaks internal type %s", where, types.TypeString(tt, nil))
+			return
+		}
+		// Same-package named types are vetted by their own declaration
+		// walk; foreign non-internal named types (stdlib) are fine. Type
+		// arguments still need a look (e.g. a []internal.T instantiation).
+		if args := tt.TypeArgs(); args != nil {
+			for i := 0; i < args.Len(); i++ {
+				w.check(args.At(i), where)
+			}
+		}
+	case *types.Alias:
+		w.check(types.Unalias(tt), where)
+	case *types.Pointer:
+		w.check(tt.Elem(), where)
+	case *types.Slice:
+		w.check(tt.Elem(), where)
+	case *types.Array:
+		w.check(tt.Elem(), where)
+	case *types.Map:
+		w.check(tt.Key(), where)
+		w.check(tt.Elem(), where)
+	case *types.Chan:
+		w.check(tt.Elem(), where)
+	case *types.Signature:
+		for i := 0; i < tt.Params().Len(); i++ {
+			w.check(tt.Params().At(i).Type(), fmt.Sprintf("%s (param %d)", where, i))
+		}
+		for i := 0; i < tt.Results().Len(); i++ {
+			w.check(tt.Results().At(i).Type(), fmt.Sprintf("%s (result %d)", where, i))
+		}
+	case *types.Struct:
+		// Anonymous struct in a signature: every field is visible.
+		for i := 0; i < tt.NumFields(); i++ {
+			w.check(tt.Field(i).Type(), where+"."+tt.Field(i).Name())
+		}
+	case *types.Interface:
+		for i := 0; i < tt.NumExplicitMethods(); i++ {
+			w.check(tt.ExplicitMethod(i).Type(), where+"."+tt.ExplicitMethod(i).Name())
+		}
+	}
+}

@@ -54,7 +54,7 @@ func NewFromDDL(ddl string) (*Designer, error) {
 	if err := store.Analyze(); err != nil {
 		return nil, err
 	}
-	return Open(store), nil
+	return openStore(store), nil
 }
 
 // Insert adds one row to a table, converting Go values to datums: int/
@@ -71,12 +71,14 @@ func (d *Designer) Insert(table string, values ...any) error {
 	}
 	row := make(catalog.Row, len(values))
 	for i, v := range values {
-		d, err := toDatum(v)
+		dv, err := toDatum(v)
 		if err != nil {
 			return fmt.Errorf("designer: column %s: %w", t.Columns[i].Name, err)
 		}
-		row[i] = d
+		row[i] = dv
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	_, _, err := d.store.InsertRow(table, row)
 	return err
 }
@@ -90,6 +92,8 @@ func (d *Designer) InsertRows(table string, rows [][]any) error {
 	if t == nil {
 		return fmt.Errorf("designer: unknown table %q", table)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, bt := range d.store.Indexes() {
 		if d.store.Schema.Table(bt.Meta.Table) == t {
 			return fmt.Errorf("designer: table %s has materialized index %s; bulk-load before creating indexes or use Insert",
@@ -116,12 +120,16 @@ func (d *Designer) InsertRows(table string, rows [][]any) error {
 
 // Analyze refreshes statistics after loading data.
 func (d *Designer) Analyze() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.store.Analyze(); err != nil {
 		return err
 	}
-	// Invalidate the engine so new statistics are visible everywhere,
-	// including the INUM cache's memoized access costs.
-	d.eng.SetBaseConfig(d.store.MaterializedConfiguration())
+	// The store swapped in a fresh statistics catalog (copy-on-write);
+	// hand it to the engine so new generations price with the new numbers
+	// while pinned views keep the old catalog, and invalidate the INUM
+	// cache's memoized access costs.
+	d.eng.SetStats(d.store.Stats, d.store.MaterializedConfiguration())
 	return nil
 }
 

@@ -1,27 +1,25 @@
 package designer_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/designer"
-	"repro/internal/colt"
-	"repro/internal/cophy"
-	"repro/internal/workload"
 )
 
 func open(t *testing.T) *designer.Designer {
 	t.Helper()
-	store, err := workload.Generate(workload.TinySize(), 111)
+	d, err := designer.OpenSDSS("tiny", 111)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return designer.Open(store)
+	return d
 }
 
-func sdssWorkload(t *testing.T, d *designer.Designer, n int) *workload.Workload {
+func sdssWorkload(t *testing.T, d *designer.Designer, n int) *designer.Workload {
 	t.Helper()
-	w, err := workload.NewWorkload(d.Schema(), 112, n)
+	w, err := d.GenerateWorkload(112, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,8 +35,8 @@ func TestWorkloadFromSQLAndScript(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w.Queries) != 2 {
-		t.Fatalf("queries = %d", len(w.Queries))
+	if w.Len() != 2 {
+		t.Fatalf("queries = %d", w.Len())
 	}
 	w2, err := d.WorkloadFromScript(`
 		SELECT objid FROM photoobj WHERE objid = 1;
@@ -47,8 +45,8 @@ func TestWorkloadFromSQLAndScript(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(w2.Queries) != 2 {
-		t.Fatalf("script queries = %d", len(w2.Queries))
+	if w2.Len() != 2 {
+		t.Fatalf("script queries = %d", w2.Len())
 	}
 	if _, err := d.WorkloadFromSQL([]string{"SELECT nope FROM photoobj"}); err == nil {
 		t.Fatal("bad column should fail")
@@ -58,7 +56,7 @@ func TestWorkloadFromSQLAndScript(t *testing.T) {
 func TestAdviseEndToEnd(t *testing.T) {
 	d := open(t)
 	w := sdssWorkload(t, d, 12)
-	advice, err := d.Advise(w, designer.AdviceOptions{
+	advice, err := d.Advise(context.Background(), w, designer.AdviceOptions{
 		Partitions:   true,
 		Interactions: true,
 	})
@@ -86,30 +84,32 @@ func TestAdviseEndToEnd(t *testing.T) {
 }
 
 func TestMaterializeAdvice(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
 	w := sdssWorkload(t, d, 8)
-	advice, err := d.Advise(w, designer.AdviceOptions{})
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(advice.Indexes) == 0 {
 		t.Skip("nothing advised on this workload")
 	}
-	io, err := d.Materialize(advice.Indexes)
+	io, err := d.Materialize(ctx, advice.Indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if io.Total() == 0 {
 		t.Fatal("materialization should cost I/O")
 	}
+	cur := d.CurrentConfiguration()
 	for _, ix := range advice.Indexes {
-		if d.Store().Index(ix.Key()) == nil {
+		if !cur.HasIndex(ix.Key()) {
 			t.Fatalf("index %s not materialized", ix.Key())
 		}
 	}
 	// Executing a query now uses the real indexes; estimated cost under
 	// the materialized design must not exceed the before-design cost.
-	q := w.Queries[0]
+	q := w.Query(0)
 	after, err := d.Cost(q, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestMaterializeAdvice(t *testing.T) {
 		t.Fatal("degenerate cost")
 	}
 	// Re-materializing is a no-op.
-	io2, err := d.Materialize(advice.Indexes)
+	io2, err := d.Materialize(ctx, advice.Indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,6 +128,7 @@ func TestMaterializeAdvice(t *testing.T) {
 }
 
 func TestDesignSessionScenario1(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
 	w := sdssWorkload(t, d, 10)
 	s := d.NewDesignSession()
@@ -145,7 +146,7 @@ func TestDesignSessionScenario1(t *testing.T) {
 		t.Fatal("duplicate index should error")
 	}
 
-	rep, err := s.Evaluate(w)
+	rep, err := s.Evaluate(ctx, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,12 +154,12 @@ func TestDesignSessionScenario1(t *testing.T) {
 		t.Fatalf("what-if design made things worse: %f -> %f", rep.BaseTotal, rep.NewTotal)
 	}
 
-	g, err := s.InteractionGraph(w)
+	g, err := s.InteractionGraph(ctx, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Indexes) != 3 {
-		t.Fatalf("graph over %d indexes, want 3", len(g.Indexes))
+	if len(g.Indexes()) != 3 {
+		t.Fatalf("graph over %d indexes, want 3", len(g.Indexes()))
 	}
 
 	if !s.DropIndex("specobj(bestobjid)") {
@@ -170,6 +171,7 @@ func TestDesignSessionScenario1(t *testing.T) {
 }
 
 func TestDesignSessionPartitions(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
 	w, err := d.WorkloadFromSQL([]string{
 		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 120",
@@ -179,7 +181,10 @@ func TestDesignSessionPartitions(t *testing.T) {
 	}
 	s := d.NewDesignSession()
 
-	tab := d.Schema().Table("photoobj")
+	tab, ok := d.DescribeTable("photoobj")
+	if !ok {
+		t.Fatal("photoobj missing from Describe")
+	}
 	var hot, cold []string
 	for _, c := range tab.Columns {
 		lc := strings.ToLower(c.Name)
@@ -198,7 +203,7 @@ func TestDesignSessionPartitions(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, err := s.Evaluate(w)
+	rep, err := s.Evaluate(ctx, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,13 +269,14 @@ func TestExplainAndExecute(t *testing.T) {
 }
 
 func TestOnlineTunerIntegration(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
-	tuner := d.NewOnlineTuner(colt.DefaultOptions())
-	qs, err := workload.Stream(d.Schema(), 113, workload.DefaultDriftPhases(30))
+	tuner := d.NewOnlineTuner(designer.DefaultTunerOptions())
+	qs, err := d.DriftStream(113, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tuner.ObserveAll(qs); err != nil {
+	if _, err := tuner.ObserveAll(ctx, qs); err != nil {
 		t.Fatal(err)
 	}
 	if len(tuner.Reports()) == 0 {
@@ -279,17 +285,75 @@ func TestOnlineTunerIntegration(t *testing.T) {
 }
 
 func TestGreedyVsCoPhyIntegration(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
 	w := sdssWorkload(t, d, 10)
-	g, err := d.AdviseGreedy(w, 0)
+	g, err := d.AdviseGreedy(ctx, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := d.AdviseCoPhy(w, cophy.DefaultOptions())
+	c, err := d.AdviseCoPhy(ctx, w, designer.DefaultSolverOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Objective > g.Objective*1.001 {
 		t.Fatalf("CoPhy %f worse than greedy %f", c.Objective, g.Objective)
+	}
+}
+
+// TestSessionPinIsolation covers the serve layer's isolation contract: a
+// design session created before a concurrent Materialize keeps evaluating
+// against its pinned engine generation instead of tearing mid-run.
+func TestSessionPinIsolation(t *testing.T) {
+	ctx := context.Background()
+	d := open(t)
+	w, err := d.WorkloadFromSQL([]string{
+		"SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 17 AND 18",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.NewDesignSession()
+	if _, err := s.AddIndex("photoobj", "psfmag_r"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Evaluate(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconfigure the designer engine out from under the session.
+	ix, err := d.HypotheticalIndex("photoobj", "psfmag_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Materialize(ctx, []designer.Index{ix}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned session still reports against its original base design,
+	// so the benefit numbers are unchanged.
+	after, err := s.Evaluate(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BaseTotal != before.BaseTotal || after.NewTotal != before.NewTotal {
+		t.Fatalf("pinned session drifted: %v/%v -> %v/%v",
+			before.BaseTotal, before.NewTotal, after.BaseTotal, after.NewTotal)
+	}
+
+	// A session created after the materialization sees the new base: the
+	// same query is now cheap before any what-if index is added.
+	s2 := d.NewDesignSession()
+	if _, err := s2.AddIndex("photoobj", "psfmag_r", "type"); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.Evaluate(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BaseTotal >= before.BaseTotal {
+		t.Fatalf("new session should see the cheaper materialized base: %v vs %v",
+			rep2.BaseTotal, before.BaseTotal)
 	}
 }

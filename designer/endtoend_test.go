@@ -1,6 +1,7 @@
 package designer_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/designer"
@@ -12,11 +13,11 @@ import (
 // improves for the workload. This is the repository's strongest claim —
 // the advisor's recommendations help when actually executed.
 func TestMeasuredImprovementEndToEnd(t *testing.T) {
-	store, err := workload.Generate(workload.SmallSize(), 211)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("small", 211)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := designer.Open(store)
 	// Selective queries where indexes must win at execution time too.
 	w, err := d.WorkloadFromSQL([]string{
 		"SELECT objid, ra FROM photoobj WHERE objid BETWEEN 1000100 AND 1000300",
@@ -30,7 +31,7 @@ func TestMeasuredImprovementEndToEnd(t *testing.T) {
 
 	measure := func() int64 {
 		var total int64
-		for _, q := range w.Queries {
+		for _, q := range w.Queries() {
 			res, err := d.Execute(q)
 			if err != nil {
 				t.Fatal(err)
@@ -41,14 +42,14 @@ func TestMeasuredImprovementEndToEnd(t *testing.T) {
 	}
 
 	before := measure()
-	advice, err := d.Advise(w, designer.AdviceOptions{})
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(advice.Indexes) == 0 {
 		t.Fatal("advisor found nothing for an index-friendly workload")
 	}
-	if _, err := d.Materialize(advice.Indexes); err != nil {
+	if _, err := d.Materialize(ctx, advice.Indexes); err != nil {
 		t.Fatal(err)
 	}
 	after := measure()
@@ -68,38 +69,38 @@ func TestMeasuredImprovementEndToEnd(t *testing.T) {
 // both the empty design and an advised+materialized design, confirming
 // the full dialect is executable, not just plannable.
 func TestAllTemplatesExecutable(t *testing.T) {
-	store, err := workload.Generate(workload.TinySize(), 212)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("tiny", 212)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := designer.Open(store)
-	w, err := workload.NewWorkload(d.Schema(), 213, len(workload.Templates()))
+	w, err := d.GenerateWorkload(213, len(workload.Templates()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rowsBefore := make(map[string]int, len(w.Queries))
-	for _, q := range w.Queries {
+	rowsBefore := make(map[string]int, w.Len())
+	for _, q := range w.Queries() {
 		res, err := d.Execute(q)
 		if err != nil {
-			t.Fatalf("%s: %v", q.ID, err)
+			t.Fatalf("%s: %v", q.ID(), err)
 		}
-		rowsBefore[q.ID] = len(res.Rows)
+		rowsBefore[q.ID()] = len(res.Rows)
 	}
-	advice, err := d.Advise(w, designer.AdviceOptions{})
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Materialize(advice.Indexes); err != nil {
+	if _, err := d.Materialize(ctx, advice.Indexes); err != nil {
 		t.Fatal(err)
 	}
-	for _, q := range w.Queries {
+	for _, q := range w.Queries() {
 		res, err := d.Execute(q)
 		if err != nil {
-			t.Fatalf("%s after materialization: %v", q.ID, err)
+			t.Fatalf("%s after materialization: %v", q.ID(), err)
 		}
-		if len(res.Rows) != rowsBefore[q.ID] {
+		if len(res.Rows) != rowsBefore[q.ID()] {
 			t.Fatalf("%s: row count changed %d -> %d after indexing",
-				q.ID, rowsBefore[q.ID], len(res.Rows))
+				q.ID(), rowsBefore[q.ID()], len(res.Rows))
 		}
 	}
 }

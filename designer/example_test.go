@@ -1,28 +1,27 @@
 package designer_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
 // Example demonstrates the full Scenario-2 flow on the synthetic SDSS
 // dataset: open, advise, materialize.
 func Example() {
-	store, err := workload.Generate(workload.TinySize(), 1)
+	d, err := designer.OpenSDSS("tiny", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
 	w, err := d.WorkloadFromSQL([]string{
 		"SELECT objid, ra FROM photoobj WHERE objid BETWEEN 1000100 AND 1000200",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	advice, err := d.Advise(w, designer.AdviceOptions{})
+	advice, err := d.Advise(context.Background(), w, designer.AdviceOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,11 +35,10 @@ func Example() {
 // ExampleDesigner_NewDesignSession shows Scenario 1: a manual what-if
 // design evaluated without building anything.
 func ExampleDesigner_NewDesignSession() {
-	store, err := workload.Generate(workload.TinySize(), 1)
+	d, err := designer.OpenSDSS("tiny", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
 	s := d.NewDesignSession()
 	if _, err := s.AddIndex("photoobj", "ra"); err != nil {
 		log.Fatal(err)
@@ -51,7 +49,7 @@ func ExampleDesigner_NewDesignSession() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := s.Evaluate(w)
+	rep, err := s.Evaluate(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +64,7 @@ func ExampleNewFromDDL() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(len(d.Schema().Tables()))
+	fmt.Println(len(d.Describe()))
 	// Output:
 	// 1
 }

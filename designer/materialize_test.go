@@ -1,69 +1,75 @@
 package designer_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
-// TestMaterializeInvalidatesEngine is the regression test for the stale
-// INUM cache bug: before the engine layer, Materialize rebuilt the
-// optimizer environment and the what-if session but silently kept the old
-// INUM cache, so cached costings of the "current design" never saw the
-// newly built indexes. The engine now rebuilds all three members behind one
-// version bump.
+// TestMaterializeInvalidatesEngine is the facade-level regression test for
+// the stale INUM cache bug: Materialize must invalidate every cached
+// costing artifact, so costs of the "current design" reflect the newly
+// built indexes immediately, and cached-vs-explicit pricing cannot drift.
 func TestMaterializeInvalidatesEngine(t *testing.T) {
-	store, err := workload.Generate(workload.TinySize(), 111)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("tiny", 111)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := designer.Open(store)
 	q, err := d.ParseQuery("q", "SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 17 AND 18")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Cached costing of the current (index-free) design.
-	before, err := d.Engine().QueryCost(q, nil)
+	// Cost of the current (index-free) design.
+	before, err := d.Cost(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0 := d.Engine().Version()
-	cache0 := d.Engine().Cache()
 
 	// Physically build a covering index for the query.
-	ix, err := d.WhatIf().HypotheticalIndex("photoobj", "psfmag_r")
+	ix, err := d.HypotheticalIndex("photoobj", "psfmag_r")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Materialize([]*designer.Index{ix}); err != nil {
+	if _, err := d.Materialize(ctx, []designer.Index{ix}); err != nil {
 		t.Fatal(err)
 	}
-
-	if d.Engine().Version() != v0+1 {
-		t.Fatalf("engine version = %d, want %d", d.Engine().Version(), v0+1)
-	}
-	if d.Engine().Cache() == cache0 {
-		t.Fatal("Materialize kept the stale INUM cache")
+	if !d.CurrentConfiguration().HasIndex("photoobj(psfmag_r)") {
+		t.Fatal("materialized index missing from the current configuration")
 	}
 
-	// The cached costing of the current design must now reflect the index.
-	after, err := d.Engine().QueryCost(q, nil)
+	// Costing of the current design must now reflect the index.
+	after, err := d.Cost(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after >= before {
-		t.Fatalf("cached cost after materialize (%v) should drop below the index-free cost (%v)", after, before)
+		t.Fatalf("cost after materialize (%v) should drop below the index-free cost (%v)", after, before)
 	}
 
 	// And it must agree with pricing the materialized configuration
-	// explicitly — the cache and the base configuration cannot drift.
-	explicit, err := d.Engine().QueryCost(q, d.Store().MaterializedConfiguration())
+	// explicitly — the implicit base and the explicit design cannot drift.
+	explicit, err := d.Cost(q, d.CurrentConfiguration())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after != explicit {
 		t.Fatalf("base costing %v != explicit materialized-config costing %v", after, explicit)
+	}
+
+	// Advisors price through the INUM cache: workload-level evaluation of
+	// the (now empty) delta design must also see the new base.
+	w, err := d.WorkloadFromSQL([]string{q.SQL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Evaluate(ctx, w, designer.NewConfiguration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseTotal >= before {
+		t.Fatalf("evaluation base %v still priced against the stale design (%v before)", rep.BaseTotal, before)
 	}
 }

@@ -1,6 +1,7 @@
 package designer_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/designer"
@@ -10,20 +11,21 @@ import (
 // control: the DBA suggests a candidate set as the starting point, and may
 // force it into the recommendation.
 func TestSeededAndPinnedCandidates(t *testing.T) {
+	ctx := context.Background()
 	d := open(t)
 	w := sdssWorkload(t, d, 10)
 
 	// A column no automatic candidate generator would pick: airmass_r is
 	// never filtered by the workload.
-	seed, err := d.WhatIf().HypotheticalIndex("photoobj", "airmass_r")
+	seed, err := d.HypotheticalIndex("photoobj", "airmass_r")
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Seeded but not pinned: the useless index joins the search yet must
 	// not be selected (it helps nothing).
-	advice, err := d.Advise(w, designer.AdviceOptions{
-		SeedIndexes: []*designer.Index{seed},
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{
+		SeedIndexes: []designer.Index{seed},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -35,8 +37,8 @@ func TestSeededAndPinnedCandidates(t *testing.T) {
 	}
 
 	// Pinned: it must appear despite being useless.
-	pinned, err := d.Advise(w, designer.AdviceOptions{
-		SeedIndexes: []*designer.Index{seed},
+	pinned, err := d.Advise(ctx, w, designer.AdviceOptions{
+		SeedIndexes: []designer.Index{seed},
 		PinIndexes:  true,
 	})
 	if err != nil {
@@ -52,8 +54,8 @@ func TestSeededAndPinnedCandidates(t *testing.T) {
 		t.Fatal("pinned index missing from the recommendation")
 	}
 	// Pinning a useless index cannot improve the objective.
-	if pinned.CoPhy.Objective < advice.CoPhy.Objective-1e-6 {
+	if pinned.Solver.Objective < advice.Solver.Objective-1e-6 {
 		t.Fatalf("pinning improved the objective: %f < %f",
-			pinned.CoPhy.Objective, advice.CoPhy.Objective)
+			pinned.Solver.Objective, advice.Solver.Objective)
 	}
 }

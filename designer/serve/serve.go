@@ -1,0 +1,943 @@
+// Package serve exposes the designer's v2 facade as a JSON-over-HTTP
+// service — the wire form of the paper's interactive interface, and the
+// piece that makes the designer consumable from outside the Go module
+// entirely. It is deliberately built on nothing but the public designer
+// API: if serve can do it over HTTP, any external client can.
+//
+// The API (all under /api/v1):
+//
+//	GET    /health                              liveness + session count
+//	GET    /schema                              tables, columns, sizes
+//	GET    /stats                               costing-cache telemetry
+//	POST   /sessions                            create a what-if design session
+//	GET    /sessions                            list sessions
+//	GET    /sessions/{id}                       session detail
+//	DELETE /sessions/{id}                       close a session
+//	POST   /sessions/{id}/indexes               add a hypothetical index
+//	DELETE /sessions/{id}/indexes?key=...       drop an index by key
+//	POST   /sessions/{id}/partitions/vertical   add a vertical layout
+//	POST   /sessions/{id}/partitions/horizontal add a range layout
+//	POST   /sessions/{id}/evaluate              what-if benefit report
+//	POST   /sessions/{id}/explain               plan one query under the design
+//	POST   /advise                              automatic design + schedule + DDL
+//	POST   /materialize                         physically build indexes
+//	POST   /tuner                               start/replace the online tuner
+//	POST   /tuner/observe                       feed queries through the tuner
+//	GET    /tuner/status                        epochs, alerts, live configuration
+//	GET    /tuner/stream                        server-sent events of new alerts
+//
+// Every long-running handler threads the request context into the facade,
+// so a disconnected client cancels its advisor run mid-sweep. Design
+// sessions are isolated on pinned engine generations: a concurrent
+// /materialize does not tear an open session's evaluations.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/designer"
+)
+
+// Server is the HTTP front-end over one designer.
+type Server struct {
+	d       *designer.Designer
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	ln      net.Listener
+	done    chan struct{}
+	// closing is closed at the start of Shutdown so long-lived streaming
+	// handlers (SSE) exit instead of holding graceful shutdown hostage.
+	closing   chan struct{}
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	sessionID int64
+
+	// tunerMu guards the tuner handle and all calls into it: the COLT
+	// tuner serializes observation, so the server serializes access.
+	tunerMu sync.Mutex
+	tuner   *designer.Tuner
+
+	// tunerStateMu guards a cheap read-side copy of the tuner's telemetry,
+	// refreshed after every observation batch, so /tuner/status and the SSE
+	// stream never block behind a long-running ObserveAll. tunerGen counts
+	// tuner replacements so alert streams can tell a fresh tuner's alert
+	// list from the old one's.
+	tunerStateMu sync.Mutex
+	tunerGen     int64
+	tunerActive  bool
+	tunerAlerts  []tunerAlertJSON
+	tunerReports []designer.TunerReport
+	tunerCurrent []string
+}
+
+// session is one HTTP what-if design session. Its DesignSession is pinned
+// to the engine generation current at creation time.
+//
+// mu serializes the DesignSession itself (evaluations can run for
+// seconds); metaMu guards only the cheap index-key snapshot so listing
+// endpoints never block behind an in-flight Evaluate.
+type session struct {
+	id      string
+	created time.Time
+
+	mu sync.Mutex
+	ds *designer.DesignSession
+
+	metaMu sync.Mutex
+	keys   []string
+}
+
+// indexKeys snapshots the session's design keys without the work lock.
+func (sess *session) indexKeys() []string {
+	sess.metaMu.Lock()
+	defer sess.metaMu.Unlock()
+	return append([]string(nil), sess.keys...)
+}
+
+func (sess *session) addKey(key string) {
+	sess.metaMu.Lock()
+	defer sess.metaMu.Unlock()
+	sess.keys = append(sess.keys, key)
+}
+
+func (sess *session) dropKey(key string) {
+	sess.metaMu.Lock()
+	defer sess.metaMu.Unlock()
+	for i, k := range sess.keys {
+		if k == key {
+			sess.keys = append(sess.keys[:i], sess.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+// New creates a server over the designer.
+func New(d *designer.Designer) *Server {
+	s := &Server{
+		d:        d,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+		done:     make(chan struct{}),
+		closing:  make(chan struct{}),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (use host:0 for an ephemeral port) and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		defer close(s.done)
+		// Serve returns http.ErrServerClosed after Shutdown; a fatal accept
+		// error also ends the loop. Either way closing done unblocks
+		// Shutdown's drain wait, which reports the interesting part.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.closing) })
+	err := s.httpSrv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /api/v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionClose)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/indexes", s.handleSessionAddIndex)
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/indexes", s.handleSessionDropIndex)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/partitions/vertical", s.handleSessionVertical)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/partitions/horizontal", s.handleSessionHorizontal)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/evaluate", s.handleSessionEvaluate)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/explain", s.handleSessionExplain)
+	s.mux.HandleFunc("POST /api/v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /api/v1/materialize", s.handleMaterialize)
+	s.mux.HandleFunc("POST /api/v1/tuner", s.handleTunerCreate)
+	s.mux.HandleFunc("POST /api/v1/tuner/observe", s.handleTunerObserve)
+	s.mux.HandleFunc("GET /api/v1/tuner/status", s.handleTunerStatus)
+	s.mux.HandleFunc("GET /api/v1/tuner/stream", s.handleTunerStream)
+}
+
+// --------------------------------------------------------------------------
+// Wire DTOs.
+// --------------------------------------------------------------------------
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type indexJSON struct {
+	Key            string   `json:"key"`
+	Table          string   `json:"table"`
+	Columns        []string `json:"columns"`
+	EstimatedPages int64    `json:"estimated_pages"`
+	Hypothetical   bool     `json:"hypothetical"`
+}
+
+func toIndexJSON(ix designer.Index) indexJSON {
+	return indexJSON{
+		Key:            ix.Key(),
+		Table:          ix.Table,
+		Columns:        ix.Columns,
+		EstimatedPages: ix.EstimatedPages,
+		Hypothetical:   ix.Hypothetical,
+	}
+}
+
+func toIndexesJSON(ixs []designer.Index) []indexJSON {
+	out := make([]indexJSON, len(ixs))
+	for i, ix := range ixs {
+		out[i] = toIndexJSON(ix)
+	}
+	return out
+}
+
+type queryBenefitJSON struct {
+	ID         string  `json:"id"`
+	BaseCost   float64 `json:"base_cost"`
+	NewCost    float64 `json:"new_cost"`
+	BenefitPct float64 `json:"benefit_pct"`
+}
+
+type reportJSON struct {
+	BaseTotal     float64            `json:"base_total"`
+	NewTotal      float64            `json:"new_total"`
+	BenefitPct    float64            `json:"benefit_pct"`
+	QueryBenefits []queryBenefitJSON `json:"queries"`
+}
+
+func toReportJSON(rep *designer.Report) *reportJSON {
+	if rep == nil {
+		return nil
+	}
+	out := &reportJSON{
+		BaseTotal:  rep.BaseTotal,
+		NewTotal:   rep.NewTotal,
+		BenefitPct: rep.AvgBenefitPct(),
+	}
+	for _, qb := range rep.Queries {
+		out.QueryBenefits = append(out.QueryBenefits, queryBenefitJSON{
+			ID: qb.ID, BaseCost: qb.BaseCost, NewCost: qb.NewCost, BenefitPct: qb.BenefitPct(),
+		})
+	}
+	return out
+}
+
+type workloadJSON struct {
+	// SQL lists explicit SELECT statements (weight 1 each).
+	SQL []string `json:"sql,omitempty"`
+	// Queries/Seed draw a generated SDSS workload when SQL is empty.
+	Queries int   `json:"queries,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+}
+
+// workload resolves the request's workload description.
+func (s *Server) workload(req workloadJSON) (*designer.Workload, error) {
+	if len(req.SQL) > 0 {
+		return s.d.WorkloadFromSQL(req.SQL)
+	}
+	n := req.Queries
+	if n <= 0 {
+		n = 16
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 2
+	}
+	return s.d.GenerateWorkload(seed, n)
+}
+
+// --------------------------------------------------------------------------
+// Plumbing.
+// --------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// writeFacadeError maps context cancellation to 499-style client-closed
+// semantics and everything else to a 400 (facade errors are caller errors:
+// unknown tables, bad SQL, invalid layouts).
+func writeFacadeError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+func readJSON(r *http.Request, v any) error {
+	if r.Body == nil {
+		return nil
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) { // empty body is a valid "all defaults" request
+			return nil
+		}
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session %q", id))
+		return nil
+	}
+	return sess
+}
+
+// --------------------------------------------------------------------------
+// Handlers: health, schema, stats.
+// --------------------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	type columnJSON struct {
+		Name       string `json:"name"`
+		Type       string `json:"type"`
+		PrimaryKey bool   `json:"primary_key,omitempty"`
+	}
+	type tableJSON struct {
+		Name     string       `json:"name"`
+		RowCount int64        `json:"row_count"`
+		Pages    int64        `json:"pages"`
+		Columns  []columnJSON `json:"columns"`
+	}
+	var out []tableJSON
+	for _, t := range s.d.Describe() {
+		tj := tableJSON{Name: t.Name, RowCount: t.RowCount, Pages: t.Pages}
+		for _, c := range t.Columns {
+			tj.Columns = append(tj.Columns, columnJSON{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey})
+		}
+		out = append(out, tj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.d.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"full_optimizations": cs.FullOptimizations,
+		"cached_costings":    cs.CachedCostings,
+	})
+}
+
+// --------------------------------------------------------------------------
+// Handlers: what-if design sessions (Scenario 1 over the wire).
+// --------------------------------------------------------------------------
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	// Build the session (which pins an engine generation and may briefly
+	// wait on the designer's store lock) before taking the server-wide
+	// lock: s.mu protects only ID allocation and the map insert, so a slow
+	// Materialize can never stall /health or session lookups.
+	ds := s.d.NewDesignSession()
+	sess := &session{created: time.Now(), ds: ds}
+	// Seed the cheap key snapshot from the full design (base materialized
+	// indexes included) so the list and detail endpoints agree.
+	for _, ix := range ds.Config().Indexes() {
+		sess.keys = append(sess.keys, ix.Key())
+	}
+	s.mu.Lock()
+	s.sessionID++
+	id := "s" + strconv.FormatInt(s.sessionID, 10)
+	sess.id = id
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	type sessionJSON struct {
+		ID      string   `json:"id"`
+		Created string   `json:"created"`
+		Indexes []string `json:"indexes"`
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	out := []sessionJSON{}
+	for _, sess := range sessions {
+		sj := sessionJSON{ID: sess.id, Created: sess.created.UTC().Format(time.RFC3339), Indexes: []string{}}
+		sj.Indexes = append(sj.Indexes, sess.indexKeys()...)
+		out = append(out, sj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	cfg := sess.ds.Config()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      sess.id,
+		"created": sess.created.UTC().Format(time.RFC3339),
+		"indexes": toIndexesJSON(cfg.Indexes()),
+	})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+func (s *Server) handleSessionAddIndex(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Table   string   `json:"table"`
+		Columns []string `json:"columns"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.mu.Lock()
+	ix, err := sess.ds.AddIndex(req.Table, req.Columns...)
+	if err == nil {
+		// Update the key snapshot inside the work lock so it can never
+		// desync from the design under concurrent add/drop of one key.
+		sess.addKey(ix.Key())
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toIndexJSON(ix))
+}
+
+func (s *Server) handleSessionDropIndex(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing ?key=table(col,...)"))
+		return
+	}
+	sess.mu.Lock()
+	ok := sess.ds.DropIndex(key)
+	if ok {
+		sess.dropKey(strings.ToLower(key))
+	}
+	sess.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("index %q not in the design", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": key})
+}
+
+func (s *Server) handleSessionVertical(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Table     string     `json:"table"`
+		Fragments [][]string `json:"fragments"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.mu.Lock()
+	err := sess.ds.AddVerticalPartition(req.Table, req.Fragments)
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"table": req.Table, "fragments": len(req.Fragments)})
+}
+
+func (s *Server) handleSessionHorizontal(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Table     string `json:"table"`
+		Column    string `json:"column"`
+		Fragments int    `json:"fragments"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.mu.Lock()
+	err := sess.ds.AddHorizontalPartition(req.Table, req.Column, req.Fragments)
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"table": req.Table, "column": req.Column, "fragments": req.Fragments})
+}
+
+func (s *Server) handleSessionEvaluate(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req workloadJSON
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := s.workload(req)
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	sess.mu.Lock()
+	rep, err := sess.ds.Evaluate(r.Context(), wl)
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(rep))
+}
+
+func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		return
+	}
+	q, err := s.d.ParseQuery("q", req.SQL)
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	sess.mu.Lock()
+	plan, err := sess.ds.Explain(q)
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"plan": plan})
+}
+
+// --------------------------------------------------------------------------
+// Handlers: automatic advice + materialization (Scenario 2 over the wire).
+// --------------------------------------------------------------------------
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		workloadJSON
+		BudgetPages  int64 `json:"budget_pages,omitempty"`
+		NodeBudget   int   `json:"node_budget,omitempty"`
+		Partitions   bool  `json:"partitions,omitempty"`
+		Interactions bool  `json:"interactions,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := s.workload(req.workloadJSON)
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	advice, err := s.d.Advise(r.Context(), wl, designer.AdviceOptions{
+		StorageBudgetPages: req.BudgetPages,
+		NodeBudget:         req.NodeBudget,
+		Partitions:         req.Partitions,
+		Interactions:       req.Interactions,
+	})
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+
+	resp := map[string]any{
+		"indexes": toIndexesJSON(advice.Indexes),
+		"report":  toReportJSON(advice.Report),
+		"ddl":     advice.DDL(),
+	}
+	if advice.Solver != nil {
+		resp["solver"] = map[string]any{
+			"objective":     advice.Solver.Objective,
+			"baseline_cost": advice.Solver.BaselineCost,
+			"bound":         advice.Solver.Bound,
+			"gap":           advice.Solver.Gap(),
+			"proven":        advice.Solver.Proven,
+			"nodes":         advice.Solver.Nodes,
+			"solve_ms":      advice.Solver.SolveTime.Milliseconds(),
+		}
+	}
+	if advice.Schedule != nil {
+		type stepJSON struct {
+			Index     string  `json:"index"`
+			BuildCost float64 `json:"build_cost"`
+			CostAfter float64 `json:"cost_after"`
+		}
+		var steps []stepJSON
+		for _, st := range advice.Schedule.Steps {
+			steps = append(steps, stepJSON{Index: st.Index.Key(), BuildCost: st.BuildCost, CostAfter: st.CostAfter})
+		}
+		resp["schedule"] = map[string]any{"steps": steps, "auc": advice.Schedule.AUC}
+	}
+	if advice.Partitions != nil {
+		type partJSON struct {
+			Table      string  `json:"table"`
+			Vertical   string  `json:"vertical,omitempty"`
+			Horizontal string  `json:"horizontal,omitempty"`
+			BenefitPct float64 `json:"benefit_pct"`
+		}
+		var parts []partJSON
+		for _, tp := range advice.Partitions.Tables {
+			parts = append(parts, partJSON{
+				Table: tp.Table, Vertical: tp.Vertical, Horizontal: tp.Horizontal,
+				BenefitPct: tp.Improvement() * 100,
+			})
+		}
+		resp["partitions"] = parts
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Indexes []struct {
+			Table   string   `json:"table"`
+			Columns []string `json:"columns"`
+		} `json:"indexes"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Indexes) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no indexes given"))
+		return
+	}
+	var ixs []designer.Index
+	for _, spec := range req.Indexes {
+		ix, err := s.d.HypotheticalIndex(spec.Table, spec.Columns...)
+		if err != nil {
+			writeFacadeError(w, r, err)
+			return
+		}
+		ixs = append(ixs, ix)
+	}
+	ioStats, err := s.d.Materialize(r.Context(), ixs)
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"materialized": len(ixs),
+		"build_io":     ioStats.Total(),
+	})
+}
+
+// --------------------------------------------------------------------------
+// Handlers: online tuning (Scenario 3 over the wire).
+// --------------------------------------------------------------------------
+
+func (s *Server) handleTunerCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		EpochLength      int   `json:"epoch_length,omitempty"`
+		SpaceBudgetPages int64 `json:"space_budget_pages,omitempty"`
+		WhatIfBudget     int   `json:"whatif_budget,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := designer.DefaultTunerOptions()
+	if req.EpochLength > 0 {
+		opts.EpochLength = req.EpochLength
+	}
+	if req.SpaceBudgetPages > 0 {
+		opts.SpaceBudgetPages = req.SpaceBudgetPages
+	}
+	if req.WhatIfBudget > 0 {
+		opts.WhatIfBudget = req.WhatIfBudget
+	}
+	s.tunerMu.Lock()
+	if s.tuner != nil {
+		s.tuner.Close()
+	}
+	s.tuner = s.d.NewOnlineTuner(opts)
+	s.resetTunerState()
+	s.tunerMu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"epoch_length": opts.EpochLength})
+}
+
+func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL []string `json:"sql"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.SQL) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no sql given"))
+		return
+	}
+	var qs []designer.Query
+	for _, sql := range req.SQL {
+		// Content-derived IDs: identical SQL re-observed over HTTP reuses
+		// the tuner's cached costing entry instead of growing the cache by
+		// one entry per request.
+		h := fnv.New64a()
+		h.Write([]byte(sql))
+		q, err := s.d.ParseQuery(fmt.Sprintf("http-%x", h.Sum64()), sql)
+		if err != nil {
+			writeFacadeError(w, r, err)
+			return
+		}
+		qs = append(qs, q)
+	}
+	s.tunerMu.Lock()
+	if s.tuner == nil {
+		s.tuner = s.d.NewOnlineTuner(designer.DefaultTunerOptions())
+		s.resetTunerState()
+	}
+	total, err := s.tuner.ObserveAll(r.Context(), qs)
+	alerts := s.refreshTunerState()
+	s.tunerMu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"observed":       len(qs),
+		"estimated_cost": total,
+		"alerts_total":   alerts,
+	})
+}
+
+type tunerAlertJSON struct {
+	Epoch       int      `json:"epoch"`
+	Added       []string `json:"added"`
+	Dropped     []string `json:"dropped"`
+	BenefitEst  float64  `json:"expected_benefit"`
+	Applied     bool     `json:"applied"`
+	Description string   `json:"description"`
+}
+
+// resetTunerState clears the read-side telemetry copy for a fresh tuner
+// and bumps the generation. Callers hold tunerMu.
+func (s *Server) resetTunerState() {
+	s.tunerStateMu.Lock()
+	defer s.tunerStateMu.Unlock()
+	s.tunerGen++
+	s.tunerActive = true
+	s.tunerAlerts = nil
+	s.tunerReports = nil
+	s.tunerCurrent = nil
+}
+
+// refreshTunerState re-copies the tuner's telemetry into the read-side
+// state and returns the alert count. Callers hold tunerMu (which excludes
+// concurrent observation, making the tuner safe to read).
+func (s *Server) refreshTunerState() int {
+	var alerts []tunerAlertJSON
+	for _, a := range s.tuner.Alerts() {
+		aj := tunerAlertJSON{
+			Epoch: a.Epoch, BenefitEst: a.ExpectedBenefit, Applied: a.Applied,
+			Added: []string{}, Dropped: []string{}, Description: a.String(),
+		}
+		for _, ix := range a.Added {
+			aj.Added = append(aj.Added, ix.Key())
+		}
+		for _, ix := range a.Dropped {
+			aj.Dropped = append(aj.Dropped, ix.Key())
+		}
+		alerts = append(alerts, aj)
+	}
+	var current []string
+	for _, ix := range s.tuner.Current() {
+		current = append(current, ix.Key())
+	}
+	reports := s.tuner.Reports()
+
+	s.tunerStateMu.Lock()
+	defer s.tunerStateMu.Unlock()
+	s.tunerAlerts = alerts
+	s.tunerReports = reports
+	s.tunerCurrent = current
+	return len(alerts)
+}
+
+// tunerSnapshot reads the cheap telemetry copy — it never waits on an
+// in-flight observation. gen identifies the tuner instance: it bumps every
+// time POST /tuner replaces the tuner, so stream cursors can reset instead
+// of skipping a fresh tuner's alerts.
+func (s *Server) tunerSnapshot() (gen int64, active bool, alerts []tunerAlertJSON, reports []designer.TunerReport, current []string) {
+	s.tunerStateMu.Lock()
+	defer s.tunerStateMu.Unlock()
+	return s.tunerGen, s.tunerActive, s.tunerAlerts, s.tunerReports, s.tunerCurrent
+}
+
+func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
+	_, active, alerts, reports, current := s.tunerSnapshot()
+	type epochJSON struct {
+		Epoch         int      `json:"epoch"`
+		Queries       int      `json:"queries"`
+		EpochCost     float64  `json:"epoch_cost"`
+		WhatIfCalls   int      `json:"whatif_calls"`
+		ConfigChanged bool     `json:"config_changed"`
+		Indexes       []string `json:"indexes"`
+	}
+	epochs := []epochJSON{}
+	for _, rep := range reports {
+		epochs = append(epochs, epochJSON{
+			Epoch: rep.Epoch, Queries: rep.Queries, EpochCost: rep.EpochCost,
+			WhatIfCalls: rep.WhatIfCalls, ConfigChanged: rep.ConfigChanged, Indexes: rep.IndexKeys,
+		})
+	}
+	if alerts == nil {
+		alerts = []tunerAlertJSON{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"active":  active,
+		"current": current,
+		"alerts":  alerts,
+		"epochs":  epochs,
+	})
+}
+
+// handleTunerStream streams new tuner alerts as server-sent events until
+// the client disconnects — the push form of Scenario 3's alert panel.
+func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": tuner alert stream\n\n")
+	fl.Flush()
+
+	sent := 0
+	lastGen := int64(-1)
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return // server shutting down; release the connection
+		case <-ticker.C:
+			gen, _, alerts, _, _ := s.tunerSnapshot()
+			if gen != lastGen {
+				lastGen = gen
+				sent = 0 // a replaced tuner restarts its alert list
+			}
+			for ; sent < len(alerts); sent++ {
+				payload, err := json.Marshal(alerts[sent])
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: alert\ndata: %s\n\n", payload)
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/designer"
+	"repro/designer/serve"
+)
+
+// start boots a server over a tiny dataset on an ephemeral port and
+// returns its base URL plus a cleanup-registered shutdown.
+func start(t *testing.T) string {
+	t.Helper()
+	d, err := designer.OpenSDSS("tiny", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(d)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return "http://" + s.Addr() + "/api/v1"
+}
+
+// call performs one JSON request and decodes the response body.
+func call(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d\nbody: %s", method, url, resp.StatusCode, wantStatus, data)
+	}
+	out := map[string]any{}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("%s %s: invalid JSON: %v\n%s", method, url, err, data)
+		}
+	}
+	return out
+}
+
+const testSQL = "SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"
+
+func TestSessionRoundTrip(t *testing.T) {
+	base := start(t)
+
+	health := call(t, "GET", base+"/health", nil, http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	schema := call(t, "GET", base+"/schema", nil, http.StatusOK)
+	if !strings.Contains(fmt.Sprint(schema), "photoobj") {
+		t.Fatalf("schema missing photoobj: %v", schema)
+	}
+
+	created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+	id := created["id"].(string)
+
+	ix := call(t, "POST", base+"/sessions/"+id+"/indexes",
+		map[string]any{"table": "photoobj", "columns": []string{"psfmag_r"}}, http.StatusCreated)
+	if ix["key"] != "photoobj(psfmag_r)" {
+		t.Fatalf("index = %v", ix)
+	}
+
+	rep := call(t, "POST", base+"/sessions/"+id+"/evaluate",
+		map[string]any{"sql": []string{testSQL}}, http.StatusOK)
+	if rep["base_total"].(float64) <= rep["new_total"].(float64) {
+		t.Fatalf("index should help the range scan: %v", rep)
+	}
+
+	plan := call(t, "POST", base+"/sessions/"+id+"/explain",
+		map[string]any{"sql": testSQL}, http.StatusOK)
+	if !strings.Contains(plan["plan"].(string), "whatif_photoobj_psfmag_r") {
+		t.Fatalf("plan under the design should use the what-if index:\n%v", plan["plan"])
+	}
+
+	list := call(t, "GET", base+"/sessions", nil, http.StatusOK)
+	if n := len(list["sessions"].([]any)); n != 1 {
+		t.Fatalf("sessions = %d, want 1", n)
+	}
+
+	call(t, "DELETE", base+"/sessions/"+id+"/indexes?key=photoobj(psfmag_r)", nil, http.StatusOK)
+	call(t, "DELETE", base+"/sessions/"+id, nil, http.StatusOK)
+	call(t, "GET", base+"/sessions/"+id, nil, http.StatusNotFound)
+}
+
+func TestAdviseOverHTTP(t *testing.T) {
+	base := start(t)
+	resp := call(t, "POST", base+"/advise", map[string]any{
+		"sql":          []string{testSQL},
+		"interactions": true,
+	}, http.StatusOK)
+	if _, ok := resp["indexes"].([]any); !ok {
+		t.Fatalf("no indexes in %v", resp)
+	}
+	if !strings.Contains(resp["ddl"].(string), "CREATE INDEX") {
+		t.Fatalf("ddl missing: %v", resp["ddl"])
+	}
+	if resp["solver"] == nil || resp["report"] == nil {
+		t.Fatalf("missing solver/report: %v", resp)
+	}
+}
+
+func TestTunerOverHTTP(t *testing.T) {
+	base := start(t)
+	call(t, "POST", base+"/tuner", map[string]any{"epoch_length": 4}, http.StatusCreated)
+	for i := 0; i < 3; i++ {
+		call(t, "POST", base+"/tuner/observe",
+			map[string]any{"sql": []string{testSQL, testSQL}}, http.StatusOK)
+	}
+	status := call(t, "GET", base+"/tuner/status", nil, http.StatusOK)
+	if status["active"] != true {
+		t.Fatalf("tuner inactive: %v", status)
+	}
+	if len(status["epochs"].([]any)) == 0 {
+		t.Fatalf("no epochs after 6 observed queries with epoch_length 4: %v", status)
+	}
+}
+
+func TestTunerStreamDisconnects(t *testing.T) {
+	base := start(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/tuner/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	// Read the stream preamble, then hang up; the handler must return.
+	buf := make([]byte, 32)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+}
+
+// TestConcurrentSessions is the race-soak required by the service layer:
+// many goroutines drive independent what-if sessions (create → add-index →
+// evaluate → close) while advice, materialization, and tuner traffic runs
+// concurrently. Run under -race this exercises the session mutexes, the
+// designer's store lock, and the engine's generation pinning.
+func TestConcurrentSessions(t *testing.T) {
+	base := start(t)
+	const sessions = 10
+
+	columns := []string{"psfmag_r", "ra", "dec", "type", "rowc", "colc", "airmass_r", "objid"}
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions+3)
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("session %d panicked: %v", i, r)
+				}
+			}()
+			col := columns[i%len(columns)]
+			created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+			id := created["id"].(string)
+			call(t, "POST", base+"/sessions/"+id+"/indexes",
+				map[string]any{"table": "photoobj", "columns": []string{col}}, http.StatusCreated)
+			rep := call(t, "POST", base+"/sessions/"+id+"/evaluate",
+				map[string]any{"sql": []string{fmt.Sprintf("SELECT objid FROM photoobj WHERE %s IS NOT NULL", col)}},
+				http.StatusOK)
+			if rep["base_total"].(float64) <= 0 {
+				errCh <- fmt.Errorf("session %d: degenerate evaluation %v", i, rep)
+			}
+			call(t, "DELETE", base+"/sessions/"+id, nil, http.StatusOK)
+		}(i)
+	}
+
+	// Concurrent automatic advice.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		call(t, "POST", base+"/advise", map[string]any{"sql": []string{testSQL}}, http.StatusOK)
+	}()
+	// Concurrent materialization (reconfigures the engine mid-flight; open
+	// sessions stay pinned to their generation).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		call(t, "POST", base+"/materialize", map[string]any{
+			"indexes": []map[string]any{{"table": "specobj", "columns": []string{"z"}}},
+		}, http.StatusOK)
+	}()
+	// Concurrent tuner observation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		call(t, "POST", base+"/tuner/observe", map[string]any{"sql": []string{testSQL}}, http.StatusOK)
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// All sessions closed; server still healthy.
+	health := call(t, "GET", base+"/health", nil, http.StatusOK)
+	if health["sessions"].(float64) != 0 {
+		t.Fatalf("sessions leaked: %v", health)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	d, err := designer.OpenSDSS("tiny", 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(d)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr() + "/api/v1"
+
+	// An in-flight advise run started before shutdown must complete: the
+	// graceful path drains active requests instead of cutting them off.
+	done := make(chan error, 1)
+	go func() {
+		body := bytes.NewReader([]byte(`{"sql": ["` + testSQL + `"]}`))
+		resp, err := http.Post(base+"/advise", "application/json", body)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			done <- fmt.Errorf("advise during shutdown: status %d: %s", resp.StatusCode, data)
+			return
+		}
+		done <- nil
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+
+	// After shutdown the port no longer accepts.
+	if _, err := http.Get(base + "/health"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	base := start(t)
+	call(t, "GET", base+"/sessions/nope", nil, http.StatusNotFound)
+	call(t, "DELETE", base+"/sessions/nope", nil, http.StatusNotFound)
+
+	created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+	id := created["id"].(string)
+	call(t, "POST", base+"/sessions/"+id+"/indexes",
+		map[string]any{"table": "nosuch", "columns": []string{"x"}}, http.StatusBadRequest)
+	call(t, "DELETE", base+"/sessions/"+id+"/indexes?key=photoobj(nope)", nil, http.StatusNotFound)
+	call(t, "POST", base+"/sessions/"+id+"/evaluate",
+		map[string]any{"sql": []string{"SELECT broken FROM nowhere"}}, http.StatusBadRequest)
+	call(t, "POST", base+"/materialize", map[string]any{}, http.StatusBadRequest)
+}
+
+// TestShutdownWithOpenStream covers the long-lived-handler path: an open
+// SSE alert stream must not hold graceful shutdown hostage — Shutdown
+// closes the stream promptly instead of waiting out the grace period.
+func TestShutdownWithOpenStream(t *testing.T) {
+	d, err := designer.OpenSDSS("tiny", 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(d)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr() + "/api/v1"
+
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/tuner/stream")
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, err = io.ReadAll(resp.Body) // returns when the server ends the stream
+		streamDone <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // let the stream attach
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with open stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v with an open stream", elapsed)
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream client still blocked after shutdown")
+	}
+}
+
+// TestAdviseNotAliasedAcrossRequests is the regression test for the INUM
+// ID-collision bug: two consecutive /advise requests whose workloads reuse
+// query IDs (q0, q1, ... per WorkloadFromSQL call) must each be priced and
+// advised for their own SQL, not the previous request's cached plans.
+func TestAdviseNotAliasedAcrossRequests(t *testing.T) {
+	base := start(t)
+
+	first := call(t, "POST", base+"/advise",
+		map[string]any{"sql": []string{"SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"}}, http.StatusOK)
+	second := call(t, "POST", base+"/advise",
+		map[string]any{"sql": []string{"SELECT objid FROM neighbors WHERE distance < 0.01"}}, http.StatusOK)
+
+	keysOf := func(resp map[string]any) []string {
+		var keys []string
+		for _, v := range resp["indexes"].([]any) {
+			keys = append(keys, v.(map[string]any)["key"].(string))
+		}
+		return keys
+	}
+	for _, k := range keysOf(first) {
+		if strings.HasPrefix(k, "neighbors") {
+			t.Fatalf("first advise (photoobj query) recommended %s", k)
+		}
+	}
+	secondKeys := keysOf(second)
+	if len(secondKeys) == 0 {
+		t.Fatal("second advise returned nothing for a selective neighbors query")
+	}
+	for _, k := range secondKeys {
+		if strings.HasPrefix(k, "photoobj") {
+			t.Fatalf("second advise priced against the first request's cached plans: recommended %s for a neighbors-only workload", k)
+		}
+	}
+}

@@ -1,24 +1,35 @@
 package designer
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/autopart"
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/interaction"
 	"repro/internal/optimizer"
 	"repro/internal/whatif"
-	"repro/internal/workload"
 )
 
 // DesignSession is the interactive what-if session of Scenario 1: the user
 // assembles a hypothetical design — indexes and partitions — and asks for
 // its benefit, per-query plans, interaction graph, and rewritten queries,
 // all without building anything.
+//
+// A session pins one engine generation at creation: every evaluation runs
+// against that consistent snapshot even if the designer is concurrently
+// re-analyzed or indexes are materialized — the isolation the serve layer
+// relies on for concurrent HTTP sessions. Sessions created afterwards see
+// the new generation.
+//
+// A DesignSession is not safe for concurrent use; guard it externally (the
+// serve layer does).
 type DesignSession struct {
-	d   *Designer
-	cfg *catalog.Configuration
+	d    *Designer
+	view *engine.View
+	cfg  *catalog.Configuration
 	// joinOpts are session-scoped optimizer switches (SetJoinControl);
 	// they steer this session's Evaluate/Explain without touching the
 	// designer-wide engine.
@@ -27,25 +38,31 @@ type DesignSession struct {
 }
 
 // NewDesignSession starts an interactive what-if session on top of the
-// current materialized design.
+// current materialized design, pinned to the current engine generation.
 func (d *Designer) NewDesignSession() *DesignSession {
-	return &DesignSession{d: d, cfg: d.store.MaterializedConfiguration()}
+	// Config read and generation pin must be atomic with respect to
+	// Materialize (which holds the write lock across the store mutation AND
+	// the engine invalidation): releasing between the two could hand the
+	// session an old base design paired with a newer engine generation.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return &DesignSession{d: d, view: d.eng.Pin(), cfg: d.store.MaterializedConfiguration()}
 }
 
 // Config returns (a copy of) the session's hypothetical configuration.
-func (s *DesignSession) Config() *catalog.Configuration { return s.cfg.Clone() }
+func (s *DesignSession) Config() *Configuration { return configFromInternal(s.cfg.Clone()) }
 
 // AddIndex adds a sized hypothetical index to the design.
-func (s *DesignSession) AddIndex(table string, columns ...string) (*catalog.Index, error) {
-	ix, err := s.d.eng.HypotheticalIndex(table, columns...)
+func (s *DesignSession) AddIndex(table string, columns ...string) (Index, error) {
+	ix, err := s.view.Session().HypotheticalIndex(table, columns...)
 	if err != nil {
-		return nil, err
+		return Index{}, err
 	}
 	if s.cfg.HasIndex(ix.Key()) {
-		return nil, fmt.Errorf("designer: index %s already in the design", ix.Key())
+		return Index{}, fmt.Errorf("designer: index %s already in the design", ix.Key())
 	}
 	s.cfg = s.cfg.WithIndex(ix)
-	return ix, nil
+	return indexFromInternal(ix), nil
 }
 
 // DropIndex removes an index from the design by canonical key
@@ -108,7 +125,9 @@ func (s *DesignSession) AddHorizontalPartition(table, column string, k int) erro
 	if k < 2 {
 		return fmt.Errorf("designer: need at least 2 fragments, got %d", k)
 	}
+	s.d.mu.RLock()
 	ts := s.d.store.Stats.Table(table)
+	s.d.mu.RUnlock()
 	if ts == nil {
 		return fmt.Errorf("designer: table %s has no statistics; run ANALYZE", table)
 	}
@@ -127,43 +146,56 @@ func (s *DesignSession) AddHorizontalPartition(table, column string, k int) erro
 }
 
 // Evaluate reports the benefit of the session's design for the workload —
-// the numbers Scenario 1's panel shows.
-func (s *DesignSession) Evaluate(w *workload.Workload) (*whatif.Report, error) {
-	return s.whatifSession().EvaluateWorkload(w, s.cfg)
+// the numbers Scenario 1's panel shows. Queries are priced in parallel
+// against the session's pinned generation; a cancelled context aborts
+// mid-evaluation.
+func (s *DesignSession) Evaluate(ctx context.Context, w *Workload) (*Report, error) {
+	rep, err := s.whatifSession().EvaluateWorkload(ctx, w.internal(), s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromInternal(rep), nil
 }
 
 // Explain renders the plan one query would take under the design.
-func (s *DesignSession) Explain(q workload.Query) (string, error) {
-	return s.whatifSession().Explain(q.Stmt, s.cfg)
+func (s *DesignSession) Explain(q Query) (string, error) {
+	if err := q.valid(); err != nil {
+		return "", err
+	}
+	return s.whatifSession().Explain(q.stmt, s.cfg)
 }
 
-// whatifSession resolves the session to evaluate against: the engine's
-// shared session, or a derived one when join controls are set.
+// whatifSession resolves the session to evaluate against: the pinned
+// generation's shared session, or a derived one when join controls are set.
 func (s *DesignSession) whatifSession() *whatif.Session {
 	if s.hasJoinOpts {
-		return s.d.eng.SessionWith(s.joinOpts)
+		return s.view.SessionWith(s.joinOpts)
 	}
-	return s.d.eng.Session()
+	return s.view.Session()
 }
 
 // InteractionGraph computes the interaction graph between the design's
 // hypothetical indexes (Figure 2).
-func (s *DesignSession) InteractionGraph(w *workload.Workload) (*interaction.Graph, error) {
+func (s *DesignSession) InteractionGraph(ctx context.Context, w *Workload) (*InteractionGraph, error) {
 	var hypo []*catalog.Index
 	for _, ix := range s.cfg.Indexes {
 		if ix.Hypothetical {
 			hypo = append(hypo, ix)
 		}
 	}
-	return interaction.Analyze(s.d.eng, w, hypo, interaction.DefaultOptions())
+	g, err := interaction.AnalyzeView(ctx, s.view, w.internal(), hypo, interaction.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return graphFromInternal(g), nil
 }
 
 // RewrittenQueries returns, for every workload query affected by the
 // design's vertical layouts, the SQL rewritten onto fragment tables
 // (Scenario 1's "save the rewritten queries").
-func (s *DesignSession) RewrittenQueries(w *workload.Workload) map[string]string {
+func (s *DesignSession) RewrittenQueries(w *Workload) map[string]string {
 	out := make(map[string]string)
-	for _, q := range w.Queries {
+	for _, q := range w.internal().Queries {
 		if sql, changed := autopart.RewriteQuery(q.Stmt, s.d.store.Schema, s.cfg); changed {
 			out[q.ID] = sql
 		}
@@ -175,7 +207,7 @@ func (s *DesignSession) RewrittenQueries(w *workload.Workload) map[string]string
 // Evaluate/Explain calls (the what-if join component). The switches are
 // scoped to the design session: advisor pricing and query execution on the
 // designer keep the unrestricted optimizer.
-func (s *DesignSession) SetJoinControl(opts optimizer.Options) {
-	s.joinOpts = opts
+func (s *DesignSession) SetJoinControl(jc JoinControl) {
+	s.joinOpts = jc.internal()
 	s.hasJoinOpts = true
 }

@@ -1,0 +1,87 @@
+package designer
+
+import (
+	"context"
+
+	"repro/internal/catalog"
+	"repro/internal/colt"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Tuner is the COLT continuous online tuner (Scenario 3): it watches the
+// incoming query stream, profiles promising single-column indexes within a
+// bounded what-if budget, and proposes (or applies) configuration changes
+// at epoch boundaries. It is not safe for concurrent Observe calls —
+// serialize observation (the serve layer does).
+type Tuner struct {
+	t *colt.Tuner
+}
+
+func newColtTuner(eng *engine.Engine, initial *catalog.Configuration, opts TunerOptions) *colt.Tuner {
+	return colt.New(eng, initial, opts.internal())
+}
+
+// Observe feeds one query through the tuner and returns its estimated cost
+// under the live configuration. A cancelled context aborts before pricing.
+func (t *Tuner) Observe(ctx context.Context, q Query) (float64, error) {
+	if err := q.valid(); err != nil {
+		return 0, err
+	}
+	return t.t.Observe(ctx, q.internal())
+}
+
+// ObserveAll feeds a whole stream and returns the total estimated cost
+// experienced. A cancelled context aborts between queries.
+func (t *Tuner) ObserveAll(ctx context.Context, qs []Query) (float64, error) {
+	stream := make([]workload.Query, 0, len(qs))
+	for _, q := range qs {
+		if err := q.valid(); err != nil {
+			return 0, err
+		}
+		stream = append(stream, q.internal())
+	}
+	return t.t.ObserveAll(ctx, stream)
+}
+
+// OnAlert registers a callback invoked for every alert.
+func (t *Tuner) OnAlert(fn func(TunerAlert)) {
+	t.t.OnAlert(func(a colt.Alert) { fn(alertFromInternal(a)) })
+}
+
+// Current returns the live configuration's index set.
+func (t *Tuner) Current() []Index {
+	return indexesFromInternal(t.t.Current().Indexes)
+}
+
+// Alerts returns all alerts raised so far.
+func (t *Tuner) Alerts() []TunerAlert {
+	alerts := t.t.Alerts()
+	out := make([]TunerAlert, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertFromInternal(a)
+	}
+	return out
+}
+
+// Reports returns per-epoch summaries.
+func (t *Tuner) Reports() []TunerReport {
+	reps := t.t.Reports()
+	out := make([]TunerReport, len(reps))
+	for i, r := range reps {
+		out[i] = TunerReport{
+			Epoch:         r.Epoch,
+			Queries:       r.Queries,
+			EpochCost:     r.EpochCost,
+			WhatIfCalls:   r.WhatIfCalls,
+			ConfigChanged: r.ConfigChanged,
+			IndexKeys:     append([]string(nil), r.IndexKeys...),
+		}
+	}
+	return out
+}
+
+// Close releases the tuner's cached costing entries from the shared
+// engine. Call it when retiring a tuner on a long-lived designer; the
+// tuner must not be used after. It returns the number of evicted entries.
+func (t *Tuner) Close() int { return t.t.Close() }

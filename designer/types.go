@@ -1,42 +1,759 @@
 package designer
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
 	"repro/internal/catalog"
 	"repro/internal/colt"
-	"repro/internal/executor"
+	"repro/internal/cophy"
+	"repro/internal/greedy"
+	"repro/internal/interaction"
+	"repro/internal/optimizer"
+	"repro/internal/schedule"
+	"repro/internal/storage"
 	"repro/internal/whatif"
-	"repro/internal/workload"
 )
 
-// Public aliases for the types the facade's API exchanges, so callers can
-// name them without importing internal packages.
-type (
-	// Index describes a (possibly hypothetical) B-tree index.
-	Index = catalog.Index
-	// Configuration is a physical design: indexes plus partition layouts.
-	Configuration = catalog.Configuration
-	// VerticalLayout partitions a table's columns into fragments.
-	VerticalLayout = catalog.VerticalLayout
-	// HorizontalLayout splits a table into ranges of one column.
-	HorizontalLayout = catalog.HorizontalLayout
-	// Datum is a single SQL value.
-	Datum = catalog.Datum
-	// Workload is a weighted query set.
-	Workload = workload.Workload
-	// Query is one workload member.
-	Query = workload.Query
-	// QueryResult is a materialized execution result.
-	QueryResult = executor.Result
-	// BenefitReport aggregates per-query what-if benefits.
-	BenefitReport = whatif.Report
-	// TunerAlert is a COLT configuration-change alert.
-	TunerAlert = colt.Alert
-	// TunerOptions configure the online tuner.
-	TunerOptions = colt.Options
-)
+// This file is the v2 facade's data-transfer layer: every type the public
+// API exchanges is owned by this package, so external modules can name all
+// of them without reaching into internal/... (which the Go toolchain would
+// refuse anyway). The api_hygiene test walks the exported surface with
+// go/types and fails the build if an internal type ever leaks back in.
+
+// Index describes a (possibly hypothetical) B-tree index. It is a plain
+// value: construct one by hand, or let HypotheticalIndex size it honestly
+// from statistics.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	// Hypothetical marks a what-if index that exists only for costing.
+	Hypothetical bool
+	// EstimatedPages and EstimatedHeight are the honest what-if size (§2 of
+	// the paper); zero means "unsized".
+	EstimatedPages  int64
+	EstimatedHeight int
+}
+
+// Key returns the canonical identity string table(col1,col2,...). Two
+// indexes with equal keys are interchangeable for design purposes.
+func (ix Index) Key() string {
+	cols := make([]string, len(ix.Columns))
+	for i, c := range ix.Columns {
+		cols[i] = strings.ToLower(c)
+	}
+	return strings.ToLower(ix.Table) + "(" + strings.Join(cols, ",") + ")"
+}
+
+// internal converts the DTO to the catalog representation.
+func (ix Index) internal() *catalog.Index {
+	return &catalog.Index{
+		Name:            ix.Name,
+		Table:           ix.Table,
+		Columns:         append([]string(nil), ix.Columns...),
+		Unique:          ix.Unique,
+		Hypothetical:    ix.Hypothetical,
+		EstimatedPages:  ix.EstimatedPages,
+		EstimatedHeight: ix.EstimatedHeight,
+	}
+}
+
+func indexFromInternal(ix *catalog.Index) Index {
+	return Index{
+		Name:            ix.Name,
+		Table:           ix.Table,
+		Columns:         append([]string(nil), ix.Columns...),
+		Unique:          ix.Unique,
+		Hypothetical:    ix.Hypothetical,
+		EstimatedPages:  ix.EstimatedPages,
+		EstimatedHeight: ix.EstimatedHeight,
+	}
+}
+
+func indexesFromInternal(ixs []*catalog.Index) []Index {
+	if ixs == nil {
+		return nil
+	}
+	out := make([]Index, len(ixs))
+	for i, ix := range ixs {
+		out[i] = indexFromInternal(ix)
+	}
+	return out
+}
+
+func indexesToInternal(ixs []Index) []*catalog.Index {
+	if ixs == nil {
+		return nil
+	}
+	out := make([]*catalog.Index, len(ixs))
+	for i, ix := range ixs {
+		out[i] = ix.internal()
+	}
+	return out
+}
+
+// Configuration is a physical design under consideration: a set of indexes
+// plus partition layouts. The zero of the design space is NewConfiguration;
+// a nil *Configuration passed to Evaluate/Cost/Explain means "the current
+// materialized design".
+type Configuration struct {
+	cfg *catalog.Configuration
+}
 
 // NewConfiguration returns an empty physical design.
-func NewConfiguration() *Configuration { return catalog.NewConfiguration() }
+func NewConfiguration() *Configuration {
+	return &Configuration{cfg: catalog.NewConfiguration()}
+}
+
+// configFromInternal wraps an internal configuration (nil-safe).
+func configFromInternal(cfg *catalog.Configuration) *Configuration {
+	if cfg == nil {
+		return nil
+	}
+	return &Configuration{cfg: cfg}
+}
+
+// internal unwraps (nil-safe: nil means "current design" downstream).
+func (c *Configuration) internal() *catalog.Configuration {
+	if c == nil {
+		return nil
+	}
+	return c.base()
+}
+
+// base resolves the wrapped design, treating the zero value as the empty
+// design so `&designer.Configuration{}` behaves like NewConfiguration()
+// instead of panicking.
+func (c *Configuration) base() *catalog.Configuration {
+	if c == nil || c.cfg == nil {
+		return catalog.NewConfiguration()
+	}
+	return c.cfg
+}
+
+// WithIndex returns a copy of the design extended by the index.
+func (c *Configuration) WithIndex(ix Index) *Configuration {
+	return &Configuration{cfg: c.base().WithIndex(ix.internal())}
+}
+
+// WithoutIndex returns a copy of the design without the keyed index.
+func (c *Configuration) WithoutIndex(key string) *Configuration {
+	return &Configuration{cfg: c.base().WithoutIndex(strings.ToLower(key))}
+}
+
+// HasIndex reports whether the design contains the keyed index.
+func (c *Configuration) HasIndex(key string) bool {
+	return c.base().HasIndex(strings.ToLower(key))
+}
+
+// Indexes lists the design's indexes.
+func (c *Configuration) Indexes() []Index { return indexesFromInternal(c.base().Indexes) }
+
+// Signature returns a deterministic identity for the whole design.
+func (c *Configuration) Signature() string { return c.base().Signature() }
+
+// QueryBenefit reports one query's costs under the base and a hypothetical
+// configuration.
+type QueryBenefit struct {
+	ID       string
+	SQL      string
+	BaseCost float64
+	NewCost  float64
+}
+
+// Benefit is BaseCost - NewCost (positive = improvement).
+func (q QueryBenefit) Benefit() float64 { return q.BaseCost - q.NewCost }
+
+// BenefitPct is the relative improvement in percent.
+func (q QueryBenefit) BenefitPct() float64 {
+	if q.BaseCost == 0 {
+		return 0
+	}
+	return (q.BaseCost - q.NewCost) / q.BaseCost * 100
+}
+
+// Report aggregates per-query what-if benefits over a workload — the
+// numbers the demo's interface shows in Scenarios 1 and 2.
+type Report struct {
+	Queries   []QueryBenefit
+	BaseTotal float64
+	NewTotal  float64
+}
+
+// TotalBenefit is the workload-level absolute improvement.
+func (r *Report) TotalBenefit() float64 { return r.BaseTotal - r.NewTotal }
+
+// AvgBenefitPct is the workload-level relative improvement in percent.
+func (r *Report) AvgBenefitPct() float64 {
+	if r.BaseTotal == 0 {
+		return 0
+	}
+	return r.TotalBenefit() / r.BaseTotal * 100
+}
+
+func reportFromInternal(rep *whatif.Report) *Report {
+	if rep == nil {
+		return nil
+	}
+	out := &Report{
+		Queries:   make([]QueryBenefit, len(rep.Queries)),
+		BaseTotal: rep.BaseTotal,
+		NewTotal:  rep.NewTotal,
+	}
+	for i, qb := range rep.Queries {
+		out.Queries[i] = QueryBenefit{ID: qb.ID, SQL: qb.SQL, BaseCost: qb.BaseCost, NewCost: qb.NewCost}
+	}
+	return out
+}
+
+// QueryPlan records which indexes the chosen plan atom of a query uses and
+// its estimated cost.
+type QueryPlan struct {
+	QueryID string
+	Cost    float64
+	Indexes []Index // empty = all sequential scans
+}
+
+// SolverResult is the CoPhy BIP advisor's recommendation plus solver
+// telemetry (objective, proven bound, gap, node count).
+type SolverResult struct {
+	// Indexes is the selected configuration.
+	Indexes []Index
+	// Objective is the estimated weighted workload cost under Indexes.
+	Objective float64
+	// BaselineCost is the workload cost with no indexes at all.
+	BaselineCost float64
+	// Bound is the proven lower bound on the optimal objective.
+	Bound float64
+	// Proven reports whether the BIP was solved to optimality.
+	Proven bool
+	// Nodes is the number of branch-and-bound nodes expanded.
+	Nodes int
+	// PerQuery lists the chosen plan atom per query.
+	PerQuery []QueryPlan
+	// SolveTime is wall-clock time spent in the solver (excludes pricing).
+	SolveTime time.Duration
+	// PricingCalls counts INUM costings spent building the BIP.
+	PricingCalls int
+}
+
+// Gap returns the relative optimality gap of the recommendation.
+func (r *SolverResult) Gap() float64 {
+	if r.Objective == 0 {
+		return 0
+	}
+	g := (r.Objective - r.Bound) / r.Objective
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Improvement returns the relative workload cost reduction vs. no indexes.
+func (r *SolverResult) Improvement() float64 {
+	if r.BaselineCost == 0 {
+		return 0
+	}
+	return (r.BaselineCost - r.Objective) / r.BaselineCost
+}
+
+func solverResultFromInternal(res *cophy.Result) *SolverResult {
+	if res == nil {
+		return nil
+	}
+	out := &SolverResult{
+		Indexes:      indexesFromInternal(res.Indexes),
+		Objective:    res.Objective,
+		BaselineCost: res.BaselineCost,
+		Bound:        res.Bound,
+		Proven:       res.Proven,
+		Nodes:        res.Nodes,
+		SolveTime:    res.SolveTime,
+		PricingCalls: res.PricingCalls,
+	}
+	for _, qp := range res.PerQuery {
+		out.PerQuery = append(out.PerQuery, QueryPlan{
+			QueryID: qp.QueryID, Cost: qp.Cost, Indexes: indexesFromInternal(qp.Indexes),
+		})
+	}
+	return out
+}
+
+// GreedyResult is the DTA-style greedy baseline's recommendation.
+type GreedyResult struct {
+	Indexes      []Index
+	Objective    float64 // workload cost under Indexes
+	BaselineCost float64 // workload cost with no indexes
+	Steps        int     // greedy iterations
+	PricingCalls int
+}
+
+// Improvement returns the relative cost reduction vs. no indexes.
+func (r *GreedyResult) Improvement() float64 {
+	if r.BaselineCost == 0 {
+		return 0
+	}
+	return (r.BaselineCost - r.Objective) / r.BaselineCost
+}
+
+func greedyResultFromInternal(res *greedy.Result) *GreedyResult {
+	if res == nil {
+		return nil
+	}
+	return &GreedyResult{
+		Indexes:      indexesFromInternal(res.Indexes),
+		Objective:    res.Objective,
+		BaselineCost: res.BaselineCost,
+		Steps:        res.Steps,
+		PricingCalls: res.PricingCalls,
+	}
+}
+
+// TablePartition reports the partitioning decision for one table. Vertical
+// and Horizontal are rendered layout descriptions ("" = keep as is).
+type TablePartition struct {
+	Table      string
+	Vertical   string
+	Horizontal string
+	CostBefore float64
+	CostAfter  float64
+}
+
+// Improvement is the relative cost gain for queries touching this table.
+func (t TablePartition) Improvement() float64 {
+	if t.CostBefore == 0 {
+		return 0
+	}
+	return (t.CostBefore - t.CostAfter) / t.CostBefore
+}
+
+// PartitionResult is the AutoPart advisor's recommendation.
+type PartitionResult struct {
+	Tables       []TablePartition
+	BaselineCost float64
+	NewCost      float64
+	PricingCalls int
+	// Rewritten maps affected query IDs to their SQL rewritten onto the
+	// fragment tables of the advised vertical layouts.
+	Rewritten map[string]string
+
+	cfg *catalog.Configuration
+}
+
+// Improvement is the workload-level relative cost gain.
+func (r *PartitionResult) Improvement() float64 {
+	if r.BaselineCost == 0 {
+		return 0
+	}
+	return (r.BaselineCost - r.NewCost) / r.BaselineCost
+}
+
+// Config returns the advised configuration (base design plus partitions),
+// usable with Evaluate/Cost/Explain.
+func (r *PartitionResult) Config() *Configuration { return configFromInternal(r.cfg) }
+
+// InteractionEdge is one interaction-graph edge between two index keys.
+type InteractionEdge struct {
+	A, B string
+	Doi  float64 // degree of interaction
+}
+
+// InteractionGraph is the index-interaction graph over a set of indexes
+// (Figure 2 of the paper).
+type InteractionGraph struct {
+	g *interaction.Graph
+}
+
+func graphFromInternal(g *interaction.Graph) *InteractionGraph {
+	if g == nil {
+		return nil
+	}
+	return &InteractionGraph{g: g}
+}
+
+// Indexes lists the analyzed index set.
+func (g *InteractionGraph) Indexes() []Index { return indexesFromInternal(g.g.Indexes) }
+
+// Edges lists all interacting pairs, strongest first.
+func (g *InteractionGraph) Edges() []InteractionEdge {
+	out := make([]InteractionEdge, 0, len(g.g.Edges))
+	for _, e := range g.g.Edges {
+		out = append(out, InteractionEdge{
+			A: g.g.Indexes[e.A].Key(), B: g.g.Indexes[e.B].Key(), Doi: e.Doi,
+		})
+	}
+	return out
+}
+
+// Render formats the top-k edges as text.
+func (g *InteractionGraph) Render(topK int) string { return g.g.Render(topK) }
+
+// DOT emits the top-k edges as a Graphviz graph.
+func (g *InteractionGraph) DOT(topK int) string { return g.g.DOT(topK) }
+
+// Matrix renders the full degree-of-interaction matrix.
+func (g *InteractionGraph) Matrix() string { return g.g.Matrix() }
+
+// StableSubsets partitions the index set into groups whose members only
+// interact (above eps) within the group; returned as groups of index keys.
+func (g *InteractionGraph) StableSubsets(eps float64) [][]string {
+	var out [][]string
+	for _, grp := range g.g.StableSubsets(eps) {
+		keys := make([]string, 0, len(grp))
+		for _, ord := range grp {
+			keys = append(keys, g.g.Indexes[ord].Key())
+		}
+		out = append(out, keys)
+	}
+	return out
+}
+
+// ScheduleStep is one index build in a materialization schedule.
+type ScheduleStep struct {
+	Index Index
+	// BuildCost is the estimated build effort in optimizer cost units.
+	BuildCost float64
+	// CostAfter is the workload cost once this step (and all previous ones)
+	// are built.
+	CostAfter float64
+}
+
+// Schedule is an ordered materialization plan.
+type Schedule struct {
+	Steps []ScheduleStep
+	// BaseCost is the workload cost before any index is built.
+	BaseCost float64
+	// AUC is the area under the workload-cost/build-time curve: the total
+	// "cost-time" experienced while materializing in this order.
+	AUC float64
+	// TotalBuild is the sum of build costs.
+	TotalBuild float64
+}
+
+// FinalCost is the workload cost with all indexes built.
+func (s *Schedule) FinalCost() float64 {
+	if len(s.Steps) == 0 {
+		return s.BaseCost
+	}
+	return s.Steps[len(s.Steps)-1].CostAfter
+}
+
+// String renders the schedule as an ordered list.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "materialization schedule (base cost %.1f):\n", s.BaseCost)
+	for i, st := range s.Steps {
+		fmt.Fprintf(&b, "  %2d. %-44s build=%-10.1f workload-cost-after=%.1f\n",
+			i+1, st.Index.Key(), st.BuildCost, st.CostAfter)
+	}
+	fmt.Fprintf(&b, "  AUC(cost x build-time) = %.1f\n", s.AUC)
+	return b.String()
+}
+
+func scheduleFromInternal(s *schedule.Schedule) *Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &Schedule{BaseCost: s.BaseCost, AUC: s.AUC, TotalBuild: s.TotalBuild}
+	for _, st := range s.Steps {
+		out.Steps = append(out.Steps, ScheduleStep{
+			Index: indexFromInternal(st.Index), BuildCost: st.BuildCost, CostAfter: st.CostAfter,
+		})
+	}
+	return out
+}
+
+// CacheStats reports the costing engine's full-optimization and cached
+// costing counters — the telemetry behind the paper's INUM speedup claim.
+type CacheStats struct {
+	FullOptimizations int64
+	CachedCostings    int64
+}
+
+// IOStats counts logical page I/O. Sequential and random reads are tracked
+// separately because the cost model prices them differently.
+type IOStats struct {
+	SeqPages    int64
+	RandomPages int64
+	TuplesRead  int64
+}
+
+// Total returns all page reads regardless of access pattern.
+func (s IOStats) Total() int64 { return s.SeqPages + s.RandomPages }
+
+// String renders the counter compactly.
+func (s IOStats) String() string {
+	return fmt.Sprintf("io{seq=%d rand=%d tuples=%d}", s.SeqPages, s.RandomPages, s.TuplesRead)
+}
+
+func ioFromInternal(io storage.IOCounter) IOStats {
+	return IOStats{SeqPages: io.SeqPages, RandomPages: io.RandomPages, TuplesRead: io.TuplesRead}
+}
+
+// ColumnInfo describes one column of a table.
+type ColumnInfo struct {
+	Name       string
+	Type       string
+	PrimaryKey bool
+}
+
+// TableInfo describes one table of the designer's database.
+type TableInfo struct {
+	Name          string
+	RowCount      int64
+	Pages         int64
+	RowWidthBytes int
+	Columns       []ColumnInfo
+}
+
+// QueryResult is a materialized execution result. Row values are rendered
+// as strings.
+type QueryResult struct {
+	Columns []string
+	Rows    [][]string
+	IO      IOStats
+}
+
+// JoinControl steers the what-if join component: individual join methods
+// (and scan types) can be disabled to inspect how plan shape reacts.
+type JoinControl struct {
+	DisableNestLoop  bool
+	DisableHashJoin  bool
+	DisableMergeJoin bool
+	DisableIndexScan bool
+	DisableSeqScan   bool // soft: seq scan is kept as a last resort
+}
+
+func (j JoinControl) internal() optimizer.Options {
+	return optimizer.Options{
+		DisableNestLoop:  j.DisableNestLoop,
+		DisableHashJoin:  j.DisableHashJoin,
+		DisableMergeJoin: j.DisableMergeJoin,
+		DisableIndexScan: j.DisableIndexScan,
+		DisableSeqScan:   j.DisableSeqScan,
+	}
+}
+
+// CandidateOptions tune automatic candidate-index enumeration.
+type CandidateOptions struct {
+	// MaxPerTable caps candidates per table (by workload frequency).
+	MaxPerTable int
+	// MaxWidth caps composite index width.
+	MaxWidth int
+	// IncludeCovering adds covering candidates (key + projected columns).
+	IncludeCovering bool
+}
+
+// DefaultCandidateOptions returns the enumeration defaults.
+func DefaultCandidateOptions() CandidateOptions {
+	return candidateOptionsFromInternal(whatif.DefaultCandidateOptions())
+}
+
+func (o CandidateOptions) internal() whatif.CandidateOptions {
+	return whatif.CandidateOptions{
+		MaxPerTable: o.MaxPerTable, MaxWidth: o.MaxWidth, IncludeCovering: o.IncludeCovering,
+	}
+}
+
+func candidateOptionsFromInternal(o whatif.CandidateOptions) CandidateOptions {
+	return CandidateOptions{
+		MaxPerTable: o.MaxPerTable, MaxWidth: o.MaxWidth, IncludeCovering: o.IncludeCovering,
+	}
+}
+
+// SolverOptions configure a standalone CoPhy advisor run.
+type SolverOptions struct {
+	// StorageBudgetPages caps the total estimated index footprint; 0 means
+	// unlimited.
+	StorageBudgetPages int64
+	// MaxIndexesPerQueryTable bounds how many candidate indexes per
+	// (query, table) slot enter atom enumeration.
+	MaxIndexesPerQueryTable int
+	// MaxAtomsPerQuery bounds plan atoms per query.
+	MaxAtomsPerQuery int
+	// NodeBudget caps branch-and-bound nodes (0 = solve to optimality).
+	NodeBudget int
+	// PinnedKeys forces candidates with these canonical keys into the
+	// solution — the interactive control where the DBA seeds the search.
+	PinnedKeys []string
+}
+
+// DefaultSolverOptions returns the CoPhy defaults.
+func DefaultSolverOptions() SolverOptions {
+	o := cophy.DefaultOptions()
+	return SolverOptions{
+		StorageBudgetPages:      o.StorageBudgetPages,
+		MaxIndexesPerQueryTable: o.MaxIndexesPerQueryTable,
+		MaxAtomsPerQuery:        o.MaxAtomsPerQuery,
+		NodeBudget:              o.NodeBudget,
+		PinnedKeys:              o.PinnedKeys,
+	}
+}
+
+func (o SolverOptions) internal() cophy.Options {
+	return cophy.Options{
+		StorageBudgetPages:      o.StorageBudgetPages,
+		MaxIndexesPerQueryTable: o.MaxIndexesPerQueryTable,
+		MaxAtomsPerQuery:        o.MaxAtomsPerQuery,
+		NodeBudget:              o.NodeBudget,
+		PinnedKeys:              append([]string(nil), o.PinnedKeys...),
+	}
+}
+
+// PartitionOptions tune the AutoPart partitioning search.
+type PartitionOptions struct {
+	// MinFragmentColumns merges any fragment smaller than this into its
+	// best partner at the end. 0 disables.
+	MinFragmentColumns int
+	// HorizontalFragments lists fragment counts to try per table (e.g.
+	// 4, 8, 16). Empty disables horizontal partitioning.
+	HorizontalFragments []int
+	// MinImprovement is the relative workload-cost gain a layout must
+	// achieve to be adopted.
+	MinImprovement float64
+}
+
+// DefaultPartitionOptions returns the AutoPart defaults.
+func DefaultPartitionOptions() PartitionOptions { return autopartDefaults() }
+
+// TunerOptions configure the COLT online tuner.
+type TunerOptions struct {
+	// EpochLength is the number of observed queries per tuning epoch.
+	EpochLength int
+	// SpaceBudgetPages caps the materialized index footprint (0 =
+	// unlimited).
+	SpaceBudgetPages int64
+	// WhatIfBudget is the maximum number of what-if costings per epoch.
+	WhatIfBudget int
+	// EWMAAlpha is the smoothing factor for per-candidate benefit.
+	EWMAAlpha float64
+	// AdoptThreshold is the minimum relative epoch-cost gain required to
+	// change the configuration.
+	AdoptThreshold float64
+	// AutoMaterialize applies proposed changes immediately; otherwise the
+	// tuner only alerts (the DBA decides, as the paper describes).
+	AutoMaterialize bool
+	// HotPromotionObservations is how many sightings move a candidate from
+	// cold to hot.
+	HotPromotionObservations int
+	// ChargeBuildCost makes adoption pay for materialization within
+	// BuildHorizonEpochs epochs — COLT's guard against thrashing.
+	ChargeBuildCost bool
+	// BuildHorizonEpochs is the amortization horizon (default 5).
+	BuildHorizonEpochs int
+}
 
 // DefaultTunerOptions returns the COLT defaults.
-func DefaultTunerOptions() TunerOptions { return colt.DefaultOptions() }
+func DefaultTunerOptions() TunerOptions {
+	o := colt.DefaultOptions()
+	return TunerOptions{
+		EpochLength:              o.EpochLength,
+		SpaceBudgetPages:         o.SpaceBudgetPages,
+		WhatIfBudget:             o.WhatIfBudget,
+		EWMAAlpha:                o.EWMAAlpha,
+		AdoptThreshold:           o.AdoptThreshold,
+		AutoMaterialize:          o.AutoMaterialize,
+		HotPromotionObservations: o.HotPromotionObservations,
+		ChargeBuildCost:          o.ChargeBuildCost,
+		BuildHorizonEpochs:       o.BuildHorizonEpochs,
+	}
+}
+
+func (o TunerOptions) internal() colt.Options {
+	return colt.Options{
+		EpochLength:              o.EpochLength,
+		SpaceBudgetPages:         o.SpaceBudgetPages,
+		WhatIfBudget:             o.WhatIfBudget,
+		EWMAAlpha:                o.EWMAAlpha,
+		AdoptThreshold:           o.AdoptThreshold,
+		AutoMaterialize:          o.AutoMaterialize,
+		HotPromotionObservations: o.HotPromotionObservations,
+		ChargeBuildCost:          o.ChargeBuildCost,
+		BuildHorizonEpochs:       o.BuildHorizonEpochs,
+	}
+}
+
+// TunerAlert is the message the online tuner raises when a better
+// configuration exists.
+type TunerAlert struct {
+	Epoch           int
+	Added           []Index
+	Dropped         []Index
+	ExpectedBenefit float64 // estimated epoch-cost reduction
+	EpochCost       float64 // epoch cost under the outgoing configuration
+	Applied         bool
+}
+
+// String renders the alert.
+func (a TunerAlert) String() string {
+	var add, drop []string
+	for _, ix := range a.Added {
+		add = append(add, ix.Key())
+	}
+	for _, ix := range a.Dropped {
+		drop = append(drop, ix.Key())
+	}
+	pct := 0.0
+	if a.EpochCost > 1e-9 {
+		pct = 100 * a.ExpectedBenefit / a.EpochCost
+	}
+	return fmt.Sprintf("epoch %d: +[%s] -[%s] expected benefit %.1f (%.1f%% of epoch cost)",
+		a.Epoch, strings.Join(add, ", "), strings.Join(drop, ", "), a.ExpectedBenefit, pct)
+}
+
+func alertFromInternal(a colt.Alert) TunerAlert {
+	return TunerAlert{
+		Epoch:           a.Epoch,
+		Added:           indexesFromInternal(a.Added),
+		Dropped:         indexesFromInternal(a.Dropped),
+		ExpectedBenefit: a.ExpectedBenefit,
+		EpochCost:       a.EpochCost,
+		Applied:         a.Applied,
+	}
+}
+
+// TunerReport summarizes one tuning epoch for dashboards.
+type TunerReport struct {
+	Epoch         int
+	Queries       int
+	EpochCost     float64 // Σ estimated query costs under the live config
+	WhatIfCalls   int
+	ConfigChanged bool
+	IndexKeys     []string
+}
+
+// ConfigurationDiff describes what separates two index sets.
+type ConfigurationDiff struct {
+	AddedIndexes   []Index
+	DroppedIndexes []Index
+}
+
+// DiffIndexes reports the index changes from old to new, by canonical key.
+func DiffIndexes(old, new []Index) ConfigurationDiff {
+	oldKeys := make(map[string]bool, len(old))
+	for _, ix := range old {
+		oldKeys[ix.Key()] = true
+	}
+	newKeys := make(map[string]bool, len(new))
+	for _, ix := range new {
+		newKeys[ix.Key()] = true
+	}
+	var d ConfigurationDiff
+	for _, ix := range new {
+		if !oldKeys[ix.Key()] {
+			d.AddedIndexes = append(d.AddedIndexes, ix)
+		}
+	}
+	for _, ix := range old {
+		if !newKeys[ix.Key()] {
+			d.DroppedIndexes = append(d.DroppedIndexes, ix)
+		}
+	}
+	sort.Slice(d.AddedIndexes, func(i, j int) bool { return d.AddedIndexes[i].Key() < d.AddedIndexes[j].Key() })
+	sort.Slice(d.DroppedIndexes, func(i, j int) bool { return d.DroppedIndexes[i].Key() < d.DroppedIndexes[j].Key() })
+	return d
+}

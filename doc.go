@@ -2,18 +2,28 @@
 // Designer" (Alagiannis, Dash, Schnaitter, Ailamaki, Polyzotis; SIGMOD 2010
 // demonstration) as a self-contained Go library.
 //
-// The public API lives in repro/designer; the runnable tool in
-// repro/cmd/dbdesigner; the paper's component techniques in
-// repro/internal/{whatif,inum,cophy,autopart,interaction,schedule,colt};
-// and the database substrate (SQL parser, catalog, statistics, storage with
-// a real B-tree, executor, cost-based optimizer, SDSS-like workload) in the
-// remaining internal packages. All cost estimation is unified behind
-// repro/internal/engine — a concurrency-safe handle that owns the
-// optimizer environment, the INUM cache, and the what-if session with
-// explicit configuration versioning, and sweeps candidate designs over a
-// bounded worker pool. See README.md for the package map, DESIGN.md for
-// the full inventory, and EXPERIMENTS.md for the paper-versus-measured
-// record.
+// The public API is the v2 facade in repro/designer: every exported
+// signature speaks only designer-owned types (no internal/... type is
+// reachable from the public surface — enforced by the api_hygiene test),
+// and every long-running entry point takes a context.Context whose
+// cancellation is honored inside the engine's parallel sweeps and the
+// CoPhy branch-and-bound. repro/designer/serve exposes the same facade as
+// a JSON-over-HTTP service with what-if design sessions, automatic advice,
+// and online-tuning status streaming; `dbdesigner serve` runs it with
+// graceful shutdown.
+//
+// The runnable tool lives in repro/cmd/dbdesigner; the paper's component
+// techniques in repro/internal/{whatif,inum,cophy,autopart,interaction,
+// schedule,colt}; and the database substrate (SQL parser, catalog,
+// statistics, storage with a real B-tree, executor, cost-based optimizer,
+// SDSS-like workload) in the remaining internal packages. All cost
+// estimation is unified behind repro/internal/engine — a concurrency-safe
+// handle that owns the optimizer environment, the INUM cache, and the
+// what-if session with explicit configuration versioning, sweeps candidate
+// designs over a bounded worker pool, and supports pinned generation views
+// for run-consistent advisors and isolated design sessions. See README.md
+// for the package map and the HTTP API, DESIGN.md for the full inventory,
+// and EXPERIMENTS.md for the paper-versus-measured record.
 //
 // The benchmark harness in bench_test.go regenerates every figure,
 // scenario, and quantitative claim of the paper (experiments E2–E12 in

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -92,10 +93,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	advice, err := d.Advise(w, designer.AdviceOptions{Interactions: true})
+	advice, err := d.Advise(context.Background(), w, designer.AdviceOptions{Interactions: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(advice.Summary())
-	fmt.Printf("\n%s", advice.DDL(d.Schema()))
+	fmt.Printf("\n%s", advice.DDL())
 }

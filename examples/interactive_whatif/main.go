@@ -1,6 +1,6 @@
 // Interactive what-if design — the paper's Scenario 1.
 //
-// A DBA sketches a physical design by hand (three what-if indexes, one
+// A DBA sketches a physical design by hand (four what-if indexes, one
 // vertical and one horizontal partition), and the tool reports the benefit
 // per query, the interactions between the candidate indexes, and the
 // queries rewritten onto the partitioned schema — all without building
@@ -10,21 +10,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
 func main() {
-	store, err := workload.Generate(workload.SmallSize(), 7)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("small", 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
-	w, err := workload.NewWorkload(d.Schema(), 8, 24)
+	w, err := d.GenerateWorkload(8, 24)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,13 +45,16 @@ func main() {
 		}
 	}
 	// Hot photometry columns in one narrow fragment, the rest cold.
-	tab := d.Schema().Table("photoobj")
+	photoobj, ok := d.DescribeTable("photoobj")
+	if !ok {
+		log.Fatal("photoobj missing from Describe")
+	}
 	var hot, cold []string
 	hotSet := map[string]bool{"ra": true, "dec": true, "type": true, "psfmag_r": true}
-	for _, c := range tab.Columns {
+	for _, c := range photoobj.Columns {
 		lc := strings.ToLower(c.Name)
 		switch {
-		case lc == "objid": // PK replicates automatically
+		case c.PrimaryKey: // PK replicates automatically
 		case hotSet[lc]:
 			hot = append(hot, lc)
 		default:
@@ -66,7 +69,7 @@ func main() {
 	}
 
 	// --- Benefit panel. ----------------------------------------------------
-	rep, err := s.Evaluate(w)
+	rep, err := s.Evaluate(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,15 +83,15 @@ func main() {
 	}
 
 	// --- Figure 2: interactions between the what-if indexes. --------------
-	g, err := s.InteractionGraph(w)
+	g, err := s.InteractionGraph(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nindex interactions:\n%s", g.Render(10))
 
 	// --- Plans and rewrites. -----------------------------------------------
-	fmt.Printf("\nplan for %s under the design:\n", w.Queries[0].ID)
-	plan, err := s.Explain(w.Queries[0])
+	fmt.Printf("\nplan for %s under the design:\n", w.Query(0).ID())
+	plan, err := s.Explain(w.Query(0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,27 +7,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/designer"
-	"repro/internal/schedule"
-	"repro/internal/workload"
 )
 
 func main() {
-	store, err := workload.Generate(workload.SmallSize(), 21)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("small", 21)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
-	w, err := workload.NewWorkload(d.Schema(), 22, 36)
+	w, err := d.GenerateWorkload(22, 36)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Budgeted automatic design with everything on.
-	advice, err := d.Advise(w, designer.AdviceOptions{
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{
 		StorageBudgetPages: 2500,
 		Partitions:         true,
 		Interactions:       true,
@@ -40,8 +39,7 @@ func main() {
 	// The schedule comparison the demo motivates: interaction-aware
 	// ordering accrues benefit earlier than a naive ranking.
 	if len(advice.Indexes) >= 2 {
-		sched := schedule.New(d.Engine())
-		obliv, err := sched.Oblivious(w, advice.Indexes)
+		obliv, err := d.ScheduleOblivious(ctx, w, advice.Indexes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,11 +52,11 @@ func main() {
 	}
 
 	// Compare with the greedy baseline at the same budget.
-	gres, err := d.AdviseGreedy(w, 2500)
+	gres, err := d.AdviseGreedy(ctx, w, 2500)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nCoPhy vs greedy at budget 2500 pages:\n")
-	fmt.Printf("  CoPhy : cost %.1f (gap %.2f%%)\n", advice.CoPhy.Objective, advice.CoPhy.Gap()*100)
+	fmt.Printf("  CoPhy : cost %.1f (gap %.2f%%)\n", advice.Solver.Objective, advice.Solver.Gap()*100)
 	fmt.Printf("  greedy: cost %.1f\n", gres.Objective)
 }

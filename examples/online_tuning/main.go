@@ -11,50 +11,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/designer"
-	"repro/internal/catalog"
-	"repro/internal/colt"
-	"repro/internal/workload"
 )
 
 func main() {
-	store, err := workload.Generate(workload.SmallSize(), 31)
+	ctx := context.Background()
+	d, err := designer.OpenSDSS("small", 31)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
 
-	opts := colt.DefaultOptions()
+	opts := designer.DefaultTunerOptions()
 	opts.EpochLength = 30
 	tuner := d.NewOnlineTuner(opts)
-	tuner.OnAlert(func(a colt.Alert) { fmt.Printf("ALERT  %s\n", a) })
+	defer tuner.Close()
+	tuner.OnAlert(func(a designer.TunerAlert) { fmt.Printf("ALERT  %s\n", a) })
 
-	stream, err := workload.Stream(d.Schema(), 32, workload.DefaultDriftPhases(150))
+	stream, err := d.DriftStream(32, 150)
 	if err != nil {
 		log.Fatal(err)
 	}
-	adaptive, err := tuner.ObserveAll(stream)
+	adaptive, err := tuner.ObserveAll(ctx, stream)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Static baseline: the same stream priced with no indexes at all.
 	var static float64
-	empty := catalog.NewConfiguration()
+	empty := designer.NewConfiguration()
 	for _, q := range stream {
-		cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
+		c, err := d.Cost(q, empty)
 		if err != nil {
 			log.Fatal(err)
 		}
-		c, err := d.Cache().CostFor(cq, empty)
-		if err != nil {
-			log.Fatal(err)
-		}
-		static += c * q.Weight
+		static += c * q.Weight()
 	}
 
 	fmt.Printf("\nstream of %d queries across 3 drift phases\n", len(stream))

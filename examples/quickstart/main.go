@@ -1,25 +1,27 @@
 // Quickstart: generate the synthetic SDSS dataset, ask the designer for
-// indexes, inspect the benefit, and materialize the recommendation.
+// indexes, inspect the benefit, and materialize the recommendation —
+// entirely through the public v2 facade (no internal imports).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/designer"
-	"repro/internal/workload"
 )
 
 func main() {
-	// 1. A populated, analyzed store. workload.Generate stands in for a
-	//    real database; designer.Open works over any storage.Store.
-	store, err := workload.Generate(workload.SmallSize(), 1)
+	ctx := context.Background()
+
+	// 1. A populated, analyzed database. OpenSDSS generates the demo
+	//    dataset; NewFromDDL works over any relational schema.
+	d, err := designer.OpenSDSS("small", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := designer.Open(store)
 
 	// 2. The workload to tune for — here three ad-hoc astronomy queries.
 	w, err := d.WorkloadFromSQL([]string{
@@ -31,8 +33,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Automatic design (Scenario 2 of the paper).
-	advice, err := d.Advise(w, designer.AdviceOptions{Interactions: true})
+	// 3. Automatic design (Scenario 2 of the paper). The context makes the
+	//    run cancellable: wrap it with context.WithTimeout to deadline it.
+	advice, err := d.Advise(ctx, w, designer.AdviceOptions{Interactions: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,13 +43,13 @@ func main() {
 
 	// 4. Materialize and run a query for real.
 	if len(advice.Indexes) > 0 {
-		io, err := d.Materialize(advice.Indexes)
+		io, err := d.Materialize(ctx, advice.Indexes)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nmaterialized %d indexes, build I/O: %s\n", len(advice.Indexes), io.String())
 	}
-	res, err := d.Execute(w.Queries[0])
+	res, err := d.Execute(w.Query(0))
 	if err != nil {
 		log.Fatal(err)
 	}

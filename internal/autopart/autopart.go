@@ -19,6 +19,7 @@
 package autopart
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -100,15 +101,19 @@ func New(eng *engine.Engine) *Advisor {
 // base is the configuration to extend (typically empty or the current
 // index set); it is not mutated. Candidate layouts within each search step
 // are priced with one parallel engine sweep.
-func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts Options) (*Result, error) {
+func (a *Advisor) Advise(ctx context.Context, w *workload.Workload, base *catalog.Configuration, opts Options) (*Result, error) {
+	// Pin one engine generation for the whole partitioning search.
+	return a.AdviseView(ctx, a.eng.Pin(), w, base, opts)
+}
+
+// AdviseView runs the partitioning search against one pinned engine
+// generation.
+func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Workload, base *catalog.Configuration, opts Options) (*Result, error) {
 	if base == nil {
 		base = catalog.NewConfiguration()
 	}
 	res := &Result{Config: base.Clone()}
-
-	// Pin one engine generation for the whole partitioning search.
-	v := a.eng.Pin()
-	if err := v.Prepare(w, base.Indexes); err != nil {
+	if err := v.Prepare(ctx, w, base.Indexes); err != nil {
 		return nil, err
 	}
 	cost := func(cfg *catalog.Configuration) (float64, error) {
@@ -117,7 +122,7 @@ func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts
 	}
 	sweep := func(cfgs []*catalog.Configuration) ([]float64, error) {
 		res.PricingCalls += len(cfgs) * len(w.Queries)
-		return v.SweepConfigs(w, cfgs)
+		return v.SweepConfigs(ctx, w, cfgs)
 	}
 
 	baseline, err := cost(res.Config)
@@ -146,7 +151,7 @@ func (a *Advisor) Advise(w *workload.Workload, base *catalog.Configuration, opts
 
 		// --- Horizontal. ----------------------------------------------------
 		if len(opts.HorizontalFragments) > 0 {
-			layout, improved, newCost, err := a.bestHorizontal(w, t, res.Config, sweep, current, opts)
+			layout, improved, newCost, err := a.bestHorizontal(v, w, t, res.Config, sweep, current, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -299,6 +304,7 @@ func mergeFragments(frags [][]string, i, j int) [][]string {
 // column with split points at histogram quantiles; the fragment-count
 // trials are priced in one parallel engine sweep.
 func (a *Advisor) bestHorizontal(
+	v *engine.View,
 	w *workload.Workload, t *catalog.Table,
 	cfg *catalog.Configuration,
 	sweep func([]*catalog.Configuration) ([]float64, error),
@@ -308,7 +314,10 @@ func (a *Advisor) bestHorizontal(
 	if col == "" {
 		return nil, false, current, nil
 	}
-	ts := a.eng.Stats().Table(t.Name)
+	// Histogram quantiles come from the pinned generation's statistics, so
+	// split bounds always correspond to the costs that justify them even if
+	// the engine is re-analyzed mid-run.
+	ts := v.Stats().Table(t.Name)
 	if ts == nil {
 		return nil, false, current, nil
 	}

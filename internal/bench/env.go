@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -34,7 +35,6 @@ type Env struct {
 	NumQ     int
 
 	Store *storage.Store
-	D     *designer.Designer
 	W     *workload.Workload
 	Cands []*catalog.Index
 	Eng   *engine.Engine
@@ -63,14 +63,13 @@ func NewEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error)
 	if err != nil {
 		return nil, err
 	}
-	d := designer.Open(store)
 	w, err := p.Generate(store.Schema, seed+1, numQ)
 	if err != nil {
 		return nil, err
 	}
-	eng := d.Engine()
+	eng := engine.New(store.Schema, store.Stats, store.MaterializedConfiguration())
 	cands := eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
-	if err := eng.Prepare(w, cands); err != nil {
+	if err := eng.Prepare(context.Background(), w, cands); err != nil {
 		return nil, err
 	}
 	return &Env{
@@ -79,7 +78,6 @@ func NewEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error)
 		Profile:  profile,
 		NumQ:     numQ,
 		Store:    store,
-		D:        d,
 		W:        w,
 		Cands:    cands,
 		Eng:      eng,
@@ -111,19 +109,26 @@ func CachedEnv(sizeName string, seed int64, profile string, numQ int) (*Env, err
 }
 
 // FreshDesigner generates an unshared copy of the Env's dataset and opens a
-// designer over it — for experiments that mutate physical state (COLT's
-// auto-materialization, offline advisors that build indexes) and must not
-// poison the shared engine's caches.
+// facade designer over it — for experiments that exercise the public v2
+// pipeline (offline advisors that build indexes) and must not poison the
+// shared engine's caches.
 func (e *Env) FreshDesigner() (*designer.Designer, error) {
-	size, err := workload.SizeByName(e.SizeName)
-	if err != nil {
-		return nil, err
+	return designer.OpenSDSS(e.SizeName, e.Seed)
+}
+
+// FacadeWorkload converts the Env's internal workload into the public
+// facade representation by re-parsing each query through the designer,
+// preserving IDs and weights.
+func (e *Env) FacadeWorkload(d *designer.Designer) (*designer.Workload, error) {
+	qs := make([]designer.Query, 0, len(e.W.Queries))
+	for _, q := range e.W.Queries {
+		fq, err := d.ParseQuery(q.ID, q.SQL)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, fq.WithWeight(q.Weight))
 	}
-	store, err := workload.Generate(size, e.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return designer.Open(store), nil
+	return designer.NewWorkload(qs...)
 }
 
 // FreshEngine builds an unshared, cold-cache engine over the Env's dataset

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,11 +11,13 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/colt"
 	"repro/internal/cophy"
+	"repro/internal/engine"
 	"repro/internal/greedy"
 	"repro/internal/interaction"
 	"repro/internal/lp"
 	"repro/internal/optimizer"
 	"repro/internal/schedule"
+	"repro/internal/sqlparse"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
@@ -44,18 +48,19 @@ func (e *Env) FullCostOnce(i int, cfgs []*catalog.Configuration) error {
 // costings were served per full optimizer invocation — the
 // latency-independent form of the paper's "orders of magnitude" claim.
 func (e *Env) PipelineCallsAvoided() (ratio float64, err error) {
+	ctx := context.Background()
 	eng := e.FreshEngine()
 	adv := cophy.New(eng, e.Cands)
-	res, err := adv.Advise(e.W, cophy.DefaultOptions())
+	res, err := adv.Advise(ctx, e.W, cophy.DefaultOptions())
 	if err != nil {
 		return 0, err
 	}
 	if len(res.Indexes) >= 2 {
-		if _, err := interaction.Analyze(eng, e.W, res.Indexes, interaction.DefaultOptions()); err != nil {
+		if _, err := interaction.Analyze(ctx, eng, e.W, res.Indexes, interaction.DefaultOptions()); err != nil {
 			return 0, err
 		}
 		sched := schedule.New(eng)
-		if _, err := sched.Greedy(e.W, res.Indexes); err != nil {
+		if _, err := sched.Greedy(ctx, e.W, res.Indexes); err != nil {
 			return 0, err
 		}
 	}
@@ -73,19 +78,19 @@ func (e *Env) CoPhy(budgetPages int64, nodeBudget int) (*cophy.Result, error) {
 	opts := cophy.DefaultOptions()
 	opts.StorageBudgetPages = budgetPages
 	opts.NodeBudget = nodeBudget
-	return cophy.New(e.Eng, e.Cands).Advise(e.W, opts)
+	return cophy.New(e.Eng, e.Cands).Advise(context.Background(), e.W, opts)
 }
 
 // Greedy runs the DTA-style greedy baseline at a storage budget.
 func (e *Env) Greedy(budgetPages int64) (*greedy.Result, error) {
-	return greedy.New(e.Eng, e.Cands).Advise(e.W,
+	return greedy.New(e.Eng, e.Cands).Advise(context.Background(), e.W,
 		greedy.Options{StorageBudgetPages: budgetPages, BenefitPerPage: true})
 }
 
 // Exhaustive enumerates every candidate subset within the budget — ground
 // truth for small candidate sets.
 func (e *Env) Exhaustive(budgetPages int64) (*greedy.Result, error) {
-	return greedy.Exhaustive(e.Eng, e.Cands, e.W, budgetPages)
+	return greedy.Exhaustive(context.Background(), e.Eng, e.Cands, e.W, budgetPages)
 }
 
 // InteractionGraph analyzes the advised index set's interactions with the
@@ -100,7 +105,7 @@ func (e *Env) InteractionGraph(sampleContexts int) (*interaction.Graph, error) {
 	}
 	opts := interaction.DefaultOptions()
 	opts.SampleContexts = sampleContexts
-	return interaction.Analyze(e.Eng, e.W, advised, opts)
+	return interaction.Analyze(context.Background(), e.Eng, e.W, advised, opts)
 }
 
 // Schedules builds the interaction-aware and oblivious materialization
@@ -115,11 +120,11 @@ func (e *Env) Schedules() (aware, oblivious *schedule.Schedule, err error) {
 		return nil, nil, nil
 	}
 	sched := schedule.New(e.Eng)
-	aware, err = sched.Greedy(e.W, advised)
+	aware, err = sched.Greedy(context.Background(), e.W, advised)
 	if err != nil {
 		return nil, nil, err
 	}
-	oblivious, err = sched.Oblivious(e.W, advised)
+	oblivious, err = sched.Oblivious(context.Background(), e.W, advised)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,11 +145,11 @@ type COLTResult struct {
 }
 
 // COLTFixture is the prepared state for online-tuning runs: an unshared
-// designer over a copy of the Env's dataset, the profile-drawn stream
-// (stream seed = dataset seed + 2), and the static no-index baseline cost,
-// all computed once so repeated Run calls time only the tuner.
+// costing engine over the Env's dataset, the profile-drawn stream (stream
+// seed = dataset seed + 2), and the static no-index baseline cost, all
+// computed once so repeated Run calls time only the tuner.
 type COLTFixture struct {
-	d      *designer.Designer
+	eng    *engine.Engine
 	stream []workload.Query
 	static float64
 }
@@ -155,28 +160,21 @@ func (e *Env) COLTFixture(streamLen int) (*COLTFixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := e.FreshDesigner()
-	if err != nil {
-		return nil, err
-	}
-	stream, err := p.GenerateStream(d.Schema(), e.Seed+2, streamLen)
+	eng := e.FreshEngine()
+	stream, err := p.GenerateStream(e.Store.Schema, e.Seed+2, streamLen)
 	if err != nil {
 		return nil, err
 	}
 	var static float64
 	empty := catalog.NewConfiguration()
 	for _, q := range stream {
-		cq, err := d.Cache().Prepare(q.ID, q.Stmt, nil)
-		if err != nil {
-			return nil, err
-		}
-		c, err := d.Cache().CostFor(cq, empty)
+		c, err := eng.QueryCost(q, empty)
 		if err != nil {
 			return nil, err
 		}
 		static += c
 	}
-	return &COLTFixture{d: d, stream: stream, static: static}, nil
+	return &COLTFixture{eng: eng, stream: stream, static: static}, nil
 }
 
 // Run streams the fixture through a fresh COLT tuner and reports savings
@@ -184,10 +182,10 @@ func (e *Env) COLTFixture(streamLen int) (*COLTFixture, error) {
 func (f *COLTFixture) Run(epochLen int) (*COLTResult, error) {
 	opts := colt.DefaultOptions()
 	opts.EpochLength = epochLen
-	tuner := f.d.NewOnlineTuner(opts)
+	tuner := colt.New(f.eng, nil, opts)
 	defer tuner.Close()
 	start := time.Now()
-	adaptive, err := tuner.ObserveAll(f.stream)
+	adaptive, err := tuner.ObserveAll(context.Background(), f.stream)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +221,7 @@ func (e *Env) COLTStream(streamLen, epochLen int) (*COLTResult, error) {
 func (e *Env) SweepOnce(workers int, cfgs []*catalog.Configuration) error {
 	e.Eng.SetWorkers(workers)
 	defer e.Eng.SetWorkers(0)
-	_, err := e.Eng.SweepConfigs(e.W, cfgs)
+	_, err := e.Eng.SweepConfigs(context.Background(), e.W, cfgs)
 	return err
 }
 
@@ -232,12 +230,12 @@ func (e *Env) SweepOnce(workers int, cfgs []*catalog.Configuration) error {
 // determinism contract holds).
 func (e *Env) SweepParity(cfgs []*catalog.Configuration) (float64, error) {
 	e.Eng.SetWorkers(1)
-	serial, err := e.Eng.SweepConfigs(e.W, cfgs)
+	serial, err := e.Eng.SweepConfigs(context.Background(), e.W, cfgs)
 	e.Eng.SetWorkers(0)
 	if err != nil {
 		return 0, err
 	}
-	parallel, err := e.Eng.SweepConfigs(e.W, cfgs)
+	parallel, err := e.Eng.SweepConfigs(context.Background(), e.W, cfgs)
 	if err != nil {
 		return 0, err
 	}
@@ -275,7 +273,7 @@ func (e *Env) WhatIfDemoConfig() (*catalog.Configuration, error) {
 // WhatIfBenefit evaluates a hypothetical configuration over the workload
 // and returns the workload-level benefit percentage (E4).
 func (e *Env) WhatIfBenefit(cfg *catalog.Configuration) (float64, error) {
-	rep, err := e.Eng.Evaluate(e.W, cfg)
+	rep, err := e.Eng.Evaluate(context.Background(), e.W, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -291,8 +289,12 @@ func (e *Env) OfflineAdvise() (improvementPct, adviseNs float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	fw, err := e.FacadeWorkload(d)
+	if err != nil {
+		return 0, 0, err
+	}
 	start := time.Now()
-	advice, err := d.Advise(e.W, designer.AdviceOptions{Partitions: true, Interactions: true})
+	advice, err := d.Advise(context.Background(), fw, designer.AdviceOptions{Partitions: true, Interactions: true})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -313,7 +315,7 @@ func (e *Env) AutoPartWorkload() (*workload.Workload, error) {
 // AutoPartImprovement runs partition-only advice (no indexes) over the
 // photometric workload and returns the improvement percentage.
 func (e *Env) AutoPartImprovement(w *workload.Workload) (float64, error) {
-	res, err := autopart.New(e.Eng).Advise(w, nil, autopart.DefaultOptions())
+	res, err := autopart.New(e.Eng).Advise(context.Background(), w, nil, autopart.DefaultOptions())
 	if err != nil {
 		return 0, err
 	}
@@ -328,21 +330,24 @@ func (e *Env) SizeModelDistortion() (float64, error) {
 		return 0, err
 	}
 	cfg := catalog.NewConfiguration().WithIndex(ix)
-	q, err := e.D.ParseQuery("e12", "SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 18 AND 20")
+	stmt, err := sqlparse.ParseSelect("SELECT psfmag_r FROM photoobj WHERE psfmag_r BETWEEN 18 AND 20")
 	if err != nil {
 		return 0, err
 	}
-	honest, err := e.Eng.FullCost(q.Stmt, cfg)
+	if err := sqlparse.Resolve(stmt, e.Store.Schema); err != nil {
+		return 0, err
+	}
+	honest, err := e.Eng.FullCost(stmt, cfg)
 	if err != nil {
 		return 0, err
 	}
 	zeroEnv := e.Eng.Env().WithConfig(cfg).WithOptions(optimizer.Options{ZeroSizeWhatIf: true})
-	zero, err := zeroEnv.Cost(q.Stmt)
+	zero, err := zeroEnv.Cost(stmt)
 	if err != nil {
 		return 0, err
 	}
 	if zero == 0 {
-		return 0, fmt.Errorf("bench: zero-size cost is 0")
+		return 0, errors.New("bench: zero-size cost is 0")
 	}
 	return honest / zero, nil
 }
@@ -354,7 +359,7 @@ func (e *Env) AblationImprovement(maxPerTable int) (improvementPct float64, cand
 	opts := whatif.DefaultCandidateOptions()
 	opts.MaxPerTable = maxPerTable
 	cands := e.Eng.GenerateCandidates(e.W, opts)
-	res, err := cophy.New(e.FreshEngine(), cands).Advise(e.W, cophy.DefaultOptions())
+	res, err := cophy.New(e.FreshEngine(), cands).Advise(context.Background(), e.W, cophy.DefaultOptions())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -379,7 +384,7 @@ func SolverProblem(n int) *lp.Problem {
 
 // SolveOnce solves the scaling MIP once, erroring unless optimal.
 func SolveOnce(p *lp.Problem) (nodes int, err error) {
-	sol := lp.SolveMIP(p, lp.MIPOptions{})
+	sol := lp.SolveMIP(context.Background(), p, lp.MIPOptions{})
 	if sol.Status != lp.StatusOptimal {
 		return 0, fmt.Errorf("bench: MIP status %v", sol.Status)
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -107,10 +108,10 @@ func (r *Result) Validate() error {
 		return fmt.Errorf("bench: schema_version %d, want %d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.Label == "" {
-		return fmt.Errorf("bench: empty label")
+		return errors.New("bench: empty label")
 	}
 	if len(r.Experiments) == 0 {
-		return fmt.Errorf("bench: no experiments")
+		return errors.New("bench: no experiments")
 	}
 	seen := map[string]bool{}
 	for i, x := range r.Experiments {

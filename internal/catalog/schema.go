@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,7 +40,7 @@ type Table struct {
 // NewTable builds a table descriptor and validates column uniqueness.
 func NewTable(name string, cols []Column, primaryKey ...string) (*Table, error) {
 	if name == "" {
-		return nil, fmt.Errorf("catalog: table name must not be empty")
+		return nil, errors.New("catalog: table name must not be empty")
 	}
 	t := &Table{Name: name, Columns: cols, PrimaryKey: primaryKey,
 		byName: make(map[string]int, len(cols))}

@@ -1,6 +1,7 @@
 package colt_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestAlertString(t *testing.T) {
 	opts.EpochLength = 10
 	tuner, eng := newTuner(t, opts)
 	stream := indexFriendlyStream(t, eng, 30, false)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	if len(tuner.Alerts()) == 0 {
@@ -31,7 +32,7 @@ func TestEpochReportsAreSequential(t *testing.T) {
 	opts.EpochLength = 10
 	tuner, eng := newTuner(t, opts)
 	stream := indexFriendlyStream(t, eng, 55, false)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	reports := tuner.Reports()

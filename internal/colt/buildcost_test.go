@@ -1,6 +1,7 @@
 package colt_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/colt"
@@ -14,7 +15,7 @@ func TestChargeBuildCostDelaysAdoption(t *testing.T) {
 	free.EpochLength = 10
 	tunerFree, envFree := newTuner(t, free)
 	streamFree := indexFriendlyStream(t, envFree, 40, false)
-	if _, err := tunerFree.ObserveAll(streamFree); err != nil {
+	if _, err := tunerFree.ObserveAll(context.Background(), streamFree); err != nil {
 		t.Fatal(err)
 	}
 
@@ -24,7 +25,7 @@ func TestChargeBuildCostDelaysAdoption(t *testing.T) {
 	charged.BuildHorizonEpochs = 1 // must pay back within one epoch
 	tunerCharged, envCharged := newTuner(t, charged)
 	streamCharged := indexFriendlyStream(t, envCharged, 40, false)
-	if _, err := tunerCharged.ObserveAll(streamCharged); err != nil {
+	if _, err := tunerCharged.ObserveAll(context.Background(), streamCharged); err != nil {
 		t.Fatal(err)
 	}
 
@@ -42,7 +43,7 @@ func TestChargeBuildCostDelaysAdoption(t *testing.T) {
 	longH.BuildHorizonEpochs = 1000
 	tunerLong, envLong := newTuner(t, longH)
 	streamLong := indexFriendlyStream(t, envLong, 40, false)
-	if _, err := tunerLong.ObserveAll(streamLong); err != nil {
+	if _, err := tunerLong.ObserveAll(context.Background(), streamLong); err != nil {
 		t.Fatal(err)
 	}
 	if len(tunerLong.Alerts()) == 0 {

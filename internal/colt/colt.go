@@ -17,6 +17,7 @@
 package colt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -188,8 +189,12 @@ func (t *Tuner) Reports() []EpochReport { return t.reports }
 
 // Observe feeds one query through the tuner: candidate extraction, benefit
 // profiling within the what-if budget, and epoch accounting. It returns the
-// query's estimated cost under the live configuration.
-func (t *Tuner) Observe(q workload.Query) (float64, error) {
+// query's estimated cost under the live configuration. A cancelled context
+// aborts before any pricing and returns ctx.Err().
+func (t *Tuner) Observe(ctx context.Context, q workload.Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	// Pin one generation per observation, and cost under the tuner's
 	// namespace so shared-engine entries for other components (or other
 	// tuners) can never alias this query's ID.
@@ -221,7 +226,10 @@ func (t *Tuner) Observe(q workload.Query) (float64, error) {
 		if !st.hot && st.observations >= t.opts.HotPromotionObservations {
 			st.hot = true
 		}
-		// Profile hot candidates against this query within budget.
+		// Profile hot candidates against this query within budget. No
+		// ctx check inside the loop: a query is observed atomically or not
+		// at all, so epoch accounting (epochCost, queriesInEpoch) can never
+		// tear; ObserveAll and Run cancel between queries.
 		if st.hot && t.whatIfUsed < t.budgetThisEpoch {
 			if t.current.HasIndex(st.ix.Key()) {
 				continue // already materialized; benefit captured in curCost
@@ -247,11 +255,11 @@ func (t *Tuner) Observe(q workload.Query) (float64, error) {
 
 // ObserveAll feeds a whole stream and returns the total estimated cost
 // experienced (queries priced under whatever configuration was live when
-// they arrived).
-func (t *Tuner) ObserveAll(qs []workload.Query) (float64, error) {
+// they arrived). A cancelled context aborts between queries.
+func (t *Tuner) ObserveAll(ctx context.Context, qs []workload.Query) (float64, error) {
 	var total float64
 	for _, q := range qs {
-		c, err := t.Observe(q)
+		c, err := t.Observe(ctx, q)
 		if err != nil {
 			return 0, err
 		}

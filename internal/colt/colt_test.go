@@ -1,6 +1,7 @@
 package colt_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -60,7 +61,7 @@ func TestTunerAdoptsBeneficialIndexes(t *testing.T) {
 	opts.EpochLength = 10
 	tuner, eng := newTuner(t, opts)
 	stream := indexFriendlyStream(t, eng, 40, false)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	cfg := tuner.Current()
@@ -86,11 +87,11 @@ func TestTunerAdaptsToDrift(t *testing.T) {
 
 	phase1 := indexFriendlyStream(t, eng, 40, false)
 	phase2 := indexFriendlyStream(t, eng, 60, true)
-	if _, err := tuner.ObserveAll(phase1); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), phase1); err != nil {
 		t.Fatal(err)
 	}
 	afterPhase1 := keysOf(tuner.Current())
-	if _, err := tuner.ObserveAll(phase2); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), phase2); err != nil {
 		t.Fatal(err)
 	}
 	afterPhase2 := keysOf(tuner.Current())
@@ -115,7 +116,7 @@ func TestTunerRespectsSpaceBudget(t *testing.T) {
 	tuner, eng := newTuner(t, opts)
 	stream := indexFriendlyStream(t, eng, 40, false)
 	stream = append(stream, indexFriendlyStream(t, eng, 40, true)...)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	var total int64
@@ -133,7 +134,7 @@ func TestTunerAlertOnlyMode(t *testing.T) {
 	opts.AutoMaterialize = false
 	tuner, eng := newTuner(t, opts)
 	stream := indexFriendlyStream(t, eng, 40, false)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	if len(tuner.Alerts()) == 0 {
@@ -155,7 +156,7 @@ func TestTunerSelfRegulatesBudget(t *testing.T) {
 	tuner, eng := newTuner(t, opts)
 	// A long stable stream: after convergence, what-if usage should drop.
 	stream := indexFriendlyStream(t, eng, 120, false)
-	if _, err := tuner.ObserveAll(stream); err != nil {
+	if _, err := tuner.ObserveAll(context.Background(), stream); err != nil {
 		t.Fatal(err)
 	}
 	reports := tuner.Reports()
@@ -176,7 +177,7 @@ func TestTunerCostReflectsAdoptedIndexes(t *testing.T) {
 	stream := indexFriendlyStream(t, eng, 60, false)
 	costs := make([]float64, 0, len(stream))
 	for _, q := range stream {
-		c, err := tuner.Observe(q)
+		c, err := tuner.Observe(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

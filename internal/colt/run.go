@@ -23,7 +23,7 @@ func (t *Tuner) Run(ctx context.Context, queries <-chan workload.Query) error {
 			if !ok {
 				return nil
 			}
-			if _, err := t.Observe(q); err != nil {
+			if _, err := t.Observe(ctx, q); err != nil {
 				return err
 			}
 		}

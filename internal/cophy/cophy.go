@@ -15,6 +15,7 @@
 package cophy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,8 +128,21 @@ func New(eng *engine.Engine, candidates []*catalog.Index) *Advisor {
 // Candidates exposes the advisor's candidate set.
 func (a *Advisor) Candidates() []*catalog.Index { return a.candidates }
 
-// Advise computes the recommended index set for the workload.
-func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
+// Advise computes the recommended index set for the workload. The context
+// is honored through every phase: atom pricing aborts mid-sweep, and the
+// branch-and-bound solver checks it before every node expansion — a
+// cancelled or deadlined run returns ctx.Err() promptly.
+//
+// One engine generation is pinned for the whole run: every base cost and
+// atom sweep prices against the same cache/env even if the engine is
+// reconfigured concurrently. Multi-phase pipelines that must stay
+// consistent across advisors pass their own pinned view to AdviseView.
+func (a *Advisor) Advise(ctx context.Context, w *workload.Workload, opts Options) (*Result, error) {
+	return a.AdviseView(ctx, a.eng.Pin(), w, opts)
+}
+
+// AdviseView runs the advisor against one pinned engine generation.
+func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Workload, opts Options) (*Result, error) {
 	if opts.MaxIndexesPerQueryTable <= 0 {
 		opts.MaxIndexesPerQueryTable = 3
 	}
@@ -138,11 +152,6 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 
 	res := &Result{}
 
-	// Pin one engine generation for the whole run: every base cost and
-	// atom sweep prices against the same cache/env even if the engine is
-	// reconfigured concurrently.
-	v := a.eng.Pin()
-
 	// Prepare INUM entries and per-query atoms.
 	type queryAtoms struct {
 		q     workload.Query
@@ -151,6 +160,9 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 	emptyCfg := catalog.NewConfiguration()
 	var all []queryAtoms
 	for _, q := range w.Queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cq, err := v.PrepareQuery(q, a.candidates)
 		if err != nil {
 			return nil, err
@@ -162,7 +174,7 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 		res.PricingCalls++
 		res.BaselineCost += baseCost * q.Weight
 
-		atoms, calls, err := a.enumerateAtoms(v, cq, q, baseCost, opts)
+		atoms, calls, err := a.enumerateAtoms(ctx, v, cq, q, baseCost, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -223,8 +235,11 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	sol := lp.SolveMIP(p, lp.MIPOptions{MaxNodes: opts.NodeBudget})
+	sol := lp.SolveMIP(ctx, p, lp.MIPOptions{MaxNodes: opts.NodeBudget})
 	res.SolveTime = time.Since(start)
+	if sol.Status == lp.StatusCancelled {
+		return nil, ctx.Err()
+	}
 	switch sol.Status {
 	case lp.StatusOptimal, lp.StatusNodeLimit:
 		res.Objective = sol.Objective
@@ -276,7 +291,7 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 // Both pricing phases — singleton ranking and combo evaluation — run as
 // parallel engine sweeps; the resulting atom set is identical to the serial
 // enumeration because candidates are ranked and filtered in ordinal order.
-func (a *Advisor) enumerateAtoms(v *engine.View, cq *inum.CachedQuery, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
+func (a *Advisor) enumerateAtoms(ctx context.Context, v *engine.View, cq *inum.CachedQuery, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
 	calls := 0
 	// Rank candidates per referenced table by single-index benefit, priced
 	// in one parallel sweep over the singleton configurations.
@@ -296,7 +311,7 @@ func (a *Advisor) enumerateAtoms(v *engine.View, cq *inum.CachedQuery, q workloa
 			}
 		}
 	}
-	singleCosts, err := v.SweepQueryConfigs(q, singletons)
+	singleCosts, err := v.SweepQueryConfigs(ctx, q, singletons)
 	if err != nil {
 		return nil, calls, err
 	}
@@ -360,7 +375,7 @@ func (a *Advisor) enumerateAtoms(v *engine.View, cq *inum.CachedQuery, q workloa
 		comboList = append(comboList, combo)
 		comboCfgs = append(comboCfgs, cfg)
 	}
-	comboCosts, err := v.SweepQueryConfigs(q, comboCfgs)
+	comboCosts, err := v.SweepQueryConfigs(ctx, q, comboCfgs)
 	if err != nil {
 		return nil, calls, err
 	}

@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,6 +38,7 @@ import (
 type snapshot struct {
 	version uint64
 	base    *catalog.Configuration
+	stats   *stats.Catalog
 	env     *optimizer.Env
 	cache   *inum.Cache
 	session *whatif.Session
@@ -75,6 +77,7 @@ func (e *Engine) build(base *catalog.Configuration, opts optimizer.Options, vers
 	return &snapshot{
 		version: version,
 		base:    base,
+		stats:   e.stats,
 		env:     env,
 		cache:   inum.New(env),
 		session: session,
@@ -109,6 +112,25 @@ func (v *View) Version() uint64 { return v.s.version }
 // Base returns the pinned base configuration.
 func (v *View) Base() *catalog.Configuration { return v.s.base }
 
+// Session returns the pinned generation's what-if session.
+func (v *View) Session() *whatif.Session { return v.s.session }
+
+// Stats returns the pinned generation's statistics catalog.
+func (v *View) Stats() *stats.Catalog { return v.s.stats }
+
+// Params returns the pinned generation's optimizer cost parameters.
+func (v *View) Params() optimizer.CostParams { return v.s.env.Params }
+
+// SessionWith returns a throwaway what-if session over the pinned base
+// configuration and statistics with the given optimizer switches applied —
+// per-session join steering that cannot leak into other consumers'
+// costing.
+func (v *View) SessionWith(opts optimizer.Options) *whatif.Session {
+	s := whatif.NewSession(v.e.schema, v.s.stats, v.s.base)
+	s.SetJoinControl(opts)
+	return s
+}
+
 // Version reports the configuration generation. It increments every time
 // the base configuration or the optimizer switches change.
 func (e *Engine) Version() uint64 { return e.snapshot().version }
@@ -116,8 +138,8 @@ func (e *Engine) Version() uint64 { return e.snapshot().version }
 // Schema exposes the logical schema.
 func (e *Engine) Schema() *catalog.Schema { return e.schema }
 
-// Stats exposes the statistics catalog.
-func (e *Engine) Stats() *stats.Catalog { return e.stats }
+// Stats exposes the current generation's statistics catalog.
+func (e *Engine) Stats() *stats.Catalog { return e.snapshot().stats }
 
 // Params exposes the optimizer cost parameters.
 func (e *Engine) Params() optimizer.CostParams { return e.snapshot().env.Params }
@@ -174,9 +196,20 @@ func (e *Engine) SetJoinControl(opts optimizer.Options) {
 // so per-session join steering cannot leak into other consumers' costing.
 func (e *Engine) SessionWith(opts optimizer.Options) *whatif.Session {
 	snap := e.snapshot()
-	s := whatif.NewSession(e.schema, e.stats, snap.base)
+	s := whatif.NewSession(e.schema, snap.stats, snap.base)
 	s.SetJoinControl(opts)
 	return s
+}
+
+// SetStats swaps the statistics catalog (after a re-ANALYZE) together with
+// the base configuration and invalidates the generation. Old generations
+// keep the old catalog: statistics are copy-on-write, so pinned views stay
+// internally consistent while new work sees the fresh numbers.
+func (e *Engine) SetStats(st *stats.Catalog, base *catalog.Configuration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = st
+	e.snap = e.build(base, e.opts, e.snap.version+1)
 }
 
 // Invalidate rebuilds the current generation in place (same base
@@ -210,15 +243,18 @@ func (e *Engine) GenerateCandidates(w *workload.Workload, opts whatif.CandidateO
 // Prepare primes the INUM cache for every workload query. candidates guide
 // which interesting orders get plan templates (pass the set you intend to
 // sweep). Prepare is idempotent per query ID within a configuration
-// generation.
-func (e *Engine) Prepare(w *workload.Workload, candidates []*catalog.Index) error {
-	return e.Pin().Prepare(w, candidates)
+// generation. A cancelled context aborts between queries.
+func (e *Engine) Prepare(ctx context.Context, w *workload.Workload, candidates []*catalog.Index) error {
+	return e.Pin().Prepare(ctx, w, candidates)
 }
 
 // Prepare primes the pinned generation's INUM cache for every workload
 // query.
-func (v *View) Prepare(w *workload.Workload, candidates []*catalog.Index) error {
+func (v *View) Prepare(ctx context.Context, w *workload.Workload, candidates []*catalog.Index) error {
 	for _, q := range w.Queries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := v.s.cache.Prepare(q.ID, q.Stmt, candidates); err != nil {
 			return err
 		}

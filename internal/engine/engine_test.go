@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -35,7 +36,7 @@ func newFixture(t *testing.T) *fixture {
 	if len(cands) < 4 {
 		t.Fatalf("want at least 4 candidates, got %d", len(cands))
 	}
-	if err := eng.Prepare(w, cands); err != nil {
+	if err := eng.Prepare(context.Background(), w, cands); err != nil {
 		t.Fatal(err)
 	}
 	return &fixture{eng: eng, w: w, cands: cands}
@@ -71,7 +72,7 @@ func TestSweepConfigsMatchesSerial(t *testing.T) {
 		}
 		serial[i] = c
 	}
-	parallel, err := f.eng.SweepConfigs(f.w, cfgs)
+	parallel, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestSweepCandidatesMatchesSerial(t *testing.T) {
 	f := newFixture(t)
 	base := catalog.NewConfiguration().WithIndex(f.cands[0])
 
-	costs, err := f.eng.SweepCandidates(f.w, base, f.cands[1:])
+	costs, err := f.eng.SweepCandidates(context.Background(), f.w, base, f.cands[1:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestConcurrentSweepsMatchSerial(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			// Mix whole-workload sweeps and per-query costings.
-			got, err := f.eng.SweepConfigs(f.w, cfgs)
+			got, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
 			if err != nil {
 				errs[g] = err
 				return
@@ -160,7 +161,7 @@ func TestSweepQueryConfigsMatchesSerial(t *testing.T) {
 	cfgs := f.sweepConfigs(10)
 	q := f.w.Queries[0]
 
-	costs, err := f.eng.SweepQueryConfigs(q, cfgs)
+	costs, err := f.eng.SweepQueryConfigs(context.Background(), q, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestEvaluateMatchesSerialFullCosts(t *testing.T) {
 	for _, ix := range f.cands[:2] {
 		cfg = cfg.WithIndex(ix)
 	}
-	rep, err := f.eng.Evaluate(f.w, cfg)
+	rep, err := f.eng.Evaluate(context.Background(), f.w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,13 +344,13 @@ func TestSessionWithScopedJoinControl(t *testing.T) {
 func TestSetWorkers(t *testing.T) {
 	f := newFixture(t)
 	cfgs := f.sweepConfigs(6)
-	want, err := f.eng.SweepConfigs(f.w, cfgs)
+	want, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []int{1, 2, 0} {
 		f.eng.SetWorkers(n)
-		got, err := f.eng.SweepConfigs(f.w, cfgs)
+		got, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
 		if err != nil {
 			t.Fatal(err)
 		}

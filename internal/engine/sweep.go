@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -13,7 +14,14 @@ import (
 // first-index error (deterministic regardless of completion order). Work is
 // handed out through an atomic counter, so per-job overhead is a single
 // atomic add rather than a channel round-trip.
-func (e *Engine) sweep(n int, fn func(i int) error) error {
+//
+// The context is checked before every job: a cancelled context stops
+// workers from picking up new work, and the sweep returns ctx.Err() — the
+// abort-mid-sweep guarantee every advisor inherits.
+func (e *Engine) sweep(ctx context.Context, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n == 0 {
 		return nil
 	}
@@ -21,6 +29,9 @@ func (e *Engine) sweep(n int, fn func(i int) error) error {
 	workers := e.workerCount(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -31,6 +42,9 @@ func (e *Engine) sweep(n int, fn func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -40,6 +54,9 @@ func (e *Engine) sweep(n int, fn func(i int) error) error {
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -53,18 +70,18 @@ func (e *Engine) sweep(n int, fn func(i int) error) error {
 // parallel, through the INUM cache. costs[i] corresponds to cfgs[i]; a nil
 // configuration means the engine's base. Results are identical to calling
 // WorkloadCost serially per configuration.
-func (e *Engine) SweepConfigs(w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
-	return e.Pin().SweepConfigs(w, cfgs)
+func (e *Engine) SweepConfigs(ctx context.Context, w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
+	return e.Pin().SweepConfigs(ctx, w, cfgs)
 }
 
 // SweepConfigs prices the workload under every configuration in parallel
 // against the pinned generation.
-func (v *View) SweepConfigs(w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
-	if err := v.prepareAll(w); err != nil {
+func (v *View) SweepConfigs(ctx context.Context, w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
+	if err := v.prepareAll(ctx, w); err != nil {
 		return nil, err
 	}
 	costs := make([]float64, len(cfgs))
-	err := v.e.sweep(len(cfgs), func(i int) error {
+	err := v.e.sweep(ctx, len(cfgs), func(i int) error {
 		c, err := v.s.workloadCost(w, v.s.resolve(cfgs[i]))
 		if err != nil {
 			return err
@@ -82,19 +99,19 @@ func (v *View) SweepConfigs(w *workload.Workload, cfgs []*catalog.Configuration)
 // each candidate index on its own: costs[i] is the workload cost under
 // base ∪ {cands[i]}. This is the inner loop of greedy selection and
 // materialization scheduling.
-func (e *Engine) SweepCandidates(w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
-	return e.Pin().SweepCandidates(w, base, cands)
+func (e *Engine) SweepCandidates(ctx context.Context, w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
+	return e.Pin().SweepCandidates(ctx, w, base, cands)
 }
 
 // SweepCandidates prices base ∪ {cands[i]} per candidate against the
 // pinned generation.
-func (v *View) SweepCandidates(w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
-	if err := v.prepareAll(w); err != nil {
+func (v *View) SweepCandidates(ctx context.Context, w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
+	if err := v.prepareAll(ctx, w); err != nil {
 		return nil, err
 	}
 	base = v.s.resolve(base)
 	costs := make([]float64, len(cands))
-	err := v.e.sweep(len(cands), func(i int) error {
+	err := v.e.sweep(ctx, len(cands), func(i int) error {
 		c, err := v.s.workloadCost(w, base.WithIndex(cands[i]))
 		if err != nil {
 			return err
@@ -110,19 +127,19 @@ func (v *View) SweepCandidates(w *workload.Workload, base *catalog.Configuration
 
 // SweepQueryConfigs prices one query under many configurations in parallel
 // — CoPhy's atom pricing. costs[i] corresponds to cfgs[i].
-func (e *Engine) SweepQueryConfigs(q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
-	return e.Pin().SweepQueryConfigs(q, cfgs)
+func (e *Engine) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
+	return e.Pin().SweepQueryConfigs(ctx, q, cfgs)
 }
 
 // SweepQueryConfigs prices one query under many configurations in parallel
 // against the pinned generation.
-func (v *View) SweepQueryConfigs(q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
+func (v *View) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
 	cq, err := v.s.cache.Prepare(q.ID, q.Stmt, nil)
 	if err != nil {
 		return nil, err
 	}
 	costs := make([]float64, len(cfgs))
-	err = v.e.sweep(len(cfgs), func(i int) error {
+	err = v.e.sweep(ctx, len(cfgs), func(i int) error {
 		c, err := v.s.cache.CostFor(cq, v.s.resolve(cfgs[i]))
 		if err != nil {
 			return err
@@ -138,8 +155,11 @@ func (v *View) SweepQueryConfigs(q workload.Query, cfgs []*catalog.Configuration
 
 // prepareAll primes INUM entries for every workload query (nil candidate
 // guidance; callers wanting candidate-guided templates call Prepare first).
-func (v *View) prepareAll(w *workload.Workload) error {
+func (v *View) prepareAll(ctx context.Context, w *workload.Workload) error {
 	for _, q := range w.Queries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := v.s.cache.Prepare(q.ID, q.Stmt, nil); err != nil {
 			return err
 		}
@@ -150,8 +170,16 @@ func (v *View) prepareAll(w *workload.Workload) error {
 // Evaluate costs every query under the base and the hypothetical
 // configuration with the full optimizer and returns the benefit report the
 // demo's Scenario 1/2 panels display. It delegates to the snapshot's
-// what-if session (whose evaluation is itself parallel), so there is one
-// Report implementation and it always runs against a consistent generation.
-func (e *Engine) Evaluate(w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
-	return e.snapshot().session.EvaluateWorkload(w, cfg)
+// what-if session (whose evaluation is itself parallel and context-aware),
+// so there is one Report implementation and it always runs against a
+// consistent generation.
+func (e *Engine) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
+	return e.snapshot().session.EvaluateWorkload(ctx, w, cfg)
+}
+
+// Evaluate runs the benefit report against the pinned generation — the
+// per-session isolation surface: a design session pinned at creation keeps
+// evaluating against its generation even if the engine is reconfigured.
+func (v *View) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
+	return v.s.session.EvaluateWorkload(ctx, w, cfg)
 }

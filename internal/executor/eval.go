@@ -6,6 +6,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -137,7 +138,7 @@ func evalExpr(e sqlparse.Expr, rs *rowSchema, row catalog.Row) (catalog.Datum, e
 	case *sqlparse.FuncExpr:
 		return catalog.Null(), fmt.Errorf("executor: aggregate %s outside aggregation context", v.Func)
 	case *sqlparse.StarExpr:
-		return catalog.Null(), fmt.Errorf("executor: * is not a scalar expression")
+		return catalog.Null(), errors.New("executor: * is not a scalar expression")
 	default:
 		return catalog.Null(), fmt.Errorf("executor: unhandled expression %T", e)
 	}

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -483,7 +484,7 @@ func (ex *Executor) execSort(n *optimizer.Node, io *storage.IOCounter) (*rowSche
 	keys := make([]keyPos, 0, len(n.SortKeys))
 	for _, k := range n.SortKeys {
 		if k.Column == "<expr>" {
-			return nil, nil, fmt.Errorf("executor: expression sort keys are not supported")
+			return nil, nil, errors.New("executor: expression sort keys are not supported")
 		}
 		p, err := rs.lookup(k.Table, k.Column)
 		if err != nil {

@@ -13,6 +13,7 @@
 package greedy
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -60,11 +61,12 @@ func New(eng *engine.Engine, candidates []*catalog.Index) *Advisor {
 }
 
 // Advise runs the greedy loop. Every iteration prices the eligible
-// candidates against the current configuration in one parallel sweep.
-func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
+// candidates against the current configuration in one parallel sweep; a
+// cancelled context aborts mid-sweep and returns ctx.Err().
+func (a *Advisor) Advise(ctx context.Context, w *workload.Workload, opts Options) (*Result, error) {
 	// Pin one engine generation for the whole greedy run.
 	v := a.eng.Pin()
-	if err := v.Prepare(w, a.candidates); err != nil {
+	if err := v.Prepare(ctx, w, a.candidates); err != nil {
 		return nil, err
 	}
 	res := &Result{}
@@ -79,6 +81,9 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 	remaining := append([]*catalog.Index(nil), a.candidates...)
 	var usedPages int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Eligible candidates this round, in stable ordinal order.
 		var elig []int
 		for i, ix := range remaining {
@@ -97,7 +102,7 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 		for k, i := range elig {
 			trials[k] = remaining[i]
 		}
-		costs, err := v.SweepCandidates(w, cfg, trials)
+		costs, err := v.SweepCandidates(ctx, w, cfg, trials)
 		if err != nil {
 			return nil, err
 		}
@@ -142,10 +147,10 @@ func (a *Advisor) Advise(w *workload.Workload, opts Options) (*Result, error) {
 // the true optimum. Exponential — use only with small candidate sets (the
 // E7 ground truth). Subsets are priced in bounded parallel batches so peak
 // memory stays fixed instead of materializing all 2^n configurations.
-func Exhaustive(eng *engine.Engine, candidates []*catalog.Index, w *workload.Workload, budgetPages int64) (*Result, error) {
+func Exhaustive(ctx context.Context, eng *engine.Engine, candidates []*catalog.Index, w *workload.Workload, budgetPages int64) (*Result, error) {
 	// Pin one engine generation for the whole enumeration.
 	v := eng.Pin()
-	if err := v.Prepare(w, candidates); err != nil {
+	if err := v.Prepare(ctx, w, candidates); err != nil {
 		return nil, err
 	}
 	res := &Result{}
@@ -160,7 +165,7 @@ func Exhaustive(eng *engine.Engine, candidates []*catalog.Index, w *workload.Wor
 		if len(cfgs) == 0 {
 			return nil
 		}
-		costs, err := v.SweepConfigs(w, cfgs)
+		costs, err := v.SweepConfigs(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}

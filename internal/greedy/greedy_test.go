@@ -1,6 +1,7 @@
 package greedy_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/catalog"
@@ -33,7 +34,7 @@ func fixture(t *testing.T, nQueries, maxCands int) (*engine.Engine, []*catalog.I
 func TestGreedyImproves(t *testing.T) {
 	eng, cands, w := fixture(t, 12, 20)
 	adv := greedy.New(eng, cands)
-	res, err := adv.Advise(w, greedy.Options{})
+	res, err := adv.Advise(context.Background(), w, greedy.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestGreedyRespectsBudget(t *testing.T) {
 	}
 	budget := total / 4
 	adv := greedy.New(eng, cands)
-	res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
+	res, err := adv.Advise(context.Background(), w, greedy.Options{StorageBudgetPages: budget, BenefitPerPage: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestGreedyNeverWorseThanBaseline(t *testing.T) {
 	eng, cands, w := fixture(t, 8, 10)
 	adv := greedy.New(eng, cands)
 	for _, budget := range []int64{0, 1, 100, 100000} {
-		res, err := adv.Advise(w, greedy.Options{StorageBudgetPages: budget})
+		res, err := adv.Advise(context.Background(), w, greedy.Options{StorageBudgetPages: budget})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,11 +88,11 @@ func TestGreedyNeverWorseThanBaseline(t *testing.T) {
 func TestExhaustiveAtLeastAsGoodAsGreedy(t *testing.T) {
 	eng, cands, w := fixture(t, 6, 8)
 	adv := greedy.New(eng, cands)
-	gres, err := adv.Advise(w, greedy.Options{})
+	gres, err := adv.Advise(context.Background(), w, greedy.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := greedy.Exhaustive(eng, cands, w, 0)
+	eres, err := greedy.Exhaustive(context.Background(), eng, cands, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package interaction
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,8 +58,15 @@ type Graph struct {
 // the workload. All costs flow through the engine's INUM cache, and each
 // pair's lattice walk — the four corner configurations of every sampled
 // context — is priced with one parallel engine sweep, which is what makes
-// the quadratic pair analysis interactive.
-func Analyze(eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
+// the quadratic pair analysis interactive. One engine generation is pinned
+// for the whole pair analysis; to analyze against an already-pinned
+// generation (a design session's view), use AnalyzeView.
+func Analyze(ctx context.Context, eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
+	return AnalyzeView(ctx, eng.Pin(), w, indexes, opts)
+}
+
+// AnalyzeView runs the pair analysis against one pinned engine generation.
+func AnalyzeView(ctx context.Context, v *engine.View, w *workload.Workload, indexes []*catalog.Index, opts Options) (*Graph, error) {
 	if opts.SampleContexts < 0 {
 		opts.SampleContexts = 0
 	}
@@ -67,9 +75,7 @@ func Analyze(eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index,
 	if n < 2 {
 		return g, nil
 	}
-	// Pin one engine generation for the whole pair analysis.
-	v := eng.Pin()
-	if err := v.Prepare(w, indexes); err != nil {
+	if err := v.Prepare(ctx, w, indexes); err != nil {
 		return nil, err
 	}
 
@@ -79,9 +85,9 @@ func Analyze(eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index,
 			contexts := sampleContexts(rng, n, a, b, opts.SampleContexts)
 			// Lattice corners per context: X, X∪{a}, X∪{b}, X∪{a,b}.
 			cfgs := make([]*catalog.Configuration, 0, 4*len(contexts))
-			for _, ctx := range contexts {
+			for _, cx := range contexts {
 				base := catalog.NewConfiguration()
-				for _, k := range ctx {
+				for _, k := range cx {
 					base = base.WithIndex(indexes[k])
 				}
 				cfgs = append(cfgs,
@@ -90,7 +96,7 @@ func Analyze(eng *engine.Engine, w *workload.Workload, indexes []*catalog.Index,
 					base.WithIndex(indexes[b]),
 					base.WithIndex(indexes[a]).WithIndex(indexes[b]))
 			}
-			costs, err := v.SweepConfigs(w, cfgs)
+			costs, err := v.SweepConfigs(ctx, w, cfgs)
 			if err != nil {
 				return nil, err
 			}
@@ -140,13 +146,13 @@ func sampleContexts(rng *rand.Rand, n, a, b, k int) [][]int {
 		contexts = append(contexts, append([]int(nil), others...))
 	}
 	for s := 0; s < k && len(others) > 0; s++ {
-		var ctx []int
+		var cx []int
 		for _, i := range others {
 			if rng.Intn(2) == 0 {
-				ctx = append(ctx, i)
+				cx = append(cx, i)
 			}
 		}
-		contexts = append(contexts, ctx)
+		contexts = append(contexts, cx)
 	}
 	return contexts
 }

@@ -1,6 +1,7 @@
 package interaction_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func newFixture(t *testing.T) *fixture {
 
 func TestAnalyzeFindsSubstituteInteraction(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestAnalyzeFindsSubstituteInteraction(t *testing.T) {
 
 func TestDoiSymmetricAndDeterministic(t *testing.T) {
 	f := newFixture(t)
-	g1, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g1, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g2, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestDoiSymmetricAndDeterministic(t *testing.T) {
 
 func TestTopKFilter(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestTopKFilter(t *testing.T) {
 
 func TestStableSubsets(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestStableSubsets(t *testing.T) {
 
 func TestDOTAndRender(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,14 +195,14 @@ func TestDOTAndRender(t *testing.T) {
 
 func TestAnalyzeSmallSets(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes[:1], interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes[:1], interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(g.Edges) != 0 {
 		t.Fatal("single index cannot interact")
 	}
-	g0, err := interaction.Analyze(f.eng, f.w, nil, interaction.DefaultOptions())
+	g0, err := interaction.Analyze(context.Background(), f.eng, f.w, nil, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestAnalyzeSmallSets(t *testing.T) {
 
 func TestMatrixRendering(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestMatrixRendering(t *testing.T) {
 		}
 	}
 	// Empty graph renders gracefully.
-	empty, err := interaction.Analyze(f.eng, f.w, nil, interaction.DefaultOptions())
+	empty, err := interaction.Analyze(context.Background(), f.eng, f.w, nil, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,10 @@ type CachedQuery struct {
 	ID     string
 	Stmt   *sqlparse.SelectStmt
 	Tables []string
+	// sql is the canonical rendering of Stmt, captured at build time so
+	// Prepare can detect ID collisions across workloads without
+	// re-rendering the cached side.
+	sql string
 
 	templates []template
 	// accessCtx is the one-time query analysis reused by every costing.
@@ -89,10 +93,15 @@ func (c *Cache) Stats() (fullOpts, cachedCostings int64) {
 
 // Prepare populates the cache for one query. candidates are the indexes the
 // caller intends to sweep over (e.g. CoPhy's candidate set); they guide
-// which interesting orders get a template. Prepare is idempotent per ID.
+// which interesting orders get a template. Prepare is idempotent per
+// (ID, statement): an existing entry is returned only if it was built for
+// the same statement — a different statement under a reused ID (two
+// workloads both numbering their queries q0, q1, ... against one
+// long-lived engine) rebuilds and replaces the entry instead of silently
+// pricing the new query with the old query's plans.
 func (c *Cache) Prepare(id string, stmt *sqlparse.SelectStmt, candidates []*catalog.Index) (*CachedQuery, error) {
 	c.mu.RLock()
-	if q, ok := c.entries[id]; ok {
+	if q, ok := c.entries[id]; ok && q.matches(stmt) {
 		c.mu.RUnlock()
 		return q, nil
 	}
@@ -104,11 +113,18 @@ func (c *Cache) Prepare(id string, stmt *sqlparse.SelectStmt, candidates []*cata
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if prev, ok := c.entries[id]; ok {
+	if prev, ok := c.entries[id]; ok && prev.matches(stmt) {
 		return prev, nil
 	}
 	c.entries[id] = q
 	return q, nil
+}
+
+// matches reports whether the entry was built for this statement: same
+// pointer (the common case — one workload reuses its parsed statements for
+// every costing), or identical canonical SQL (a re-parsed workload).
+func (q *CachedQuery) matches(stmt *sqlparse.SelectStmt) bool {
+	return q.Stmt == stmt || q.sql == stmt.String()
 }
 
 // Get returns the cached entry, or nil.
@@ -146,7 +162,7 @@ func (c *Cache) build(id string, stmt *sqlparse.SelectStmt, candidates []*catalo
 		tables = append(tables, strings.ToLower(t.Name))
 	}
 	q := &CachedQuery{
-		ID: id, Stmt: stmt, Tables: tables,
+		ID: id, Stmt: stmt, Tables: tables, sql: stmt.String(),
 		accessCtx:  c.base.PrepareAccess(stmt),
 		accessMemo: make(map[string]float64),
 	}

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 )
 
@@ -43,7 +44,11 @@ const intTol = 1e-6
 // best-bound branch-and-bound over LP relaxations. The returned solution
 // carries the proven bound, so callers can report an optimality gap even
 // when the node budget cuts the search short.
-func SolveMIP(p *Problem, opts MIPOptions) *MIPSolution {
+//
+// The context is checked before every node expansion: a cancelled or
+// expired context aborts the search promptly (one LP relaxation at most)
+// and yields StatusCancelled, regardless of whether an incumbent exists.
+func SolveMIP(ctx context.Context, p *Problem, opts MIPOptions) *MIPSolution {
 	root := &bbNode{
 		fixLo: fill(p.NumVars, -1),
 		fixHi: fill(p.NumVars, -1),
@@ -70,6 +75,12 @@ func SolveMIP(p *Problem, opts MIPOptions) *MIPSolution {
 	nodes := 0
 
 	for queue.Len() > 0 {
+		if ctx.Err() != nil {
+			out.Status = StatusCancelled
+			out.Bound = bestBound(queue, incumbent)
+			out.Nodes = nodes
+			return out
+		}
 		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
 			break
 		}

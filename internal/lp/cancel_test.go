@@ -1,0 +1,37 @@
+package lp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSolveMIPCancelled covers the branch-and-bound's context check: a
+// cancelled context stops the search before the next node expansion and
+// reports StatusCancelled instead of a (possibly bogus) result.
+func TestSolveMIPCancelled(t *testing.T) {
+	// A knapsack-shaped binary program with enough variables to branch.
+	n := 24
+	p := NewProblem(n)
+	for i := 0; i < n; i++ {
+		p.Binary[i] = true
+		p.Objective[i] = -float64(1 + i%7)
+	}
+	coefs := map[int]float64{}
+	for i := 0; i < n; i++ {
+		coefs[i] = float64(1 + (i*3)%5)
+	}
+	p.AddConstraint(coefs, LE, float64(n))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol := SolveMIP(ctx, p, MIPOptions{})
+	if sol.Status != StatusCancelled {
+		t.Fatalf("status = %v, want %v", sol.Status, StatusCancelled)
+	}
+
+	// The same problem solves fine with a live context.
+	live := SolveMIP(context.Background(), p, MIPOptions{})
+	if live.Status != StatusOptimal {
+		t.Fatalf("live status = %v", live.Status)
+	}
+}

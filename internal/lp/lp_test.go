@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -104,7 +105,7 @@ func TestMIPKnapsack(t *testing.T) {
 		p.Binary[i] = true
 	}
 	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, LE, 2)
-	sol := SolveMIP(p, MIPOptions{})
+	sol := SolveMIP(context.Background(), p, MIPOptions{})
 	if sol.Status != StatusOptimal || !sol.Proven {
 		t.Fatalf("sol = %+v", sol)
 	}
@@ -125,7 +126,7 @@ func TestMIPWeightedKnapsack(t *testing.T) {
 		p.Binary[i] = true
 	}
 	p.AddConstraint(map[int]float64{0: 10, 1: 20, 2: 30}, LE, 50)
-	sol := SolveMIP(p, MIPOptions{})
+	sol := SolveMIP(context.Background(), p, MIPOptions{})
 	if !almostEq(sol.Objective, -220, 1e-6) {
 		t.Fatalf("objective = %f, want -220", sol.Objective)
 	}
@@ -139,7 +140,7 @@ func TestMIPInfeasible(t *testing.T) {
 	p.Binary[0] = true
 	p.Objective = []float64{1}
 	p.AddConstraint(map[int]float64{0: 1}, GE, 2) // x <= 1 binary, >= 2 impossible
-	sol := SolveMIP(p, MIPOptions{})
+	sol := SolveMIP(context.Background(), p, MIPOptions{})
 	if sol.Status != StatusInfeasible {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -158,8 +159,8 @@ func TestMIPNodeLimitReportsGap(t *testing.T) {
 		weights[i] = 1 + rng.Float64()*9
 	}
 	p.AddConstraint(weights, LE, 25)
-	limited := SolveMIP(p, MIPOptions{MaxNodes: 3})
-	full := SolveMIP(p, MIPOptions{})
+	limited := SolveMIP(context.Background(), p, MIPOptions{MaxNodes: 3})
+	full := SolveMIP(context.Background(), p, MIPOptions{})
 	if full.Status != StatusOptimal {
 		t.Fatalf("full status = %v", full.Status)
 	}
@@ -194,7 +195,7 @@ func TestMIPMatchesBruteForce(t *testing.T) {
 			p.AddConstraint(coefs, LE, math.Round(rng.Float64()*float64(n)*2))
 		}
 
-		sol := SolveMIP(p, MIPOptions{})
+		sol := SolveMIP(context.Background(), p, MIPOptions{})
 
 		// Brute force.
 		best := math.Inf(1)
@@ -257,7 +258,7 @@ func TestLPBoundBelowMIP(t *testing.T) {
 		}
 		p.AddConstraint(coefs, LE, rng.Float64()*float64(n)*2)
 		lpSol := SolveLP(p)
-		mipSol := SolveMIP(p, MIPOptions{})
+		mipSol := SolveMIP(context.Background(), p, MIPOptions{})
 		if lpSol.Status != StatusOptimal || mipSol.Status != StatusOptimal {
 			return true // degenerate; other tests cover statuses
 		}

@@ -88,6 +88,7 @@ const (
 	StatusUnbounded
 	StatusNodeLimit // MIP: stopped at the node budget with an incumbent
 	StatusNoSolution
+	StatusCancelled // MIP: the context was cancelled mid-search
 )
 
 // String names the status.
@@ -101,6 +102,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusNodeLimit:
 		return "node-limit"
+	case StatusCancelled:
+		return "cancelled"
 	default:
 		return "no-solution"
 	}

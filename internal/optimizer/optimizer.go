@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // column reference carries its real table name.
 func (e *Env) Optimize(sel *sqlparse.SelectStmt) (*Plan, error) {
 	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("optimizer: SELECT without FROM is not supported")
+		return nil, errors.New("optimizer: SELECT without FROM is not supported")
 	}
 	tables := make([]string, 0, len(sel.From))
 	tableBit := make(map[string]int, len(sel.From))
@@ -52,7 +53,7 @@ func (e *Env) Optimize(sel *sqlparse.SelectStmt) (*Plan, error) {
 	}
 	paths := st.bestJoin()
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("optimizer: no plan found")
+		return nil, errors.New("optimizer: no plan found")
 	}
 
 	// Residual cross-table predicates filter the join result.

@@ -16,6 +16,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -101,8 +102,8 @@ func New(eng *engine.Engine) *Scheduler {
 
 // workloadCost prices the workload under a configuration against a pinned
 // engine view.
-func workloadCost(v *engine.View, w *workload.Workload, indexes []*catalog.Index, cfg *catalog.Configuration) (float64, error) {
-	if err := v.Prepare(w, indexes); err != nil {
+func workloadCost(ctx context.Context, v *engine.View, w *workload.Workload, indexes []*catalog.Index, cfg *catalog.Configuration) (float64, error) {
+	if err := v.Prepare(ctx, w, indexes); err != nil {
 		return 0, err
 	}
 	return v.WorkloadCost(w, cfg)
@@ -112,11 +113,16 @@ func workloadCost(v *engine.View, w *workload.Workload, indexes []*catalog.Index
 // the index with the best marginal-benefit-to-build-cost ratio relative to
 // the prefix already built. Every step prices the remaining candidates in
 // one parallel engine sweep.
-func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
-	v := s.eng.Pin()
+func (s *Scheduler) Greedy(ctx context.Context, w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	return s.GreedyView(ctx, s.eng.Pin(), w, indexes)
+}
+
+// GreedyView computes the interaction-aware schedule against one pinned
+// engine generation.
+func (s *Scheduler) GreedyView(ctx context.Context, v *engine.View, w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
 	out := &Schedule{}
 	cfg := catalog.NewConfiguration()
-	cur, err := workloadCost(v, w, indexes, cfg)
+	cur, err := workloadCost(ctx, v, w, indexes, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +130,7 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 
 	remaining := append([]*catalog.Index(nil), indexes...)
 	for len(remaining) > 0 {
-		costs, err := v.SweepCandidates(w, cfg, remaining)
+		costs, err := v.SweepCandidates(ctx, w, cfg, remaining)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +138,7 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 		bestRate := math.Inf(-1)
 		bestCost := 0.0
 		for i, ix := range remaining {
-			build := BuildCost(ix, s.eng.Stats(), s.eng.Params())
+			build := BuildCost(ix, v.Stats(), v.Params())
 			rate := (cur - costs[i]) / math.Max(build, 1e-9)
 			if rate > bestRate {
 				bestRate, bestI, bestCost = rate, i, costs[i]
@@ -144,7 +150,7 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 		cur = bestCost
 		out.Steps = append(out.Steps, Step{
 			Index:     ix,
-			BuildCost: BuildCost(ix, s.eng.Stats(), s.eng.Params()),
+			BuildCost: BuildCost(ix, v.Stats(), v.Params()),
 			CostAfter: cur,
 		})
 	}
@@ -154,11 +160,16 @@ func (s *Scheduler) Greedy(w *workload.Workload, indexes []*catalog.Index) (*Sch
 
 // Oblivious computes the interaction-oblivious baseline: indexes ranked
 // once by standalone benefit per build cost, never re-evaluated.
-func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
-	v := s.eng.Pin()
+func (s *Scheduler) Oblivious(ctx context.Context, w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+	return s.ObliviousView(ctx, s.eng.Pin(), w, indexes)
+}
+
+// ObliviousView computes the oblivious baseline against one pinned engine
+// generation.
+func (s *Scheduler) ObliviousView(ctx context.Context, v *engine.View, w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
 	out := &Schedule{}
 	empty := catalog.NewConfiguration()
-	base, err := workloadCost(v, w, indexes, empty)
+	base, err := workloadCost(ctx, v, w, indexes, empty)
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +179,13 @@ func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*
 		ix   *catalog.Index
 		rate float64
 	}
-	costs, err := v.SweepCandidates(w, empty, indexes)
+	costs, err := v.SweepCandidates(ctx, w, empty, indexes)
 	if err != nil {
 		return nil, err
 	}
 	var order []ranked
 	for i, ix := range indexes {
-		build := BuildCost(ix, s.eng.Stats(), s.eng.Params())
+		build := BuildCost(ix, v.Stats(), v.Params())
 		order = append(order, ranked{ix: ix, rate: (base - costs[i]) / math.Max(build, 1e-9)})
 	}
 	sort.SliceStable(order, func(i, j int) bool { return order[i].rate > order[j].rate })
@@ -182,13 +193,13 @@ func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*
 	cfg := catalog.NewConfiguration()
 	for _, r := range order {
 		cfg = cfg.WithIndex(r.ix)
-		c, err := workloadCost(v, w, indexes, cfg)
+		c, err := workloadCost(ctx, v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     r.ix,
-			BuildCost: BuildCost(r.ix, s.eng.Stats(), s.eng.Params()),
+			BuildCost: BuildCost(r.ix, v.Stats(), v.Params()),
 			CostAfter: c,
 		})
 	}
@@ -205,10 +216,10 @@ func (s *Scheduler) Oblivious(w *workload.Workload, indexes []*catalog.Index) (*
 // subsets are index ordinals into `indexes` (interaction.Graph.StableSubsets
 // output). The merged schedule evaluates the true cumulative cost at the
 // end so the AUC is comparable with Greedy's.
-func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Index, subsets [][]int) (*Schedule, error) {
+func (s *Scheduler) GreedyBySubsets(ctx context.Context, w *workload.Workload, indexes []*catalog.Index, subsets [][]int) (*Schedule, error) {
 	v := s.eng.Pin()
 	out := &Schedule{}
-	base, err := workloadCost(v, w, indexes, catalog.NewConfiguration())
+	base, err := workloadCost(ctx, v, w, indexes, catalog.NewConfiguration())
 	if err != nil {
 		return nil, err
 	}
@@ -229,13 +240,13 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 			sub = append(sub, indexes[ord])
 		}
 		cfg := catalog.NewConfiguration()
-		cur, err := workloadCost(v, w, indexes, cfg)
+		cur, err := workloadCost(ctx, v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		remaining := sub
 		for len(remaining) > 0 {
-			costs, err := v.SweepCandidates(w, cfg, remaining)
+			costs, err := v.SweepCandidates(ctx, w, cfg, remaining)
 			if err != nil {
 				return nil, err
 			}
@@ -243,7 +254,7 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 			bestRate := math.Inf(-1)
 			bestCost := 0.0
 			for i, ix := range remaining {
-				rate := (cur - costs[i]) / math.Max(BuildCost(ix, s.eng.Stats(), s.eng.Params()), 1e-9)
+				rate := (cur - costs[i]) / math.Max(BuildCost(ix, v.Stats(), v.Params()), 1e-9)
 				if rate > bestRate {
 					bestRate, bestI, bestCost = rate, i, costs[i]
 				}
@@ -262,13 +273,13 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 	cfg := catalog.NewConfiguration()
 	for _, r := range merged {
 		cfg = cfg.WithIndex(r.ix)
-		c, err := workloadCost(v, w, indexes, cfg)
+		c, err := workloadCost(ctx, v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     r.ix,
-			BuildCost: BuildCost(r.ix, s.eng.Stats(), s.eng.Params()),
+			BuildCost: BuildCost(r.ix, v.Stats(), v.Params()),
 			CostAfter: c,
 		})
 	}
@@ -278,24 +289,24 @@ func (s *Scheduler) GreedyBySubsets(w *workload.Workload, indexes []*catalog.Ind
 
 // FixedOrder evaluates a user-supplied build order (for what-if schedule
 // comparisons in the CLI).
-func (s *Scheduler) FixedOrder(w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
+func (s *Scheduler) FixedOrder(ctx context.Context, w *workload.Workload, indexes []*catalog.Index) (*Schedule, error) {
 	v := s.eng.Pin()
 	out := &Schedule{}
 	cfg := catalog.NewConfiguration()
-	base, err := workloadCost(v, w, indexes, cfg)
+	base, err := workloadCost(ctx, v, w, indexes, cfg)
 	if err != nil {
 		return nil, err
 	}
 	out.BaseCost = base
 	for _, ix := range indexes {
 		cfg = cfg.WithIndex(ix)
-		c, err := workloadCost(v, w, indexes, cfg)
+		c, err := workloadCost(ctx, v, w, indexes, cfg)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, Step{
 			Index:     ix,
-			BuildCost: BuildCost(ix, s.eng.Stats(), s.eng.Params()),
+			BuildCost: BuildCost(ix, v.Stats(), v.Params()),
 			CostAfter: c,
 		})
 	}

@@ -1,6 +1,7 @@
 package schedule_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -52,7 +53,7 @@ func newFixture(t *testing.T) *fixture {
 
 func TestGreedyScheduleBasics(t *testing.T) {
 	f := newFixture(t)
-	s, err := f.sched.Greedy(f.w, f.indexes)
+	s, err := f.sched.Greedy(context.Background(), f.w, f.indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestGreedyScheduleBasics(t *testing.T) {
 // AUC) as the interaction-oblivious ranking.
 func TestGreedyBeatsOrMatchesOblivious(t *testing.T) {
 	f := newFixture(t)
-	greedy, err := f.sched.Greedy(f.w, f.indexes)
+	greedy, err := f.sched.Greedy(context.Background(), f.w, f.indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	obliv, err := f.sched.Oblivious(f.w, f.indexes)
+	obliv, err := f.sched.Oblivious(context.Background(), f.w, f.indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestGreedyBeatsOrMatchesOblivious(t *testing.T) {
 
 func TestFixedOrderWorstCase(t *testing.T) {
 	f := newFixture(t)
-	greedy, err := f.sched.Greedy(f.w, f.indexes)
+	greedy, err := f.sched.Greedy(context.Background(), f.w, f.indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFixedOrderWorstCase(t *testing.T) {
 	for i, st := range greedy.Steps {
 		reversed[len(reversed)-1-i] = st.Index
 	}
-	fixed, err := f.sched.FixedOrder(f.w, reversed)
+	fixed, err := f.sched.FixedOrder(context.Background(), f.w, reversed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBuildCostScalesWithSize(t *testing.T) {
 
 func TestScheduleString(t *testing.T) {
 	f := newFixture(t)
-	s, err := f.sched.Greedy(f.w, f.indexes[:2])
+	s, err := f.sched.Greedy(context.Background(), f.w, f.indexes[:2])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package schedule_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,17 +10,17 @@ import (
 
 func TestGreedyBySubsetsMatchesGreedy(t *testing.T) {
 	f := newFixture(t)
-	g, err := interaction.Analyze(f.eng, f.w, f.indexes, interaction.DefaultOptions())
+	g, err := interaction.Analyze(context.Background(), f.eng, f.w, f.indexes, interaction.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	subsets := g.StableSubsets(0.01)
 
-	full, err := f.sched.Greedy(f.w, f.indexes)
+	full, err := f.sched.Greedy(context.Background(), f.w, f.indexes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	decomposed, err := f.sched.GreedyBySubsets(f.w, f.indexes, subsets)
+	decomposed, err := f.sched.GreedyBySubsets(context.Background(), f.w, f.indexes, subsets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestGreedyBySubsetsMatchesGreedy(t *testing.T) {
 
 func TestGreedyBySubsetsValidation(t *testing.T) {
 	f := newFixture(t)
-	if _, err := f.sched.GreedyBySubsets(f.w, f.indexes, [][]int{{99}}); err == nil {
+	if _, err := f.sched.GreedyBySubsets(context.Background(), f.w, f.indexes, [][]int{{99}}); err == nil {
 		t.Fatal("out-of-range ordinal should error")
 	}
 }
@@ -53,7 +54,7 @@ func TestGreedyBySubsetsSingletonSubsets(t *testing.T) {
 	for i := range f.indexes {
 		subsets = append(subsets, []int{i})
 	}
-	s, err := f.sched.GreedyBySubsets(f.w, f.indexes, subsets)
+	s, err := f.sched.GreedyBySubsets(context.Background(), f.w, f.indexes, subsets)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@
 package stats
 
 import (
-	"fmt"
+	"errors"
 	"math"
 	"sort"
 
@@ -178,7 +178,7 @@ func (c *Catalog) Put(name string, ts *TableStats) { c.Tables[lower(name)] = ts 
 // page capacity in bytes used to derive the page count.
 func Analyze(t *catalog.Table, rows []catalog.Row, pageSize int) (*TableStats, error) {
 	if pageSize <= 0 {
-		return nil, fmt.Errorf("stats: pageSize must be positive")
+		return nil, errors.New("stats: pageSize must be positive")
 	}
 	ts := &TableStats{
 		RowCount: int64(len(rows)),

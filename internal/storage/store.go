@@ -46,12 +46,19 @@ func (s *Store) Load(table string, rows []catalog.Row) error {
 }
 
 // Analyze refreshes statistics for every table (or the named tables only).
+// The refresh is copy-on-write: a fresh catalog is built and swapped in, so
+// readers holding the previous *stats.Catalog (pinned engine generations
+// mid-evaluation) never observe a map mutating under them.
 func (s *Store) Analyze(tables ...string) error {
 	targets := tables
 	if len(targets) == 0 {
 		for _, t := range s.Schema.Tables() {
 			targets = append(targets, t.Name)
 		}
+	}
+	fresh := stats.NewCatalog()
+	for name, ts := range s.Stats.Tables {
+		fresh.Tables[name] = ts
 	}
 	for _, name := range targets {
 		t := s.Schema.Table(name)
@@ -62,8 +69,9 @@ func (s *Store) Analyze(tables ...string) error {
 		if err != nil {
 			return err
 		}
-		s.Stats.Put(t.Name, ts)
+		fresh.Put(t.Name, ts)
 	}
+	s.Stats = fresh
 	return nil
 }
 

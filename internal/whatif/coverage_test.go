@@ -1,6 +1,7 @@
 package whatif_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestCandidatesOnlyForReferencedTables(t *testing.T) {
 
 func TestEvaluateWorkloadEmptyConfigIsNeutral(t *testing.T) {
 	s, w := newSession(t)
-	rep, err := s.EvaluateWorkload(w, nil)
+	rep, err := s.EvaluateWorkload(context.Background(), w, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

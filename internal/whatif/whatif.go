@@ -11,6 +11,8 @@
 package whatif
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -60,7 +62,7 @@ func (s *Session) HypotheticalIndex(table string, columns ...string) (*catalog.I
 		return nil, fmt.Errorf("whatif: unknown table %q", table)
 	}
 	if len(columns) == 0 {
-		return nil, fmt.Errorf("whatif: index needs at least one column")
+		return nil, errors.New("whatif: index needs at least one column")
 	}
 	for _, c := range columns {
 		if !t.HasColumn(c) {
@@ -151,8 +153,9 @@ func (r *Report) AvgBenefitPct() float64 {
 }
 
 // EvaluateWorkload costs every query under the base and hypothetical
-// configurations in parallel and returns the benefit report.
-func (s *Session) EvaluateWorkload(w *workload.Workload, cfg *catalog.Configuration) (*Report, error) {
+// configurations in parallel and returns the benefit report. A cancelled
+// context stops workers before their next query and returns ctx.Err().
+func (s *Session) EvaluateWorkload(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*Report, error) {
 	rep := &Report{Queries: make([]QueryBenefit, len(w.Queries))}
 	errs := make([]error, len(w.Queries))
 
@@ -170,6 +173,9 @@ func (s *Session) EvaluateWorkload(w *workload.Workload, cfg *catalog.Configurat
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without pricing
+				}
 				q := w.Queries[i]
 				base, err := s.Cost(q.Stmt, nil)
 				if err != nil {
@@ -194,6 +200,9 @@ func (s *Session) EvaluateWorkload(w *workload.Workload, cfg *catalog.Configurat
 	close(jobs)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package whatif_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestEvaluateWorkloadBenefit(t *testing.T) {
 	}
 	cfg = cfg.WithIndex(ix)
 
-	rep, err := s.EvaluateWorkload(w, cfg)
+	rep, err := s.EvaluateWorkload(context.Background(), w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestGenerateCandidatesRespectsCap(t *testing.T) {
 func TestWorkloadCostMatchesReportTotals(t *testing.T) {
 	s, w := newSession(t)
 	cfg := catalog.NewConfiguration()
-	rep, err := s.EvaluateWorkload(w, cfg)
+	rep, err := s.EvaluateWorkload(context.Background(), w, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -141,7 +142,7 @@ func NewWorkload(schema *catalog.Schema, seed int64, n int) (*Workload, error) {
 // NewWorkloadFrom is NewWorkload over a restricted template set.
 func NewWorkloadFrom(schema *catalog.Schema, seed int64, n int, templates []Template) (*Workload, error) {
 	if len(templates) == 0 {
-		return nil, fmt.Errorf("workload: no templates")
+		return nil, errors.New("workload: no templates")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	w := &Workload{}
