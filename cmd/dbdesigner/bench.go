@@ -18,6 +18,8 @@ import (
 func cmdBench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	profile := fs.String("profile", "smoke", "suite profile: smoke|quick|full")
+	backend := fs.String("backend", "", "cost backend for the whole suite: native|calibrated (default native)")
+	calibration := fs.String("calibration", "", "JSON cost-constant file for --backend calibrated")
 	sizes := fs.String("sizes", "", "comma-separated dataset sizes (tiny|small|medium); overrides the profile")
 	seed := fs.Int64("seed", 0, "single dataset seed; overrides the profile when set")
 	seeds := fs.String("seeds", "", "comma-separated dataset seeds; overrides --seed")
@@ -69,8 +71,16 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	if *repeat > 0 {
 		spec.Repeat = *repeat
 	}
+	if *backend != "" {
+		spec.Backend = *backend
+	}
+	spec.CalibrationFile = *calibration
 	if *label != "" {
 		spec.Label = *label
+	} else if spec.Backend != "" && spec.Backend != "native" {
+		// Per-backend documents get distinguishable names by default:
+		// BENCH_smoke_calibrated.json next to BENCH_smoke.json.
+		spec.Label = spec.Profile + "_" + spec.Backend
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
@@ -99,9 +109,12 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		printBenchTable(stdout, res)
 	}
 
-	// The comparison is diagnostics, not data: it goes to stderr so that
-	// `--json > file` still captures a clean document, and it never fails
-	// the command (warn-only — CI prints it, humans decide).
+	// The comparison goes to stderr so that `--json > file` still captures
+	// a clean document. Severity decides the exit code: schema-version or
+	// backend mismatches and baseline cells missing from the current run
+	// (coverage regressions) fail the command; metric drift — quality and
+	// especially machine-local timing — stays warn-only for humans and CI
+	// logs to judge.
 	if *baseline != "" {
 		base, err := bench.ReadResult(*baseline)
 		if err != nil {
@@ -121,7 +134,14 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "baseline %s: no quality drift (tol 5%%; timing warn-only at 2.0x)\n", *baseline)
 		}
 		for _, w := range warns {
-			fmt.Fprintf(stderr, "WARN %s\n", w)
+			tag := "WARN"
+			if w.Severity == bench.SeverityError {
+				tag = "ERROR"
+			}
+			fmt.Fprintf(stderr, "%s %s\n", tag, w)
+		}
+		if errs := bench.Errors(warns); len(errs) != 0 {
+			return fmt.Errorf("baseline %s: %d comparability error(s) (schema/backend/coverage); see stderr", *baseline, len(errs))
 		}
 	}
 	return nil

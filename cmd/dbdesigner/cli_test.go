@@ -175,6 +175,154 @@ func TestCmdBenchHumanTableAndBaseline(t *testing.T) {
 	}
 }
 
+// TestCmdBenchBaselineHardFail pins the exit-code contract: schema-version
+// mismatches and baseline experiments missing from the current run fail the
+// command, while pure quality/timing drift stays warn-only.
+func TestCmdBenchBaselineHardFail(t *testing.T) {
+	dir := t.TempDir()
+	var sink bytes.Buffer
+	if err := cmdBench(benchArgs(dir), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_smoke.json")
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(doc, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	rewrite := func(mutate func(map[string]any)) string {
+		var copy map[string]any
+		if err := json.Unmarshal(doc, &copy); err != nil {
+			t.Fatal(err)
+		}
+		mutate(copy)
+		b, err := json.Marshal(copy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "BENCH_mut.json")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Coverage regression: the baseline knows an experiment the current run
+	// does not produce → non-zero exit.
+	wider := rewrite(func(m map[string]any) {
+		xs := m["experiments"].([]any)
+		extra := map[string]any{
+			"name": "vanished", "size": "tiny", "workload": "uniform", "seed": float64(1),
+			"counts": map[string]any{"n": float64(1)},
+		}
+		m["experiments"] = append(xs, extra)
+	})
+	var stderr bytes.Buffer
+	err = cmdBench(benchArgs(t.TempDir(), "--baseline", wider), &sink, &stderr)
+	if err == nil {
+		t.Fatalf("missing baseline experiment did not fail the command; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "coverage regressed") {
+		t.Errorf("stderr missing coverage error:\n%s", stderr.String())
+	}
+
+	// Schema mismatch → non-zero exit. The mutated document must bypass
+	// ReadResult's own validation, so only the comparison can catch it:
+	// bump both versions? No — ReadResult rejects foreign versions, which
+	// is itself the hard failure; assert the command errors.
+	older := rewrite(func(m map[string]any) { m["schema_version"] = float64(99) })
+	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", older), &sink, &sink); err == nil {
+		t.Error("schema-version mismatch did not fail the command")
+	}
+
+	// Pure quality drift stays warn-only: exit 0, warning on stderr.
+	drifted := rewrite(func(m map[string]any) {
+		x := m["experiments"].([]any)[0].(map[string]any)
+		if q, ok := x["quality"].(map[string]any); ok {
+			for k := range q {
+				q[k] = q[k].(float64)*2 + 1
+			}
+		}
+	})
+	stderr.Reset()
+	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", drifted), &sink, &stderr); err != nil {
+		t.Fatalf("quality drift must stay warn-only, got: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "WARN") {
+		t.Errorf("expected drift warnings on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestCmdBenchPerBackend runs the suite under --backend calibrated: the
+// document gets a distinguishable default label, names its backend, and can
+// never be silently compared against a native baseline.
+func TestCmdBenchPerBackend(t *testing.T) {
+	dir := t.TempDir()
+	var sink bytes.Buffer
+	if err := cmdBench(benchArgs(dir), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench(benchArgs(dir, "--backend", "calibrated"), &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bench.ReadResult(filepath.Join(dir, "BENCH_smoke_calibrated.json"))
+	if err != nil {
+		t.Fatalf("calibrated document missing or invalid: %v", err)
+	}
+	if res.Backend != "calibrated" {
+		t.Fatalf("document backend = %q", res.Backend)
+	}
+
+	var stderr bytes.Buffer
+	err = cmdBench(benchArgs(t.TempDir(), "--backend", "calibrated",
+		"--baseline", filepath.Join(dir, "BENCH_smoke.json")), &sink, &stderr)
+	if err == nil {
+		t.Fatalf("calibrated run compared against native baseline without failing; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "backend") {
+		t.Errorf("stderr missing backend-mismatch error:\n%s", stderr.String())
+	}
+
+	if err := cmdBench(benchArgs(t.TempDir(), "--backend", "replay"), &sink, &sink); err == nil {
+		t.Error("replay as a suite backend should be rejected")
+	}
+}
+
+// TestCmdRecordReplayRoundTrip drives the portable record/replay workflow
+// end to end through the CLI: a whatif run with --record dumps a trace, and
+// the same run under --backend replay reproduces the report from the trace
+// alone, byte-identically.
+func TestCmdRecordReplayRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{"--size", "tiny", "--seed", "1", "--queries", "6",
+		"--index", "photoobj:psfmag_r", "--index", "specobj:bestobjid"}
+
+	recorded := captureStdout(t, func() error {
+		return cmdWhatIf(append([]string{"--record", trace}, args...))
+	})
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	replayed := captureStdout(t, func() error {
+		return cmdWhatIf(append([]string{"--backend", "replay", "--trace", trace}, args...))
+	})
+	if recorded != replayed {
+		t.Fatalf("replayed what-if report differs from the recorded run:\n--- recorded\n%s\n--- replayed\n%s", recorded, replayed)
+	}
+	if !strings.Contains(recorded, "What-if benefit") {
+		t.Fatalf("unexpected whatif output:\n%s", recorded)
+	}
+
+	// Replay without a trace is a flag error, not a crash.
+	if err := cmdWhatIf(append([]string{"--backend", "replay"}, args...)); err == nil {
+		t.Error("replay without --trace should error")
+	}
+}
+
 func TestCmdBenchRejectsBadSelections(t *testing.T) {
 	var sink bytes.Buffer
 	if err := cmdBench([]string{"--profile", "nope"}, &sink, &sink); err == nil {

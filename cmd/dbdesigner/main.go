@@ -22,12 +22,17 @@
 //
 // All commands accept --size (tiny|small|medium) and --seed; the dataset is
 // regenerated deterministically per invocation (the store is in-memory).
+// Cost-backend selection is shared too: --backend native|calibrated|replay,
+// --calibration <json> for calibrated constants, --trace <json> as the
+// replay source, and --record <json> to dump every costing call as a
+// replayable trace on exit (the portability workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/designer"
 )
@@ -92,45 +97,96 @@ Run 'dbdesigner <command> -h' for command flags.
 `)
 }
 
-// commonFlags registers the dataset flags shared by all commands.
-func commonFlags(fs *flag.FlagSet) (size *string, seed *int64, queries *int) {
-	size = fs.String("size", "small", "dataset size: tiny|small|medium")
-	seed = fs.Int64("seed", 1, "deterministic data/workload seed")
-	queries = fs.Int("queries", 24, "number of workload queries")
-	return size, seed, queries
+// dataFlags are the dataset + cost-backend flags shared by all commands.
+type dataFlags struct {
+	size    *string
+	seed    *int64
+	queries *int
+
+	backend     *string
+	calibration *string
+	trace       *string
+	record      *string
 }
 
-// openDesigner generates the dataset and opens the designer over it.
-func openDesigner(size string, seed int64) (*designer.Designer, error) {
-	fmt.Fprintf(os.Stderr, "generating %s SDSS dataset (seed %d)...\n", size, seed)
-	return designer.OpenSDSS(size, seed)
+// commonFlags registers the shared flags.
+func commonFlags(fs *flag.FlagSet) *dataFlags {
+	return &dataFlags{
+		size:    fs.String("size", "small", "dataset size: tiny|small|medium"),
+		seed:    fs.Int64("seed", 1, "deterministic data/workload seed"),
+		queries: fs.Int("queries", 24, "number of workload queries"),
+		backend: fs.String("backend", "native",
+			"cost backend: "+strings.Join(designer.BackendKinds(), "|")),
+		calibration: fs.String("calibration", "",
+			"JSON cost-constant file for --backend calibrated (empty = built-in SSD profile)"),
+		trace: fs.String("trace", "",
+			"recorded costing trace for --backend replay"),
+		record: fs.String("record", "",
+			"record every costing call and write a replay trace to this file on exit"),
+	}
+}
+
+// spec assembles the backend selection from the parsed flags.
+func (f *dataFlags) spec() designer.BackendSpec {
+	return designer.BackendSpec{
+		Kind:            *f.backend,
+		CalibrationFile: *f.calibration,
+		TraceFile:       *f.trace,
+	}
+}
+
+// open generates the dataset and opens the designer over it with the
+// selected backend.
+func (f *dataFlags) open() (*designer.Designer, error) {
+	fmt.Fprintf(os.Stderr, "generating %s SDSS dataset (seed %d, backend %s)...\n",
+		*f.size, *f.seed, *f.backend)
+	opts := []designer.Option{designer.WithBackend(f.spec())}
+	if *f.record != "" {
+		opts = append(opts, designer.WithRecording())
+	}
+	return designer.OpenSDSS(*f.size, *f.seed, opts...)
+}
+
+// finish writes the recorded trace when --record was given. Call it after
+// the command's costing work is done.
+func (f *dataFlags) finish(d *designer.Designer) error {
+	if *f.record == "" {
+		return nil
+	}
+	if err := d.WriteTrace(*f.record); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dbdesigner: wrote costing trace to %s\n", *f.record)
+	return nil
 }
 
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	emit := fs.Bool("emit-workload", false, "print the generated workload as a SQL script instead of the table summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
 	if *emit {
-		w, err := d.GenerateWorkload(*seed+1, *queries)
+		w, err := d.GenerateWorkload(*df.seed+1, *df.queries)
 		if err != nil {
 			return err
 		}
 		for _, q := range w.Queries() {
 			fmt.Printf("-- %s\n%s;\n", q.ID(), q.SQL())
 		}
-		return nil
+		return df.finish(d)
 	}
+	info := d.Describe()
+	fmt.Printf("backend: %s (%s)\n", info.Backend.Kind, info.Backend.Description)
 	fmt.Println("tables:")
-	for _, t := range d.Describe() {
+	for _, t := range info.Tables {
 		fmt.Printf("  %-10s %8d rows %6d pages %3d columns (row width %d bytes)\n",
 			t.Name, t.RowCount, t.Pages, len(t.Columns), t.RowWidthBytes)
 	}
-	return nil
+	return df.finish(d)
 }

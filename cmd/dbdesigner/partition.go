@@ -14,18 +14,18 @@ import (
 // average workload benefit on the left, rewritten queries below.
 func cmdPartition(args []string) error {
 	fs := flag.NewFlagSet("partition", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	horizontal := fs.Bool("horizontal", true, "also consider horizontal range partitions")
 	rewrites := fs.Int("rewrites", 3, "show up to N rewritten queries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
-	w, err := d.GenerateWorkload(*seed+1, *queries)
+	w, err := d.GenerateWorkload(*df.seed+1, *df.queries)
 	if err != nil {
 		return err
 	}
@@ -84,7 +84,7 @@ func cmdPartition(args []string) error {
 			fmt.Println("  (none affected)")
 		}
 	}
-	return nil
+	return df.finish(d)
 }
 
 // wrapFragments softly wraps a long fragment listing for the panel.

@@ -15,7 +15,7 @@ import (
 // materialization schedule.
 func cmdAdvise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	budget := fs.Int64("budget", 0, "storage budget in pages (0 = unlimited)")
 	nodes := fs.Int("nodes", 0, "solver node budget (0 = prove optimality)")
 	partitions := fs.Bool("partitions", true, "also suggest partitions")
@@ -29,11 +29,11 @@ func cmdAdvise(args []string) error {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
-	w, err := loadWorkload(d, *workloadFile, *seed+1, *queries)
+	w, err := loadWorkload(d, *workloadFile, *df.seed+1, *df.queries)
 	if err != nil {
 		return err
 	}
@@ -71,14 +71,14 @@ func cmdAdvise(args []string) error {
 		}
 		fmt.Printf("\nmaterialized %d indexes (%s)\n", len(advice.Indexes), io.String())
 	}
-	return nil
+	return df.finish(d)
 }
 
 // cmdWhatIf is Scenario 1: the user specifies a candidate design and the
 // tool reports its benefit without building anything.
 func cmdWhatIf(args []string) error {
 	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	var indexSpecs, vparts, hparts multiFlag
 	fs.Var(&indexSpecs, "index", "what-if index as table:col1,col2 (repeatable)")
 	fs.Var(&vparts, "vpart", "what-if vertical partition as table:colA,colB|colC,... (repeatable; remaining columns form the last fragment)")
@@ -87,11 +87,11 @@ func cmdWhatIf(args []string) error {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
-	w, err := d.GenerateWorkload(*seed+1, *queries)
+	w, err := d.GenerateWorkload(*df.seed+1, *df.queries)
 	if err != nil {
 		return err
 	}
@@ -166,13 +166,13 @@ func cmdWhatIf(args []string) error {
 			}
 		}
 	}
-	return nil
+	return df.finish(d)
 }
 
 // cmdOnline is Scenario 3: continuous tuning over a drifting stream.
 func cmdOnline(args []string) error {
 	fs := flag.NewFlagSet("online", flag.ExitOnError)
-	size, seed, _ := commonFlags(fs)
+	df := commonFlags(fs)
 	perPhase := fs.Int("per-phase", 120, "queries per drift phase")
 	epoch := fs.Int("epoch", 25, "epoch length in queries")
 	budget := fs.Int64("space", 0, "space budget in pages (0 = unlimited)")
@@ -180,7 +180,7 @@ func cmdOnline(args []string) error {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
@@ -192,7 +192,7 @@ func cmdOnline(args []string) error {
 	tuner.OnAlert(func(a designer.TunerAlert) {
 		fmt.Printf("ALERT  %s\n", a)
 	})
-	stream, err := d.DriftStream(*seed+2, *perPhase)
+	stream, err := d.DriftStream(*df.seed+2, *perPhase)
 	if err != nil {
 		return err
 	}
@@ -211,13 +211,13 @@ func cmdOnline(args []string) error {
 			r.Epoch, r.Queries, r.EpochCost, r.WhatIfCalls, changed,
 			strings.Join(r.IndexKeys, ", "))
 	}
-	return nil
+	return df.finish(d)
 }
 
 // cmdInteractions renders Figure 2 for the advised index set.
 func cmdInteractions(args []string) error {
 	fs := flag.NewFlagSet("interactions", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	topK := fs.Int("top", 10, "show only the k strongest interactions")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text")
 	matrix := fs.Bool("matrix", false, "render the full doi matrix")
@@ -225,11 +225,11 @@ func cmdInteractions(args []string) error {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
-	w, err := d.GenerateWorkload(*seed+1, *queries)
+	w, err := d.GenerateWorkload(*df.seed+1, *df.queries)
 	if err != nil {
 		return err
 	}
@@ -258,14 +258,14 @@ func cmdInteractions(args []string) error {
 			fmt.Printf("  %d: %s\n", i+1, strings.Join(grp, ", "))
 		}
 	}
-	return nil
+	return df.finish(d)
 }
 
 // cmdExplain plans one query; --analyze also executes it and reports
 // estimated versus measured figures.
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
-	size, seed, _ := commonFlags(fs)
+	df := commonFlags(fs)
 	sql := fs.String("sql", "", "SELECT statement to explain")
 	analyze := fs.Bool("analyze", false, "also execute and report actual rows and I/O")
 	if err := fs.Parse(args); err != nil {
@@ -274,7 +274,7 @@ func cmdExplain(args []string) error {
 	if *sql == "" {
 		return errors.New("--sql is required")
 	}
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
@@ -295,22 +295,22 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	fmt.Print(plan)
-	return nil
+	return df.finish(d)
 }
 
 // cmdCompare sweeps storage budgets comparing CoPhy against greedy (E7).
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	size, seed, queries := commonFlags(fs)
+	df := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
-	w, err := d.GenerateWorkload(*seed+1, *queries)
+	w, err := d.GenerateWorkload(*df.seed+1, *df.queries)
 	if err != nil {
 		return err
 	}
@@ -343,7 +343,7 @@ func cmdCompare(args []string) error {
 		fmt.Printf("%13d  %10.1f  %8.2f%%  %11.1f  %12.2f%%\n",
 			budget, cres.Objective, cres.Gap()*100, gres.Objective, winBy)
 	}
-	return nil
+	return df.finish(d)
 }
 
 // loadWorkload reads a SQL script workload from a file, or generates the

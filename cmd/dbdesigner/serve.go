@@ -26,13 +26,13 @@ func cmdServe(args []string) error { return runServe(args, nil) }
 
 func runServe(args []string, ctl *serveControl) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	size, seed, _ := commonFlags(fs)
+	df := commonFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:0 for an ephemeral port)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := openDesigner(*size, *seed)
+	d, err := df.open()
 	if err != nil {
 		return err
 	}
@@ -63,5 +63,6 @@ func runServe(args []string, ctl *serveControl) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "dbdesigner: shutdown complete")
-	return nil
+	// With --record, the costing calls served over HTTP become the trace.
+	return df.finish(d)
 }

@@ -1,0 +1,209 @@
+package designer_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/designer"
+)
+
+const probeSQL = "SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"
+
+// evaluateProbe opens a session, adds a selective index, and evaluates the
+// probe query, returning the report's new total.
+func evaluateProbe(t *testing.T, d *designer.Designer, opts designer.SessionOptions) float64 {
+	t.Helper()
+	s, err := d.NewDesignSessionWith(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddIndex("photoobj", "psfmag_r"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.WorkloadFromSQL([]string{probeSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewTotal >= rep.BaseTotal {
+		t.Fatalf("index should help the range scan: %+v", rep)
+	}
+	return rep.NewTotal
+}
+
+// TestOpenWithBackend checks backend selection at open time: Describe
+// reports the active backend, and a calibrated designer prices index plans
+// differently from a native one.
+func TestOpenWithBackend(t *testing.T) {
+	native, err := designer.OpenSDSS("tiny", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := native.Describe().Backend.Kind; got != "native" {
+		t.Fatalf("default backend = %q", got)
+	}
+	calib, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendCalibrated}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := calib.Describe().Backend
+	if info.Kind != "calibrated" || info.Description == "" {
+		t.Fatalf("calibrated Describe = %+v", info)
+	}
+
+	nc := evaluateProbe(t, native, designer.SessionOptions{})
+	cc := evaluateProbe(t, calib, designer.SessionOptions{})
+	if nc == cc {
+		t.Fatalf("calibrated designer returned native costs (%v)", nc)
+	}
+}
+
+// TestPerSessionBackend checks SessionOptions.Backend: a calibrated
+// session on a native designer prices differently, reports its backend,
+// and leaves the designer untouched.
+func TestPerSessionBackend(t *testing.T) {
+	d, err := designer.OpenSDSS("tiny", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := evaluateProbe(t, d, designer.SessionOptions{})
+	cc := evaluateProbe(t, d, designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: designer.BackendCalibrated},
+	})
+	if nc == cc {
+		t.Fatalf("per-session calibrated backend returned native costs (%v)", nc)
+	}
+	s, err := d.NewDesignSessionWith(designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: designer.BackendCalibrated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Backend().Kind; got != "calibrated" {
+		t.Fatalf("session backend = %q", got)
+	}
+	if got := d.Describe().Backend.Kind; got != "native" {
+		t.Fatalf("session backend leaked into the designer: %q", got)
+	}
+	if _, err := d.NewDesignSessionWith(designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: "voodoo"},
+	}); err == nil {
+		t.Fatal("unknown session backend accepted")
+	}
+}
+
+// TestExplicitNativeSessionOnCalibratedDesigner pins the inherit-vs-choose
+// semantics: an empty spec inherits the designer's backend, while an
+// explicit "native" pins a native backend even on a calibrated designer.
+func TestExplicitNativeSessionOnCalibratedDesigner(t *testing.T) {
+	calib, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendCalibrated}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inherited, err := calib.NewDesignSessionWith(designer.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inherited.Backend().Kind; got != "calibrated" {
+		t.Fatalf("zero spec should inherit the designer's backend, got %q", got)
+	}
+	pinned, err := calib.NewDesignSessionWith(designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: designer.BackendNative},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Backend().Kind; got != "native" {
+		t.Fatalf("explicit native spec was overridden by the designer's backend: %q", got)
+	}
+
+	ic := evaluateProbe(t, calib, designer.SessionOptions{})
+	nc := evaluateProbe(t, calib, designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: designer.BackendNative},
+	})
+	if ic == nc {
+		t.Fatalf("explicit native session priced like the calibrated designer (%v)", ic)
+	}
+}
+
+// TestMismatchedBackendParamsRejected: parameters the selected kind would
+// ignore fail loudly instead of silently running a different cost model.
+func TestMismatchedBackendParamsRejected(t *testing.T) {
+	cal := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(cal, []byte(`{"name":"ok","random_page_cost":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Calibration file without --backend calibrated (kind defaults native).
+	if _, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{CalibrationFile: cal})); err == nil {
+		t.Error("calibration file on a native backend accepted")
+	}
+	// Trace file without the replay kind.
+	if _, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendCalibrated, TraceFile: cal})); err == nil {
+		t.Error("trace file on a calibrated backend accepted")
+	}
+}
+
+// TestRecordReplayThroughFacade drives record/replay via the public API:
+// record a session evaluation, write the trace, reopen with the replay
+// backend, and reproduce the report exactly with no live cost model.
+func TestRecordReplayThroughFacade(t *testing.T) {
+	rec, err := designer.OpenSDSS("tiny", 41, designer.WithRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evaluateProbe(t, rec, designer.SessionOptions{})
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := rec.WriteTrace(path); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendReplay, TraceFile: path}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Describe().Backend.Kind; got != "replay" {
+		t.Fatalf("replay backend = %q", got)
+	}
+	if got := evaluateProbe(t, replay, designer.SessionOptions{}); got != want {
+		t.Fatalf("replayed evaluation %v != recorded %v", got, want)
+	}
+
+	// A designer that never recorded refuses to write a trace.
+	plain, err := designer.OpenSDSS("tiny", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteTrace(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("WriteTrace without WithRecording should error")
+	}
+}
+
+// TestOpenRejectsBadBackendSpecs pins the open-time validation surface.
+func TestOpenRejectsBadBackendSpecs(t *testing.T) {
+	if _, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: "voodoo"})); err == nil {
+		t.Error("unknown backend kind accepted")
+	}
+	if _, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendReplay})); err == nil {
+		t.Error("replay without a trace file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(bad, []byte(`{"seq_page_cost": -4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := designer.OpenSDSS("tiny", 41,
+		designer.WithBackend(designer.BackendSpec{Kind: designer.BackendCalibrated, CalibrationFile: bad})); err == nil {
+		t.Error("invalid calibration file accepted")
+	}
+}

@@ -13,8 +13,9 @@ import (
 // paper's title: the tool works against any relational schema, not just
 // the SDSS demo dataset.
 //
-// Load rows with Insert and call Analyze before asking for advice.
-func NewFromDDL(ddl string) (*Designer, error) {
+// Load rows with Insert and call Analyze before asking for advice. Options
+// select the cost backend (WithBackend) and recording (WithRecording).
+func NewFromDDL(ddl string, opts ...Option) (*Designer, error) {
 	stmts, err := sqlparse.ParseScript(ddl)
 	if err != nil {
 		return nil, err
@@ -54,7 +55,7 @@ func NewFromDDL(ddl string) (*Designer, error) {
 	if err := store.Analyze(); err != nil {
 		return nil, err
 	}
-	return openStore(store), nil
+	return openStore(store, opts)
 }
 
 // Insert adds one row to a table, converting Go values to datums: int/

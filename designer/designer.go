@@ -55,6 +55,9 @@ type Designer struct {
 	store *storage.Store
 	eng   *engine.Engine
 	exec  *executor.Executor
+	// recorder captures costing calls when the designer was opened with
+	// WithRecording (the record half of record/replay portability).
+	recorder *engine.Recorder
 
 	// mu guards the store's mutable physical state (heaps, materialized
 	// index registry): writers (Materialize, Analyze, Insert) take the
@@ -63,18 +66,33 @@ type Designer struct {
 	mu sync.RWMutex
 }
 
-// openStore creates a designer over a populated, analyzed store.
-func openStore(store *storage.Store) *Designer {
-	return &Designer{
-		store: store,
-		eng:   engine.New(store.Schema, store.Stats, store.MaterializedConfiguration()),
-		exec:  executor.New(store),
+// openStore creates a designer over a populated, analyzed store with the
+// cost backend the options select.
+func openStore(store *storage.Store, opts []Option) (*Designer, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
+	espec, rec, err := o.resolve()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewWithBackend(store.Schema, store.Stats, store.MaterializedConfiguration(), espec)
+	if err != nil {
+		return nil, err
+	}
+	return &Designer{
+		store:    store,
+		eng:      eng,
+		exec:     executor.New(store),
+		recorder: rec,
+	}, nil
 }
 
 // OpenSDSS generates the synthetic SDSS demo dataset deterministically and
-// opens a designer over it. size is "tiny", "small", or "medium".
-func OpenSDSS(size string, seed int64) (*Designer, error) {
+// opens a designer over it. size is "tiny", "small", or "medium". Options
+// select the cost backend (WithBackend) and recording (WithRecording).
+func OpenSDSS(size string, seed int64, opts ...Option) (*Designer, error) {
 	sz, err := workload.SizeByName(size)
 	if err != nil {
 		return nil, err
@@ -83,16 +101,25 @@ func OpenSDSS(size string, seed int64) (*Designer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return openStore(store), nil
+	return openStore(store, opts)
 }
 
-// Describe reports the designer's tables: row counts, page counts, row
-// widths, and column types — the portable replacement for exposing the raw
-// schema objects.
-func (d *Designer) Describe() []TableInfo {
+// DatabaseInfo is the designer's self-description: the active cost backend
+// plus per-table shapes.
+type DatabaseInfo struct {
+	// Backend identifies the cost model every design decision prices
+	// against.
+	Backend BackendInfo
+	// Tables lists row counts, page counts, row widths, and column types.
+	Tables []TableInfo
+}
+
+// Describe reports the designer's active cost backend and its tables — the
+// portable replacement for exposing the raw schema objects.
+func (d *Designer) Describe() DatabaseInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	var out []TableInfo
+	out := DatabaseInfo{Backend: backendInfoFromInternal(d.eng.Backend())}
 	for _, t := range d.store.Schema.Tables() {
 		info := TableInfo{Name: t.Name, RowWidthBytes: t.RowWidthBytes()}
 		if h := d.store.Heap(t.Name); h != nil {
@@ -113,14 +140,14 @@ func (d *Designer) Describe() []TableInfo {
 				Name: c.Name, Type: c.Type.String(), PrimaryKey: pk[c.Name],
 			})
 		}
-		out = append(out, info)
+		out.Tables = append(out.Tables, info)
 	}
 	return out
 }
 
 // DescribeTable reports one table by (case-insensitive) name.
 func (d *Designer) DescribeTable(name string) (TableInfo, bool) {
-	for _, t := range d.Describe() {
+	for _, t := range d.Describe().Tables {
 		if strings.EqualFold(t.Name, name) {
 			return t, true
 		}

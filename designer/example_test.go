@@ -64,7 +64,7 @@ func ExampleNewFromDDL() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(len(d.Describe()))
+	fmt.Println(len(d.Describe().Tables))
 	// Output:
 	// 1
 }

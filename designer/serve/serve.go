@@ -92,6 +92,8 @@ type Server struct {
 type session struct {
 	id      string
 	created time.Time
+	// backend is the session's cost-backend kind, fixed at creation.
+	backend string
 
 	mu sync.Mutex
 	ds *designer.DesignSession
@@ -369,15 +371,19 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		Pages    int64        `json:"pages"`
 		Columns  []columnJSON `json:"columns"`
 	}
+	info := s.d.Describe()
 	var out []tableJSON
-	for _, t := range s.d.Describe() {
+	for _, t := range info.Tables {
 		tj := tableJSON{Name: t.Name, RowCount: t.RowCount, Pages: t.Pages}
 		for _, c := range t.Columns {
 			tj.Columns = append(tj.Columns, columnJSON{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey})
 		}
 		out = append(out, tj)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"backend": map[string]any{"kind": info.Backend.Kind, "description": info.Backend.Description},
+		"tables":  out,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -393,12 +399,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // --------------------------------------------------------------------------
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		// Backend prices this session through a different cost backend
+		// ("native", "calibrated"); empty inherits the designer's.
+		Backend string `json:"backend,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	// Build the session (which pins an engine generation and may briefly
 	// wait on the designer's store lock) before taking the server-wide
 	// lock: s.mu protects only ID allocation and the map insert, so a slow
 	// Materialize can never stall /health or session lookups.
-	ds := s.d.NewDesignSession()
-	sess := &session{created: time.Now(), ds: ds}
+	ds, err := s.d.NewDesignSessionWith(designer.SessionOptions{
+		Backend: designer.BackendSpec{Kind: req.Backend},
+	})
+	if err != nil {
+		// A backend the designer cannot build (unknown kind, replay without
+		// a server-side trace) is a caller error.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := &session{created: time.Now(), backend: ds.Backend().Kind, ds: ds}
 	// Seed the cheap key snapshot from the full design (base materialized
 	// indexes included) so the list and detail endpoints agree.
 	for _, ix := range ds.Config().Indexes() {
@@ -410,13 +433,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess.id = id
 	s.sessions[id] = sess
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "backend": sess.backend})
 }
 
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	type sessionJSON struct {
 		ID      string   `json:"id"`
 		Created string   `json:"created"`
+		Backend string   `json:"backend"`
 		Indexes []string `json:"indexes"`
 	}
 	s.mu.Lock()
@@ -427,7 +451,7 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	out := []sessionJSON{}
 	for _, sess := range sessions {
-		sj := sessionJSON{ID: sess.id, Created: sess.created.UTC().Format(time.RFC3339), Indexes: []string{}}
+		sj := sessionJSON{ID: sess.id, Created: sess.created.UTC().Format(time.RFC3339), Backend: sess.backend, Indexes: []string{}}
 		sj.Indexes = append(sj.Indexes, sess.indexKeys()...)
 		out = append(out, sj)
 	}
@@ -445,6 +469,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      sess.id,
 		"created": sess.created.UTC().Format(time.RFC3339),
+		"backend": sess.backend,
 		"indexes": toIndexesJSON(cfg.Indexes()),
 	})
 }
@@ -792,8 +817,12 @@ func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tunerMu.Lock()
 	if s.tuner == nil {
-		s.tuner = s.d.NewOnlineTuner(designer.DefaultTunerOptions())
-		s.resetTunerState()
+		s.tunerMu.Unlock()
+		// No silent auto-create: an observe against a tuner that was never
+		// configured is a client mistake (its options would be defaults the
+		// caller never chose), and burying that as a 200 hides it.
+		writeError(w, http.StatusNotFound, errors.New("no tuner configured; POST /api/v1/tuner first"))
+		return
 	}
 	total, err := s.tuner.ObserveAll(r.Context(), qs)
 	alerts := s.refreshTunerState()
@@ -873,7 +902,12 @@ func (s *Server) tunerSnapshot() (gen int64, active bool, alerts []tunerAlertJSO
 }
 
 func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
-	_, active, alerts, reports, current := s.tunerSnapshot()
+	gen, active, alerts, reports, current := s.tunerSnapshot()
+	if gen == 0 {
+		// gen counts tuner creations; 0 means no tuner has ever existed.
+		writeError(w, http.StatusNotFound, errors.New("no tuner configured; POST /api/v1/tuner first"))
+		return
+	}
 	type epochJSON struct {
 		Epoch         int      `json:"epoch"`
 		Queries       int      `json:"queries"`

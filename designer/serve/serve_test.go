@@ -227,7 +227,9 @@ func TestConcurrentSessions(t *testing.T) {
 			"indexes": []map[string]any{{"table": "specobj", "columns": []string{"z"}}},
 		}, http.StatusOK)
 	}()
-	// Concurrent tuner observation.
+	// Concurrent tuner observation (the tuner must exist first: observing a
+	// never-configured tuner is a 404).
+	call(t, "POST", base+"/tuner", nil, http.StatusCreated)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -293,19 +295,164 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
-func TestErrorPaths(t *testing.T) {
-	base := start(t)
-	call(t, "GET", base+"/sessions/nope", nil, http.StatusNotFound)
-	call(t, "DELETE", base+"/sessions/nope", nil, http.StatusNotFound)
+// rawCall performs one request with a raw (possibly malformed) body and
+// returns only the status code.
+func rawCall(t *testing.T, method, url, body string) int {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
 
+// TestErrorMappingAllHandlers is the table-driven audit of every handler's
+// failure paths: unknown session/tuner resources map to 404, malformed
+// bodies and invalid requests map to 400 — never a 500. The table runs in
+// three phases because the tuner cases depend on whether a tuner exists.
+func TestErrorMappingAllHandlers(t *testing.T) {
+	base := start(t)
+
+	type tc struct {
+		name   string
+		method string
+		path   string
+		body   string // raw JSON; "" = no body
+		want   int
+	}
+
+	const malformed = `{"oops": `
+	run := func(cases []tc) {
+		t.Helper()
+		for _, c := range cases {
+			if got := rawCall(t, c.method, base+c.path, c.body); got != c.want {
+				t.Errorf("%s: %s %s body=%q: status %d, want %d", c.name, c.method, c.path, c.body, got, c.want)
+			}
+		}
+	}
+
+	// Phase 1: no sessions, no tuner.
+	run([]tc{
+		{"session get unknown id", "GET", "/sessions/nope", "", http.StatusNotFound},
+		{"session close unknown id", "DELETE", "/sessions/nope", "", http.StatusNotFound},
+		{"add index unknown session", "POST", "/sessions/nope/indexes", `{"table":"photoobj","columns":["ra"]}`, http.StatusNotFound},
+		{"drop index unknown session", "DELETE", "/sessions/nope/indexes?key=photoobj(ra)", "", http.StatusNotFound},
+		{"vertical unknown session", "POST", "/sessions/nope/partitions/vertical", `{"table":"photoobj"}`, http.StatusNotFound},
+		{"horizontal unknown session", "POST", "/sessions/nope/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":2}`, http.StatusNotFound},
+		{"evaluate unknown session", "POST", "/sessions/nope/evaluate", `{}`, http.StatusNotFound},
+		{"explain unknown session", "POST", "/sessions/nope/explain", `{"sql":"SELECT objid FROM photoobj"}`, http.StatusNotFound},
+		{"session create malformed body", "POST", "/sessions", malformed, http.StatusBadRequest},
+		{"session create unknown backend", "POST", "/sessions", `{"backend":"voodoo"}`, http.StatusBadRequest},
+		{"session create replay without trace", "POST", "/sessions", `{"backend":"replay"}`, http.StatusBadRequest},
+		{"advise malformed body", "POST", "/advise", malformed, http.StatusBadRequest},
+		{"advise wrong field type", "POST", "/advise", `{"sql": "not-a-list"}`, http.StatusBadRequest},
+		{"advise bad workload sql", "POST", "/advise", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
+		{"materialize malformed body", "POST", "/materialize", malformed, http.StatusBadRequest},
+		{"materialize empty index list", "POST", "/materialize", `{}`, http.StatusBadRequest},
+		{"materialize unknown table", "POST", "/materialize", `{"indexes":[{"table":"nosuch","columns":["x"]}]}`, http.StatusBadRequest},
+		{"tuner create malformed body", "POST", "/tuner", malformed, http.StatusBadRequest},
+		{"tuner status before create", "GET", "/tuner/status", "", http.StatusNotFound},
+		{"tuner observe before create", "POST", "/tuner/observe", `{"sql":["SELECT objid FROM photoobj"]}`, http.StatusNotFound},
+	})
+
+	// Phase 2: against a live session.
 	created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
 	id := created["id"].(string)
-	call(t, "POST", base+"/sessions/"+id+"/indexes",
-		map[string]any{"table": "nosuch", "columns": []string{"x"}}, http.StatusBadRequest)
-	call(t, "DELETE", base+"/sessions/"+id+"/indexes?key=photoobj(nope)", nil, http.StatusNotFound)
-	call(t, "POST", base+"/sessions/"+id+"/evaluate",
-		map[string]any{"sql": []string{"SELECT broken FROM nowhere"}}, http.StatusBadRequest)
-	call(t, "POST", base+"/materialize", map[string]any{}, http.StatusBadRequest)
+	sp := "/sessions/" + id
+	run([]tc{
+		{"add index malformed body", "POST", sp + "/indexes", malformed, http.StatusBadRequest},
+		{"add index empty body", "POST", sp + "/indexes", "", http.StatusBadRequest},
+		{"add index unknown table", "POST", sp + "/indexes", `{"table":"nosuch","columns":["x"]}`, http.StatusBadRequest},
+		{"add index unknown column", "POST", sp + "/indexes", `{"table":"photoobj","columns":["nope"]}`, http.StatusBadRequest},
+		{"add index no columns", "POST", sp + "/indexes", `{"table":"photoobj"}`, http.StatusBadRequest},
+		{"drop index missing key", "DELETE", sp + "/indexes", "", http.StatusBadRequest},
+		{"drop index unknown key", "DELETE", sp + "/indexes?key=photoobj(nope)", "", http.StatusNotFound},
+		{"vertical malformed body", "POST", sp + "/partitions/vertical", malformed, http.StatusBadRequest},
+		{"vertical unknown table", "POST", sp + "/partitions/vertical", `{"table":"nosuch","fragments":[["x"]]}`, http.StatusBadRequest},
+		{"vertical incomplete layout", "POST", sp + "/partitions/vertical", `{"table":"photoobj","fragments":[["ra"]]}`, http.StatusBadRequest},
+		{"horizontal malformed body", "POST", sp + "/partitions/horizontal", malformed, http.StatusBadRequest},
+		{"horizontal unknown column", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"nope","fragments":2}`, http.StatusBadRequest},
+		{"horizontal one fragment", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":1}`, http.StatusBadRequest},
+		{"evaluate malformed body", "POST", sp + "/evaluate", malformed, http.StatusBadRequest},
+		{"evaluate bad sql", "POST", sp + "/evaluate", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
+		{"explain malformed body", "POST", sp + "/explain", malformed, http.StatusBadRequest},
+		{"explain missing sql", "POST", sp + "/explain", `{}`, http.StatusBadRequest},
+		{"explain bad sql", "POST", sp + "/explain", `{"sql":"SELECT broken FROM nowhere"}`, http.StatusBadRequest},
+	})
+
+	// Phase 3: tuner configured; body validation still maps to 400.
+	call(t, "POST", base+"/tuner", map[string]any{"epoch_length": 4}, http.StatusCreated)
+	run([]tc{
+		{"tuner observe malformed body", "POST", "/tuner/observe", malformed, http.StatusBadRequest},
+		{"tuner observe empty sql", "POST", "/tuner/observe", `{}`, http.StatusBadRequest},
+		{"tuner observe bad sql", "POST", "/tuner/observe", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
+		{"tuner status after create", "GET", "/tuner/status", "", http.StatusOK},
+	})
+
+	// An oversized body (over the 1 MiB cap) is a 400, not a hang or a 500.
+	big := `{"sql":["` + strings.Repeat("x", 1<<20+1024) + `"]}`
+	if got := rawCall(t, "POST", base+"/advise", big); got != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", got)
+	}
+}
+
+// TestSessionBackendOverHTTP drives the per-session backend field: a
+// calibrated session evaluates the same design with different absolute
+// costs than a native one, and both report their backend in session
+// metadata.
+func TestSessionBackendOverHTTP(t *testing.T) {
+	base := start(t)
+
+	evalTotal := func(backend string) float64 {
+		body := map[string]any{}
+		if backend != "" {
+			body["backend"] = backend
+		}
+		created := call(t, "POST", base+"/sessions", body, http.StatusCreated)
+		id := created["id"].(string)
+		wantKind := backend
+		if wantKind == "" {
+			wantKind = "native"
+		}
+		if created["backend"] != wantKind {
+			t.Fatalf("create reported backend %v, want %s", created["backend"], wantKind)
+		}
+		detail := call(t, "GET", base+"/sessions/"+id, nil, http.StatusOK)
+		if detail["backend"] != wantKind {
+			t.Fatalf("detail reported backend %v, want %s", detail["backend"], wantKind)
+		}
+		call(t, "POST", base+"/sessions/"+id+"/indexes",
+			map[string]any{"table": "photoobj", "columns": []string{"psfmag_r"}}, http.StatusCreated)
+		rep := call(t, "POST", base+"/sessions/"+id+"/evaluate",
+			map[string]any{"sql": []string{testSQL}}, http.StatusOK)
+		if rep["new_total"].(float64) >= rep["base_total"].(float64) {
+			t.Fatalf("backend %q: index should help: %v", backend, rep)
+		}
+		return rep["new_total"].(float64)
+	}
+
+	native := evalTotal("")
+	calibrated := evalTotal("calibrated")
+	if native == calibrated {
+		t.Fatalf("calibrated session returned native costs (%v) — per-session backend not applied", native)
+	}
+
+	// The schema endpoint reports the designer-wide backend.
+	schema := call(t, "GET", base+"/schema", nil, http.StatusOK)
+	be, ok := schema["backend"].(map[string]any)
+	if !ok || be["kind"] != "native" {
+		t.Fatalf("schema backend = %v", schema["backend"])
+	}
 }
 
 // TestShutdownWithOpenStream covers the long-lived-handler path: an open

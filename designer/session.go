@@ -49,6 +49,42 @@ func (d *Designer) NewDesignSession() *DesignSession {
 	return &DesignSession{d: d, view: d.eng.Pin(), cfg: d.store.MaterializedConfiguration()}
 }
 
+// SessionOptions configure an interactive what-if session.
+type SessionOptions struct {
+	// Backend prices this session through a different cost backend than the
+	// designer's — the per-session portability surface: one analyst can
+	// explore a design under calibrated SSD costs while everyone else stays
+	// on the native model. The zero value inherits the designer's backend;
+	// an explicit Kind (including "native") pins that backend regardless of
+	// what the designer runs on.
+	Backend BackendSpec
+}
+
+// NewDesignSessionWith starts a what-if session with explicit options. A
+// session-scoped backend gets fresh per-generation costing state (its own
+// plan-cost cache), so it can never alias the designer's cached costs.
+func (d *Designer) NewDesignSessionWith(opts SessionOptions) (*DesignSession, error) {
+	if opts.Backend.inherit() {
+		return d.NewDesignSession(), nil
+	}
+	espec, err := opts.Backend.internal()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	view, err := d.eng.PinBackend(espec)
+	if err != nil {
+		return nil, err
+	}
+	return &DesignSession{d: d, view: view, cfg: d.store.MaterializedConfiguration()}, nil
+}
+
+// Backend reports the cost backend this session prices through.
+func (s *DesignSession) Backend() BackendInfo {
+	return backendInfoFromInternal(s.view.Backend())
+}
+
 // Config returns (a copy of) the session's hypothetical configuration.
 func (s *DesignSession) Config() *Configuration { return configFromInternal(s.cfg.Clone()) }
 
@@ -147,10 +183,20 @@ func (s *DesignSession) AddHorizontalPartition(table, column string, k int) erro
 
 // Evaluate reports the benefit of the session's design for the workload —
 // the numbers Scenario 1's panel shows. Queries are priced in parallel
-// against the session's pinned generation; a cancelled context aborts
-// mid-evaluation.
+// against the session's pinned generation and backend; a cancelled context
+// aborts mid-evaluation. When session join controls are set, evaluation
+// runs through the steered optimizer environment instead (the backend's
+// cost constants still apply for analytical backends; a replay-backed
+// session falls back to native plan costing under join steering).
 func (s *DesignSession) Evaluate(ctx context.Context, w *Workload) (*Report, error) {
-	rep, err := s.whatifSession().EvaluateWorkload(ctx, w.internal(), s.cfg)
+	if s.hasJoinOpts {
+		rep, err := s.whatifSession().EvaluateWorkload(ctx, w.internal(), s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return reportFromInternal(rep), nil
+	}
+	rep, err := s.view.Evaluate(ctx, w.internal(), s.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -18,12 +18,24 @@
 // statistics, storage with a real B-tree, executor, cost-based optimizer,
 // SDSS-like workload) in the remaining internal packages. All cost
 // estimation is unified behind repro/internal/engine — a concurrency-safe
-// handle that owns the optimizer environment, the INUM cache, and the
-// what-if session with explicit configuration versioning, sweeps candidate
-// designs over a bounded worker pool, and supports pinned generation views
-// for run-consistent advisors and isolated design sessions. See README.md
-// for the package map and the HTTP API, DESIGN.md for the full inventory,
-// and EXPERIMENTS.md for the paper-versus-measured record.
+// handle that owns the optimizer environment and the what-if session with
+// explicit configuration versioning, sweeps candidate designs over a
+// bounded worker pool, and supports pinned generation views for
+// run-consistent advisors and isolated design sessions.
+//
+// Costing itself is pluggable — the paper's "portable" pillar: the engine
+// delegates every pricing call to a CostBackend. Three ship in-tree:
+// native (built-in optimizer + INUM cache), calibrated (the same
+// analytical machinery on PostgreSQL-style cost constants loaded from a
+// JSON calibration file), and replay (recorded costing calls served from a
+// trace, no live engine needed; record mode wraps any backend). Select a
+// backend at open time (designer.WithBackend), per interactive session
+// (designer.SessionOptions / the serve API's per-session backend field),
+// or per CLI run (dbdesigner --backend). Designer.Describe reports the
+// active backend. See README.md ("Portability & backends") for the
+// calibration file format and the record/replay workflow, DESIGN.md for
+// the full inventory, and EXPERIMENTS.md for the paper-versus-measured
+// record.
 //
 // The benchmark harness in bench_test.go regenerates every figure,
 // scenario, and quantitative claim of the paper (experiments E2–E12 in

@@ -51,6 +51,24 @@ func TestRunProducesValidatedResult(t *testing.T) {
 	if byName["colt_convergence"].Counts["queries"] != 50 {
 		t.Errorf("colt stream length = %d, want 50", byName["colt_convergence"].Counts["queries"])
 	}
+	port := byName["backend_portability"]
+	if port.Quality["replay_max_abs_diff"] != 0 {
+		t.Errorf("replay of a recorded native trace drifted: max abs diff %v",
+			port.Quality["replay_max_abs_diff"])
+	}
+	if port.Counts["replay_exact"] != 1 {
+		t.Error("replayed selection did not reproduce the native design exactly")
+	}
+	if port.Counts["designs_agree"] != 1 {
+		t.Errorf("native and calibrated designs disagree: cross penalty %v%%",
+			port.Quality["cross_penalty_pct"])
+	}
+	if port.Counts["trace_calls"] == 0 {
+		t.Error("portability recorder captured no calls")
+	}
+	if res.BackendOrNative() != "native" {
+		t.Errorf("default suite backend = %q", res.BackendOrNative())
+	}
 	for _, x := range res.Experiments {
 		if len(x.TimingNs) == 0 && x.Name != "interaction_schedule" {
 			t.Errorf("%s has no timing metrics", x.Name)
@@ -214,6 +232,111 @@ func TestCompareFlagsDriftAndRegressions(t *testing.T) {
 	warns = Compare(extra, base, 1, 1.5)
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "missing from current run") {
 		t.Errorf("missing-cell warning missing: %v", warns)
+	}
+}
+
+// TestCompareSeverities pins the hard-fail contract of `bench --baseline`:
+// schema-version mismatches, backend mismatches, and coverage regressions
+// are errors; metric drift (quality, counts, timing) and new cells warn.
+func TestCompareSeverities(t *testing.T) {
+	mk := func() *Result {
+		return &Result{
+			SchemaVersion: SchemaVersion,
+			Label:         "x",
+			Experiments: []Experiment{{
+				Name: "e", Size: "tiny", Workload: "uniform", Seed: 1,
+				Quality:  map[string]float64{"improvement_pct": 50},
+				Counts:   map[string]int64{"indexes": 4},
+				TimingNs: map[string]float64{"advise": 1000},
+			}},
+		}
+	}
+
+	// Schema mismatch: single error, nothing else compared.
+	base, cur := mk(), mk()
+	cur.SchemaVersion = SchemaVersion + 1
+	cur.Experiments[0].Quality["improvement_pct"] = 1 // would drift, must not be reached
+	warns := Compare(base, cur, 1, 1.5)
+	if len(warns) != 1 || warns[0].Severity != SeverityError || !strings.Contains(warns[0].String(), "schema_version") {
+		t.Fatalf("schema mismatch: %v", warns)
+	}
+
+	// Backend mismatch: error (absolute costs not comparable).
+	base, cur = mk(), mk()
+	cur.Backend = "calibrated"
+	warns = Compare(base, cur, 1, 1.5)
+	if len(warns) != 1 || warns[0].Severity != SeverityError || !strings.Contains(warns[0].String(), "backend") {
+		t.Fatalf("backend mismatch: %v", warns)
+	}
+	// "" and "native" are the same backend (pre-backend documents).
+	base, cur = mk(), mk()
+	cur.Backend = "native"
+	if warns := Compare(base, cur, 1, 1.5); len(warns) != 0 {
+		t.Fatalf("native vs empty backend flagged: %v", warns)
+	}
+
+	// Coverage regression: error. Drift: warn. New cell: warn.
+	base, cur = mk(), mk()
+	base.Experiments = append(base.Experiments, Experiment{
+		Name: "gone", Size: "tiny", Workload: "uniform",
+		Counts: map[string]int64{"n": 1},
+	})
+	cur.Experiments[0].Quality["improvement_pct"] = 40
+	cur.Experiments = append(cur.Experiments, Experiment{
+		Name: "fresh", Size: "tiny", Workload: "uniform",
+		Counts: map[string]int64{"n": 1},
+	})
+	warns = Compare(base, cur, 1, 1.5)
+	errs := Errors(warns)
+	if len(errs) != 1 || !strings.Contains(errs[0].String(), "coverage regressed") {
+		t.Fatalf("coverage regression not an error: %v", warns)
+	}
+	for _, w := range warns {
+		if w.Severity == SeverityWarn &&
+			!strings.Contains(w.Message, "drifted") && !strings.Contains(w.Message, "new experiment cell") {
+			t.Errorf("unexpected warn: %v", w)
+		}
+		if strings.Contains(w.Message, "drifted") && w.Severity != SeverityWarn {
+			t.Errorf("quality drift must stay warn-only: %v", w)
+		}
+	}
+}
+
+// TestCalibratedSuiteRuns proves the whole experiment suite runs unchanged
+// on the calibrated backend — the suite-level portability check CI runs per
+// backend — and that the emitted document names its backend.
+func TestCalibratedSuiteRuns(t *testing.T) {
+	spec := testSpec()
+	spec.Backend = "calibrated"
+	spec.Experiments = []string{"inum_vs_optimizer", "parallel_sweep"}
+	res, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "calibrated" {
+		t.Fatalf("result backend = %q", res.Backend)
+	}
+	byName := map[string]Experiment{}
+	for _, x := range res.Experiments {
+		byName[x.Name] = x
+	}
+	if v := byName["parallel_sweep"].Quality["parity_max_abs_diff"]; v != 0 {
+		t.Errorf("parallel sweep parity broken under calibrated backend: %v", v)
+	}
+
+	// A calibrated document never silently compares against a native
+	// baseline.
+	native, err := Run(testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := Compare(native, res, 5, 2)
+	if len(Errors(warns)) == 0 {
+		t.Fatal("calibrated-vs-native comparison did not error")
+	}
+
+	if _, err := Run(Spec{Backend: "replay"}, nil); err == nil {
+		t.Fatal("replay as a suite backend should be rejected")
 	}
 }
 

@@ -33,11 +33,18 @@ type Env struct {
 	Seed     int64
 	Profile  string
 	NumQ     int
+	// Backend is the cost-backend kind the Env's engine prices through
+	// ("native" or "calibrated"; replay appears only inside the
+	// backend_portability experiment).
+	Backend string
 
 	Store *storage.Store
 	W     *workload.Workload
 	Cands []*catalog.Index
 	Eng   *engine.Engine
+
+	// backendSpec rebuilds engines with the Env's backend (FreshEngine).
+	backendSpec engine.BackendSpec
 
 	// advised caches the default CoPhy recommendation (used by the
 	// interaction and schedule experiments, which analyze an advised set).
@@ -49,8 +56,15 @@ type Env struct {
 // NewEnv generates the dataset (dataset seed = seed), draws NumQ queries
 // from the named workload profile (workload seed = seed+1, so dataset and
 // workload randomness stay independent), enumerates candidates, and warms
-// the INUM cache.
+// the native backend's INUM cache.
 func NewEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error) {
+	return NewEnvWith(sizeName, seed, profile, numQ, engine.BackendSpec{})
+}
+
+// NewEnvWith is NewEnv with an explicit cost-backend selection — the whole
+// experiment suite runs unchanged on any backend, which is itself the
+// portability claim.
+func NewEnvWith(sizeName string, seed int64, profile string, numQ int, spec engine.BackendSpec) (*Env, error) {
 	size, err := workload.SizeByName(sizeName)
 	if err != nil {
 		return nil, err
@@ -67,20 +81,25 @@ func NewEnv(sizeName string, seed int64, profile string, numQ int) (*Env, error)
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.New(store.Schema, store.Stats, store.MaterializedConfiguration())
+	eng, err := engine.NewWithBackend(store.Schema, store.Stats, store.MaterializedConfiguration(), spec)
+	if err != nil {
+		return nil, err
+	}
 	cands := eng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
 	if err := eng.Prepare(context.Background(), w, cands); err != nil {
 		return nil, err
 	}
 	return &Env{
-		SizeName: sizeName,
-		Seed:     seed,
-		Profile:  profile,
-		NumQ:     numQ,
-		Store:    store,
-		W:        w,
-		Cands:    cands,
-		Eng:      eng,
+		SizeName:    sizeName,
+		Seed:        seed,
+		Profile:     profile,
+		NumQ:        numQ,
+		Backend:     eng.Backend().Kind,
+		Store:       store,
+		W:           w,
+		Cands:       cands,
+		Eng:         eng,
+		backendSpec: spec,
 	}, nil
 }
 
@@ -109,11 +128,32 @@ func CachedEnv(sizeName string, seed int64, profile string, numQ int) (*Env, err
 }
 
 // FreshDesigner generates an unshared copy of the Env's dataset and opens a
-// facade designer over it — for experiments that exercise the public v2
-// pipeline (offline advisors that build indexes) and must not poison the
-// shared engine's caches.
+// facade designer over it with the Env's backend — for experiments that
+// exercise the public v2 pipeline (offline advisors that build indexes) and
+// must not poison the shared engine's caches.
 func (e *Env) FreshDesigner() (*designer.Designer, error) {
-	return designer.OpenSDSS(e.SizeName, e.Seed)
+	opts := []designer.Option{}
+	if spec := e.designerSpec(); !spec.IsNative() {
+		opts = append(opts, designer.WithBackend(spec))
+	}
+	return designer.OpenSDSS(e.SizeName, e.Seed, opts...)
+}
+
+// designerSpec mirrors the Env's engine backend spec into the facade form.
+func (e *Env) designerSpec() designer.BackendSpec {
+	spec := designer.BackendSpec{Kind: e.backendSpec.Kind}
+	if cal := e.backendSpec.Calibration; cal != nil {
+		spec.Calibration = &designer.CalibrationParams{
+			Name:                    cal.Name,
+			SeqPageCost:             cal.SeqPageCost,
+			RandomPageCost:          cal.RandomPageCost,
+			CPUTupleCost:            cal.CPUTupleCost,
+			CPUIndexTupleCost:       cal.CPUIndexTupleCost,
+			CPUOperatorCost:         cal.CPUOperatorCost,
+			EffectiveCacheSizePages: cal.EffectiveCacheSizePages,
+		}
+	}
+	return spec
 }
 
 // FacadeWorkload converts the Env's internal workload into the public
@@ -132,9 +172,22 @@ func (e *Env) FacadeWorkload(d *designer.Designer) (*designer.Workload, error) {
 }
 
 // FreshEngine builds an unshared, cold-cache engine over the Env's dataset
-// (for cold-path measurements like the pipeline calls-avoided ratio).
+// with the Env's backend (for cold-path measurements like the pipeline
+// calls-avoided ratio).
 func (e *Env) FreshEngine() *engine.Engine {
-	return engine.New(e.Store.Schema, e.Store.Stats, nil)
+	eng, err := engine.NewWithBackend(e.Store.Schema, e.Store.Stats, nil, e.backendSpec)
+	if err != nil {
+		// The spec already built the Env's own engine once.
+		panic(err)
+	}
+	return eng
+}
+
+// FreshEngineWith builds an unshared, cold-cache engine over the Env's
+// dataset with an explicit backend — the portability experiment's way of
+// running the same selection under several cost models.
+func (e *Env) FreshEngineWith(spec engine.BackendSpec) (*engine.Engine, error) {
+	return engine.NewWithBackend(e.Store.Schema, e.Store.Stats, nil, spec)
 }
 
 // Advised returns the default CoPhy recommendation over the Env's workload,

@@ -366,6 +366,165 @@ func (e *Env) AblationImprovement(maxPerTable int) (improvementPct float64, cand
 	return res.Improvement() * 100, len(cands), nil
 }
 
+// PortabilityResult is the outcome of one cross-backend design comparison.
+type PortabilityResult struct {
+	NativeKeys        []string
+	CalibratedKeys    []string
+	NativeImprovement float64 // pct
+	CalibImprovement  float64 // pct
+	JaccardPct        float64
+	// CrossPenaltyPct is the functional-agreement measure: how much worse
+	// (in percent) the native-chosen design prices under the calibrated
+	// model than the calibrated model's own choice, and vice versa — the
+	// maximum of the two directions. Near zero means the designs are
+	// interchangeable even where the index sets differ in their tails.
+	CrossPenaltyPct  float64
+	ReplayMaxAbsDiff float64
+	ReplayAgrees     bool
+	TraceCalls       int
+}
+
+// Portability runs the same greedy design selection under the native and
+// calibrated backends and checks a recorded native trace replays exactly —
+// the paper's portability claim in executable form: the chosen designs
+// should agree across cost models even when absolute costs differ, and a
+// trace-driven run needs no live engine at all.
+func (e *Env) Portability(budgetPages int64) (*PortabilityResult, error) {
+	ctx := context.Background()
+	gopts := greedy.Options{StorageBudgetPages: budgetPages, BenefitPerPage: true}
+
+	// Native selection, recorded.
+	rec := engine.NewRecorder()
+	nativeEng, err := e.FreshEngineWith(engine.BackendSpec{Recorder: rec})
+	if err != nil {
+		return nil, err
+	}
+	nres, err := greedy.New(nativeEng, e.Cands).Advise(ctx, e.W, gopts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrated selection: same candidates, same workload, different cost
+	// economy.
+	calibEng, err := e.FreshEngineWith(engine.BackendSpec{Kind: engine.BackendCalibrated})
+	if err != nil {
+		return nil, err
+	}
+	cres, err := greedy.New(calibEng, e.Cands).Advise(ctx, e.W, gopts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay the recorded native calls: the selection must reproduce the
+	// native design and every probed cost bit-for-bit.
+	trace := rec.Trace()
+	replayEng, err := e.FreshEngineWith(engine.BackendSpec{Kind: engine.BackendReplay, Trace: trace})
+	if err != nil {
+		return nil, err
+	}
+	rres, err := greedy.New(replayEng, e.Cands).Advise(ctx, e.W, gopts)
+	if err != nil {
+		return nil, fmt.Errorf("replaying the recorded native selection: %w", err)
+	}
+	var maxDiff float64
+	for _, q := range e.W.Queries {
+		want, err := nativeEng.QueryCost(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		got, err := replayEng.QueryCost(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		if d := got - want; d > maxDiff {
+			maxDiff = d
+		} else if -d > maxDiff {
+			maxDiff = -d
+		}
+	}
+
+	// Functional agreement: price each backend's chosen design under the
+	// OTHER backend and compare with that backend's own optimum. The
+	// paper's portability claim is exactly that this penalty stays small
+	// even when absolute costs (and greedy tie-breaks in the tail) differ.
+	nativeCfg := configOf(nres.Indexes)
+	calibCfg := configOf(cres.Indexes)
+	nativeUnderCalib, err := calibEng.WorkloadCost(e.W, nativeCfg)
+	if err != nil {
+		return nil, err
+	}
+	calibUnderNative, err := nativeEng.WorkloadCost(e.W, calibCfg)
+	if err != nil {
+		return nil, err
+	}
+	cross := 0.0
+	if cres.Objective > 0 {
+		cross = (nativeUnderCalib - cres.Objective) / cres.Objective * 100
+	}
+	if nres.Objective > 0 {
+		if p := (calibUnderNative - nres.Objective) / nres.Objective * 100; p > cross {
+			cross = p
+		}
+	}
+	if cross < 0 {
+		cross = 0 // a foreign design can beat greedy's own pick; that's agreement
+	}
+
+	out := &PortabilityResult{
+		NativeKeys:        indexKeys(nres.Indexes),
+		CalibratedKeys:    indexKeys(cres.Indexes),
+		NativeImprovement: nres.Improvement() * 100,
+		CalibImprovement:  cres.Improvement() * 100,
+		JaccardPct:        jaccardPct(indexKeys(nres.Indexes), indexKeys(cres.Indexes)),
+		CrossPenaltyPct:   cross,
+		ReplayMaxAbsDiff:  maxDiff,
+		ReplayAgrees:      maxDiff == 0 && equalKeySets(indexKeys(nres.Indexes), indexKeys(rres.Indexes)) && rres.Objective == nres.Objective,
+		TraceCalls:        trace.Len(),
+	}
+	return out, nil
+}
+
+// configOf folds an index list into a configuration.
+func configOf(ixs []*catalog.Index) *catalog.Configuration {
+	cfg := catalog.NewConfiguration()
+	for _, ix := range ixs {
+		cfg = cfg.WithIndex(ix)
+	}
+	return cfg
+}
+
+func indexKeys(ixs []*catalog.Index) []string {
+	out := make([]string, 0, len(ixs))
+	for _, ix := range ixs {
+		out = append(out, ix.Key())
+	}
+	return out
+}
+
+// jaccardPct is the Jaccard similarity of two key sets in percent (100 for
+// two empty sets: agreeing on "no indexes" is agreement).
+func jaccardPct(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 100
+	}
+	in := map[string]bool{}
+	for _, k := range a {
+		in[k] = true
+	}
+	inter := 0
+	union := len(a)
+	for _, k := range b {
+		if in[k] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union) * 100
+}
+
+func equalKeySets(a, b []string) bool { return jaccardPct(a, b) == 100 }
+
 // SolverProblem builds the n-binary knapsack-shaped MIP used by the solver
 // scaling benchmark.
 func SolverProblem(n int) *lp.Problem {

@@ -19,11 +19,22 @@ const SchemaVersion = 1
 // given (spec, seed) — byte-stable across runs — while Timing and RunEnv
 // vary with the machine and are excluded from the stable form.
 type Result struct {
-	SchemaVersion int          `json:"schema_version"`
-	Label         string       `json:"label"`
-	Profile       string       `json:"profile"`
-	Env           RunEnv       `json:"env"`
-	Experiments   []Experiment `json:"experiments"`
+	SchemaVersion int    `json:"schema_version"`
+	Label         string `json:"label"`
+	Profile       string `json:"profile"`
+	// Backend is the cost backend the suite priced through; empty in
+	// documents written before backends existed and means "native".
+	Backend     string       `json:"backend,omitempty"`
+	Env         RunEnv       `json:"env"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// BackendOrNative normalizes the pre-backend document form.
+func (r *Result) BackendOrNative() string {
+	if r.Backend == "" {
+		return "native"
+	}
+	return r.Backend
 }
 
 // RunEnv records where the numbers came from (informational only).
@@ -87,6 +98,7 @@ func (r *Result) StableJSON() ([]byte, error) {
 		SchemaVersion: r.SchemaVersion,
 		Label:         r.Label,
 		Profile:       r.Profile,
+		Backend:       r.Backend,
 		Experiments:   make([]Experiment, len(r.Experiments)),
 	}
 	for i, x := range r.Experiments {
@@ -157,14 +169,36 @@ func ReadResult(path string) (*Result, error) {
 	return &r, nil
 }
 
-// Warning is one baseline-comparison finding. Comparisons are advisory
-// (warn-only): the caller prints them and decides whether to gate.
+// Warning severities. Errors are findings the caller must treat as fatal:
+// the two documents are not comparable (schema or backend mismatch) or the
+// current run lost coverage the baseline had. Warnings are advisory drift.
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
+)
+
+// Warning is one baseline-comparison finding. Error-severity findings mean
+// the comparison itself is broken (schema/backend mismatch, missing
+// experiment cells); warn-severity findings are metric drift the caller
+// prints and a human judges.
 type Warning struct {
-	Cell    string
-	Message string
+	Severity string // SeverityError or SeverityWarn
+	Cell     string
+	Message  string
 }
 
 func (w Warning) String() string { return w.Cell + ": " + w.Message }
+
+// Errors filters the error-severity findings.
+func Errors(warns []Warning) []Warning {
+	var out []Warning
+	for _, w := range warns {
+		if w.Severity == SeverityError {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 // Compare diffs a new result against a baseline. Quality metrics that drift
 // by more than qualityTolPct percent (relative) and timings that regress by
@@ -174,9 +208,14 @@ func (w Warning) String() string { return w.Cell + ": " + w.Message }
 func Compare(baseline, current *Result, qualityTolPct, timingTolX float64) []Warning {
 	var warns []Warning
 	if baseline.SchemaVersion != current.SchemaVersion {
-		return []Warning{{Cell: "schema", Message: fmt.Sprintf(
+		return []Warning{{Severity: SeverityError, Cell: "schema", Message: fmt.Sprintf(
 			"schema_version %d vs baseline %d — not comparable",
 			current.SchemaVersion, baseline.SchemaVersion)}}
+	}
+	if baseline.BackendOrNative() != current.BackendOrNative() {
+		return []Warning{{Severity: SeverityError, Cell: "backend", Message: fmt.Sprintf(
+			"cost backend %q vs baseline %q — absolute costs are not comparable across backends",
+			current.BackendOrNative(), baseline.BackendOrNative())}}
 	}
 	base := map[string]Experiment{}
 	for _, x := range baseline.Experiments {
@@ -195,7 +234,8 @@ func Compare(baseline, current *Result, qualityTolPct, timingTolX float64) []War
 		b := base[k]
 		c, ok := cur[k]
 		if !ok {
-			warns = append(warns, Warning{Cell: k, Message: "present in baseline, missing from current run"})
+			warns = append(warns, Warning{Severity: SeverityError, Cell: k,
+				Message: "present in baseline, missing from current run — coverage regressed"})
 			continue
 		}
 		warns = append(warns, compareQuality(k, b.Quality, c.Quality, qualityTolPct)...)
@@ -210,7 +250,7 @@ func Compare(baseline, current *Result, qualityTolPct, timingTolX float64) []War
 	}
 	sort.Strings(curKeys)
 	for _, k := range curKeys {
-		warns = append(warns, Warning{Cell: k, Message: "new experiment cell (no baseline)"})
+		warns = append(warns, Warning{Severity: SeverityWarn, Cell: k, Message: "new experiment cell (no baseline)"})
 	}
 	return warns
 }
@@ -221,7 +261,7 @@ func compareQuality(cell string, base, cur map[string]float64, tolPct float64) [
 		bv := base[m]
 		cv, ok := cur[m]
 		if !ok {
-			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf("quality metric %s missing", m)})
+			warns = append(warns, Warning{Severity: SeverityWarn, Cell: cell, Message: fmt.Sprintf("quality metric %s missing", m)})
 			continue
 		}
 		denom := bv
@@ -233,7 +273,7 @@ func compareQuality(cell string, base, cur map[string]float64, tolPct float64) [
 		}
 		driftPct := (cv - bv) / denom * 100
 		if driftPct > tolPct || driftPct < -tolPct {
-			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+			warns = append(warns, Warning{Severity: SeverityWarn, Cell: cell, Message: fmt.Sprintf(
 				"quality %s drifted %+.1f%% (baseline %.4g, current %.4g)", m, driftPct, bv, cv)})
 		}
 	}
@@ -246,11 +286,11 @@ func compareCounts(cell string, base, cur map[string]int64) []Warning {
 		bv := base[m]
 		cv, ok := cur[m]
 		if !ok {
-			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf("count %s missing", m)})
+			warns = append(warns, Warning{Severity: SeverityWarn, Cell: cell, Message: fmt.Sprintf("count %s missing", m)})
 			continue
 		}
 		if cv != bv {
-			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+			warns = append(warns, Warning{Severity: SeverityWarn, Cell: cell, Message: fmt.Sprintf(
 				"count %s changed: baseline %d, current %d", m, bv, cv)})
 		}
 	}
@@ -271,7 +311,7 @@ func compareTiming(cell string, base, cur map[string]float64, tolX float64) []Wa
 			continue
 		}
 		if cv/bv > tolX {
-			warns = append(warns, Warning{Cell: cell, Message: fmt.Sprintf(
+			warns = append(warns, Warning{Severity: SeverityWarn, Cell: cell, Message: fmt.Sprintf(
 				"timing %s regressed %.1fx (baseline %.0fns, current %.0fns)", m, cv/bv, bv, cv)})
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cophy"
+	"repro/internal/engine"
 	"repro/internal/schedule"
 )
 
@@ -28,6 +29,13 @@ type Spec struct {
 	// Experiments are experiment names from Experiments(); empty selects
 	// the suite profile's default set.
 	Experiments []string
+	// Backend is the cost backend the whole suite prices through
+	// ("native" default, or "calibrated"); the backend_portability
+	// experiment additionally builds its own backends internally.
+	Backend string
+	// CalibrationFile optionally supplies the calibrated backend's cost
+	// constants (JSON); empty uses the built-in SSD profile.
+	CalibrationFile string
 	// Queries is the workload size per cell.
 	Queries int
 	// Repeat is how many repetitions timing measurements average over.
@@ -44,6 +52,7 @@ var CoreExperiments = []string{
 	"colt_convergence",
 	"interaction_schedule",
 	"parallel_sweep",
+	"backend_portability",
 }
 
 // ExtraExperiments are the secondary figures and ablations.
@@ -61,6 +70,7 @@ var ExtraExperiments = []string{
 // scaling) run once per (size, seed) on the first profile only.
 var workloadSensitive = map[string]bool{
 	"inum_vs_optimizer":    true,
+	"backend_portability":  true,
 	"cophy_vs_greedy":      true,
 	"colt_convergence":     true,
 	"interaction_schedule": true,
@@ -171,6 +181,12 @@ func (s *Spec) normalize() error {
 	if len(s.Workloads) == 0 {
 		s.Workloads = []string{"uniform"}
 	}
+	if s.Backend == "" {
+		s.Backend = engine.BackendNative
+	}
+	if s.Backend != engine.BackendNative && s.Backend != engine.BackendCalibrated {
+		return fmt.Errorf("bench: backend %q not runnable as a suite backend (native|calibrated)", s.Backend)
+	}
 	for _, name := range s.Experiments {
 		if runners[name] == nil {
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", name, ExperimentNames())
@@ -179,11 +195,26 @@ func (s *Spec) normalize() error {
 	return nil
 }
 
+// backendSpec resolves the spec's backend selection into the engine form,
+// loading the calibration file when given.
+func (s *Spec) backendSpec() (engine.BackendSpec, error) {
+	out := engine.BackendSpec{Kind: s.Backend}
+	if s.CalibrationFile != "" {
+		cal, err := engine.LoadCalibration(s.CalibrationFile)
+		if err != nil {
+			return engine.BackendSpec{}, err
+		}
+		out.Calibration = cal
+	}
+	return out, out.Validate()
+}
+
 // runner computes one experiment's metrics inside a prepared Env.
 type runner func(e *Env, spec Spec, x *Experiment) error
 
 var runners = map[string]runner{
 	"inum_vs_optimizer":    runINUMVsOptimizer,
+	"backend_portability":  runBackendPortability,
 	"cophy_vs_greedy":      runCoPhyVsGreedy,
 	"colt_convergence":     runCOLTConvergence,
 	"interaction_schedule": runInteractionSchedule,
@@ -205,10 +236,15 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Result, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	espec, err := spec.backendSpec()
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		SchemaVersion: SchemaVersion,
 		Label:         spec.Label,
 		Profile:       spec.Profile,
+		Backend:       spec.Backend,
 		Env:           CurrentRunEnv(),
 	}
 	for _, size := range spec.Sizes {
@@ -218,7 +254,7 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Result, error) {
 				// harness's peak memory is a single dataset + cache, not the
 				// whole matrix. (Benchmarks share Envs via CachedEnv instead
 				// — a test binary only ever builds a handful.)
-				env, err := NewEnv(size, seed, profile, spec.Queries)
+				env, err := NewEnvWith(size, seed, profile, spec.Queries, espec)
 				if err != nil {
 					return nil, fmt.Errorf("bench: env %s/%d/%s: %w", size, seed, profile, err)
 				}
@@ -318,6 +354,50 @@ func runINUMVsOptimizer(e *Env, spec Spec, x *Experiment) error {
 	if inumNs > 0 {
 		x.TimingNs["speedup_x"] = fullNs / inumNs
 	}
+	return nil
+}
+
+// runBackendPortability measures the paper's portability claim: the same
+// greedy selection run under the native and calibrated backends should
+// choose (nearly) the same design even though the two models disagree on
+// absolute costs, and a recorded native trace must replay those costs
+// exactly with no live engine behind it.
+func runBackendPortability(e *Env, spec Spec, x *Experiment) error {
+	// Unlimited budget: each backend keeps every index it finds beneficial.
+	// The claim under test is that both economies recognize the same
+	// beneficial structures — tight budgets instead test knapsack
+	// tie-breaking, where a 3.6x random-page-cost swing legitimately ranks
+	// marginal indexes differently.
+	const budget = int64(0)
+	var res *PortabilityResult
+	portNs, err := timeOp(spec.Repeat, func() error {
+		var err error
+		res, err = e.Portability(budget)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	x.Quality["design_jaccard_pct"] = res.JaccardPct
+	x.Quality["cross_penalty_pct"] = res.CrossPenaltyPct
+	x.Quality["native_improvement_pct"] = res.NativeImprovement
+	x.Quality["calibrated_improvement_pct"] = res.CalibImprovement
+	x.Quality["replay_max_abs_diff"] = res.ReplayMaxAbsDiff
+	x.Counts["native_indexes"] = int64(len(res.NativeKeys))
+	x.Counts["calibrated_indexes"] = int64(len(res.CalibratedKeys))
+	x.Counts["trace_calls"] = int64(res.TraceCalls)
+	// Designs "agree" when each backend's choice is within 5% of the other
+	// backend's own optimum under that backend's model — functional
+	// interchangeability, the form of the paper's portability claim.
+	x.Counts["designs_agree"] = 0
+	if res.CrossPenaltyPct <= 5.0 {
+		x.Counts["designs_agree"] = 1
+	}
+	x.Counts["replay_exact"] = 0
+	if res.ReplayAgrees {
+		x.Counts["replay_exact"] = 1
+	}
+	x.TimingNs["portability_check"] = portNs
 	return nil
 }
 

@@ -23,7 +23,6 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
-	"repro/internal/inum"
 	"repro/internal/lp"
 	"repro/internal/workload"
 )
@@ -163,7 +162,7 @@ func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Wo
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cq, err := v.PrepareQuery(q, a.candidates)
+		tables, err := v.PrepareQuery(q, a.candidates)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +173,7 @@ func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Wo
 		res.PricingCalls++
 		res.BaselineCost += baseCost * q.Weight
 
-		atoms, calls, err := a.enumerateAtoms(ctx, v, cq, q, baseCost, opts)
+		atoms, calls, err := a.enumerateAtoms(ctx, v, tables, q, baseCost, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +290,7 @@ func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Wo
 // Both pricing phases — singleton ranking and combo evaluation — run as
 // parallel engine sweeps; the resulting atom set is identical to the serial
 // enumeration because candidates are ranked and filtered in ordinal order.
-func (a *Advisor) enumerateAtoms(ctx context.Context, v *engine.View, cq *inum.CachedQuery, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
+func (a *Advisor) enumerateAtoms(ctx context.Context, v *engine.View, qTables []string, q workload.Query, baseCost float64, opts Options) ([]atom, int, error) {
 	calls := 0
 	// Rank candidates per referenced table by single-index benefit, priced
 	// in one parallel sweep over the singleton configurations.
@@ -303,7 +302,7 @@ func (a *Advisor) enumerateAtoms(ctx context.Context, v *engine.View, cq *inum.C
 	var singletons []*catalog.Configuration
 	for j, ix := range a.candidates {
 		lt := strings.ToLower(ix.Table)
-		for _, t := range cq.Tables {
+		for _, t := range qTables {
 			if t == lt {
 				refOrdinals = append(refOrdinals, j)
 				singletons = append(singletons, catalog.NewConfiguration().WithIndex(ix))

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -134,13 +135,12 @@ func (e *Engine) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs [
 // SweepQueryConfigs prices one query under many configurations in parallel
 // against the pinned generation.
 func (v *View) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
-	cq, err := v.s.cache.Prepare(q.ID, q.Stmt, nil)
-	if err != nil {
+	if err := v.s.backend.Prepare(q.ID, q.Stmt, nil); err != nil {
 		return nil, err
 	}
 	costs := make([]float64, len(cfgs))
-	err = v.e.sweep(ctx, len(cfgs), func(i int) error {
-		c, err := v.s.cache.CostFor(cq, v.s.resolve(cfgs[i]))
+	err := v.e.sweep(ctx, len(cfgs), func(i int) error {
+		c, err := v.s.backend.QueryCost(q, v.s.resolve(cfgs[i]))
 		if err != nil {
 			return err
 		}
@@ -153,14 +153,14 @@ func (v *View) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*
 	return costs, nil
 }
 
-// prepareAll primes INUM entries for every workload query (nil candidate
+// prepareAll primes backend entries for every workload query (nil candidate
 // guidance; callers wanting candidate-guided templates call Prepare first).
 func (v *View) prepareAll(ctx context.Context, w *workload.Workload) error {
 	for _, q := range w.Queries {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if _, err := v.s.cache.Prepare(q.ID, q.Stmt, nil); err != nil {
+		if err := v.s.backend.Prepare(q.ID, q.Stmt, nil); err != nil {
 			return err
 		}
 	}
@@ -168,18 +168,43 @@ func (v *View) prepareAll(ctx context.Context, w *workload.Workload) error {
 }
 
 // Evaluate costs every query under the base and the hypothetical
-// configuration with the full optimizer and returns the benefit report the
-// demo's Scenario 1/2 panels display. It delegates to the snapshot's
-// what-if session (whose evaluation is itself parallel and context-aware),
-// so there is one Report implementation and it always runs against a
-// consistent generation.
+// configuration with the backend's reference model (the full optimizer for
+// analytical backends, the trace for replay) and returns the benefit report
+// the demo's Scenario 1/2 panels display.
 func (e *Engine) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
-	return e.snapshot().session.EvaluateWorkload(ctx, w, cfg)
+	return e.Pin().Evaluate(ctx, w, cfg)
 }
 
 // Evaluate runs the benefit report against the pinned generation — the
 // per-session isolation surface: a design session pinned at creation keeps
-// evaluating against its generation even if the engine is reconfigured.
+// evaluating against its generation (and its backend) even if the engine is
+// reconfigured. Queries are priced in parallel; results are deterministic
+// and identical to a serial loop over FullCost.
 func (v *View) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
-	return v.s.session.EvaluateWorkload(ctx, w, cfg)
+	rep := &whatif.Report{Queries: make([]whatif.QueryBenefit, len(w.Queries))}
+	newCfg := v.s.resolve(cfg)
+	err := v.e.sweep(ctx, len(w.Queries), func(i int) error {
+		q := w.Queries[i]
+		base, err := v.s.backend.StmtCost(q.Stmt, v.s.base)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		nw, err := v.s.backend.StmtCost(q.Stmt, newCfg)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		rep.Queries[i] = whatif.QueryBenefit{
+			ID: q.ID, SQL: q.SQL,
+			BaseCost: base * q.Weight, NewCost: nw * q.Weight,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, qb := range rep.Queries {
+		rep.BaseTotal += qb.BaseCost
+		rep.NewTotal += qb.NewCost
+	}
+	return rep, nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -29,6 +30,41 @@ func TestScanReverseFullOrder(t *testing.T) {
 	}
 }
 
+// scanBoth runs the forward and reverse scans over [lo, hi] with fresh IO
+// counters and returns both visit sequences (key, id) plus the counters.
+func scanBoth(bt *BTree, lo, hi Key) (fwd, rev [][2]any, fio, rio IOCounter) {
+	bt.Scan(lo, hi, &fio, func(k Key, id int64) bool {
+		fwd = append(fwd, [2]any{k.String(), id})
+		return true
+	})
+	bt.ScanReverse(lo, hi, &rio, func(k Key, id int64) bool {
+		rev = append(rev, [2]any{k.String(), id})
+		return true
+	})
+	return fwd, rev, fio, rio
+}
+
+// checkReverseContract asserts the ScanReverse contract against the forward
+// scan: the reverse scan must visit exactly the reversed forward sequence —
+// same (key, id) pairs, strictly reversed order, duplicates included — and
+// charge identical I/O (descent, leaf pages, tuples).
+func checkReverseContract(t *testing.T, bt *BTree, lo, hi Key, label string) {
+	t.Helper()
+	fwd, rev, fio, rio := scanBoth(bt, lo, hi)
+	if len(fwd) != len(rev) {
+		t.Fatalf("%s: forward visited %d entries, reverse %d", label, len(fwd), len(rev))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			t.Fatalf("%s: position %d: reverse visit %v != reversed forward %v",
+				label, i, rev[len(rev)-1-i], fwd[i])
+		}
+	}
+	if fio != rio {
+		t.Fatalf("%s: IO mismatch: forward %+v, reverse %+v", label, fio, rio)
+	}
+}
+
 func TestScanReverseMatchesForward(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -43,29 +79,26 @@ func TestScanReverseMatchesForward(t *testing.T) {
 			id, _ := h.Insert(catalog.Row{catalog.Int(v), catalog.Float(0)})
 			bt.Insert(kv(v), id)
 		}
-		lo, hi := rng.Int63n(40), 40+rng.Int63n(40)
-		var fwd, rev []int64
-		bt.Scan(kv(lo), kv(hi), nil, func(_ Key, id int64) bool {
-			fwd = append(fwd, id)
-			return true
-		})
-		bt.ScanReverse(kv(lo), kv(hi), nil, func(_ Key, id int64) bool {
-			rev = append(rev, id)
-			return true
-		})
-		if len(fwd) != len(rev) {
-			return false
+		bounds := []struct{ lo, hi Key }{
+			{nil, nil}, // full scan
+			{kv(rng.Int63n(40)), kv(40 + rng.Int63n(40))}, // ordinary range
+			{kv(rng.Int63n(80)), nil},                     // half-open above
+			{nil, kv(rng.Int63n(80))},                     // half-open below
+			{kv(rng.Int63n(80)), kv(rng.Int63n(80))},      // any order, may be empty or inverted
 		}
-		// The reverse scan must visit the same id multiset.
-		seen := map[int64]int{}
-		for _, id := range fwd {
-			seen[id]++
-		}
-		for _, id := range rev {
-			seen[id]--
-		}
-		for _, c := range seen {
-			if c != 0 {
+		for _, b := range bounds {
+			var fwd, rev [][2]any
+			var fio, rio IOCounter
+			fwd, rev, fio, rio = scanBoth(bt, b.lo, b.hi)
+			if len(fwd) != len(rev) {
+				return false
+			}
+			for i := range fwd {
+				if fwd[i] != rev[len(rev)-1-i] {
+					return false
+				}
+			}
+			if fio != rio {
 				return false
 			}
 		}
@@ -73,6 +106,127 @@ func TestScanReverseMatchesForward(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScanReverseEdgeCases pins the boundary behaviors the property test
+// may not hit every run: inverted bounds (lo > hi), ranges outside the key
+// domain, single-key ranges over duplicates, and the empty tree.
+func TestScanReverseEdgeCases(t *testing.T) {
+	h := NewHeap(numTable())
+	bt, err := BuildIndex("i", h, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty tree: no visits, and identical (zero-leaf) IO accounting.
+	checkReverseContract(t, bt, nil, nil, "empty tree full scan")
+	checkReverseContract(t, bt, kv(10), kv(20), "empty tree range")
+
+	// Many duplicates across leaf boundaries: values 0..9, 40 copies each.
+	for copies := 0; copies < 40; copies++ {
+		for v := int64(0); v < 10; v++ {
+			id, err := h.Insert(catalog.Row{catalog.Int(v), catalog.Float(0)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt.Insert(kv(v), id)
+		}
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		label  string
+		lo, hi Key
+		want   int // expected visit count; -1 = don't check
+	}{
+		{"full scan", nil, nil, 400},
+		{"single-key range", kv(5), kv(5), 40},
+		{"single-key at min", kv(0), kv(0), 40},
+		{"single-key at max", kv(9), kv(9), 40},
+		{"inverted bounds", kv(7), kv(3), 0},
+		{"inverted at domain edge", kv(9), kv(0), 0},
+		{"empty range between keys", kv(10), kv(39), 0},
+		{"range above all keys", kv(100), kv(200), 0},
+		{"range below all keys", kv(-50), kv(-10), 0},
+		{"half-open below min", nil, kv(-1), 0},
+		{"half-open above max", kv(10), nil, 0},
+		{"covers everything", kv(-5), kv(50), 400},
+	}
+	for _, c := range cases {
+		checkReverseContract(t, bt, c.lo, c.hi, c.label)
+		if c.want >= 0 {
+			n := 0
+			bt.ScanReverse(c.lo, c.hi, nil, func(Key, int64) bool { n++; return true })
+			if n != c.want {
+				t.Errorf("%s: reverse visited %d entries, want %d", c.label, n, c.want)
+			}
+		}
+	}
+}
+
+// TestScanReverseCompositeKeys runs the reversed-sequence/identical-IO
+// contract over composite (a, b) keys with prefix and full-length bounds,
+// mixing bulk-built and inserted entries so duplicates straddle node
+// boundaries both ways.
+func TestScanReverseCompositeKeys(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap(numTable())
+		for i, n := 0, rng.Intn(1500); i < n; i++ {
+			h.Insert(catalog.Row{catalog.Int(rng.Int63n(30)), catalog.Float(float64(rng.Intn(5)))})
+		}
+		bt, err := BuildIndex("i", h, []string{"a", "b"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := 0, rng.Intn(1000); i < n; i++ {
+			r := catalog.Row{catalog.Int(rng.Int63n(30)), catalog.Float(float64(rng.Intn(5)))}
+			id, _ := h.Insert(r)
+			bt.Insert(bt.KeyFromRow(h.Table, r), id)
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bound := func() Key {
+			switch rng.Intn(4) {
+			case 0:
+				return nil
+			case 1: // single-column prefix bound
+				return Key{catalog.Int(rng.Int63n(40) - 5)}
+			default: // full composite bound
+				return Key{catalog.Int(rng.Int63n(40) - 5), catalog.Float(float64(rng.Intn(7) - 1))}
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			lo, hi := bound(), bound()
+			checkReverseContract(t, bt, lo, hi, fmt.Sprintf("seed %d lo=%v hi=%v", seed, lo, hi))
+		}
+	}
+}
+
+// TestScanReverseEarlyStopIO checks the charged IO of a truncated reverse
+// scan: stopping after k entries must charge exactly the pages those k
+// entries span, mirroring the forward scan's accounting.
+func TestScanReverseEarlyStopIO(t *testing.T) {
+	h := buildHeap(t, 2000, 7)
+	bt, err := BuildIndex("i", h, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	var fio, rio IOCounter
+	n := 0
+	bt.Scan(nil, nil, &fio, func(Key, int64) bool { n++; return n < k })
+	n = 0
+	bt.ScanReverse(nil, nil, &rio, func(Key, int64) bool { n++; return n < k })
+	if fio != rio {
+		t.Fatalf("truncated scans charged different IO: forward %+v, reverse %+v", fio, rio)
+	}
+	if fio.TuplesRead != k {
+		t.Fatalf("charged %d tuples, want %d", fio.TuplesRead, k)
 	}
 }
 

@@ -41,6 +41,17 @@ func NewSession(schema *catalog.Schema, st *stats.Catalog, base *catalog.Configu
 	return &Session{env: optimizer.NewEnv(schema, st, base), base: base}
 }
 
+// NewSessionFromEnv creates a what-if session over a prepared optimizer
+// environment — the engine uses this to hand sessions the active cost
+// backend's constants (a calibrated engine evaluates designs with
+// calibrated costs). The environment's configuration is replaced by base.
+func NewSessionFromEnv(env *optimizer.Env, base *catalog.Configuration) *Session {
+	if base == nil {
+		base = catalog.NewConfiguration()
+	}
+	return &Session{env: env.WithConfig(base), base: base}
+}
+
 // Env exposes the underlying optimizer environment (base configuration).
 func (s *Session) Env() *optimizer.Env { return s.env }
 
