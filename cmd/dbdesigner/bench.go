@@ -118,7 +118,10 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	if *baseline != "" {
 		base, err := bench.ReadResult(*baseline)
 		if err != nil {
-			return err
+			// A baseline that cannot be read is a hard error, not a skipped
+			// comparison: CI invokes --baseline precisely to be gated, and a
+			// typo'd path silently exiting 0 would disable the gate.
+			return fmt.Errorf("baseline %s is missing or unreadable: %w", *baseline, err)
 		}
 		warns := bench.Compare(base, res, 5.0, 2.0)
 		// Quality/count metrics are deterministic; timing is machine-local.

@@ -257,6 +257,46 @@ func TestCmdBenchBaselineHardFail(t *testing.T) {
 	}
 }
 
+// TestCmdBenchBaselineUnreadableFails pins the exit contract for the
+// baseline file itself: a missing, unreadable, or corrupt --baseline is an
+// error path (non-zero exit via main's error handling), never a silently
+// skipped comparison — and the bench document is still written first, so
+// the trajectory artifact survives the failed gate.
+func TestCmdBenchBaselineUnreadableFails(t *testing.T) {
+	var sink bytes.Buffer
+
+	// Missing file.
+	dir := t.TempDir()
+	err := cmdBench(benchArgs(dir, "--baseline", filepath.Join(dir, "nope.json")), &sink, &sink)
+	if err == nil {
+		t.Fatal("missing baseline file did not fail the command")
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("error does not name the baseline: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "BENCH_smoke.json")); statErr != nil {
+		t.Errorf("bench document not written before the baseline failure: %v", statErr)
+	}
+
+	// Corrupt JSON.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", bad), &sink, &sink); err == nil {
+		t.Fatal("corrupt baseline file did not fail the command")
+	}
+
+	// Valid JSON that is not a bench document (fails validation).
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench(benchArgs(t.TempDir(), "--baseline", empty), &sink, &sink); err == nil {
+		t.Fatal("non-bench baseline document did not fail the command")
+	}
+}
+
 // TestCmdBenchPerBackend runs the suite under --backend calibrated: the
 // document gets a distinguishable default label, names its backend, and can
 // never be silently compared against a native baseline.

@@ -2,17 +2,11 @@ package designer
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
-	"repro/internal/autopart"
 	"repro/internal/catalog"
-	"repro/internal/cophy"
-	"repro/internal/interaction"
-	"repro/internal/schedule"
-	"repro/internal/whatif"
 )
 
 // AdviceOptions configure a full automatic design run (Scenario 2).
@@ -66,92 +60,17 @@ func (a *Advice) Config() *Configuration { return configFromInternal(a.cfg) }
 // generation → CoPhy BIP → AutoPart partitions → benefit report →
 // interaction graph → materialization schedule. Each phase honors ctx; a
 // cancelled run returns ctx.Err() promptly, mid-sweep or mid-solve.
+//
+// One engine generation is pinned for the WHOLE pipeline: candidate
+// generation, CoPhy, AutoPart, the benefit report, the interaction graph,
+// and the schedule all price against the same snapshot, so a concurrent
+// Materialize/Analyze cannot make the advice internally inconsistent (e.g.
+// a report priced against a base that already contains the solver's
+// indexes). For the incremental form that reuses a previous answer's
+// derivation, use a design session's Advise/ReAdvise.
 func (d *Designer) Advise(ctx context.Context, w *Workload, opts AdviceOptions) (*Advice, error) {
-	iw := w.internal()
-	if len(iw.Queries) == 0 {
-		return nil, errors.New("designer: empty workload")
-	}
-	// One engine generation for the WHOLE pipeline: candidate generation,
-	// CoPhy, AutoPart, the benefit report, the interaction graph, and the
-	// schedule all price against the same snapshot, so a concurrent
-	// Materialize/Analyze cannot make the advice internally inconsistent
-	// (e.g. a report priced against a base that already contains the
-	// solver's indexes).
-	v := d.eng.Pin()
-	candOpts := opts.CandidateOptions.internal()
-	if candOpts.MaxPerTable == 0 {
-		candOpts = whatif.DefaultCandidateOptions()
-	}
-	cands := v.Session().GenerateCandidates(iw, candOpts)
-	// User-suggested candidates join (and may be pinned into) the search.
-	have := make(map[string]bool, len(cands))
-	for _, ix := range cands {
-		have[ix.Key()] = true
-	}
-	seeds := indexesToInternal(opts.SeedIndexes)
-	for _, ix := range seeds {
-		if !have[ix.Key()] {
-			cands = append(cands, ix)
-			have[ix.Key()] = true
-		}
-	}
-
-	copts := cophy.DefaultOptions()
-	copts.StorageBudgetPages = opts.StorageBudgetPages
-	copts.NodeBudget = opts.NodeBudget
-	if opts.PinIndexes {
-		for _, ix := range seeds {
-			copts.PinnedKeys = append(copts.PinnedKeys, ix.Key())
-		}
-	}
-	adv := cophy.New(d.eng, cands)
-	cres, err := adv.AdviseView(ctx, v, iw, copts)
-	if err != nil {
-		return nil, err
-	}
-
-	out := &Advice{
-		Indexes: indexesFromInternal(cres.Indexes),
-		Solver:  solverResultFromInternal(cres),
-		cfg:     catalog.NewConfiguration(),
-		schema:  d.store.Schema,
-	}
-	for _, ix := range cres.Indexes {
-		out.cfg = out.cfg.WithIndex(ix)
-	}
-
-	if opts.Partitions {
-		papt := autopart.New(d.eng)
-		pres, err := papt.AdviseView(ctx, v, iw, out.cfg, autopart.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		if pres.Improvement() > 0 {
-			out.Partitions = d.partitionResultFromInternal(iw, pres)
-			out.cfg = pres.Config
-		}
-	}
-
-	rep, err := v.Evaluate(ctx, iw, out.cfg)
-	if err != nil {
-		return nil, err
-	}
-	out.Report = reportFromInternal(rep)
-
-	if opts.Interactions && len(out.Indexes) >= 2 {
-		g, err := interaction.AnalyzeView(ctx, v, iw, cres.Indexes, interaction.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		out.Graph = graphFromInternal(g)
-		sched := schedule.New(d.eng)
-		s, err := sched.GreedyView(ctx, v, iw, cres.Indexes)
-		if err != nil {
-			return nil, err
-		}
-		out.Schedule = scheduleFromInternal(s)
-	}
-	return out, nil
+	advice, _, _, err := d.advisePipeline(ctx, d.eng.Pin(), w.internal(), opts, nil)
+	return advice, err
 }
 
 // Summary renders the advice in the layout of the demo's Scenario 2 panel:

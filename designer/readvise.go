@@ -1,0 +1,275 @@
+package designer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/cophy"
+	"repro/internal/engine"
+	"repro/internal/interaction"
+	"repro/internal/schedule"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// This file implements the incremental re-advise pipeline — the interactive
+// pillar at scale. A design session carries an AdviceHandle across
+// successive design questions; ReAdvise reuses as much of the previous
+// answer's derivation as the input delta allows:
+//
+//   - identical question (workload, options, generation): the cached advice
+//     is returned outright — nothing is recosted, nothing is re-solved;
+//   - same workload, different options (budget, partitions, ...): candidate
+//     enumeration is skipped, CoPhy's branch-and-bound is seeded with the
+//     previous advice's basis as its initial incumbent, and the benefit
+//     report is delta-costed — only queries whose tables' design slices
+//     changed between the two advised configurations are re-priced;
+//   - anything else (workload edits, a new engine generation after
+//     Materialize/Analyze): the pipeline runs cold and the handle is
+//     refreshed.
+//
+// Warm answers are exact: every reused number is the number the cold
+// pipeline would recompute (differential-tested at the engine layer), and
+// solver warm starts only prune the search tree, never change the optimum.
+
+// ReadviseStats reports how much of a re-advise was served from prior work.
+type ReadviseStats struct {
+	// Warm is true when any prior state was reused.
+	Warm bool
+	// Cached is true on the fastest path: the question was identical and
+	// the previous advice was returned verbatim.
+	Cached bool
+	// CandidatesReused is true when candidate enumeration was skipped.
+	CandidatesReused bool
+	// SolverWarmStarted is true when CoPhy accepted the previous basis as
+	// its initial incumbent.
+	SolverWarmStarted bool
+	// RecostedQueries and ReusedQueries split the benefit report's queries
+	// into re-priced and copied-from-state.
+	RecostedQueries int
+	ReusedQueries   int
+}
+
+// adviceState is the cached derivation state behind an AdviceHandle.
+type adviceState struct {
+	version    uint64
+	workloadFP string
+	candFP     string // candidate-relevant option fingerprint
+	optsFP     string // full option fingerprint
+	advice     *Advice
+	basisKeys  []string
+	cands      []*catalog.Index
+	evalState  *engine.EvalState
+}
+
+// AdviceHandle carries the re-advise state a design session accumulates.
+// It is owned by its session and shares the session's (lack of) concurrency
+// guarantees; the serve layer serializes access per session.
+type AdviceHandle struct {
+	st *adviceState
+}
+
+// Last returns the most recent advice computed through the handle, or nil.
+func (h *AdviceHandle) Last() *Advice {
+	if h == nil || h.st == nil {
+		return nil
+	}
+	return h.st.advice
+}
+
+// candOptionsFP fingerprints the option subset candidate enumeration
+// depends on: candidate options and seed indexes.
+func candOptionsFP(opts AdviceOptions) string {
+	var b strings.Builder
+	co := opts.CandidateOptions
+	fmt.Fprintf(&b, "%d|%d|%v|", co.MaxPerTable, co.MaxWidth, co.IncludeCovering)
+	for _, ix := range opts.SeedIndexes {
+		b.WriteString(ix.Key())
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// optionsFP fingerprints the full advice options.
+func optionsFP(opts AdviceOptions) string {
+	return fmt.Sprintf("%d|%d|%v|%v|%v|%s",
+		opts.StorageBudgetPages, opts.NodeBudget, opts.Partitions,
+		opts.Interactions, opts.PinIndexes, candOptionsFP(opts))
+}
+
+// Advise runs the full automatic design pipeline for the session's pinned
+// generation — Scenario 2 scoped to one interactive session — and primes
+// the session's AdviceHandle so a subsequent ReAdvise starts warm. Unlike
+// session evaluation, advising always searches from the base design: the
+// session's hypothetical indexes steer evaluation, not candidate selection
+// (seed candidates via AdviceOptions.SeedIndexes to inject them).
+func (s *DesignSession) Advise(ctx context.Context, w *Workload, opts AdviceOptions) (*Advice, error) {
+	advice, st, _, err := s.d.advisePipeline(ctx, s.view, w.internal(), opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.handle.st = st
+	return advice, nil
+}
+
+// ReAdvise answers the session's next design question, reusing the
+// previous answer's derivation where the inputs allow (see the file
+// comment for the reuse ladder). The result is exactly what Advise would
+// return for the same inputs; the stats report what was reused.
+func (s *DesignSession) ReAdvise(ctx context.Context, w *Workload, opts AdviceOptions) (*Advice, ReadviseStats, error) {
+	prev := s.handle.st
+	iw := w.internal()
+	if prev != nil && prev.version == s.view.Version() &&
+		prev.workloadFP == iw.Fingerprint() && prev.optsFP == optionsFP(opts) {
+		// Identical question against the same generation: the answer
+		// cannot have changed.
+		return prev.advice, ReadviseStats{
+			Warm: true, Cached: true, CandidatesReused: true,
+			ReusedQueries: len(iw.Queries),
+		}, nil
+	}
+	advice, st, stats, err := s.d.advisePipeline(ctx, s.view, iw, opts, prev)
+	if err != nil {
+		return nil, ReadviseStats{}, err
+	}
+	s.handle.st = st
+	return advice, stats, nil
+}
+
+// Handle exposes the session's advice handle.
+func (s *DesignSession) Handle() *AdviceHandle { return &s.handle }
+
+// advisePipeline is the shared advise pipeline: candidate generation →
+// CoPhy BIP → AutoPart partitions → benefit report → interaction graph →
+// materialization schedule, all against one pinned generation. warm (may
+// be nil) supplies the previous derivation state for incremental reuse.
+func (d *Designer) advisePipeline(ctx context.Context, v *engine.View, iw *workload.Workload, opts AdviceOptions, warm *adviceState) (*Advice, *adviceState, ReadviseStats, error) {
+	if len(iw.Queries) == 0 {
+		return nil, nil, ReadviseStats{}, errors.New("designer: empty workload")
+	}
+	stats := ReadviseStats{}
+	wfp := iw.Fingerprint()
+	cfp := candOptionsFP(opts)
+
+	// Warm state from another generation or workload is useless; drop it
+	// here so every reuse below can key on the simpler conditions.
+	if warm != nil && (warm.version != v.Version() || warm.workloadFP != wfp) {
+		warm = nil
+	}
+
+	seeds := indexesToInternal(opts.SeedIndexes)
+	var cands []*catalog.Index
+	if warm != nil && warm.candFP == cfp {
+		cands = warm.cands
+		stats.Warm = true
+		stats.CandidatesReused = true
+	} else {
+		candOpts := opts.CandidateOptions.internal()
+		if candOpts.MaxPerTable == 0 {
+			candOpts = whatif.DefaultCandidateOptions()
+		}
+		cands = v.Session().GenerateCandidates(iw, candOpts)
+		// User-suggested candidates join (and may be pinned into) the search.
+		have := make(map[string]bool, len(cands))
+		for _, ix := range cands {
+			have[ix.Key()] = true
+		}
+		for _, ix := range seeds {
+			if !have[ix.Key()] {
+				cands = append(cands, ix)
+				have[ix.Key()] = true
+			}
+		}
+	}
+
+	copts := cophy.DefaultOptions()
+	copts.StorageBudgetPages = opts.StorageBudgetPages
+	copts.NodeBudget = opts.NodeBudget
+	if opts.PinIndexes {
+		for _, ix := range seeds {
+			copts.PinnedKeys = append(copts.PinnedKeys, ix.Key())
+		}
+	}
+	if warm != nil {
+		copts.WarmStartKeys = warm.basisKeys
+	}
+	adv := cophy.New(d.eng, cands)
+	cres, err := adv.AdviseView(ctx, v, iw, copts)
+	if err != nil {
+		return nil, nil, ReadviseStats{}, err
+	}
+	if cres.WarmStarted {
+		stats.Warm = true
+		stats.SolverWarmStarted = true
+	}
+
+	out := &Advice{
+		Indexes: indexesFromInternal(cres.Indexes),
+		Solver:  solverResultFromInternal(cres),
+		cfg:     catalog.NewConfiguration(),
+		schema:  d.store.Schema,
+	}
+	for _, ix := range cres.Indexes {
+		out.cfg = out.cfg.WithIndex(ix)
+	}
+
+	if opts.Partitions {
+		papt := autopart.New(d.eng)
+		pres, err := papt.AdviseView(ctx, v, iw, out.cfg, autopart.DefaultOptions())
+		if err != nil {
+			return nil, nil, ReadviseStats{}, err
+		}
+		if pres.Improvement() > 0 {
+			out.Partitions = d.partitionResultFromInternal(iw, pres)
+			out.cfg = pres.Config
+		}
+	}
+
+	var prevEval *engine.EvalState
+	if warm != nil {
+		prevEval = warm.evalState
+	}
+	rep, evalState, err := v.EvaluateDelta(ctx, iw, out.cfg, prevEval)
+	if err != nil {
+		return nil, nil, ReadviseStats{}, err
+	}
+	out.Report = reportFromInternal(rep)
+	stats.RecostedQueries = evalState.Recosted
+	stats.ReusedQueries = evalState.Reused
+	if evalState.Reused > 0 {
+		stats.Warm = true
+	}
+
+	if opts.Interactions && len(out.Indexes) >= 2 {
+		g, err := interaction.AnalyzeView(ctx, v, iw, cres.Indexes, interaction.DefaultOptions())
+		if err != nil {
+			return nil, nil, ReadviseStats{}, err
+		}
+		out.Graph = graphFromInternal(g)
+		s, err := schedule.New(d.eng).GreedyView(ctx, v, iw, cres.Indexes)
+		if err != nil {
+			return nil, nil, ReadviseStats{}, err
+		}
+		out.Schedule = scheduleFromInternal(s)
+	}
+
+	basis := make([]string, 0, len(cres.Indexes))
+	for _, ix := range cres.Indexes {
+		basis = append(basis, ix.Key())
+	}
+	st := &adviceState{
+		version:    v.Version(),
+		workloadFP: wfp,
+		candFP:     cfp,
+		optsFP:     optionsFP(opts),
+		advice:     out,
+		basisKeys:  basis,
+		cands:      cands,
+		evalState:  evalState,
+	}
+	return out, st, stats, nil
+}

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// indexKeysOf extracts the advised index keys from an advise response.
+func indexKeysOf(t *testing.T, resp map[string]any) []string {
+	t.Helper()
+	raw, ok := resp["indexes"].([]any)
+	if !ok {
+		t.Fatalf("response missing indexes: %v", resp)
+	}
+	keys := make([]string, 0, len(raw))
+	for _, e := range raw {
+		keys = append(keys, e.(map[string]any)["key"].(string))
+	}
+	return keys
+}
+
+// TestReadviseOverHTTP drives the incremental re-advise flow end to end:
+// session advise primes the handle, an empty-body readvise repeats the
+// question from cache, and a budget-change readvise answers warm with the
+// reuse telemetry on the wire.
+func TestReadviseOverHTTP(t *testing.T) {
+	base := start(t)
+	created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+	id := created["id"].(string)
+
+	question := map[string]any{"queries": 8, "seed": 3}
+	first := call(t, "POST", base+"/sessions/"+id+"/advise", question, http.StatusOK)
+
+	// Empty body: repeat the last question — served from cache.
+	again := call(t, "POST", base+"/sessions/"+id+"/readvise", nil, http.StatusOK)
+	st := again["readvise"].(map[string]any)
+	if st["cached"] != true || st["warm"] != true {
+		t.Fatalf("empty-body readvise not cached: %v", st)
+	}
+	if fmt.Sprint(indexKeysOf(t, again)) != fmt.Sprint(indexKeysOf(t, first)) {
+		t.Fatalf("cached readvise changed the advice")
+	}
+
+	// Budget change: warm re-advise, exact agreement with a cold session
+	// advise of the same question.
+	tight := map[string]any{"queries": 8, "seed": 3, "budget_pages": 3000}
+	warm := call(t, "POST", base+"/sessions/"+id+"/readvise", tight, http.StatusOK)
+	st = warm["readvise"].(map[string]any)
+	if st["warm"] != true || st["cached"] == true {
+		t.Fatalf("budget-change readvise stats: %v", st)
+	}
+	if st["candidates_reused"] != true {
+		t.Fatalf("budget change should reuse candidates: %v", st)
+	}
+	cold := call(t, "POST", base+"/sessions/"+id+"/advise", tight, http.StatusOK)
+	if fmt.Sprint(indexKeysOf(t, warm)) != fmt.Sprint(indexKeysOf(t, cold)) {
+		t.Fatalf("warm advice %v != cold %v", indexKeysOf(t, warm), indexKeysOf(t, cold))
+	}
+
+	// A fresh session has no question to repeat: empty body is a 400 ...
+	other := call(t, "POST", base+"/sessions", nil, http.StatusCreated)["id"].(string)
+	if code := rawCall(t, "POST", base+"/sessions/"+other+"/readvise", ""); code != http.StatusBadRequest {
+		t.Fatalf("empty-body readvise on a virgin session: %d, want 400", code)
+	}
+	// ... while a full question answers cold.
+	virgin := call(t, "POST", base+"/sessions/"+other+"/readvise", question, http.StatusOK)
+	if virgin["readvise"].(map[string]any)["cached"] == true {
+		t.Fatal("virgin session served from cache")
+	}
+	// An empty body now repeats the question that session just asked.
+	if code := rawCall(t, "POST", base+"/sessions/"+other+"/readvise", ""); code != http.StatusOK {
+		t.Fatalf("empty-body readvise after a question: %d", code)
+	}
+	// Unknown sessions are 404.
+	if code := rawCall(t, "POST", base+"/sessions/zz/readvise", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown session readvise: %d", code)
+	}
+}
+
+// TestReadviseConcurrentSessionsRace is the serve-level race check: ten
+// concurrent sessions interleave readvise, add/drop index, and materialize
+// while the engine is being reconfigured under them, and every session's
+// warm answer must match a cold advise on the same session state (the
+// session's pinned generation makes that exact). Run under -race in CI.
+func TestReadviseConcurrentSessionsRace(t *testing.T) {
+	base := start(t)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("worker %d panicked: %v", g, r)
+				}
+			}()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("worker %d: "+format, append([]any{g}, args...)...)
+			}
+			created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+			id := created["id"].(string)
+			question := map[string]any{"queries": 6, "seed": 5}
+
+			// Prime the handle.
+			call(t, "POST", base+"/sessions/"+id+"/advise", question, http.StatusOK)
+
+			for round := 0; round < 2; round++ {
+				// Tweak the session design (does not change the advise
+				// question, but exercises the session under the same lock).
+				call(t, "POST", base+"/sessions/"+id+"/indexes",
+					map[string]any{"table": "specobj", "columns": []string{"z"}}, http.StatusCreated)
+				call(t, "POST", base+"/sessions/"+id+"/evaluate", question, http.StatusOK)
+				if code := rawCall(t, "DELETE", base+"/sessions/"+id+"/indexes?key=specobj(z)", ""); code != http.StatusOK {
+					fail("round %d: drop index status %d", round, code)
+				}
+
+				// Half the workers also materialize for real, invalidating
+				// the engine generation under everyone else.
+				if g%2 == 0 {
+					call(t, "POST", base+"/materialize", map[string]any{
+						"indexes": []map[string]any{{"table": "neighbors", "columns": []string{"distance"}}},
+					}, http.StatusOK)
+				}
+
+				// Warm answer, then cold answer to the same question on the
+				// same session: they must agree exactly.
+				tweaked := map[string]any{"queries": 6, "seed": 5, "budget_pages": 2000 + 1000*round}
+				warm := call(t, "POST", base+"/sessions/"+id+"/readvise", tweaked, http.StatusOK)
+				cold := call(t, "POST", base+"/sessions/"+id+"/advise", tweaked, http.StatusOK)
+				wk, ck := fmt.Sprint(indexKeysOf(t, warm)), fmt.Sprint(indexKeysOf(t, cold))
+				if wk != ck {
+					fail("round %d: warm %s != cold %s", round, wk, ck)
+				}
+				wrep := warm["report"].(map[string]any)
+				crep := cold["report"].(map[string]any)
+				if wrep["base_total"] != crep["base_total"] || wrep["new_total"] != crep["new_total"] {
+					fail("round %d: warm report %v != cold %v", round, wrep, crep)
+				}
+				// The repeat question is served from cache.
+				again := call(t, "POST", base+"/sessions/"+id+"/readvise", nil, http.StatusOK)
+				if again["readvise"].(map[string]any)["cached"] != true {
+					fail("round %d: repeat question not cached", round)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

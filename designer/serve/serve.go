@@ -19,6 +19,8 @@
 //	POST   /sessions/{id}/partitions/horizontal add a range layout
 //	POST   /sessions/{id}/evaluate              what-if benefit report
 //	POST   /sessions/{id}/explain               plan one query under the design
+//	POST   /sessions/{id}/advise                session-scoped advice (cold; primes re-advise)
+//	POST   /sessions/{id}/readvise              incremental re-advise (warm; empty body repeats the last question)
 //	POST   /advise                              automatic design + schedule + DDL
 //	POST   /materialize                         physically build indexes
 //	POST   /tuner                               start/replace the online tuner
@@ -97,6 +99,11 @@ type session struct {
 
 	mu sync.Mutex
 	ds *designer.DesignSession
+
+	// lastReq/lastWl remember the most recent advise question so an
+	// empty-body /readvise repeats it. Guarded by mu like the session.
+	lastReq *adviseRequestJSON
+	lastWl  *designer.Workload
 
 	metaMu sync.Mutex
 	keys   []string
@@ -198,6 +205,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/partitions/horizontal", s.handleSessionHorizontal)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/evaluate", s.handleSessionEvaluate)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/explain", s.handleSessionExplain)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/advise", s.handleSessionAdvise)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/readvise", s.handleSessionReadvise)
 	s.mux.HandleFunc("POST /api/v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /api/v1/materialize", s.handleMaterialize)
 	s.mux.HandleFunc("POST /api/v1/tuner", s.handleTunerCreate)
@@ -645,14 +654,35 @@ func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
 // Handlers: automatic advice + materialization (Scenario 2 over the wire).
 // --------------------------------------------------------------------------
 
-func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		workloadJSON
-		BudgetPages  int64 `json:"budget_pages,omitempty"`
-		NodeBudget   int   `json:"node_budget,omitempty"`
-		Partitions   bool  `json:"partitions,omitempty"`
-		Interactions bool  `json:"interactions,omitempty"`
+// adviseRequestJSON is the shared wire form of an advise question: a
+// workload description plus advisor options.
+type adviseRequestJSON struct {
+	workloadJSON
+	BudgetPages  int64 `json:"budget_pages,omitempty"`
+	NodeBudget   int   `json:"node_budget,omitempty"`
+	Partitions   bool  `json:"partitions,omitempty"`
+	Interactions bool  `json:"interactions,omitempty"`
+}
+
+// isZero reports an empty request body — the /readvise "repeat the last
+// question" form.
+func (req *adviseRequestJSON) isZero() bool {
+	return len(req.SQL) == 0 && req.Queries == 0 && req.Seed == 0 &&
+		req.BudgetPages == 0 && req.NodeBudget == 0 && !req.Partitions && !req.Interactions
+}
+
+// options maps the wire request to facade advice options.
+func (req *adviseRequestJSON) options() designer.AdviceOptions {
+	return designer.AdviceOptions{
+		StorageBudgetPages: req.BudgetPages,
+		NodeBudget:         req.NodeBudget,
+		Partitions:         req.Partitions,
+		Interactions:       req.Interactions,
 	}
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req adviseRequestJSON
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -662,17 +692,17 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeFacadeError(w, r, err)
 		return
 	}
-	advice, err := s.d.Advise(r.Context(), wl, designer.AdviceOptions{
-		StorageBudgetPages: req.BudgetPages,
-		NodeBudget:         req.NodeBudget,
-		Partitions:         req.Partitions,
-		Interactions:       req.Interactions,
-	})
+	advice, err := s.d.Advise(r.Context(), wl, req.options())
 	if err != nil {
 		writeFacadeError(w, r, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, adviceResponse(advice))
+}
 
+// adviceResponse renders an advice in the wire layout shared by /advise and
+// the session advise/readvise endpoints.
+func adviceResponse(advice *designer.Advice) map[string]any {
 	resp := map[string]any{
 		"indexes": toIndexesJSON(advice.Indexes),
 		"report":  toReportJSON(advice.Report),
@@ -716,6 +746,104 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp["partitions"] = parts
+	}
+	return resp
+}
+
+// handleSessionAdvise runs the cold session-scoped pipeline against the
+// session's pinned generation and primes its re-advise handle.
+func (s *Server) handleSessionAdvise(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req adviseRequestJSON
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := s.workload(req.workloadJSON)
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	sess.mu.Lock()
+	advice, err := sess.ds.Advise(r.Context(), wl, req.options())
+	if err == nil {
+		sess.lastReq, sess.lastWl = &req, wl
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, adviceResponse(advice))
+}
+
+// handleSessionReadvise answers the session's next design question warm,
+// reusing the previous answer's derivation where the input delta allows. An
+// empty body repeats the session's last advise question (the instant cached
+// path); a non-empty body is a full new question, resolved exactly like
+// /advise. The response carries a "readvise" object reporting what was
+// reused.
+func (s *Server) handleSessionReadvise(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req adviseRequestJSON
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	sess.mu.Lock()
+	wl, opts := sess.lastWl, designer.AdviceOptions{}
+	if sess.lastReq != nil {
+		opts = sess.lastReq.options()
+	}
+	if req.isZero() && wl == nil {
+		// An empty body means "repeat the last question", and this session
+		// never asked one — erroring beats fabricating a default workload
+		// on what is documented as the instant cached path.
+		sess.mu.Unlock()
+		writeError(w, http.StatusBadRequest,
+			errors.New("no previous advise question to repeat; send a workload (see POST /advise)"))
+		return
+	}
+	if !req.isZero() {
+		var err error
+		wl, err = s.workload(req.workloadJSON)
+		if err != nil {
+			sess.mu.Unlock()
+			writeFacadeError(w, r, err)
+			return
+		}
+		opts = req.options()
+	}
+	start := time.Now()
+	advice, stats, err := sess.ds.ReAdvise(r.Context(), wl, opts)
+	if err == nil {
+		stored := req
+		if req.isZero() && sess.lastReq != nil {
+			stored = *sess.lastReq
+		}
+		sess.lastReq, sess.lastWl = &stored, wl
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		writeFacadeError(w, r, err)
+		return
+	}
+	resp := adviceResponse(advice)
+	resp["readvise"] = map[string]any{
+		"warm":                stats.Warm,
+		"cached":              stats.Cached,
+		"candidates_reused":   stats.CandidatesReused,
+		"solver_warm_started": stats.SolverWarmStarted,
+		"recosted_queries":    stats.RecostedQueries,
+		"reused_queries":      stats.ReusedQueries,
+		"elapsed_ms":          float64(time.Since(start).Microseconds()) / 1000.0,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

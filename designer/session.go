@@ -35,6 +35,16 @@ type DesignSession struct {
 	// designer-wide engine.
 	joinOpts    optimizer.Options
 	hasJoinOpts bool
+
+	// handle carries the session's incremental re-advise state
+	// (Advise/ReAdvise, readvise.go).
+	handle AdviceHandle
+	// evalState warm-starts successive Evaluate calls: when the session's
+	// design changes by K indexes between evaluations of the same
+	// workload, only the queries touching changed tables are re-priced.
+	evalState *engine.EvalState
+	// lastRecosted/lastReused report the previous Evaluate's delta split.
+	lastRecosted, lastReused int
 }
 
 // NewDesignSession starts an interactive what-if session on top of the
@@ -196,11 +206,24 @@ func (s *DesignSession) Evaluate(ctx context.Context, w *Workload) (*Report, err
 		}
 		return reportFromInternal(rep), nil
 	}
-	rep, err := s.view.Evaluate(ctx, w.internal(), s.cfg)
+	// Delta costing: successive evaluations of the same workload reuse the
+	// previous per-query costs for every query whose tables' design slices
+	// did not change — the add-one-index/ask-again loop re-prices only the
+	// affected queries, with numbers identical to a cold evaluation.
+	rep, st, err := s.view.EvaluateDelta(ctx, w.internal(), s.cfg, s.evalState)
 	if err != nil {
 		return nil, err
 	}
+	s.evalState = st
+	s.lastRecosted, s.lastReused = st.Recosted, st.Reused
 	return reportFromInternal(rep), nil
+}
+
+// LastEvaluateDelta reports how the most recent Evaluate split the
+// workload: queries re-priced versus reused from the previous evaluation
+// (0, 0 before any evaluation; all queries recost on a cold one).
+func (s *DesignSession) LastEvaluateDelta() (recosted, reused int) {
+	return s.lastRecosted, s.lastReused
 }
 
 // Explain renders the plan one query would take under the design.

@@ -53,6 +53,7 @@ var CoreExperiments = []string{
 	"interaction_schedule",
 	"parallel_sweep",
 	"backend_portability",
+	"incremental_readvise",
 }
 
 // ExtraExperiments are the secondary figures and ablations.
@@ -75,6 +76,7 @@ var workloadSensitive = map[string]bool{
 	"colt_convergence":     true,
 	"interaction_schedule": true,
 	"parallel_sweep":       true,
+	"incremental_readvise": true,
 	"whatif_session":       true,
 	"offline_advisor":      true,
 	"candidate_ablation":   true,
@@ -215,6 +217,7 @@ type runner func(e *Env, spec Spec, x *Experiment) error
 var runners = map[string]runner{
 	"inum_vs_optimizer":    runINUMVsOptimizer,
 	"backend_portability":  runBackendPortability,
+	"incremental_readvise": runIncrementalReadvise,
 	"cophy_vs_greedy":      runCoPhyVsGreedy,
 	"colt_convergence":     runCOLTConvergence,
 	"interaction_schedule": runInteractionSchedule,
@@ -399,6 +402,46 @@ func runBackendPortability(e *Env, spec Spec, x *Experiment) error {
 	}
 	x.TimingNs["portability_check"] = portNs
 	return nil
+}
+
+// runIncrementalReadvise measures the interactive pillar at scale: the
+// cold-vs-warm re-advise latency ratio, exact agreement between the warm
+// and cold answers, and the session evaluate delta split. Agreement and
+// the recost counts are deterministic; latencies are machine-local.
+func runIncrementalReadvise(e *Env, spec Spec, x *Experiment) error {
+	r, err := e.IncrementalReadvise()
+	if err != nil {
+		return err
+	}
+	x.Counts["designs_agree"] = bool01(r.DesignsAgree)
+	x.Counts["reports_agree"] = bool01(r.ReportsAgree)
+	x.Counts["warm_indexes"] = int64(r.WarmIndexes)
+	x.Counts["cold_indexes"] = int64(r.ColdIndexes)
+	x.Counts["report_recosted_queries"] = int64(r.RecostedQueries)
+	x.Counts["report_reused_queries"] = int64(r.ReusedQueries)
+	x.Counts["candidates_reused"] = bool01(r.CandidatesReused)
+	x.Counts["solver_warm_started"] = bool01(r.SolverWarmStarted)
+	x.Counts["eval_recosted_queries"] = int64(r.EvalRecosted)
+	x.Counts["eval_reused_queries"] = int64(r.EvalReused)
+	x.Counts["eval_delta_exact"] = bool01(r.EvalExact)
+	x.TimingNs["cold_advise"] = r.ColdNs
+	x.TimingNs["warm_readvise"] = r.WarmNs
+	x.TimingNs["cached_readvise"] = r.CachedNs
+	if r.WarmNs > 0 {
+		x.TimingNs["warm_speedup_x"] = r.ColdNs / r.WarmNs
+	}
+	if r.CachedNs > 0 {
+		x.TimingNs["cached_speedup_x"] = r.ColdNs / r.CachedNs
+	}
+	return nil
+}
+
+// bool01 renders a deterministic boolean as a count cell.
+func bool01(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // runCoPhyVsGreedy sweeps storage budgets comparing CoPhy's cost and proven

@@ -246,6 +246,26 @@ func (c *Configuration) Signature() string {
 	return strings.Join(parts, "|")
 }
 
+// TableSignature identifies the slice of the configuration visible to one
+// table: its indexes (sorted by key) and partition layouts. Two
+// configurations with equal table signatures are indistinguishable to any
+// costing of that table's access paths — the invariant the INUM access-cost
+// memo and the engine's delta evaluation both key on.
+func (c *Configuration) TableSignature(table string) string {
+	var parts []string
+	for _, ix := range c.IndexesOn(table) {
+		parts = append(parts, ix.Key())
+	}
+	sort.Strings(parts)
+	if v := c.VerticalOn(table); v != nil {
+		parts = append(parts, v.String())
+	}
+	if h := c.HorizontalOn(table); h != nil {
+		parts = append(parts, h.String())
+	}
+	return strings.Join(parts, ";")
+}
+
 // TotalIndexPages sums the estimated page footprint of all indexes; this is
 // the quantity constrained by a designer storage budget.
 func (c *Configuration) TotalIndexPages() int64 {

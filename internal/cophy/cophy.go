@@ -44,6 +44,15 @@ type Options struct {
 	// where the DBA seeds the search with indexes that must be kept. Pinned
 	// index sizes still count against the storage budget.
 	PinnedKeys []string
+	// WarmStartKeys seeds the branch-and-bound with the basis of a previous
+	// advice (canonical index keys): the solver starts from a feasible
+	// incumbent assembled from those indexes — each query on its cheapest
+	// atom supported by the basis — and only has to prove (or beat) it,
+	// instead of discovering a first incumbent from scratch. This is the
+	// incremental re-advise warm start; it never changes the optimal
+	// objective. A basis that no longer fits (budget shrank below its
+	// footprint, pinned keys outside it) is ignored.
+	WarmStartKeys []string
 }
 
 // DefaultOptions returns the advisor defaults.
@@ -83,6 +92,9 @@ type Result struct {
 	SolveTime time.Duration
 	// PricingCalls counts INUM costings spent building the BIP.
 	PricingCalls int
+	// WarmStarted reports whether a WarmStartKeys basis was accepted as the
+	// solver's initial incumbent.
+	WarmStarted bool
 }
 
 // Gap returns the relative optimality gap of the recommendation.
@@ -233,8 +245,58 @@ func (a *Advisor) AdviseView(ctx context.Context, v *engine.View, w *workload.Wo
 		xBase += len(qa.atoms)
 	}
 
+	// Warm start: assemble a feasible incumbent from the previous advice's
+	// basis. For each query pick its cheapest atom fully supported by the
+	// basis (the all-sequential atom always qualifies), then open exactly
+	// the y variables those atoms use plus any pinned candidates. The seed
+	// is vetted by the solver (budget, pins) and ignored if stale.
+	var warmX []float64
+	if len(opts.WarmStartKeys) > 0 {
+		basis := make(map[string]bool, len(opts.WarmStartKeys))
+		for _, k := range opts.WarmStartKeys {
+			basis[strings.ToLower(k)] = true
+		}
+		pinned := make(map[string]bool, len(opts.PinnedKeys))
+		for _, k := range opts.PinnedKeys {
+			pinned[strings.ToLower(k)] = true
+		}
+		warmX = make([]float64, C+numX)
+		for j, ix := range a.candidates {
+			if pinned[ix.Key()] {
+				warmX[j] = 1
+			}
+		}
+		xb := C
+		for _, qa := range all {
+			pick := -1
+			for k, at := range qa.atoms { // atoms are sorted cheapest-first
+				supported := true
+				for _, j := range at.indexes {
+					if !basis[a.candidates[j].Key()] {
+						supported = false
+						break
+					}
+				}
+				if supported {
+					pick = k
+					break
+				}
+			}
+			warmX[xb+pick] = 1
+			for _, j := range qa.atoms[pick].indexes {
+				warmX[j] = 1
+			}
+			xb += len(qa.atoms)
+		}
+		if p.FeasibleBinary(warmX) {
+			res.WarmStarted = true
+		} else {
+			warmX = nil
+		}
+	}
+
 	start := time.Now()
-	sol := lp.SolveMIP(ctx, p, lp.MIPOptions{MaxNodes: opts.NodeBudget})
+	sol := lp.SolveMIP(ctx, p, lp.MIPOptions{MaxNodes: opts.NodeBudget, WarmX: warmX})
 	res.SolveTime = time.Since(start)
 	if sol.Status == lp.StatusCancelled {
 		return nil, ctx.Err()

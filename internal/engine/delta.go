@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// EvalState is the reusable outcome of one benefit evaluation: the per-query
+// costs computed for a (workload, configuration) pair against one pinned
+// generation, together with each query's relevance sets — which tables it
+// touches and which columns it references on them. A subsequent evaluation
+// of the same workload under a configuration that differs by K indexes (or
+// partition layouts) only recosts the queries whose plan choice could
+// actually move; every other query's cost is provably unchanged and is
+// copied. This is the delta-costing layer behind the interactive re-advise
+// loop: identical numbers to a cold Evaluate, a fraction of the work.
+//
+// Relevance is exact-conservative, mirroring the optimizer's index
+// usability rules (internal/optimizer/paths.go): an index can enter a
+// query's plan only when its leading column is referenced somewhere in the
+// query (predicate, join key, ORDER/GROUP BY, projection) or when it covers
+// every column the query reads from its table (index-only scans). An index
+// failing both tests is invisible to that query's optimization, so adding
+// or dropping it cannot change the query's cost.
+type EvalState struct {
+	// snap pins the generation the costs were computed against; a state is
+	// only reusable on a view holding the same snapshot.
+	snap *snapshot
+	// workloadFP fingerprints the workload (IDs, SQL, weights, order).
+	workloadFP string
+	// queries are the per-query weighted costs of the state's evaluation.
+	queries []whatif.QueryBenefit
+	// rels are the per-query relevance sets.
+	rels []queryRelevance
+	// sigs[i][t] is query i's relevant design signature for its t-th table
+	// under the state's evaluated configuration.
+	sigs [][]string
+
+	// Recosted and Reused report how the state was built: a cold evaluation
+	// recosts every query; a delta evaluation reuses the complement.
+	Recosted int
+	Reused   int
+}
+
+// queryRelevance is the precomputed relevance set of one query: the tables
+// it references and, per table, the referenced columns.
+type queryRelevance struct {
+	tables []string          // lower-case base tables, in FROM order
+	cols   []map[string]bool // per table: lower-case referenced columns
+	colsL  [][]string        // per table: the same columns as a sorted list
+	star   bool              // SELECT * disables index-only relevance
+}
+
+// relevanceOf resolves a query's tables and referenced-column sets.
+func (v *View) relevanceOf(q workload.Query) (queryRelevance, error) {
+	cols, star := sqlparse.ReferencedColumns(q.Stmt)
+	rel := queryRelevance{star: star}
+	for _, ref := range q.Stmt.From {
+		t := v.e.schema.Table(ref.Name)
+		if t == nil {
+			return queryRelevance{}, fmt.Errorf("engine: %s: unknown table %q", q.ID, ref.Name)
+		}
+		lt := strings.ToLower(t.Name)
+		set := cols[lt]
+		list := make([]string, 0, len(set))
+		for c := range set {
+			list = append(list, c)
+		}
+		sort.Strings(list)
+		rel.tables = append(rel.tables, lt)
+		rel.cols = append(rel.cols, set)
+		rel.colsL = append(rel.colsL, list)
+	}
+	return rel, nil
+}
+
+// relevantSignature renders the slice of cfg that can influence the query's
+// access to its t-th table: the keys of relevant indexes (sorted) plus any
+// partition layouts. Two configurations with equal relevant signatures on
+// every table of a query price that query identically.
+func (rel *queryRelevance) relevantSignature(cfg *catalog.Configuration, t int) string {
+	table := rel.tables[t]
+	var parts []string
+	for _, ix := range cfg.IndexesOn(table) {
+		if rel.cols[t][strings.ToLower(ix.LeadingColumn())] ||
+			(!rel.star && ix.Covers(rel.colsL[t])) {
+			parts = append(parts, ix.Key())
+		}
+	}
+	sort.Strings(parts)
+	if v := cfg.VerticalOn(table); v != nil {
+		parts = append(parts, v.String())
+	}
+	if h := cfg.HorizontalOn(table); h != nil {
+		parts = append(parts, h.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// signatures computes every query's per-table relevant signatures for cfg.
+func signatures(rels []queryRelevance, cfg *catalog.Configuration) [][]string {
+	out := make([][]string, len(rels))
+	for i := range rels {
+		sigs := make([]string, len(rels[i].tables))
+		for t := range rels[i].tables {
+			sigs[t] = rels[i].relevantSignature(cfg, t)
+		}
+		out[i] = sigs
+	}
+	return out
+}
+
+// Reusable reports whether the state can seed a delta evaluation for the
+// given view and workload: same pinned generation, same workload content.
+func (st *EvalState) Reusable(v *View, w *workload.Workload) bool {
+	return st != nil && st.snap == v.s && st.workloadFP == w.Fingerprint()
+}
+
+// EvaluateDelta is Evaluate with warm-start: it returns the benefit report
+// for cfg plus an EvalState for the next call. When prev is reusable (same
+// pinned generation, same workload) only the queries whose relevant design
+// slices differ between prev's configuration and cfg are recosted; the rest
+// are copied. The returned report is bit-identical to a cold Evaluate of
+// the same (workload, cfg) — per-query costs are either recomputed by the
+// exact same backend call or reused from a previous run of that call, and
+// totals are summed in the same order (differential-tested in
+// delta_test.go).
+//
+// Pass a nil prev (or an incompatible one) for a cold evaluation that
+// additionally builds the state.
+func (v *View) EvaluateDelta(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration, prev *EvalState) (*whatif.Report, *EvalState, error) {
+	newCfg := v.s.resolve(cfg)
+	if !prev.Reusable(v, w) {
+		return v.evaluateCold(ctx, w, newCfg)
+	}
+
+	sigs := signatures(prev.rels, newCfg)
+	var affected []int
+	for i := range prev.rels {
+		for t := range sigs[i] {
+			if sigs[i][t] != prev.sigs[i][t] {
+				affected = append(affected, i)
+				break
+			}
+		}
+	}
+
+	next := &EvalState{
+		snap:       v.s,
+		workloadFP: prev.workloadFP,
+		queries:    append([]whatif.QueryBenefit(nil), prev.queries...),
+		rels:       prev.rels,
+		sigs:       sigs,
+		Recosted:   len(affected),
+		Reused:     len(w.Queries) - len(affected),
+	}
+	err := v.e.sweep(ctx, len(affected), func(k int) error {
+		i := affected[k]
+		q := w.Queries[i]
+		nw, err := v.s.backend.StmtCost(q.Stmt, newCfg)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		// Base costs are pinned to the view's base configuration and never
+		// move within a generation; only the hypothetical side is recosted.
+		next.queries[i].NewCost = nw * q.Weight
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &whatif.Report{Queries: append([]whatif.QueryBenefit(nil), next.queries...)}
+	for _, qb := range rep.Queries {
+		rep.BaseTotal += qb.BaseCost
+		rep.NewTotal += qb.NewCost
+	}
+	return rep, next, nil
+}
+
+// evaluateCold runs the full evaluation and records the delta state.
+func (v *View) evaluateCold(ctx context.Context, w *workload.Workload, newCfg *catalog.Configuration) (*whatif.Report, *EvalState, error) {
+	rels := make([]queryRelevance, len(w.Queries))
+	for i, q := range w.Queries {
+		rel, err := v.relevanceOf(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = rel
+	}
+	rep, err := v.Evaluate(ctx, w, newCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &EvalState{
+		snap:       v.s,
+		workloadFP: w.Fingerprint(),
+		queries:    append([]whatif.QueryBenefit(nil), rep.Queries...),
+		rels:       rels,
+		sigs:       signatures(rels, newCfg),
+		Recosted:   len(w.Queries),
+	}
+	return rep, st, nil
+}

@@ -1,0 +1,149 @@
+package greedy_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/greedy"
+	"repro/internal/workload"
+)
+
+// warmFixture bundles the tuple fixture with a fractional-budget helper.
+type warmFixture struct {
+	eng   *engine.Engine
+	cands []*catalog.Index
+	w     *workload.Workload
+}
+
+func newFixture(t *testing.T) *warmFixture {
+	t.Helper()
+	eng, cands, w := fixture(t, 10, 16)
+	return &warmFixture{eng: eng, cands: cands, w: w}
+}
+
+// budget returns frac of the candidate set's total footprint in pages.
+func (f *warmFixture) budget(frac float64) int64 {
+	var total int64
+	for _, ix := range f.cands {
+		total += ix.EstimatedPages
+	}
+	return int64(float64(total) * frac)
+}
+
+// TestAdviseWarmReplayIdenticalInputs pins the exact-replay contract: the
+// same question asked twice returns the identical recommendation with zero
+// pricing calls the second time.
+func TestAdviseWarmReplayIdenticalInputs(t *testing.T) {
+	f := newFixture(t)
+	adv := greedy.New(f.eng, f.cands)
+	ctx := context.Background()
+	opts := greedy.Options{StorageBudgetPages: f.budget(0.5), BenefitPerPage: true}
+
+	cold, frontier, kind, err := adv.AdviseWarm(ctx, f.w, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != greedy.WarmNone {
+		t.Fatalf("first run warm kind %q", kind)
+	}
+	warm, _, kind, err := adv.AdviseWarm(ctx, f.w, opts, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != greedy.WarmReplay {
+		t.Fatalf("identical inputs warm kind %q, want replay", kind)
+	}
+	if warm.PricingCalls != 0 {
+		t.Fatalf("replay priced %d times", warm.PricingCalls)
+	}
+	if warm.Objective != cold.Objective || len(warm.Indexes) != len(cold.Indexes) {
+		t.Fatalf("replayed result differs: %+v vs %+v", warm, cold)
+	}
+	for i := range warm.Indexes {
+		if warm.Indexes[i].Key() != cold.Indexes[i].Key() {
+			t.Fatalf("replayed index %d differs", i)
+		}
+	}
+}
+
+// TestAdviseWarmResumeOnBudgetGrowth asserts a grown budget resumes from
+// the frontier: the previous picks stay chosen, the extension only adds,
+// and the objective never regresses.
+func TestAdviseWarmResumeOnBudgetGrowth(t *testing.T) {
+	f := newFixture(t)
+	adv := greedy.New(f.eng, f.cands)
+	ctx := context.Background()
+
+	small := greedy.Options{StorageBudgetPages: f.budget(0.3), BenefitPerPage: true}
+	prevRes, frontier, _, err := adv.AdviseWarm(ctx, f.w, small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big := greedy.Options{StorageBudgetPages: f.budget(1.0), BenefitPerPage: true}
+	resumed, _, kind, err := adv.AdviseWarm(ctx, f.w, big, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != greedy.WarmResume {
+		t.Fatalf("grown budget warm kind %q, want resume", kind)
+	}
+	if resumed.Objective > prevRes.Objective {
+		t.Fatalf("resume regressed: %v > %v", resumed.Objective, prevRes.Objective)
+	}
+	chosen := map[string]bool{}
+	for _, ix := range resumed.Indexes {
+		chosen[ix.Key()] = true
+	}
+	for _, ix := range prevRes.Indexes {
+		if !chosen[ix.Key()] {
+			t.Fatalf("resume dropped previously chosen %s", ix.Key())
+		}
+	}
+	if resumed.BaselineCost != prevRes.BaselineCost {
+		t.Fatalf("baseline changed across resume: %v vs %v", resumed.BaselineCost, prevRes.BaselineCost)
+	}
+}
+
+// TestAdviseWarmFallsBackCold asserts every other delta — shrunk budget,
+// changed workload, changed metric — ignores the frontier and matches a
+// from-scratch run exactly.
+func TestAdviseWarmFallsBackCold(t *testing.T) {
+	f := newFixture(t)
+	adv := greedy.New(f.eng, f.cands)
+	ctx := context.Background()
+
+	big := greedy.Options{StorageBudgetPages: f.budget(1.0), BenefitPerPage: true}
+	_, frontier, _, err := adv.AdviseWarm(ctx, f.w, big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small := greedy.Options{StorageBudgetPages: f.budget(0.3), BenefitPerPage: true}
+	warm, _, kind, err := adv.AdviseWarm(ctx, f.w, small, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != greedy.WarmNone {
+		t.Fatalf("shrunk budget warm kind %q, want cold", kind)
+	}
+	cold, err := adv.Advise(ctx, f.w, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Objective != cold.Objective || len(warm.Indexes) != len(cold.Indexes) {
+		t.Fatalf("shrunk-budget fallback differs from cold: %+v vs %+v", warm, cold)
+	}
+
+	// A stale frontier from another engine generation is also ignored.
+	f.eng.Invalidate()
+	_, _, kind, err = adv.AdviseWarm(ctx, f.w, big, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != greedy.WarmNone {
+		t.Fatalf("cross-generation frontier reused: kind %q", kind)
+	}
+}

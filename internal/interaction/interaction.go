@@ -52,6 +52,10 @@ type Edge struct {
 type Graph struct {
 	Indexes []*catalog.Index
 	Edges   []Edge // all pairs with Doi > 0, sorted by Doi descending
+	// PrunedPairs counts index pairs skipped by the relevance filter: no
+	// workload query references both indexes' tables, so their degree of
+	// interaction is provably zero and the lattice walk is never priced.
+	PrunedPairs int
 }
 
 // Analyze computes pairwise interaction degrees for the index set against
@@ -75,14 +79,43 @@ func AnalyzeView(ctx context.Context, v *engine.View, w *workload.Workload, inde
 	if n < 2 {
 		return g, nil
 	}
-	if err := v.Prepare(ctx, w, indexes); err != nil {
-		return nil, err
+	// Prepare every query and collect its table relevance set. Two indexes
+	// can only interact through a query that references both of their
+	// tables: for any query missing either table, the four lattice-corner
+	// costs cancel exactly, so pairs with no co-referencing query have
+	// doi = 0 by construction and are skipped without pricing.
+	coRef := make(map[string]map[string]bool)
+	for _, q := range w.Queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tables, err := v.PrepareQuery(q, indexes)
+		if err != nil {
+			return nil, err
+		}
+		for _, t1 := range tables {
+			if coRef[t1] == nil {
+				coRef[t1] = make(map[string]bool)
+			}
+			for _, t2 := range tables {
+				coRef[t1][t2] = true
+			}
+		}
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
+			// Contexts are drawn before the relevance check so the rng
+			// stream — and therefore every computed doi — is identical to
+			// the unpruned analysis.
 			contexts := sampleContexts(rng, n, a, b, opts.SampleContexts)
+			ta := strings.ToLower(indexes[a].Table)
+			tb := strings.ToLower(indexes[b].Table)
+			if !coRef[ta][tb] {
+				g.PrunedPairs++
+				continue
+			}
 			// Lattice corners per context: X, X∪{a}, X∪{b}, X∪{a,b}.
 			cfgs := make([]*catalog.Configuration, 0, 4*len(contexts))
 			for _, cx := range contexts {

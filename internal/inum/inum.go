@@ -274,7 +274,7 @@ func (c *Cache) CostFor(q *CachedQuery, cfg *catalog.Configuration) (float64, er
 	// Per-table design signatures for memo keys, computed once per call.
 	tblSig := make(map[string]string, len(q.Tables))
 	for _, t := range q.Tables {
-		tblSig[t] = tableDesignSignature(cfg, t)
+		tblSig[t] = cfg.TableSignature(t)
 	}
 
 	best := -1.0
@@ -350,23 +350,6 @@ func interestingOrderColumns(stmt *sqlparse.SelectStmt) map[string]map[string]bo
 		}
 	}
 	return out
-}
-
-// tableDesignSignature identifies the slice of a configuration visible to
-// one table: its indexes and partition layouts.
-func tableDesignSignature(cfg *catalog.Configuration, table string) string {
-	var parts []string
-	for _, ix := range cfg.IndexesOn(table) {
-		parts = append(parts, ix.Key())
-	}
-	sort.Strings(parts)
-	if v := cfg.VerticalOn(table); v != nil {
-		parts = append(parts, v.String())
-	}
-	if h := cfg.HorizontalOn(table); h != nil {
-		parts = append(parts, h.String())
-	}
-	return strings.Join(parts, ";")
 }
 
 // FullCost bypasses the cache and runs the complete optimizer — the

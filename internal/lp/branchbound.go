@@ -14,6 +14,15 @@ type MIPOptions struct {
 	// GapTolerance stops the search once the relative gap between the
 	// incumbent and the best bound falls below it.
 	GapTolerance float64
+	// WarmX optionally seeds the search with a known assignment (length
+	// NumVars) — typically the solution of a closely related prior solve.
+	// If it is feasible and binary-integral it becomes the initial
+	// incumbent, so the search starts pruning against its objective from
+	// node zero instead of discovering a first incumbent the slow way. An
+	// infeasible or malformed seed is ignored. Warm starts never change the
+	// optimal objective — only how much of the tree must be expanded to
+	// prove it.
+	WarmX []float64
 }
 
 // bbNode is one branch-and-bound subproblem: variable fixings plus the
@@ -72,6 +81,10 @@ func SolveMIP(ctx context.Context, p *Problem, opts MIPOptions) *MIPSolution {
 
 	incumbent := math.Inf(1)
 	var incumbentX []float64
+	if p.FeasibleBinary(opts.WarmX) {
+		incumbent = p.ObjectiveValue(opts.WarmX)
+		incumbentX = append([]float64(nil), opts.WarmX...)
+	}
 	nodes := 0
 
 	for queue.Len() > 0 {

@@ -78,6 +78,57 @@ func (p *Problem) AddConstraint(coefs map[int]float64, sense Sense, rhs float64)
 	p.Constraints = append(p.Constraints, Constraint{Coefs: cp, Sense: sense, RHS: rhs})
 }
 
+// ObjectiveValue evaluates the objective at x.
+func (p *Problem) ObjectiveValue(x []float64) float64 {
+	var obj float64
+	for i, c := range p.Objective {
+		obj += c * x[i]
+	}
+	return obj
+}
+
+// FeasibleBinary reports whether x is a well-formed warm-start assignment:
+// the right length, within every constraint (to a small tolerance), in
+// [0,1] bounds, and integral on the binary variables.
+func (p *Problem) FeasibleBinary(x []float64) bool {
+	const tol = 1e-6
+	if len(x) != p.NumVars {
+		return false
+	}
+	for i, v := range x {
+		if v < -tol || v > 1+tol {
+			return false
+		}
+		if p.Binary != nil && p.Binary[i] {
+			f := math.Abs(v - math.Round(v))
+			if f > tol {
+				return false
+			}
+		}
+	}
+	for _, c := range p.Constraints {
+		var lhs float64
+		for j, a := range c.Coefs {
+			lhs += a * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Status reports the outcome of a solve.
 type Status int
 

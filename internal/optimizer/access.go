@@ -32,10 +32,11 @@ type AccessContext struct {
 // calls.
 func (e *Env) PrepareAccess(sel *sqlparse.SelectStmt) *AccessContext {
 	filters, _, _ := sqlparse.SplitPredicates(sel)
+	needed, star := neededColumns(sel)
 	return &AccessContext{
 		Filters: filters,
-		Needed:  neededColumns(sel),
-		Star:    hasStar(sel),
+		Needed:  needed,
+		Star:    star,
 	}
 }
 

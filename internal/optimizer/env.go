@@ -14,8 +14,6 @@
 package optimizer
 
 import (
-	"strings"
-
 	"repro/internal/catalog"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
@@ -83,42 +81,14 @@ func (e *Env) tableStats(table string) *stats.TableStats {
 }
 
 // neededColumns maps each table to the set of its columns the query touches
-// anywhere (projection, predicates, grouping, ordering). Index-only scans
-// and vertical-fragment selection both key off this.
-func neededColumns(sel *sqlparse.SelectStmt) map[string]map[string]bool {
-	out := make(map[string]map[string]bool)
-	add := func(c *sqlparse.ColumnRef) {
-		lt := strings.ToLower(c.Table)
-		if out[lt] == nil {
-			out[lt] = make(map[string]bool)
-		}
-		out[lt][strings.ToLower(c.Column)] = true
-	}
-	for _, p := range sel.Projections {
-		if _, star := p.Expr.(*sqlparse.StarExpr); star {
-			continue // handled by caller: star needs all columns
-		}
-		sqlparse.WalkColumns(p.Expr, add)
-	}
-	sqlparse.WalkColumns(sel.Where, add)
-	for _, g := range sel.GroupBy {
-		sqlparse.WalkColumns(g, add)
-	}
-	sqlparse.WalkColumns(sel.Having, add)
-	for _, o := range sel.OrderBy {
-		sqlparse.WalkColumns(o.Expr, add)
-	}
-	return out
-}
-
-// hasStar reports whether the query projects *.
-func hasStar(sel *sqlparse.SelectStmt) bool {
-	for _, p := range sel.Projections {
-		if _, ok := p.Expr.(*sqlparse.StarExpr); ok {
-			return true
-		}
-	}
-	return false
+// anywhere (projection, predicates, grouping, ordering), plus whether the
+// query projects * (star needs all columns; the caller handles it).
+// Index-only scans and vertical-fragment selection both key off this, and
+// the engine's delta costing keys its relevance sets off the SAME walk
+// (sqlparse.ReferencedColumns) — one source of truth, so the two can never
+// drift apart and silently break delta exactness.
+func neededColumns(sel *sqlparse.SelectStmt) (map[string]map[string]bool, bool) {
+	return sqlparse.ReferencedColumns(sel)
 }
 
 // columnsOf returns the needed-column set for a table as a sorted slice.

@@ -37,8 +37,7 @@ func (e *Env) Optimize(sel *sqlparse.SelectStmt) (*Plan, error) {
 	}
 
 	filters, joins, residual := sqlparse.SplitPredicates(sel)
-	needed := neededColumns(sel)
-	star := hasStar(sel)
+	needed, star := neededColumns(sel)
 
 	st := &joinState{
 		env:          e,

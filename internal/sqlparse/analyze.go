@@ -62,6 +62,39 @@ func WalkColumns(e Expr, fn func(*ColumnRef)) {
 	}
 }
 
+// ReferencedColumns returns, per lower-case table name, the set of
+// lower-case columns a resolved statement references anywhere —
+// projections, WHERE, GROUP BY, HAVING, ORDER BY — plus whether the
+// statement projects a bare star. This is the per-query relevance set the
+// engine's delta costing keys on: an index over columns a query never
+// mentions cannot enter any of its plans.
+func ReferencedColumns(sel *SelectStmt) (cols map[string]map[string]bool, star bool) {
+	cols = make(map[string]map[string]bool)
+	add := func(c *ColumnRef) {
+		lt, lc := strings.ToLower(c.Table), strings.ToLower(c.Column)
+		if cols[lt] == nil {
+			cols[lt] = make(map[string]bool)
+		}
+		cols[lt][lc] = true
+	}
+	for _, p := range sel.Projections {
+		if _, ok := p.Expr.(*StarExpr); ok {
+			star = true
+			continue
+		}
+		WalkColumns(p.Expr, add)
+	}
+	WalkColumns(sel.Where, add)
+	for _, g := range sel.GroupBy {
+		WalkColumns(g, add)
+	}
+	WalkColumns(sel.Having, add)
+	for _, o := range sel.OrderBy {
+		WalkColumns(o.Expr, add)
+	}
+	return cols, star
+}
+
 // ColumnsIn returns the distinct table-qualified columns referenced by the
 // expression, as "table.column" (lower-cased), in first-seen order.
 func ColumnsIn(e Expr) []string {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/sqlparse"
@@ -30,6 +31,19 @@ func (w *Workload) TotalWeight() float64 {
 		t += q.Weight
 	}
 	return t
+}
+
+// Fingerprint identifies the workload by content: query IDs, SQL, weights,
+// and order. Two workloads with equal fingerprints are interchangeable for
+// costing, so every warm-start layer (engine delta evaluation, greedy
+// frontier replay, designer re-advise) keys its reuse decisions on this one
+// definition.
+func (w *Workload) Fingerprint() string {
+	var b strings.Builder
+	for _, q := range w.Queries {
+		fmt.Fprintf(&b, "%s\x00%s\x00%g\x01", q.ID, q.SQL, q.Weight)
+	}
+	return b.String()
 }
 
 // Template generates a parameterized SQL instance. Template functions are
