@@ -27,6 +27,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	experiments := fs.String("experiments", "", "comma-separated experiments ("+strings.Join(bench.ExperimentNames(), "|")+"); overrides the profile")
 	queries := fs.Int("queries", 0, "workload queries per matrix cell; overrides the profile")
 	repeat := fs.Int("repeat", 0, "timing repetitions; overrides the profile")
+	workers := fs.Int("workers", 0, "sweep worker goroutines per engine (0 = GOMAXPROCS)")
 	label := fs.String("label", "", "output label (default: the profile name)")
 	out := fs.String("out", ".", "directory for BENCH_<label>.json")
 	jsonOut := fs.Bool("json", false, "print the JSON document to stdout instead of the table")
@@ -70,6 +71,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	}
 	if *repeat > 0 {
 		spec.Repeat = *repeat
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
 	}
 	if *backend != "" {
 		spec.Backend = *backend

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/designer"
 	"repro/designer/serve"
 )
 
@@ -29,6 +31,8 @@ func runServe(args []string, ctl *serveControl) error {
 	df := commonFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:0 for an ephemeral port)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	worker := fs.Bool("worker", false, "worker mode: additionally serve the shard-pricing endpoint (POST /api/v1/shards/sweep)")
+	workers := fs.String("workers", "", "in-process sweep width N, or comma-separated worker base URLs for coordinator mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,7 +40,32 @@ func runServe(args []string, ctl *serveControl) error {
 	if err != nil {
 		return err
 	}
-	srv := serve.New(d)
+	var opts []serve.Option
+	if *worker {
+		opts = append(opts, serve.WithWorkerMode())
+	}
+	if *workers != "" {
+		if n, convErr := strconv.Atoi(*workers); convErr == nil {
+			d.SetWorkers(n)
+		} else {
+			// Not an integer: a comma-separated worker URL list, i.e.
+			// coordinator mode over remote shard workers.
+			if *worker {
+				return fmt.Errorf("--worker cannot be combined with --workers=<urls>: a worker must not re-distribute its shards")
+			}
+			fp := d.Fingerprint()
+			var shardWorkers []designer.ShardWorker
+			for _, u := range splitCSV(*workers) {
+				shardWorkers = append(shardWorkers, serve.NewShardClient(u, fp))
+			}
+			if len(shardWorkers) == 0 {
+				return fmt.Errorf("--workers=%q names no worker URLs", *workers)
+			}
+			d.SetShardWorkers(shardWorkers...)
+			fmt.Fprintf(os.Stderr, "dbdesigner: coordinating sweeps across %d worker(s)\n", len(shardWorkers))
+		}
+	}
+	srv := serve.New(d, opts...)
 	if err := srv.Start(*addr); err != nil {
 		return err
 	}

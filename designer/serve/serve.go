@@ -62,6 +62,8 @@ type Server struct {
 	// handlers (SSE) exit instead of holding graceful shutdown hostage.
 	closing   chan struct{}
 	closeOnce sync.Once
+	// worker enables the shard-pricing endpoint (WithWorkerMode).
+	worker bool
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -133,14 +135,28 @@ func (sess *session) dropKey(key string) {
 	}
 }
 
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithWorkerMode enables the shard-pricing endpoint
+// (POST /api/v1/shards/sweep): the server answers coordinator shard
+// requests in addition to the regular facade routes. Wired by
+// `dbdesigner serve --worker`.
+func WithWorkerMode() Option {
+	return func(s *Server) { s.worker = true }
+}
+
 // New creates a server over the designer.
-func New(d *designer.Designer) *Server {
+func New(d *designer.Designer, opts ...Option) *Server {
 	s := &Server{
 		d:        d,
 		mux:      http.NewServeMux(),
 		sessions: make(map[string]*session),
 		done:     make(chan struct{}),
 		closing:  make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.routes()
 	return s
@@ -213,6 +229,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/tuner/observe", s.handleTunerObserve)
 	s.mux.HandleFunc("GET /api/v1/tuner/status", s.handleTunerStatus)
 	s.mux.HandleFunc("GET /api/v1/tuner/stream", s.handleTunerStream)
+	if s.worker {
+		s.mux.HandleFunc("POST /api/v1/shards/sweep", s.handleShardSweep)
+	}
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/designer"
+)
+
+// This file is the HTTP leg of the shard protocol: the worker-side
+// POST /api/v1/shards/sweep handler (enabled by WithWorkerMode, i.e.
+// `dbdesigner serve --worker`) and the coordinator-side ShardClient that
+// designer.SetShardWorkers deals sweeps through.
+//
+// Wire determinism: queries ship as (id, sql, weight, template guidance),
+// configurations as explicit index lists with their honest what-if sizes;
+// encoding/json renders float64 with strconv's shortest-round-trip form, so
+// every cost crosses the wire bit-exactly. A fingerprint of the dataset and
+// backend guards both ends — a worker serving a different seed or cost
+// model rejects the request (409) instead of merging divergent numbers, and
+// the coordinator's local fallback keeps the sweep correct.
+
+// shardIndexJSON carries one index with the sizing attributes costing
+// depends on (the session DTO indexJSON omits height and uniqueness).
+type shardIndexJSON struct {
+	Name         string   `json:"name,omitempty"`
+	Table        string   `json:"table"`
+	Columns      []string `json:"columns"`
+	Unique       bool     `json:"unique,omitempty"`
+	Hypothetical bool     `json:"hypothetical,omitempty"`
+	Pages        int64    `json:"pages,omitempty"`
+	Height       int      `json:"height,omitempty"`
+}
+
+func toShardIndexJSON(ix designer.Index) shardIndexJSON {
+	return shardIndexJSON{
+		Name:         ix.Name,
+		Table:        ix.Table,
+		Columns:      ix.Columns,
+		Unique:       ix.Unique,
+		Hypothetical: ix.Hypothetical,
+		Pages:        ix.EstimatedPages,
+		Height:       ix.EstimatedHeight,
+	}
+}
+
+func (j shardIndexJSON) index() designer.Index {
+	return designer.Index{
+		Name:            j.Name,
+		Table:           j.Table,
+		Columns:         j.Columns,
+		Unique:          j.Unique,
+		Hypothetical:    j.Hypothetical,
+		EstimatedPages:  j.Pages,
+		EstimatedHeight: j.Height,
+	}
+}
+
+func toShardIndexesJSON(ixs []designer.Index) []shardIndexJSON {
+	if ixs == nil {
+		return nil
+	}
+	out := make([]shardIndexJSON, len(ixs))
+	for i, ix := range ixs {
+		out[i] = toShardIndexJSON(ix)
+	}
+	return out
+}
+
+type shardQueryJSON struct {
+	ID     string  `json:"id"`
+	SQL    string  `json:"sql"`
+	Weight float64 `json:"weight"`
+	// Prepare is the candidate guidance this query's plan templates must
+	// be built with (absent = unguided).
+	Prepare []shardIndexJSON `json:"prepare,omitempty"`
+}
+
+type shardSweepRequestJSON struct {
+	// Fingerprint pins the dataset + backend both ends must share.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Mode is "sweep" (price Configs) or "evaluate" (price Base vs Config).
+	Mode    string             `json:"mode"`
+	Queries []shardQueryJSON   `json:"queries"`
+	Configs [][]shardIndexJSON `json:"configs,omitempty"`
+	Base    []shardIndexJSON   `json:"base,omitempty"`
+	Config  []shardIndexJSON   `json:"config,omitempty"`
+}
+
+type shardBenefitJSON struct {
+	ID       string  `json:"id"`
+	BaseCost float64 `json:"base_cost"`
+	NewCost  float64 `json:"new_cost"`
+}
+
+type shardSweepResponseJSON struct {
+	Costs    []float64          `json:"costs,omitempty"`
+	Benefits []shardBenefitJSON `json:"benefits,omitempty"`
+}
+
+// shardMaxBody caps shard request bodies. Shards carry whole config
+// families (configs × indexes), so the cap is far above the 1MB session
+// default.
+const shardMaxBody = 64 << 20
+
+// shardNamespace derives the worker-local query-ID namespace for a
+// request: a hash of the fingerprint plus each query's identity and
+// template guidance. Entries in the worker's INUM cache are keyed by query
+// ID and keep the templates of their first build, so requests whose
+// guidance differs must land on different IDs — while repeats of the same
+// sweep land on the same IDs and reuse the worker's warm entries.
+func shardNamespace(req *shardSweepRequestJSON) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\n", req.Fingerprint)
+	for _, q := range req.Queries {
+		fmt.Fprintf(h, "%s\x00%s\x00", q.ID, q.SQL)
+		for _, ix := range q.Prepare {
+			fmt.Fprintf(h, "%s(%s)|", strings.ToLower(ix.Table), strings.ToLower(strings.Join(ix.Columns, ",")))
+		}
+		fmt.Fprintln(h)
+	}
+	return fmt.Sprintf("shard:%016x|", h.Sum64())
+}
+
+func configFromShardJSON(ixs []shardIndexJSON) *designer.Configuration {
+	cfg := designer.NewConfiguration()
+	for _, j := range ixs {
+		cfg = cfg.WithIndex(j.index())
+	}
+	return cfg
+}
+
+// handleShardSweep serves one shard of a coordinator's sweep. Registered
+// only in worker mode.
+func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
+	var req shardSweepRequestJSON
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, shardMaxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading shard request: %w", err))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	if req.Fingerprint != "" {
+		if own := s.d.Fingerprint(); req.Fingerprint != own {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("fingerprint mismatch: coordinator %s, worker %s (different dataset, seed, or backend)", req.Fingerprint, own))
+			return
+		}
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("shard request without queries"))
+		return
+	}
+
+	// Namespace the query IDs so differently-guided preparations of the
+	// same coordinator query never alias in this worker's long-lived cache.
+	ns := shardNamespace(&req)
+	queries := make([]designer.Query, len(req.Queries))
+	prepare := make([][]designer.Index, len(req.Queries))
+	for i, qj := range req.Queries {
+		pq, err := s.d.ParseQuery(ns+qj.ID, qj.SQL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %s: %w", qj.ID, err))
+			return
+		}
+		queries[i] = pq.WithWeight(qj.Weight)
+		if qj.Prepare != nil {
+			guide := make([]designer.Index, len(qj.Prepare))
+			for k, ix := range qj.Prepare {
+				guide[k] = ix.index()
+			}
+			prepare[i] = guide
+		}
+	}
+	wl, err := designer.NewWorkload(queries...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	switch req.Mode {
+	case "sweep":
+		cfgs := make([]*designer.Configuration, len(req.Configs))
+		for i, ixs := range req.Configs {
+			cfgs[i] = configFromShardJSON(ixs)
+		}
+		costs, err := s.d.SweepShard(r.Context(), &designer.SweepShardRequest{
+			Workload: wl, Prepare: prepare, Configs: cfgs,
+		})
+		if err != nil {
+			writeFacadeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, shardSweepResponseJSON{Costs: costs})
+	case "evaluate":
+		qbs, err := s.d.EvaluateShard(r.Context(), &designer.EvaluateShardRequest{
+			Workload: wl,
+			Base:     configFromShardJSON(req.Base),
+			Config:   configFromShardJSON(req.Config),
+		})
+		if err != nil {
+			writeFacadeError(w, r, err)
+			return
+		}
+		out := make([]shardBenefitJSON, len(qbs))
+		for i, qb := range qbs {
+			// Report under the coordinator's IDs, not the namespaced ones.
+			out[i] = shardBenefitJSON{ID: req.Queries[i].ID, BaseCost: qb.BaseCost, NewCost: qb.NewCost}
+		}
+		writeJSON(w, http.StatusOK, shardSweepResponseJSON{Benefits: out})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown shard mode %q", req.Mode))
+	}
+}
+
+// ShardClient is the coordinator-side designer.ShardWorker over HTTP: it
+// ships shards to one worker process's /api/v1/shards/sweep endpoint.
+type ShardClient struct {
+	base        string
+	fingerprint string
+	hc          *http.Client
+}
+
+// NewShardClient builds a client for one worker endpoint (e.g.
+// "http://127.0.0.1:8081"). fingerprint should be the coordinating
+// designer's Fingerprint(); the worker rejects the request if its own
+// differs, which turns a mis-wired worker into a clean local fallback
+// instead of silent cost divergence.
+func NewShardClient(baseURL, fingerprint string) *ShardClient {
+	return &ShardClient{
+		base:        strings.TrimRight(baseURL, "/"),
+		fingerprint: fingerprint,
+		hc:          &http.Client{},
+	}
+}
+
+// Name identifies the worker endpoint.
+func (c *ShardClient) Name() string { return c.base }
+
+// SetHTTPClient overrides the transport (tests, custom timeouts).
+func (c *ShardClient) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+func shardQueriesJSON(w *designer.Workload, prepare [][]designer.Index) []shardQueryJSON {
+	qs := w.Queries()
+	out := make([]shardQueryJSON, len(qs))
+	for i, q := range qs {
+		qj := shardQueryJSON{ID: q.ID(), SQL: q.SQL(), Weight: q.Weight()}
+		if i < len(prepare) && prepare[i] != nil {
+			qj.Prepare = toShardIndexesJSON(prepare[i])
+		}
+		out[i] = qj
+	}
+	return out
+}
+
+func configShardJSON(cfg *designer.Configuration) []shardIndexJSON {
+	if cfg == nil {
+		return []shardIndexJSON{}
+	}
+	out := toShardIndexesJSON(cfg.Indexes())
+	if out == nil {
+		out = []shardIndexJSON{}
+	}
+	return out
+}
+
+// SweepShard prices one configuration-sweep shard on the worker.
+func (c *ShardClient) SweepShard(ctx context.Context, req *designer.SweepShardRequest) ([]float64, error) {
+	wire := shardSweepRequestJSON{
+		Fingerprint: c.fingerprint,
+		Mode:        "sweep",
+		Queries:     shardQueriesJSON(req.Workload, req.Prepare),
+		Configs:     make([][]shardIndexJSON, len(req.Configs)),
+	}
+	for i, cfg := range req.Configs {
+		wire.Configs[i] = configShardJSON(cfg)
+	}
+	resp, err := c.post(ctx, &wire)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Costs) != len(req.Configs) {
+		return nil, fmt.Errorf("shard worker %s: %d costs for %d configs", c.base, len(resp.Costs), len(req.Configs))
+	}
+	return resp.Costs, nil
+}
+
+// EvaluateShard prices one evaluation shard on the worker.
+func (c *ShardClient) EvaluateShard(ctx context.Context, req *designer.EvaluateShardRequest) ([]designer.QueryBenefit, error) {
+	wire := shardSweepRequestJSON{
+		Fingerprint: c.fingerprint,
+		Mode:        "evaluate",
+		Queries:     shardQueriesJSON(req.Workload, nil),
+		Base:        configShardJSON(req.Base),
+		Config:      configShardJSON(req.Config),
+	}
+	resp, err := c.post(ctx, &wire)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Benefits) != req.Workload.Len() {
+		return nil, fmt.Errorf("shard worker %s: %d benefits for %d queries", c.base, len(resp.Benefits), req.Workload.Len())
+	}
+	out := make([]designer.QueryBenefit, len(resp.Benefits))
+	for i, b := range resp.Benefits {
+		out[i] = designer.QueryBenefit{ID: b.ID, BaseCost: b.BaseCost, NewCost: b.NewCost}
+	}
+	return out, nil
+}
+
+func (c *ShardClient) post(ctx context.Context, wire *shardSweepRequestJSON) (*shardSweepResponseJSON, error) {
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/shards/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("shard worker %s: %w", c.base, err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, shardMaxBody))
+	if err != nil {
+		return nil, fmt.Errorf("shard worker %s: %w", c.base, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e errorJSON
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("shard worker %s: %s (HTTP %d)", c.base, e.Error, httpResp.StatusCode)
+		}
+		return nil, fmt.Errorf("shard worker %s: HTTP %d", c.base, httpResp.StatusCode)
+	}
+	var resp shardSweepResponseJSON
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("shard worker %s: invalid response: %w", c.base, err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,251 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/designer"
+	"repro/designer/serve"
+)
+
+// startWorker boots a worker-mode server over the tiny dataset with the
+// given seed and returns its base URL (scheme://host:port — ShardClient
+// appends the API path itself).
+func startWorker(t *testing.T, seed int64) string {
+	t.Helper()
+	d, err := designer.OpenSDSS("tiny", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(d, serve.WithWorkerMode())
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("worker shutdown: %v", err)
+		}
+	})
+	return "http://" + s.Addr()
+}
+
+// openTiny opens a designer over the shared tiny dataset.
+func openTiny(t *testing.T) *designer.Designer {
+	t.Helper()
+	d, err := designer.OpenSDSS("tiny", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestShardEndpointOnlyInWorkerMode asserts the shard route exists only
+// behind WithWorkerMode: a regular API server 404s it.
+func TestShardEndpointOnlyInWorkerMode(t *testing.T) {
+	base := start(t) // regular server, .../api/v1
+	resp, err := http.Post(base+"/shards/sweep", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shard endpoint on a non-worker server: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShardClientMatchesLocalShard prices the same shard through a worker
+// process (over HTTP) and through the coordinator's local primitive, and
+// asserts bit-identical costs and benefits — the wire leg of the
+// determinism contract, float64 round-trip included.
+func TestShardClientMatchesLocalShard(t *testing.T) {
+	d := openTiny(t)
+	wl, err := d.GenerateWorkload(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1, err := d.HypotheticalIndex("photoobj", "ra", "dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := d.HypotheticalIndex("specobj", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []*designer.Configuration{
+		designer.NewConfiguration(),
+		designer.NewConfiguration().WithIndex(ix1),
+		designer.NewConfiguration().WithIndex(ix1).WithIndex(ix2),
+	}
+	sweepReq := &designer.SweepShardRequest{
+		Workload: wl,
+		Prepare:  make([][]designer.Index, wl.Len()),
+		Configs:  cfgs,
+	}
+	ctx := context.Background()
+	local, err := d.SweepShard(ctx, sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := serve.NewShardClient(startWorker(t, 41), d.Fingerprint())
+	remote, err := client.SweepShard(ctx, sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if remote[i] != local[i] {
+			t.Fatalf("config %d: remote %v != local %v", i, remote[i], local[i])
+		}
+	}
+
+	evalReq := &designer.EvaluateShardRequest{Workload: wl, Base: designer.NewConfiguration(), Config: cfgs[2]}
+	localQB, err := d.EvaluateShard(ctx, evalReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteQB, err := client.EvaluateShard(ctx, evalReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range localQB {
+		if remoteQB[i].BaseCost != localQB[i].BaseCost || remoteQB[i].NewCost != localQB[i].NewCost {
+			t.Fatalf("query %d: remote (%v -> %v) != local (%v -> %v)", i,
+				remoteQB[i].BaseCost, remoteQB[i].NewCost, localQB[i].BaseCost, localQB[i].NewCost)
+		}
+		if remoteQB[i].ID != wl.Queries()[i].ID() {
+			t.Fatalf("query %d: remote reported ID %q, want the coordinator's %q", i, remoteQB[i].ID, wl.Queries()[i].ID())
+		}
+	}
+}
+
+// TestDistributedDesignerMatchesLocal runs the full facade pipeline —
+// advise and evaluate — on a coordinator sharding over two HTTP workers,
+// and asserts the answers are bit-identical to an undistributed designer
+// over the same dataset.
+func TestDistributedDesignerMatchesLocal(t *testing.T) {
+	ctx := context.Background()
+	local := openTiny(t)
+	coord := openTiny(t)
+	fp := coord.Fingerprint()
+	coord.SetShardWorkers(
+		serve.NewShardClient(startWorker(t, 41), fp),
+		serve.NewShardClient(startWorker(t, 41), fp),
+	)
+
+	localW, err := local.GenerateWorkload(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordW, err := coord.GenerateWorkload(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := designer.AdviceOptions{}
+	localAdv, err := local.Advise(ctx, localW, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordAdv, err := coord.Advise(ctx, coordW, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coordAdv.Indexes) != len(localAdv.Indexes) {
+		t.Fatalf("distributed advise chose %d indexes, local %d", len(coordAdv.Indexes), len(localAdv.Indexes))
+	}
+	for i := range localAdv.Indexes {
+		if coordAdv.Indexes[i].Key() != localAdv.Indexes[i].Key() {
+			t.Fatalf("index %d: distributed %s != local %s", i, coordAdv.Indexes[i].Key(), localAdv.Indexes[i].Key())
+		}
+	}
+	if coordAdv.Report.BaseTotal != localAdv.Report.BaseTotal || coordAdv.Report.NewTotal != localAdv.Report.NewTotal {
+		t.Fatalf("distributed report (%v -> %v) != local (%v -> %v)",
+			coordAdv.Report.BaseTotal, coordAdv.Report.NewTotal, localAdv.Report.BaseTotal, localAdv.Report.NewTotal)
+	}
+
+	cfg := designer.NewConfiguration()
+	for _, ix := range localAdv.Indexes {
+		cfg = cfg.WithIndex(ix)
+	}
+	localRep, err := local.Evaluate(ctx, localW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordRep, err := coord.Evaluate(ctx, coordW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coordRep.BaseTotal != localRep.BaseTotal || coordRep.NewTotal != localRep.NewTotal {
+		t.Fatalf("distributed evaluate (%v -> %v) != local (%v -> %v)",
+			coordRep.BaseTotal, coordRep.NewTotal, localRep.BaseTotal, localRep.NewTotal)
+	}
+
+	// Detaching the workers restores strictly-local behavior.
+	coord.SetShardWorkers()
+	detached, err := coord.Evaluate(ctx, coordW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detached.BaseTotal != localRep.BaseTotal || detached.NewTotal != localRep.NewTotal {
+		t.Fatal("detached coordinator diverged from local pricing")
+	}
+}
+
+// TestShardFingerprintMismatch asserts a worker over a different dataset
+// rejects the shard (409 surfaced as an error), and a coordinator wired to
+// such a worker falls back to local pricing with identical results.
+func TestShardFingerprintMismatch(t *testing.T) {
+	ctx := context.Background()
+	d := openTiny(t)
+	wrongURL := startWorker(t, 43) // different seed, different dataset
+
+	client := serve.NewShardClient(wrongURL, d.Fingerprint())
+	wl, err := d.GenerateWorkload(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &designer.SweepShardRequest{
+		Workload: wl,
+		Prepare:  make([][]designer.Index, wl.Len()),
+		Configs:  []*designer.Configuration{designer.NewConfiguration()},
+	}
+	if _, err := client.SweepShard(ctx, req); err == nil {
+		t.Fatal("mismatched worker accepted the shard")
+	} else if !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("mismatch error = %v, want a fingerprint mismatch", err)
+	}
+
+	// Wired into a coordinator, the mismatch degrades to local fallback.
+	local := openTiny(t)
+	localW, err := local.GenerateWorkload(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetShardWorkers(client)
+	coordW, err := d.GenerateWorkload(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := d.HypotheticalIndex("photoobj", "ra", "dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := designer.NewConfiguration().WithIndex(ix)
+	want, err := local.Evaluate(ctx, localW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Evaluate(ctx, coordW, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseTotal != want.BaseTotal || got.NewTotal != want.NewTotal {
+		t.Fatalf("fallback evaluate (%v -> %v) != local (%v -> %v)",
+			got.BaseTotal, got.NewTotal, want.BaseTotal, want.NewTotal)
+	}
+}

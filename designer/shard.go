@@ -1,0 +1,207 @@
+package designer
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// This file is the facade of the shared-nothing costing fabric: the shard
+// protocol's request shapes, the worker-serving entry points a serve
+// process in --worker mode prices through, and the coordinator wiring that
+// shards a designer's sweeps across remote workers. All types are owned by
+// this package (api hygiene), with the engine adaptation kept internal.
+
+// SweepShardRequest is one shard of a configuration sweep: price Workload
+// under every member of Configs.
+type SweepShardRequest struct {
+	Workload *Workload
+	// Prepare[i] is the candidate guidance query i's plan templates must be
+	// built with (nil = unguided). Matching the coordinator's guidance is
+	// what makes shard costs bit-identical to the coordinator's own.
+	Prepare [][]Index
+	// Configs are explicit designs — the coordinator resolves "nil = base"
+	// before sharding, so workers never consult their own base.
+	Configs []*Configuration
+}
+
+// EvaluateShardRequest is one shard of a benefit evaluation: price every
+// query of Workload under Base and Config with the reference cost model.
+type EvaluateShardRequest struct {
+	Workload *Workload
+	Base     *Configuration
+	Config   *Configuration
+}
+
+// ShardWorker prices shards of sweep work, typically in another process
+// behind serve's POST /api/v1/shards/sweep (see serve.ShardClient). The
+// contract: a worker opened over the same dataset (size, seed) and backend
+// spec returns exactly the float64 costs the coordinator would compute —
+// costing is pure float64 arithmetic over identical statistics, and the
+// JSON wire round-trips float64 losslessly.
+type ShardWorker interface {
+	// Name identifies the worker (e.g. its base URL) in errors.
+	Name() string
+	SweepShard(ctx context.Context, req *SweepShardRequest) ([]float64, error)
+	// EvaluateShard returns weighted per-query benefits in workload order.
+	EvaluateShard(ctx context.Context, req *EvaluateShardRequest) ([]QueryBenefit, error)
+}
+
+// SetWorkers bounds the in-process sweep pool (0 restores the GOMAXPROCS
+// default) — the dbdesigner --workers N wiring.
+func (d *Designer) SetWorkers(n int) { d.eng.SetWorkers(n) }
+
+// Workers reports the effective in-process sweep pool width.
+func (d *Designer) Workers() int { return d.eng.Workers() }
+
+// SetShardWorkers attaches remote shard workers: subsequent eligible sweeps
+// and evaluations are sharded across them (coordinator mode), with local
+// fallback on any worker failure. Calling with no workers detaches the
+// coordinator. Workers must serve the same dataset and backend spec as this
+// designer — guard with Fingerprint.
+func (d *Designer) SetShardWorkers(workers ...ShardWorker) {
+	if len(workers) == 0 {
+		d.eng.SetDistributor(nil)
+		return
+	}
+	adapted := make([]engine.ShardWorker, len(workers))
+	for i, w := range workers {
+		adapted[i] = &shardWorkerAdapter{w: w}
+	}
+	d.eng.SetDistributor(engine.NewDistributedSweep(adapted...))
+}
+
+// SweepShard prices one shard strictly in-process — the worker-serving
+// primitive behind serve's shard endpoint. It never re-distributes.
+func (d *Designer) SweepShard(ctx context.Context, req *SweepShardRequest) ([]float64, error) {
+	if req == nil || req.Workload == nil {
+		return nil, fmt.Errorf("designer: shard request without a workload")
+	}
+	iw := req.Workload.internal()
+	prepare := make([][]*catalog.Index, len(req.Prepare))
+	for i, g := range req.Prepare {
+		prepare[i] = indexesToInternal(g)
+	}
+	cfgs := make([]*catalog.Configuration, len(req.Configs))
+	for i, c := range req.Configs {
+		cfgs[i] = c.base()
+	}
+	return d.eng.Pin().SweepShardLocal(ctx, iw, prepare, cfgs)
+}
+
+// EvaluateShard prices one evaluation shard strictly in-process — the
+// worker-serving primitive behind the shard endpoint's evaluate mode.
+func (d *Designer) EvaluateShard(ctx context.Context, req *EvaluateShardRequest) ([]QueryBenefit, error) {
+	if req == nil || req.Workload == nil {
+		return nil, fmt.Errorf("designer: shard request without a workload")
+	}
+	qbs, err := d.eng.Pin().EvaluateAgainstLocal(ctx, req.Workload.internal(), req.Base.base(), req.Config.base())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QueryBenefit, len(qbs))
+	for i, qb := range qbs {
+		out[i] = QueryBenefit{ID: qb.ID, SQL: qb.SQL, BaseCost: qb.BaseCost, NewCost: qb.NewCost}
+	}
+	return out, nil
+}
+
+// Fingerprint identifies the dataset and cost model this designer prices
+// with: backend kind and description, every table's shape, and the full
+// statistics catalog (NDV, null fractions, bounds, MCVs, histograms,
+// correlations), hashed. Statistics are what costs are computed from, so
+// two same-shape datasets generated from different seeds hash differently.
+// A coordinator and its shard workers must agree on the fingerprint —
+// serve's shard endpoint rejects mismatched requests, which is what keeps
+// a worker over the wrong seed from silently merging divergent costs.
+func (d *Designer) Fingerprint() string {
+	info := d.Describe()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "backend=%s|%s\n", info.Backend.Kind, info.Backend.Description)
+	tables := append([]TableInfo(nil), info.Tables...)
+	sort.Slice(tables, func(a, b int) bool { return tables[a].Name < tables[b].Name })
+	for _, t := range tables {
+		fmt.Fprintf(h, "table=%s rows=%d pages=%d width=%d cols=", t.Name, t.RowCount, t.Pages, t.RowWidthBytes)
+		for _, c := range t.Columns {
+			fmt.Fprintf(h, "%s:%s,", c.Name, c.Type)
+		}
+		fmt.Fprintln(h)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.store.Stats.Tables))
+	for name := range d.store.Stats.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := d.store.Stats.Tables[name]
+		fmt.Fprintf(h, "stats=%s rows=%d pages=%d\n", name, ts.RowCount, ts.Pages)
+		cols := make([]string, 0, len(ts.Columns))
+		for col := range ts.Columns {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			cs := ts.Columns[col]
+			fmt.Fprintf(h, "col=%s ndv=%d null=%g min=%s max=%s corr=%g width=%d\n",
+				col, cs.NDV, cs.NullFrac, cs.Min, cs.Max, cs.Correlation, cs.AvgWidth)
+			for _, m := range cs.MCVs {
+				fmt.Fprintf(h, "mcv=%s:%g,", m.Value, m.Freq)
+			}
+			if cs.Hist != nil {
+				for _, b := range cs.Hist.Bounds {
+					fmt.Fprintf(h, "hb=%s,", b)
+				}
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// shardWorkerAdapter lifts a facade ShardWorker into the engine's
+// coordinator interface, converting internal types at the boundary.
+type shardWorkerAdapter struct {
+	w ShardWorker
+}
+
+func (a *shardWorkerAdapter) Name() string { return a.w.Name() }
+
+func (a *shardWorkerAdapter) SweepShard(ctx context.Context, w *workload.Workload, prepare [][]*catalog.Index, cfgs []*catalog.Configuration) ([]float64, error) {
+	req := &SweepShardRequest{
+		Workload: workloadFromInternal(w),
+		Prepare:  make([][]Index, len(prepare)),
+		Configs:  make([]*Configuration, len(cfgs)),
+	}
+	for i, g := range prepare {
+		req.Prepare[i] = indexesFromInternal(g)
+	}
+	for i, cfg := range cfgs {
+		req.Configs[i] = configFromInternal(cfg)
+	}
+	return a.w.SweepShard(ctx, req)
+}
+
+func (a *shardWorkerAdapter) EvaluateShard(ctx context.Context, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, error) {
+	req := &EvaluateShardRequest{
+		Workload: workloadFromInternal(w),
+		Base:     configFromInternal(base),
+		Config:   configFromInternal(cfg),
+	}
+	qbs, err := a.w.EvaluateShard(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]whatif.QueryBenefit, len(qbs))
+	for i, qb := range qbs {
+		out[i] = whatif.QueryBenefit{ID: qb.ID, SQL: qb.SQL, BaseCost: qb.BaseCost, NewCost: qb.NewCost}
+	}
+	return out, nil
+}

@@ -46,6 +46,10 @@ type Env struct {
 	// backendSpec rebuilds engines with the Env's backend (FreshEngine).
 	backendSpec engine.BackendSpec
 
+	// defaultWorkers is the sweep width experiments restore after a
+	// width-controlled measurement (0 = the engine's GOMAXPROCS default).
+	defaultWorkers int
+
 	// advised caches the default CoPhy recommendation (used by the
 	// interaction and schedule experiments, which analyze an advised set).
 	advisedOnce sync.Once
@@ -101,6 +105,18 @@ func NewEnvWith(sizeName string, seed int64, profile string, numQ int, spec engi
 		Eng:         eng,
 		backendSpec: spec,
 	}, nil
+}
+
+// SetDefaultWorkers bounds the Env engine's sweep pool (0 restores the
+// GOMAXPROCS default) and remembers the width so width-sweeping experiments
+// (parallel_sweep, parallel_scaling) restore it rather than the global
+// default.
+func (e *Env) SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.defaultWorkers = n
+	e.Eng.SetWorkers(n)
 }
 
 var (

@@ -216,11 +216,11 @@ func (e *Env) COLTStream(streamLen, epochLen int) (*COLTResult, error) {
 }
 
 // SweepOnce runs one configuration sweep over the Env's workload with the
-// given worker count (1 = serial, 0 = GOMAXPROCS) and restores the engine's
+// given worker count (1 = serial, 0 = GOMAXPROCS) and restores the Env's
 // worker default before returning.
 func (e *Env) SweepOnce(workers int, cfgs []*catalog.Configuration) error {
 	e.Eng.SetWorkers(workers)
-	defer e.Eng.SetWorkers(0)
+	defer e.Eng.SetWorkers(e.defaultWorkers)
 	_, err := e.Eng.SweepConfigs(context.Background(), e.W, cfgs)
 	return err
 }
@@ -231,7 +231,7 @@ func (e *Env) SweepOnce(workers int, cfgs []*catalog.Configuration) error {
 func (e *Env) SweepParity(cfgs []*catalog.Configuration) (float64, error) {
 	e.Eng.SetWorkers(1)
 	serial, err := e.Eng.SweepConfigs(context.Background(), e.W, cfgs)
-	e.Eng.SetWorkers(0)
+	e.Eng.SetWorkers(e.defaultWorkers)
 	if err != nil {
 		return 0, err
 	}
@@ -250,6 +250,178 @@ func (e *Env) SweepParity(cfgs []*catalog.Configuration) (float64, error) {
 		}
 	}
 	return maxDiff, nil
+}
+
+// ScalingWidths are the fixed sweep widths parallel_scaling measures.
+// Fixed — never GOMAXPROCS — so the experiment's deterministic cells are
+// identical on any machine, including 1-core CI.
+var ScalingWidths = []int{1, 2, 4, 16}
+
+// ScalingCell is one width's measurement in the parallel_scaling experiment.
+type ScalingCell struct {
+	Workers       int
+	SweepExact    bool    // sweep costs bit-identical to the serial sweep
+	SweepMaxDiff  float64 // max |cost - serial cost| (0 when exact)
+	SweepNs       float64
+	ReadviseExact bool // warm re-advise design + report identical to serial
+	ReadviseNs    float64
+}
+
+// ScalingResult is the outcome of one parallel_scaling measurement: the
+// per-width cells plus the distributed (coordinator/worker) parity leg.
+type ScalingResult struct {
+	Configs int
+	Cells   []ScalingCell
+
+	DistWorkers       int
+	DistSweepExact    bool
+	DistSweepMaxDiff  float64
+	DistEvaluateExact bool
+	DistRemoteJobs    int64
+	DistFailedShards  int64
+}
+
+// ParallelScaling measures sweep and warm-re-advise latency at each fixed
+// width, asserting every width's answers are bit-identical to the serial
+// ones, then runs the same sweep through a coordinator over two in-process
+// shard workers (fresh engines on the same dataset) and asserts the merged
+// costs are bit-identical too — the shared-nothing determinism contract as
+// a recorded metric.
+func (e *Env) ParallelScaling(reps int) (*ScalingResult, error) {
+	ctx := context.Background()
+	cfgs := e.SweepFamily(32)
+	out := &ScalingResult{Configs: len(cfgs)}
+
+	var ref []float64 // serial sweep costs (width 1, the first cell)
+	var refKeys []string
+	var refBase, refNew float64
+	for _, width := range ScalingWidths {
+		cell := ScalingCell{Workers: width}
+		e.Eng.SetWorkers(width)
+		costs, err := e.Eng.SweepConfigs(ctx, e.W, cfgs)
+		e.Eng.SetWorkers(e.defaultWorkers)
+		if err != nil {
+			return nil, err
+		}
+		if ref == nil {
+			ref = costs
+		}
+		cell.SweepExact, cell.SweepMaxDiff = costParity(ref, costs)
+		cell.SweepNs, err = timeOp(reps, func() error { return e.SweepOnce(width, cfgs) })
+		if err != nil {
+			return nil, err
+		}
+		keys, baseTotal, newTotal, readviseNs, err := e.readviseAtWidth(width)
+		if err != nil {
+			return nil, err
+		}
+		if refKeys == nil {
+			refKeys, refBase, refNew = keys, baseTotal, newTotal
+		}
+		cell.ReadviseExact = baseTotal == refBase && newTotal == refNew && len(keys) == len(refKeys)
+		if cell.ReadviseExact {
+			for i := range keys {
+				if keys[i] != refKeys[i] {
+					cell.ReadviseExact = false
+					break
+				}
+			}
+		}
+		cell.ReadviseNs = readviseNs
+		out.Cells = append(out.Cells, cell)
+	}
+
+	// Distributed leg: a coordinator over two in-process shard workers, each
+	// a fresh cold-cache engine over the same dataset and backend — the same
+	// merge path serve's ShardClient drives over HTTP, minus the wire.
+	dist := engine.NewDistributedSweep(
+		engine.NewLocalShardWorker("bench-worker-1", e.FreshEngine().Pin()),
+		engine.NewLocalShardWorker("bench-worker-2", e.FreshEngine().Pin()),
+	)
+	e.Eng.SetDistributor(dist)
+	defer e.Eng.SetDistributor(nil)
+	distCosts, err := e.Eng.SweepConfigs(ctx, e.W, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out.DistSweepExact, out.DistSweepMaxDiff = costParity(ref, distCosts)
+
+	// Evaluate parity: the whole-workload benefit report through the
+	// distributor vs the local reference model.
+	cfg := cfgs[len(cfgs)-1]
+	e.Eng.SetDistributor(nil)
+	localRep, err := e.Eng.Evaluate(ctx, e.W, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Eng.SetDistributor(dist)
+	distRep, err := e.Eng.Evaluate(ctx, e.W, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.DistEvaluateExact = localRep.BaseTotal == distRep.BaseTotal &&
+		localRep.NewTotal == distRep.NewTotal
+	out.DistWorkers = dist.Workers()
+	out.DistRemoteJobs, out.DistFailedShards = dist.Stats()
+	return out, nil
+}
+
+// readviseAtWidth answers the incremental-readvise follow-up question (the
+// same first-budget → grown-budget transition IncrementalReadvise measures)
+// on a fresh designer bounded to the given sweep width, returning the
+// advised design's index keys, the report totals, and the warm ReAdvise
+// latency.
+func (e *Env) readviseAtWidth(workers int) (keys []string, baseTotal, newTotal, ns float64, err error) {
+	ctx := context.Background()
+	d, err := e.FreshDesigner()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	d.SetWorkers(workers)
+	fw, err := e.FacadeWorkload(d)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	footprint := e.CandidateFootprint()
+	firstOpts := designer.AdviceOptions{StorageBudgetPages: footprint / 2}
+	grownOpts := designer.AdviceOptions{StorageBudgetPages: footprint * 65 / 100}
+	sess := d.NewDesignSession()
+	if _, err := sess.Advise(ctx, fw, firstOpts); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	start := time.Now()
+	adv, _, err := sess.ReAdvise(ctx, fw, grownOpts)
+	ns = float64(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	keys = make([]string, len(adv.Indexes))
+	for i, ix := range adv.Indexes {
+		keys[i] = ix.Key()
+	}
+	return keys, adv.Report.BaseTotal, adv.Report.NewTotal, ns, nil
+}
+
+// costParity compares a cost vector against the serial reference: exact
+// float64 equality per element, plus the maximum absolute difference.
+func costParity(ref, costs []float64) (exact bool, maxDiff float64) {
+	if len(ref) != len(costs) {
+		return false, 0
+	}
+	exact = true
+	for i := range ref {
+		if costs[i] != ref[i] {
+			exact = false
+		}
+		d := costs[i] - ref[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return exact, maxDiff
 }
 
 // WhatIfDemoConfig builds Scenario 1's demo design: two composite photoobj

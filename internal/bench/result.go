@@ -43,6 +43,10 @@ type RunEnv struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the effective sweep-pool width the suite's engines priced
+	// with (spec.Workers, or GOMAXPROCS when unset). Zero in documents
+	// written before the width was recorded.
+	Workers int `json:"workers,omitempty"`
 }
 
 // CurrentRunEnv captures the running toolchain and machine shape.

@@ -40,6 +40,11 @@ type Spec struct {
 	Queries int
 	// Repeat is how many repetitions timing measurements average over.
 	Repeat int
+	// Workers bounds every Env engine's sweep pool (0 = GOMAXPROCS) — the
+	// `dbdesigner bench --workers N` wiring. The effective width is recorded
+	// in the result's RunEnv. parallel_sweep and parallel_scaling override
+	// the width per measurement and restore this default.
+	Workers int
 	// StreamLen and EpochLen shape the COLT convergence experiment.
 	StreamLen int
 	EpochLen  int
@@ -54,6 +59,7 @@ var CoreExperiments = []string{
 	"parallel_sweep",
 	"backend_portability",
 	"incremental_readvise",
+	"parallel_scaling",
 }
 
 // ExtraExperiments are the secondary figures and ablations.
@@ -76,6 +82,7 @@ var workloadSensitive = map[string]bool{
 	"colt_convergence":     true,
 	"interaction_schedule": true,
 	"parallel_sweep":       true,
+	"parallel_scaling":     true,
 	"incremental_readvise": true,
 	"whatif_session":       true,
 	"offline_advisor":      true,
@@ -222,6 +229,7 @@ var runners = map[string]runner{
 	"colt_convergence":     runCOLTConvergence,
 	"interaction_schedule": runInteractionSchedule,
 	"parallel_sweep":       runParallelSweep,
+	"parallel_scaling":     runParallelScaling,
 	"whatif_session":       runWhatIfSession,
 	"offline_advisor":      runOfflineAdvisor,
 	"autopart":             runAutoPart,
@@ -250,6 +258,13 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Result, error) {
 		Backend:       spec.Backend,
 		Env:           CurrentRunEnv(),
 	}
+	// Record the effective sweep width the suite priced with. RunEnv is
+	// informational (excluded from the stable form), so machine-dependent
+	// defaults are fine here.
+	res.Env.Workers = spec.Workers
+	if res.Env.Workers <= 0 {
+		res.Env.Workers = res.Env.GOMAXPROCS
+	}
 	for _, size := range spec.Sizes {
 		for _, seed := range spec.Seeds {
 			for wi, profile := range spec.Workloads {
@@ -261,6 +276,7 @@ func Run(spec Spec, logf func(format string, args ...any)) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("bench: env %s/%d/%s: %w", size, seed, profile, err)
 				}
+				env.SetDefaultWorkers(spec.Workers)
 				for _, name := range spec.Experiments {
 					if wi > 0 && !workloadSensitive[name] {
 						continue
@@ -586,6 +602,46 @@ func runParallelSweep(e *Env, spec Spec, x *Experiment) error {
 	if parallelNs > 0 {
 		x.TimingNs["speedup_x"] = serialNs / parallelNs
 	}
+	return nil
+}
+
+// runParallelScaling records speedup vs worker count for the costing hot
+// path — the configuration sweep and the warm re-advise — at fixed widths,
+// plus the coordinator/worker distributed leg. Every *_exact count must be
+// 1 and every *_max_abs_diff quality exactly 0 on any machine: parallelism
+// and distribution change latency, never results.
+func runParallelScaling(e *Env, spec Spec, x *Experiment) error {
+	r, err := e.ParallelScaling(spec.Repeat)
+	if err != nil {
+		return err
+	}
+	x.Counts["configs"] = int64(r.Configs)
+	x.Counts["queries"] = int64(len(e.W.Queries))
+	var serialSweepNs, serialReadviseNs float64
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("w%02d", c.Workers)
+		x.Quality[key+"_sweep_max_abs_diff"] = c.SweepMaxDiff
+		x.Counts[key+"_sweep_exact"] = bool01(c.SweepExact)
+		x.Counts[key+"_readvise_exact"] = bool01(c.ReadviseExact)
+		x.TimingNs[key+"_sweep"] = c.SweepNs
+		x.TimingNs[key+"_readvise"] = c.ReadviseNs
+		if c.Workers == 1 {
+			serialSweepNs, serialReadviseNs = c.SweepNs, c.ReadviseNs
+			continue
+		}
+		if c.SweepNs > 0 {
+			x.TimingNs[key+"_sweep_speedup_x"] = serialSweepNs / c.SweepNs
+		}
+		if c.ReadviseNs > 0 {
+			x.TimingNs[key+"_readvise_speedup_x"] = serialReadviseNs / c.ReadviseNs
+		}
+	}
+	x.Counts["dist_workers"] = int64(r.DistWorkers)
+	x.Counts["dist_sweep_exact"] = bool01(r.DistSweepExact)
+	x.Counts["dist_evaluate_exact"] = bool01(r.DistEvaluateExact)
+	x.Counts["dist_remote_jobs"] = r.DistRemoteJobs
+	x.Counts["dist_failed_shards"] = r.DistFailedShards
+	x.Quality["dist_sweep_max_abs_diff"] = r.DistSweepMaxDiff
 	return nil
 }
 

@@ -1,0 +1,256 @@
+// Distributed sweep: the cross-process leg of the costing hot path. A
+// coordinator engine with a DistributedSweep attached shards eligible sweep
+// work — configuration sweeps, candidate sweeps, benefit evaluations —
+// across ShardWorkers (typically designer/serve worker processes behind
+// POST /api/v1/shards/sweep) plus one shard it prices itself, then merges
+// the per-shard costs back in job order.
+//
+// The determinism contract distribution rides on: workers are built over
+// the same generated dataset (size, seed), the same backend spec, and the
+// same Go float64 arithmetic, so given identical statements, template
+// guidance, and explicit configurations they compute exactly the costs the
+// coordinator would; the JSON wire format round-trips float64 losslessly.
+// Every merge therefore returns bit-for-bit what a local (or serial) sweep
+// returns, which the parallel_scaling bench experiment asserts as quality
+// metrics. Work that cannot be shipped exactly — configurations carrying
+// partition layouts, sweeps too small to amortize a round-trip — stays
+// local, and any worker failure re-prices that worker's shard locally:
+// distribution can change latency, never results or availability.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// ShardWorker prices one shard of sweep work, usually in another process.
+type ShardWorker interface {
+	// Name identifies the worker in errors and telemetry.
+	Name() string
+	// SweepShard prices the workload under every configuration; prepare[i]
+	// is the template guidance queries[i] must be prepared with (nil =
+	// unguided). Configurations arrive resolved (never nil).
+	SweepShard(ctx context.Context, w *workload.Workload, prepare [][]*catalog.Index, cfgs []*catalog.Configuration) ([]float64, error)
+	// EvaluateShard prices every query under the two explicit
+	// configurations with the backend's reference model, returning weighted
+	// per-query benefits in workload order.
+	EvaluateShard(ctx context.Context, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, error)
+}
+
+// DefaultMinShardJobs is the sweep size below which work stays local: a
+// handful of cached costings is cheaper than one coordination round-trip.
+const DefaultMinShardJobs = 8
+
+// DistributedSweep is the coordinator: it deals sweep jobs into contiguous
+// shards — one per worker, plus one the coordinator prices itself — and
+// merges the results in job order.
+type DistributedSweep struct {
+	workers []ShardWorker
+
+	// MinJobs gates distribution; sweeps smaller than this run locally.
+	// Zero means DefaultMinShardJobs.
+	MinJobs int
+
+	remoteJobs   atomic.Int64
+	failedShards atomic.Int64
+}
+
+// NewDistributedSweep builds a coordinator over the given workers.
+func NewDistributedSweep(workers ...ShardWorker) *DistributedSweep {
+	return &DistributedSweep{workers: workers}
+}
+
+// Workers reports how many shard workers the coordinator deals across.
+func (d *DistributedSweep) Workers() int { return len(d.workers) }
+
+// Stats reports distribution telemetry: jobs priced remotely, and shards
+// that failed over to local pricing.
+func (d *DistributedSweep) Stats() (remoteJobs, failedShards int64) {
+	return d.remoteJobs.Load(), d.failedShards.Load()
+}
+
+func (d *DistributedSweep) minJobs() int {
+	if d.MinJobs > 0 {
+		return d.MinJobs
+	}
+	return DefaultMinShardJobs
+}
+
+// distributable reports whether a configuration can be shipped on the
+// wire: the shard protocol carries index sets only, so designs with
+// partition layouts stay local.
+func distributable(cfg *catalog.Configuration) bool {
+	return cfg != nil && len(cfg.Vertical) == 0 && len(cfg.Horizontal) == 0
+}
+
+// shardBounds deals n jobs into k contiguous shards (trailing shards may
+// be empty when n < k).
+func shardBounds(n, k int) [][2]int {
+	out := make([][2]int, k)
+	per, extra := n/k, n%k
+	lo := 0
+	for i := range out {
+		size := per
+		if i < extra {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// sweepConfigs shards a resolved configuration sweep. The bool reports
+// whether distribution applied; false means the caller should run the
+// sweep locally.
+func (d *DistributedSweep) sweepConfigs(ctx context.Context, v *View, w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, bool, error) {
+	if len(d.workers) == 0 || len(cfgs) < d.minJobs() {
+		return nil, false, nil
+	}
+	for _, cfg := range cfgs {
+		if !distributable(cfg) {
+			return nil, false, nil
+		}
+	}
+	prepare := v.s.guidesFor(w)
+	costs := make([]float64, len(cfgs))
+	bounds := shardBounds(len(cfgs), len(d.workers)+1)
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	for si, b := range bounds {
+		lo, hi := b[0], b[1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			if si == 0 {
+				// The coordinator's own shard.
+				errs[si] = v.sweepCostsLocal(ctx, w, cfgs[lo:hi], costs[lo:hi])
+				return
+			}
+			wk := d.workers[si-1]
+			sub, err := wk.SweepShard(ctx, w, prepare, cfgs[lo:hi])
+			if err == nil && len(sub) != hi-lo {
+				err = fmt.Errorf("engine: shard worker %s returned %d costs, want %d", wk.Name(), len(sub), hi-lo)
+			}
+			if err == nil {
+				copy(costs[lo:hi], sub)
+				d.remoteJobs.Add(int64(hi - lo))
+				return
+			}
+			if ctx.Err() != nil {
+				errs[si] = ctx.Err()
+				return
+			}
+			// Fall back: re-price the failed shard locally, so a dead or
+			// divergent worker degrades throughput, never correctness.
+			d.failedShards.Add(1)
+			errs[si] = v.sweepCostsLocal(ctx, w, cfgs[lo:hi], costs[lo:hi])
+		}(si, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	return costs, true, nil
+}
+
+// evaluate shards a benefit evaluation over the workload's queries. The
+// bool reports whether distribution applied.
+func (d *DistributedSweep) evaluate(ctx context.Context, v *View, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, bool, error) {
+	if len(d.workers) == 0 || len(w.Queries) < d.minJobs() ||
+		!distributable(base) || !distributable(cfg) {
+		return nil, false, nil
+	}
+	out := make([]whatif.QueryBenefit, len(w.Queries))
+	bounds := shardBounds(len(w.Queries), len(d.workers)+1)
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	for si, b := range bounds {
+		lo, hi := b[0], b[1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			if si == 0 {
+				errs[si] = v.evaluateRangeLocal(ctx, w.Queries[lo:hi], base, cfg, out[lo:hi])
+				return
+			}
+			wk := d.workers[si-1]
+			sub := &workload.Workload{Queries: w.Queries[lo:hi]}
+			qbs, err := wk.EvaluateShard(ctx, sub, base, cfg)
+			if err == nil && len(qbs) != hi-lo {
+				err = fmt.Errorf("engine: shard worker %s returned %d benefits, want %d", wk.Name(), len(qbs), hi-lo)
+			}
+			if err == nil {
+				// Trust the worker's costs, keep our own identity: IDs and
+				// SQL come from the coordinator's workload, not the wire.
+				for i := range qbs {
+					q := w.Queries[lo+i]
+					out[lo+i] = whatif.QueryBenefit{
+						ID: q.ID, SQL: q.SQL,
+						BaseCost: qbs[i].BaseCost, NewCost: qbs[i].NewCost,
+					}
+				}
+				d.remoteJobs.Add(int64(hi - lo))
+				return
+			}
+			if ctx.Err() != nil {
+				errs[si] = ctx.Err()
+				return
+			}
+			d.failedShards.Add(1)
+			errs[si] = v.evaluateRangeLocal(ctx, w.Queries[lo:hi], base, cfg, out[lo:hi])
+		}(si, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	return out, true, nil
+}
+
+// localShardWorker adapts a pinned view into a ShardWorker — an in-process
+// stand-in for a worker endpoint, used by the distribution tests and the
+// parallel_scaling bench experiment. The view should belong to a separate
+// engine built over the same dataset and backend spec; pricing stays
+// strictly local to that engine.
+type localShardWorker struct {
+	name string
+	v    *View
+}
+
+// NewLocalShardWorker wraps a pinned view as a ShardWorker.
+func NewLocalShardWorker(name string, v *View) ShardWorker {
+	return &localShardWorker{name: name, v: v}
+}
+
+func (l *localShardWorker) Name() string { return l.name }
+
+func (l *localShardWorker) SweepShard(ctx context.Context, w *workload.Workload, prepare [][]*catalog.Index, cfgs []*catalog.Configuration) ([]float64, error) {
+	return l.v.SweepShardLocal(ctx, w, prepare, cfgs)
+}
+
+func (l *localShardWorker) EvaluateShard(ctx context.Context, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, error) {
+	return l.v.EvaluateAgainstLocal(ctx, w, base, cfg)
+}

@@ -1,0 +1,294 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// distFixture is an engine fixture plus shard workers over separate engines
+// built from the same dataset — the in-process shape of a coordinator with
+// serve --worker processes behind it.
+type distFixture struct {
+	*fixture
+	store *storage.Store
+}
+
+func newDistFixture(t *testing.T) *distFixture {
+	t.Helper()
+	store, err := workload.Generate(workload.TinySize(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(store.Schema, store.Stats, nil)
+	w, err := workload.NewWorkload(store.Schema, 42, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := whatif.DefaultCandidateOptions()
+	opts.MaxPerTable = 4
+	cands := eng.GenerateCandidates(w, opts)
+	if err := eng.Prepare(context.Background(), w, cands); err != nil {
+		t.Fatal(err)
+	}
+	return &distFixture{fixture: &fixture{eng: eng, w: w, cands: cands}, store: store}
+}
+
+// worker builds one cold-cache shard worker over a fresh engine on the same
+// dataset.
+func (f *distFixture) worker(name string) engine.ShardWorker {
+	we := engine.New(f.store.Schema, f.store.Stats, nil)
+	return engine.NewLocalShardWorker(name, we.Pin())
+}
+
+// failingWorker errors on every shard — the fallback trigger.
+type failingWorker struct{}
+
+func (failingWorker) Name() string { return "failing" }
+
+func (failingWorker) SweepShard(ctx context.Context, w *workload.Workload, prepare [][]*catalog.Index, cfgs []*catalog.Configuration) ([]float64, error) {
+	return nil, errors.New("worker down")
+}
+
+func (failingWorker) EvaluateShard(ctx context.Context, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, error) {
+	return nil, errors.New("worker down")
+}
+
+// TestDistributedSweepMatchesLocal asserts a sweep sharded across separate
+// engines returns bit-for-bit the local (undistributed) costs, and that
+// work actually went remote.
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	f := newDistFixture(t)
+	ctx := context.Background()
+	cfgs := f.sweepConfigs(20)
+
+	local, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := engine.NewDistributedSweep(f.worker("w1"), f.worker("w2"))
+	f.eng.SetDistributor(dist)
+	defer f.eng.SetDistributor(nil)
+	got, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if got[i] != local[i] {
+			t.Fatalf("config %d: distributed %v != local %v", i, got[i], local[i])
+		}
+	}
+	remote, failed := dist.Stats()
+	if remote == 0 {
+		t.Fatal("no jobs were priced remotely")
+	}
+	if failed != 0 {
+		t.Fatalf("%d shards failed over", failed)
+	}
+
+	// Repeat against the workers' now-warm caches — still bit-identical.
+	again, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if again[i] != local[i] {
+			t.Fatalf("warm repeat config %d: %v != %v", i, again[i], local[i])
+		}
+	}
+}
+
+// TestDistributedSweepCandidatesAndQueryConfigs checks the other two sweep
+// primitives distribute with exact parity.
+func TestDistributedSweepCandidatesAndQueryConfigs(t *testing.T) {
+	f := newDistFixture(t)
+	ctx := context.Background()
+	base := catalog.NewConfiguration().WithIndex(f.cands[0])
+
+	localCand, err := f.eng.SweepCandidates(ctx, f.w, base, f.cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := f.sweepConfigs(12)
+	q := f.w.Queries[0]
+	localQC, err := f.eng.SweepQueryConfigs(ctx, q, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.eng.SetDistributor(engine.NewDistributedSweep(f.worker("w1"), f.worker("w2")))
+	defer f.eng.SetDistributor(nil)
+	gotCand, err := f.eng.SweepCandidates(ctx, f.w, base, f.cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range localCand {
+		if gotCand[i] != localCand[i] {
+			t.Fatalf("candidate %d: distributed %v != local %v", i, gotCand[i], localCand[i])
+		}
+	}
+	gotQC, err := f.eng.SweepQueryConfigs(ctx, q, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range localQC {
+		if gotQC[i] != localQC[i] {
+			t.Fatalf("query config %d: distributed %v != local %v", i, gotQC[i], localQC[i])
+		}
+	}
+}
+
+// TestDistributedEvaluateMatchesLocal asserts the sharded benefit report is
+// bit-identical to the local one, down to per-query costs and identity.
+func TestDistributedEvaluateMatchesLocal(t *testing.T) {
+	f := newDistFixture(t)
+	ctx := context.Background()
+	cfg := catalog.NewConfiguration()
+	for _, ix := range f.cands[:2] {
+		cfg = cfg.WithIndex(ix)
+	}
+
+	local, err := f.eng.Evaluate(ctx, f.w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := engine.NewDistributedSweep(f.worker("w1"), f.worker("w2"))
+	f.eng.SetDistributor(dist)
+	defer f.eng.SetDistributor(nil)
+	got, err := f.eng.Evaluate(ctx, f.w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseTotal != local.BaseTotal || got.NewTotal != local.NewTotal {
+		t.Fatalf("totals (%v -> %v) != local (%v -> %v)", got.BaseTotal, got.NewTotal, local.BaseTotal, local.NewTotal)
+	}
+	for i := range local.Queries {
+		l, g := local.Queries[i], got.Queries[i]
+		if g.ID != l.ID || g.SQL != l.SQL || g.BaseCost != l.BaseCost || g.NewCost != l.NewCost {
+			t.Fatalf("query %d: distributed %+v != local %+v", i, g, l)
+		}
+	}
+	if remote, _ := dist.Stats(); remote == 0 {
+		t.Fatal("no queries were evaluated remotely")
+	}
+}
+
+// TestDistributedFallbackOnWorkerFailure asserts a dead worker degrades to
+// local pricing with identical results, and the failure is counted.
+func TestDistributedFallbackOnWorkerFailure(t *testing.T) {
+	f := newDistFixture(t)
+	ctx := context.Background()
+	cfgs := f.sweepConfigs(20)
+	local, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := engine.NewDistributedSweep(failingWorker{}, f.worker("good"))
+	f.eng.SetDistributor(dist)
+	defer f.eng.SetDistributor(nil)
+	got, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if got[i] != local[i] {
+			t.Fatalf("config %d: %v != %v after fallback", i, got[i], local[i])
+		}
+	}
+	if _, failed := dist.Stats(); failed == 0 {
+		t.Fatal("failing worker's shard was not counted as failed over")
+	}
+
+	rep, err := f.eng.Evaluate(ctx, f.w, catalog.NewConfiguration().WithIndex(f.cands[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.SetDistributor(nil)
+	want, err := f.eng.Evaluate(ctx, f.w, catalog.NewConfiguration().WithIndex(f.cands[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseTotal != want.BaseTotal || rep.NewTotal != want.NewTotal {
+		t.Fatalf("evaluate after fallback (%v -> %v) != local (%v -> %v)",
+			rep.BaseTotal, rep.NewTotal, want.BaseTotal, want.NewTotal)
+	}
+}
+
+// TestDistributedIneligibleSweepsStayLocal asserts the gates: sweeps below
+// MinJobs and configurations carrying partition layouts never go remote —
+// and still return exact results.
+func TestDistributedIneligibleSweepsStayLocal(t *testing.T) {
+	f := newDistFixture(t)
+	ctx := context.Background()
+
+	dist := engine.NewDistributedSweep(f.worker("w1"))
+	f.eng.SetDistributor(dist)
+	defer f.eng.SetDistributor(nil)
+
+	// Below the MinJobs gate.
+	small := f.sweepConfigs(4)
+	if _, err := f.eng.SweepConfigs(ctx, f.w, small); err != nil {
+		t.Fatal(err)
+	}
+	if remote, _ := dist.Stats(); remote != 0 {
+		t.Fatalf("%d jobs went remote below the MinJobs gate", remote)
+	}
+
+	// A partitioned configuration cannot cross the wire.
+	cfgs := f.sweepConfigs(20)
+	part := cfgs[3].Clone()
+	part.SetVertical(&catalog.VerticalLayout{Table: "photoobj", Fragments: [][]string{{"ra", "dec"}}})
+	cfgs[3] = part
+	f.eng.SetDistributor(nil)
+	local, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.SetDistributor(dist)
+	got, err := f.eng.SweepConfigs(ctx, f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote, _ := dist.Stats(); remote != 0 {
+		t.Fatalf("%d jobs went remote despite a partition layout in the sweep", remote)
+	}
+	for i := range local {
+		if got[i] != local[i] {
+			t.Fatalf("config %d: %v != %v on the local path", i, got[i], local[i])
+		}
+	}
+}
+
+// TestSweepWidthsBitIdentical runs the same sweep at worker counts
+// {1, 2, 7, 16} and asserts every width returns exactly the serial costs —
+// the schedule-independence half of the determinism contract.
+func TestSweepWidthsBitIdentical(t *testing.T) {
+	f := newFixture(t)
+	cfgs := f.sweepConfigs(33) // odd count: uneven chunk deal
+	f.eng.SetWorkers(1)
+	serial, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.eng.SetWorkers(0)
+	for _, workers := range []int{2, 7, 16} {
+		f.eng.SetWorkers(workers)
+		got, err := f.eng.SweepConfigs(context.Background(), f.w, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d config %d: %v != serial %v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

@@ -53,6 +53,55 @@ type snapshot struct {
 	env     *optimizer.Env
 	backend CostBackend
 	session *whatif.Session
+
+	// prepMu guards the prepare bookkeeping below. prepared is the set of
+	// workload fingerprints whose queries all have backend entries in this
+	// generation (the prepareAll fast path). guides records, per query ID,
+	// the candidate guidance the query's plan templates were built with —
+	// first build wins, matching the backend's Prepare idempotency — so a
+	// distributed coordinator can ship the guidance shard workers need to
+	// rebuild bit-identical templates.
+	prepMu   sync.Mutex
+	prepared map[string]bool
+	guides   map[string][]*catalog.Index
+}
+
+// preparedFor reports whether a workload fingerprint was fully prepared.
+func (s *snapshot) preparedFor(fp string) bool {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	return s.prepared[fp]
+}
+
+// markPrepared records a fully prepared workload fingerprint.
+func (s *snapshot) markPrepared(fp string) {
+	s.prepMu.Lock()
+	s.prepared[fp] = true
+	s.prepMu.Unlock()
+}
+
+// recordGuide records the template guidance a query was first prepared
+// with. Later calls with different guidance are ignored, because the
+// backend's entry (and therefore its template set) keeps the first build.
+func (s *snapshot) recordGuide(id string, cands []*catalog.Index) {
+	s.prepMu.Lock()
+	if _, ok := s.guides[id]; !ok {
+		s.guides[id] = cands
+	}
+	s.prepMu.Unlock()
+}
+
+// guidesFor assembles the per-query template guidance for a workload, in
+// query order — what SweepShardLocal on a worker needs to mirror this
+// generation's entries.
+func (s *snapshot) guidesFor(w *workload.Workload) [][]*catalog.Index {
+	out := make([][]*catalog.Index, len(w.Queries))
+	s.prepMu.Lock()
+	for i, q := range w.Queries {
+		out[i] = s.guides[q.ID]
+	}
+	s.prepMu.Unlock()
+	return out
 }
 
 // Engine is the shared, concurrency-safe what-if costing handle.
@@ -67,6 +116,8 @@ type Engine struct {
 
 	// workers bounds sweep parallelism; 0 means GOMAXPROCS.
 	workers int
+	// dist, when set, shards eligible sweeps across worker processes.
+	dist *DistributedSweep
 }
 
 // New creates an engine over a schema/statistics snapshot and a base
@@ -106,12 +157,14 @@ func (e *Engine) build(base *catalog.Configuration, opts optimizer.Options, spec
 		return nil, err
 	}
 	return &snapshot{
-		version: version,
-		base:    base,
-		stats:   e.stats,
-		env:     env,
-		backend: backend,
-		session: whatif.NewSessionFromEnv(env, base),
+		version:  version,
+		base:     base,
+		stats:    e.stats,
+		env:      env,
+		backend:  backend,
+		session:  whatif.NewSessionFromEnv(env, base),
+		prepared: make(map[string]bool),
+		guides:   make(map[string][]*catalog.Index),
 	}, nil
 }
 
@@ -169,12 +222,14 @@ func (e *Engine) PinBackend(spec BackendSpec) (*View, error) {
 		return nil, err
 	}
 	derived := &snapshot{
-		version: cur.version,
-		base:    cur.base,
-		stats:   cur.stats,
-		env:     env,
-		backend: backend,
-		session: whatif.NewSessionFromEnv(env, cur.base),
+		version:  cur.version,
+		base:     cur.base,
+		stats:    cur.stats,
+		env:      env,
+		backend:  backend,
+		session:  whatif.NewSessionFromEnv(env, cur.base),
+		prepared: make(map[string]bool),
+		guides:   make(map[string][]*catalog.Index),
 	}
 	return &View{e: e, s: derived}, nil
 }
@@ -256,6 +311,34 @@ func (e *Engine) SetWorkers(n int) {
 		n = 0
 	}
 	e.workers = n
+}
+
+// Workers reports the effective sweep pool width: the SetWorkers bound, or
+// GOMAXPROCS when unbounded. Bench result metadata records this.
+func (e *Engine) Workers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDistributor attaches (nil detaches) a distributed-sweep coordinator:
+// subsequent eligible sweeps are sharded across its workers, with local
+// fallback on any shard failure. The distributor is orthogonal to
+// configuration generations — invalidations keep it attached.
+func (e *Engine) SetDistributor(d *DistributedSweep) {
+	e.mu.Lock()
+	e.dist = d
+	e.mu.Unlock()
+}
+
+// distributor returns the attached coordinator, or nil.
+func (e *Engine) distributor() *DistributedSweep {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.dist
 }
 
 // SetBaseConfig swaps the base configuration and invalidates every cached
@@ -358,15 +441,19 @@ func (e *Engine) Prepare(ctx context.Context, w *workload.Workload, candidates [
 }
 
 // Prepare primes the pinned generation's backend for every workload query.
+// Queries are prepared in parallel over the sweep pool; already-prepared
+// queries are deduplicated by the backend's idempotency. The workload's
+// fingerprint is recorded so subsequent sweeps skip re-preparing it.
 func (v *View) Prepare(ctx context.Context, w *workload.Workload, candidates []*catalog.Index) error {
-	for _, q := range w.Queries {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := v.s.backend.Prepare(q.ID, q.Stmt, candidates); err != nil {
-			return err
-		}
+	err := v.e.sweep(ctx, len(w.Queries), func(i int) error {
+		q := w.Queries[i]
+		v.s.recordGuide(q.ID, candidates)
+		return v.s.backend.Prepare(q.ID, q.Stmt, candidates)
+	})
+	if err != nil {
+		return err
 	}
+	v.s.markPrepared(w.Fingerprint())
 	return nil
 }
 
@@ -379,6 +466,7 @@ func (e *Engine) PrepareQuery(q workload.Query, candidates []*catalog.Index) ([]
 
 // PrepareQuery primes the pinned backend for one query.
 func (v *View) PrepareQuery(q workload.Query, candidates []*catalog.Index) ([]string, error) {
+	v.s.recordGuide(q.ID, candidates)
 	if err := v.s.backend.Prepare(q.ID, q.Stmt, candidates); err != nil {
 		return nil, err
 	}

@@ -11,10 +11,93 @@ import (
 	"repro/internal/workload"
 )
 
+// sweepChunkMax bounds how many jobs a worker claims per scheduling step.
+const sweepChunkMax = 64
+
+// sweepChunkSize picks the self-scheduling granularity: small enough that
+// every worker is dealt several chunks (so stealing can rebalance skewed
+// job sizes), large enough that a 10k-job sweep of tiny INUM costings pays
+// for a shared atomic operation once per chunk instead of once per job.
+func sweepChunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > sweepChunkMax {
+		return sweepChunkMax
+	}
+	return c
+}
+
+// chunkQueue is one worker's deal of the chunk space: a half-open range of
+// chunk indexes [next, hi) claimed one chunk at a time through the atomic
+// cursor. Thieves claim from a victim's queue with the same fetch-add the
+// owner uses, so ownership transfer needs no extra synchronization; the
+// cursor may overshoot hi, which every claimer treats as "queue empty".
+type chunkQueue struct {
+	next atomic.Int64
+	hi   int64
+}
+
+// runChunked executes run(0..n-1) on the given number of goroutines using
+// chunked self-scheduling with work-stealing: the chunk space is dealt
+// evenly into per-worker queues, each worker drains its own queue first
+// (contention-free in the balanced case), then steals remaining chunks from
+// the other queues in round-robin order. Results are written at each job's
+// own index by run, so the schedule cannot influence what a sweep returns.
+func runChunked(ctx context.Context, n, workers int, run func(i int)) {
+	chunk := sweepChunkSize(n, workers)
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	queues := make([]chunkQueue, workers)
+	per, extra := nChunks/workers, nChunks%workers
+	lo := 0
+	for w := range queues {
+		size := per
+		if w < extra {
+			size++
+		}
+		queues[w].next.Store(int64(lo))
+		queues[w].hi = int64(lo + size)
+		lo += size
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for pass := 0; pass < workers; pass++ {
+				q := &queues[(self+pass)%workers]
+				for {
+					c := q.next.Add(1) - 1
+					if c >= q.hi {
+						break
+					}
+					first := int(c) * chunk
+					last := first + chunk
+					if last > n {
+						last = n
+					}
+					for i := first; i < last; i++ {
+						if ctx.Err() != nil {
+							return
+						}
+						run(i)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // sweep runs fn(0..n-1) over a bounded worker pool and returns the
 // first-index error (deterministic regardless of completion order). Work is
-// handed out through an atomic counter, so per-job overhead is a single
-// atomic add rather than a channel round-trip.
+// handed out through chunked self-scheduling with per-worker queues and
+// work-stealing (runChunked), so per-job overhead is amortized over a chunk
+// while skewed job sizes still balance across the pool.
 //
 // The context is checked before every job: a cancelled context stops
 // workers from picking up new work, and the sweep returns ctx.Err() — the
@@ -36,25 +119,7 @@ func (e *Engine) sweep(ctx context.Context, n int, fn func(i int) error) error {
 			errs[i] = fn(i)
 		}
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for wk := 0; wk < workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					if ctx.Err() != nil {
-						return
-					}
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					errs[i] = fn(i)
-				}
-			}()
-		}
-		wg.Wait()
+		runChunked(ctx, n, workers, func(i int) { errs[i] = fn(i) })
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -67,6 +132,29 @@ func (e *Engine) sweep(ctx context.Context, n int, fn func(i int) error) error {
 	return nil
 }
 
+// resolveAll maps nil entries to the pinned base configuration.
+func (v *View) resolveAll(cfgs []*catalog.Configuration) []*catalog.Configuration {
+	out := make([]*catalog.Configuration, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = v.s.resolve(cfg)
+	}
+	return out
+}
+
+// sweepCostsLocal prices already-resolved configurations into out with the
+// in-process pool — the shard-sized building block the distributed
+// coordinator schedules and falls back to.
+func (v *View) sweepCostsLocal(ctx context.Context, w *workload.Workload, cfgs []*catalog.Configuration, out []float64) error {
+	return v.e.sweep(ctx, len(cfgs), func(i int) error {
+		c, err := v.s.workloadCost(w, cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		return nil
+	})
+}
+
 // SweepConfigs prices the whole workload under every configuration in
 // parallel, through the INUM cache. costs[i] corresponds to cfgs[i]; a nil
 // configuration means the engine's base. Results are identical to calling
@@ -76,21 +164,62 @@ func (e *Engine) SweepConfigs(ctx context.Context, w *workload.Workload, cfgs []
 }
 
 // SweepConfigs prices the workload under every configuration in parallel
-// against the pinned generation.
+// against the pinned generation. With a distributor attached, eligible
+// sweeps are sharded across worker processes (bit-identical results, see
+// DistributedSweep); everything else runs on the in-process pool.
 func (v *View) SweepConfigs(ctx context.Context, w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
 	if err := v.prepareAll(ctx, w); err != nil {
 		return nil, err
 	}
-	costs := make([]float64, len(cfgs))
-	err := v.e.sweep(ctx, len(cfgs), func(i int) error {
-		c, err := v.s.workloadCost(w, v.s.resolve(cfgs[i]))
-		if err != nil {
-			return err
+	resolved := v.resolveAll(cfgs)
+	if d := v.e.distributor(); d != nil {
+		if costs, ok, err := d.sweepConfigs(ctx, v, w, resolved); ok {
+			return costs, err
 		}
-		costs[i] = c
-		return nil
+	}
+	costs := make([]float64, len(resolved))
+	if err := v.sweepCostsLocal(ctx, w, resolved, costs); err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// SweepConfigsLocal is SweepConfigs restricted to the in-process pool — the
+// worker-serving primitive: a shard worker must never re-distribute work it
+// was handed.
+func (v *View) SweepConfigsLocal(ctx context.Context, w *workload.Workload, cfgs []*catalog.Configuration) ([]float64, error) {
+	if err := v.prepareAll(ctx, w); err != nil {
+		return nil, err
+	}
+	resolved := v.resolveAll(cfgs)
+	costs := make([]float64, len(resolved))
+	if err := v.sweepCostsLocal(ctx, w, resolved, costs); err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// SweepShardLocal primes each query with its shipped template guidance and
+// prices the configurations strictly in-process — the worker side of the
+// shard protocol. prepare[i] guides queries[i]'s plan templates; it must
+// match what the coordinator's own entries were built with for the returned
+// costs to be bit-identical to the coordinator's local sweep.
+func (v *View) SweepShardLocal(ctx context.Context, w *workload.Workload, prepare [][]*catalog.Index, cfgs []*catalog.Configuration) ([]float64, error) {
+	err := v.e.sweep(ctx, len(w.Queries), func(i int) error {
+		q := w.Queries[i]
+		var guide []*catalog.Index
+		if i < len(prepare) {
+			guide = prepare[i]
+		}
+		v.s.recordGuide(q.ID, guide)
+		return v.s.backend.Prepare(q.ID, q.Stmt, guide)
 	})
 	if err != nil {
+		return nil, err
+	}
+	resolved := v.resolveAll(cfgs)
+	costs := make([]float64, len(resolved))
+	if err := v.sweepCostsLocal(ctx, w, resolved, costs); err != nil {
 		return nil, err
 	}
 	return costs, nil
@@ -105,12 +234,21 @@ func (e *Engine) SweepCandidates(ctx context.Context, w *workload.Workload, base
 }
 
 // SweepCandidates prices base ∪ {cands[i]} per candidate against the
-// pinned generation.
+// pinned generation, distributing across shard workers when eligible.
 func (v *View) SweepCandidates(ctx context.Context, w *workload.Workload, base *catalog.Configuration, cands []*catalog.Index) ([]float64, error) {
 	if err := v.prepareAll(ctx, w); err != nil {
 		return nil, err
 	}
 	base = v.s.resolve(base)
+	if d := v.e.distributor(); d != nil {
+		cfgs := make([]*catalog.Configuration, len(cands))
+		for i, ix := range cands {
+			cfgs[i] = base.WithIndex(ix)
+		}
+		if costs, ok, err := d.sweepConfigs(ctx, v, w, cfgs); ok {
+			return costs, err
+		}
+	}
 	costs := make([]float64, len(cands))
 	err := v.e.sweep(ctx, len(cands), func(i int) error {
 		c, err := v.s.workloadCost(w, base.WithIndex(cands[i]))
@@ -133,14 +271,27 @@ func (e *Engine) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs [
 }
 
 // SweepQueryConfigs prices one query under many configurations in parallel
-// against the pinned generation.
+// against the pinned generation. With a distributor attached the
+// configurations are sharded like a workload sweep: shipping the query with
+// unit weight makes the shard protocol's weighted workload cost coincide
+// exactly with the query cost.
 func (v *View) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*catalog.Configuration) ([]float64, error) {
+	v.s.recordGuide(q.ID, nil)
 	if err := v.s.backend.Prepare(q.ID, q.Stmt, nil); err != nil {
 		return nil, err
 	}
-	costs := make([]float64, len(cfgs))
-	err := v.e.sweep(ctx, len(cfgs), func(i int) error {
-		c, err := v.s.backend.QueryCost(q, v.s.resolve(cfgs[i]))
+	resolved := v.resolveAll(cfgs)
+	if d := v.e.distributor(); d != nil {
+		uq := q
+		uq.Weight = 1
+		uw := &workload.Workload{Queries: []workload.Query{uq}}
+		if costs, ok, err := d.sweepConfigs(ctx, v, uw, resolved); ok {
+			return costs, err
+		}
+	}
+	costs := make([]float64, len(resolved))
+	err := v.e.sweep(ctx, len(resolved), func(i int) error {
+		c, err := v.s.backend.QueryCost(q, resolved[i])
 		if err != nil {
 			return err
 		}
@@ -153,17 +304,25 @@ func (v *View) SweepQueryConfigs(ctx context.Context, q workload.Query, cfgs []*
 	return costs, nil
 }
 
-// prepareAll primes backend entries for every workload query (nil candidate
-// guidance; callers wanting candidate-guided templates call Prepare first).
+// prepareAll primes backend entries for every workload query in parallel
+// (nil candidate guidance; callers wanting candidate-guided templates call
+// Prepare first). A workload already prepared against this generation — by
+// Prepare or by an earlier sweep — is skipped wholesale: the prepared-set
+// fast path turns the per-sweep prepare cost from |W| backend calls into
+// one fingerprint lookup.
 func (v *View) prepareAll(ctx context.Context, w *workload.Workload) error {
-	for _, q := range w.Queries {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := v.s.backend.Prepare(q.ID, q.Stmt, nil); err != nil {
-			return err
-		}
+	fp := w.Fingerprint()
+	if v.s.preparedFor(fp) {
+		return nil
 	}
+	if err := v.e.sweep(ctx, len(w.Queries), func(i int) error {
+		q := w.Queries[i]
+		v.s.recordGuide(q.ID, nil)
+		return v.s.backend.Prepare(q.ID, q.Stmt, nil)
+	}); err != nil {
+		return err
+	}
+	v.s.markPrepared(fp)
 	return nil
 }
 
@@ -178,33 +337,64 @@ func (e *Engine) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalo
 // Evaluate runs the benefit report against the pinned generation — the
 // per-session isolation surface: a design session pinned at creation keeps
 // evaluating against its generation (and its backend) even if the engine is
-// reconfigured. Queries are priced in parallel; results are deterministic
+// reconfigured. Queries are priced in parallel — sharded across worker
+// processes when a distributor is attached — and results are deterministic
 // and identical to a serial loop over FullCost.
 func (v *View) Evaluate(ctx context.Context, w *workload.Workload, cfg *catalog.Configuration) (*whatif.Report, error) {
-	rep := &whatif.Report{Queries: make([]whatif.QueryBenefit, len(w.Queries))}
 	newCfg := v.s.resolve(cfg)
-	err := v.e.sweep(ctx, len(w.Queries), func(i int) error {
-		q := w.Queries[i]
-		base, err := v.s.backend.StmtCost(q.Stmt, v.s.base)
-		if err != nil {
-			return fmt.Errorf("engine: %s: %w", q.ID, err)
+	var queries []whatif.QueryBenefit
+	if d := v.e.distributor(); d != nil {
+		res, ok, err := d.evaluate(ctx, v, w, v.s.base, newCfg)
+		if ok {
+			if err != nil {
+				return nil, err
+			}
+			queries = res
 		}
-		nw, err := v.s.backend.StmtCost(q.Stmt, newCfg)
-		if err != nil {
-			return fmt.Errorf("engine: %s: %w", q.ID, err)
-		}
-		rep.Queries[i] = whatif.QueryBenefit{
-			ID: q.ID, SQL: q.SQL,
-			BaseCost: base * q.Weight, NewCost: nw * q.Weight,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	if queries == nil {
+		queries = make([]whatif.QueryBenefit, len(w.Queries))
+		if err := v.evaluateRangeLocal(ctx, w.Queries, v.s.base, newCfg, queries); err != nil {
+			return nil, err
+		}
+	}
+	rep := &whatif.Report{Queries: queries}
 	for _, qb := range rep.Queries {
 		rep.BaseTotal += qb.BaseCost
 		rep.NewTotal += qb.NewCost
 	}
 	return rep, nil
+}
+
+// EvaluateAgainstLocal prices every query under two explicit configurations
+// with the backend's reference model, strictly in-process — the worker side
+// of the shard protocol's evaluate mode. Both configurations resolve nil to
+// the pinned base.
+func (v *View) EvaluateAgainstLocal(ctx context.Context, w *workload.Workload, base, cfg *catalog.Configuration) ([]whatif.QueryBenefit, error) {
+	out := make([]whatif.QueryBenefit, len(w.Queries))
+	if err := v.evaluateRangeLocal(ctx, w.Queries, v.s.resolve(base), v.s.resolve(cfg), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evaluateRangeLocal prices a slice of queries under (base, cfg) with the
+// reference model into out, via the in-process pool.
+func (v *View) evaluateRangeLocal(ctx context.Context, qs []workload.Query, base, cfg *catalog.Configuration, out []whatif.QueryBenefit) error {
+	return v.e.sweep(ctx, len(qs), func(i int) error {
+		q := qs[i]
+		bc, err := v.s.backend.StmtCost(q.Stmt, base)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		nc, err := v.s.backend.StmtCost(q.Stmt, cfg)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", q.ID, err)
+		}
+		out[i] = whatif.QueryBenefit{
+			ID: q.ID, SQL: q.SQL,
+			BaseCost: bc * q.Weight, NewCost: nc * q.Weight,
+		}
+		return nil
+	})
 }

@@ -54,16 +54,71 @@ type CachedQuery struct {
 	templates []template
 	// accessCtx is the one-time query analysis reused by every costing.
 	accessCtx *optimizer.AccessContext
-	// accessMemo caches per-table access costs keyed by
+	// memo caches per-table access costs keyed by
 	// table|order|index-subset|layout signature: most CostFor calls in a
 	// configuration sweep become pure map lookups, which is where INUM's
-	// orders-of-magnitude speedup comes from. Hits take only the read lock
-	// so parallel sweeps (engine.SweepConfigs) scale across cores.
-	memoMu     sync.RWMutex
-	accessMemo map[string]float64
+	// orders-of-magnitude speedup comes from. The memo is sharded into
+	// lock-striped segments selected by key hash, so 8-16 sweep workers
+	// hitting the same query entry do not serialize on a single mutex;
+	// hits take only the segment's read lock.
+	memo [memoShards]memoShard
 	// prepOptimizerCalls counts the full optimizations spent in Prepare;
 	// amortized over every subsequent CostFor call.
 	prepOptimizerCalls int
+}
+
+// memoShards is the stripe count of the per-query access-cost memo. Key
+// space per query is small (tables × orders × design signatures), so 16
+// stripes keep collision probability low without bloating CachedQuery.
+const memoShards = 16
+
+// memoShard is one lock stripe of the access-cost memo.
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// memoIndex hashes a memo key (FNV-1a) onto its stripe.
+func memoIndex(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % memoShards)
+}
+
+// memoGet reads a memoized access cost.
+func (q *CachedQuery) memoGet(key string) (float64, bool) {
+	s := &q.memo[memoIndex(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// memoPut stores a memoized access cost. Racing writers store the same
+// value: the cost is a pure function of the key within one generation.
+func (q *CachedQuery) memoPut(key string, v float64) {
+	s := &q.memo[memoIndex(key)]
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// MemoLen reports how many access costs are memoized across all stripes.
+func (q *CachedQuery) MemoLen() int {
+	n := 0
+	for i := range q.memo {
+		q.memo[i].mu.RLock()
+		n += len(q.memo[i].m)
+		q.memo[i].mu.RUnlock()
+	}
+	return n
 }
 
 // Cache is the INUM store for a workload.
@@ -163,8 +218,10 @@ func (c *Cache) build(id string, stmt *sqlparse.SelectStmt, candidates []*catalo
 	}
 	q := &CachedQuery{
 		ID: id, Stmt: stmt, Tables: tables, sql: stmt.String(),
-		accessCtx:  c.base.PrepareAccess(stmt),
-		accessMemo: make(map[string]float64),
+		accessCtx: c.base.PrepareAccess(stmt),
+	}
+	for i := range q.memo {
+		q.memo[i].m = make(map[string]float64)
 	}
 
 	// Seed configurations, following INUM's interesting-order structure:
@@ -310,20 +367,15 @@ func (c *Cache) accessCost(q *CachedQuery, env *optimizer.Env, table string, tpl
 		orderSig = o[0].Column
 	}
 	key := table + "|" + orderSig + "|" + designSig
-	q.memoMu.RLock()
-	if v, ok := q.accessMemo[key]; ok {
-		q.memoMu.RUnlock()
+	if v, ok := q.memoGet(key); ok {
 		return v, nil
 	}
-	q.memoMu.RUnlock()
 
 	acc, err := env.BestAccessWith(q.accessCtx, table, tpl.orders[table])
 	if err != nil {
 		return 0, err
 	}
-	q.memoMu.Lock()
-	q.accessMemo[key] = acc.Cost
-	q.memoMu.Unlock()
+	q.memoPut(key, acc.Cost)
 	return acc.Cost, nil
 }
 
