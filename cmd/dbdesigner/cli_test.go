@@ -376,14 +376,18 @@ func TestCmdBenchRejectsBadSelections(t *testing.T) {
 	}
 }
 
-// TestCmdServeSmoke boots the serve subcommand on an ephemeral port,
-// drives a session create → add-index → evaluate → advise round trip over
-// real HTTP, and exercises the graceful-shutdown path a SIGINT would take.
+// TestCmdServeSmoke boots the serve subcommand on an ephemeral port with
+// the fabric flags set, drives a session create → add-index → evaluate →
+// advise round trip over real HTTP, checks the operational endpoints
+// (/healthz, /readyz, /metrics), and exercises the graceful-shutdown path
+// a SIGINT would take.
 func TestCmdServeSmoke(t *testing.T) {
 	ctl := &serveControl{ready: make(chan string, 1), stop: make(chan struct{})}
 	done := make(chan error, 1)
 	go func() {
-		done <- runServe([]string{"--size", "tiny", "--seed", "1", "--addr", "127.0.0.1:0"}, ctl)
+		done <- runServe([]string{"--size", "tiny", "--seed", "1", "--addr", "127.0.0.1:0",
+			"--max-sessions", "16", "--session-ttl", "5m", "--pool-size", "2",
+			"--queue-depth", "8", "--tenant-quota", "8"}, ctl)
 	}()
 	var base string
 	select {
@@ -429,6 +433,42 @@ func TestCmdServeSmoke(t *testing.T) {
 		`{"sql": ["SELECT psfmag_r FROM photoobj WHERE psfmag_r < 14"]}`, http.StatusOK)
 	if _, ok := advice["ddl"].(string); !ok {
 		t.Fatalf("advise missing ddl: %v", advice)
+	}
+
+	// Operational endpoints: liveness, readiness, and a metrics scrape
+	// carrying the core families.
+	root := strings.TrimSuffix(base, "/api/v1")
+	get := func(path string, want int) string {
+		t.Helper()
+		resp, err := http.Get(root + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d\n%s", path, resp.StatusCode, want, data)
+		}
+		return string(data)
+	}
+	if body := get("/healthz", http.StatusOK); !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz: %s", body)
+	}
+	if body := get("/readyz", http.StatusOK); !strings.Contains(body, `"ready"`) {
+		t.Fatalf("/readyz: %s", body)
+	}
+	scrape := get("/metrics", http.StatusOK)
+	for _, family := range []string{
+		"dbdesigner_http_requests_total",
+		"dbdesigner_http_request_duration_seconds",
+		"dbdesigner_admission_queue_depth",
+		"dbdesigner_admission_rejected_total",
+		"dbdesigner_sessions_evicted_total",
+		"dbdesigner_sessions_active",
+	} {
+		if !strings.Contains(scrape, "# TYPE "+family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
 	}
 
 	// Graceful shutdown: runServe must return cleanly once stopped.

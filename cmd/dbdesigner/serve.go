@@ -33,6 +33,11 @@ func runServe(args []string, ctl *serveControl) error {
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	worker := fs.Bool("worker", false, "worker mode: additionally serve the shard-pricing endpoint (POST /api/v1/shards/sweep)")
 	workers := fs.String("workers", "", "in-process sweep width N, or comma-separated worker base URLs for coordinator mode")
+	maxSessions := fs.Int("max-sessions", 1024, "global live-session cap (LRU eviction past it)")
+	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "idle timeout before a session is reclaimed (0 disables)")
+	poolSize := fs.Int("pool-size", 0, "concurrently executing CPU-heavy requests (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 64, "admission queue depth per priority class (full queue answers 429)")
+	tenantQuota := fs.Int("tenant-quota", 0, "live-session cap per X-Tenant tenant (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,7 +45,13 @@ func runServe(args []string, ctl *serveControl) error {
 	if err != nil {
 		return err
 	}
-	var opts []serve.Option
+	opts := []serve.Option{
+		serve.WithMaxSessions(*maxSessions),
+		serve.WithSessionTTL(*sessionTTL),
+		serve.WithPoolSize(*poolSize),
+		serve.WithQueueDepth(*queueDepth),
+		serve.WithTenantQuota(*tenantQuota),
+	}
 	if *worker {
 		opts = append(opts, serve.WithWorkerMode())
 	}

@@ -1,0 +1,237 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoRunsJobs is the basic contract: submitted functions run, Do
+// returns nil, and stats count the admissions.
+func TestDoRunsJobs(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 32})
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), Batch, func() { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d jobs, want 16", got)
+	}
+	if st := p.Stats(); st.Admitted != 16 {
+		t.Fatalf("admitted %d, want 16", st.Admitted)
+	}
+}
+
+// holdPool builds a pool whose workers all block on the returned release
+// channel, so queue states can be staged deterministically.
+func holdPool(t *testing.T, workers, depth int) (*Pool, chan struct{}, *atomic.Int64) {
+	t.Helper()
+	release := make(chan struct{})
+	var holds atomic.Int64
+	p := New(Config{Workers: workers, QueueDepth: depth, Hold: func(ctx context.Context) {
+		holds.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}})
+	t.Cleanup(func() { p.Close() })
+	return p, release, &holds
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueFullRejects fills the workers and the batch queue, then
+// verifies the exact overflow behavior: queue_full for batch while the
+// interactive queue still admits, and lifetime rejection totals count it.
+func TestQueueFullRejects(t *testing.T) {
+	p, release, holds := holdPool(t, 2, 2)
+
+	var wg sync.WaitGroup
+	accepted := func(class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), class, func() {}); err != nil {
+				t.Errorf("Do(%v): %v", class, err)
+			}
+		}()
+	}
+	// Two jobs occupy the workers, two more fill the batch queue.
+	accepted(Batch)
+	accepted(Batch)
+	waitFor(t, "workers busy", func() bool { return holds.Load() == 2 })
+	accepted(Batch)
+	accepted(Batch)
+	waitFor(t, "batch queue full", func() bool { return p.Stats().QueuedBatch == 2 })
+
+	if !p.Saturated() {
+		t.Error("Saturated() = false with a full batch queue")
+	}
+	if err := p.Do(context.Background(), Batch, func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow batch Do: %v, want ErrQueueFull", err)
+	}
+	// Interactive has its own queue: still admitted.
+	accepted(Interactive)
+	waitFor(t, "interactive queued", func() bool { return p.Stats().QueuedInteractive == 1 })
+
+	close(release)
+	wg.Wait()
+	st := p.Stats()
+	if st.RejectedBatch != 1 || st.RejectedInteractive != 0 {
+		t.Fatalf("rejections = %d batch / %d interactive, want 1/0", st.RejectedBatch, st.RejectedInteractive)
+	}
+	if st.Admitted != 5 {
+		t.Fatalf("admitted %d, want 5", st.Admitted)
+	}
+}
+
+// TestInteractiveJumpsQueue holds the single worker, queues batch work,
+// then an interactive job — when the worker frees up, the interactive job
+// must run before any queued batch job.
+func TestInteractiveJumpsQueue(t *testing.T) {
+	p, release, holds := holdPool(t, 1, 8)
+
+	var order []string
+	var mu sync.Mutex
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	submit := func(class Class, name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), class, record(name)); err != nil {
+				t.Errorf("Do(%s): %v", name, err)
+			}
+		}()
+	}
+	submit(Batch, "b0") // occupies the worker
+	waitFor(t, "worker busy", func() bool { return holds.Load() == 1 })
+	submit(Batch, "b1")
+	submit(Batch, "b2")
+	waitFor(t, "batch queued", func() bool { return p.Stats().QueuedBatch == 2 })
+	submit(Interactive, "i0")
+	waitFor(t, "interactive queued", func() bool { return p.Stats().QueuedInteractive == 1 })
+
+	close(release)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 4 || order[0] != "b0" || order[1] != "i0" {
+		t.Fatalf("execution order %v, want [b0 i0 ...]: interactive must jump the batch queue", order)
+	}
+}
+
+// TestWithdrawOnContextCancel: a caller whose context dies while its job
+// is still queued gets the context error, and the fn never runs.
+func TestWithdrawOnContextCancel(t *testing.T) {
+	p, release, holds := holdPool(t, 1, 4)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(context.Background(), Batch, func() {})
+	}()
+	waitFor(t, "worker busy", func() bool { return holds.Load() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	errCh := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errCh <- p.Do(ctx, Batch, func() { ran.Store(true) })
+	}()
+	waitFor(t, "job queued", func() bool { return p.Stats().QueuedBatch == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Do: %v, want context.Canceled", err)
+	}
+
+	close(release)
+	wg.Wait()
+	// Give the worker a chance to (wrongly) run the withdrawn job.
+	waitFor(t, "queues drained", func() bool {
+		st := p.Stats()
+		return st.QueuedBatch == 0 && st.Running == 0
+	})
+	if ran.Load() {
+		t.Fatal("withdrawn job ran after its caller returned")
+	}
+}
+
+// TestCloseUnblocksQueuedJobs: Close never strands a queued caller — its
+// Do returns (either the worker raced the drain and ran the job, or the
+// drain withdrew it with ErrClosed, consistently with whether fn ran) —
+// and submissions after Close fail outright.
+func TestCloseUnblocksQueuedJobs(t *testing.T) {
+	release := make(chan struct{})
+	var holds atomic.Int64
+	p := New(Config{Workers: 1, QueueDepth: 4, Hold: func(ctx context.Context) {
+		holds.Add(1)
+		<-release
+	}})
+
+	held := make(chan error, 1)
+	go func() { held <- p.Do(context.Background(), Batch, func() {}) }()
+	waitFor(t, "worker busy", func() bool { return holds.Load() == 1 })
+	queued := make(chan error, 1)
+	var ran atomic.Bool
+	go func() { queued <- p.Do(context.Background(), Batch, func() { ran.Store(true) }) }()
+	waitFor(t, "job queued", func() bool { return p.Stats().QueuedBatch == 1 })
+
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	close(release) // let the held job finish so Close's worker wait returns
+	<-closed
+
+	if err := <-held; err != nil {
+		t.Fatalf("held Do: %v", err)
+	}
+	err := <-queued
+	switch {
+	case err == nil:
+		if !ran.Load() {
+			t.Fatal("queued Do returned nil but its fn never ran")
+		}
+	case errors.Is(err, ErrClosed):
+		if ran.Load() {
+			t.Fatal("queued Do returned ErrClosed but its fn ran")
+		}
+	default:
+		t.Fatalf("queued Do after Close: %v", err)
+	}
+	if err := p.Do(context.Background(), Interactive, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close: %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}

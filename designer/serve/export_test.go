@@ -1,0 +1,10 @@
+package serve
+
+import "context"
+
+// WithAdmissionHold installs a test hook that runs in the worker before
+// every claimed pool job — it lets tests hold the pool's workers at a
+// barrier and observe queueing/rejection deterministically.
+func WithAdmissionHold(h func(context.Context)) Option {
+	return func(s *Server) { s.holdHook = h }
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/designer/serve/admission"
+	"repro/designer/serve/metrics"
+	"repro/designer/serve/sessionmgr"
+)
+
+// This file is the service fabric around the handlers: tenancy
+// resolution, admission control for the CPU-heavy verbs, the
+// metrics-instrumentation middleware, and the operational endpoints
+// (/healthz, /readyz, /metrics).
+
+// defaultTenant is the tenant of requests without an X-Tenant header.
+const defaultTenant = "default"
+
+// tenantHeader names the tenancy header.
+const tenantHeader = "X-Tenant"
+
+// maxTenantLen bounds tenant names (they become metric label values).
+const maxTenantLen = 64
+
+// tenantFrom resolves the request's tenant: the X-Tenant header,
+// trimmed and length-capped, or the default tenant when absent.
+func tenantFrom(r *http.Request) string {
+	t := strings.TrimSpace(r.Header.Get(tenantHeader))
+	if t == "" {
+		return defaultTenant
+	}
+	if len(t) > maxTenantLen {
+		t = t[:maxTenantLen]
+	}
+	return t
+}
+
+// initFabric builds the session manager, admission pool, and metric
+// families. Called by New after options are applied.
+func (s *Server) initFabric() {
+	s.sm = sessionmgr.New(sessionmgr.Config{
+		MaxSessions: s.maxSessions,
+		TenantQuota: s.tenantQuota,
+		TTL:         s.sessionTTL,
+		OnEvict: func(ms *sessionmgr.Session, reason sessionmgr.Reason) {
+			if sess, ok := ms.Value.(*session); ok {
+				s.releaseSession(sess, string(reason))
+			}
+		},
+	})
+	s.pool = admission.New(admission.Config{
+		Workers:    s.poolSize,
+		QueueDepth: s.queueDepth,
+		Hold:       s.holdHook,
+	})
+
+	s.reg = metrics.NewRegistry()
+	s.mReqs = s.reg.Counter("dbdesigner_http_requests_total",
+		"HTTP requests by route, method, and status code.", "route", "method", "code")
+	s.mDur = s.reg.Histogram("dbdesigner_http_request_duration_seconds",
+		"HTTP request latency by route.", metrics.DefBuckets, "route")
+	s.mQueueDepth = s.reg.Gauge("dbdesigner_admission_queue_depth",
+		"Jobs waiting in the admission queue by priority class.", "class")
+	s.mRunning = s.reg.Gauge("dbdesigner_admission_running",
+		"Jobs currently executing in the worker pool.").With()
+	s.mRejected = s.reg.Counter("dbdesigner_admission_rejected_total",
+		"Queue-full rejections by priority class.", "class")
+	s.mEvicted = s.reg.Counter("dbdesigner_sessions_evicted_total",
+		"Sessions reclaimed by the manager, by reason (ttl, lru).", "reason")
+	s.mQuotaRejected = s.reg.Counter("dbdesigner_sessions_quota_rejected_total",
+		"Session creations rejected by per-tenant quota.").With()
+	s.mSessCreated = s.reg.Counter("dbdesigner_sessions_created_total",
+		"Sessions created over the server's lifetime.").With()
+	s.mSessActive = s.reg.Gauge("dbdesigner_sessions_active",
+		"Live sessions by tenant.", "tenant")
+	s.mCacheFullOpt = s.reg.Gauge("dbdesigner_engine_cache_full_optimizations",
+		"Engine costing-cache full optimizer runs (sampled at scrape).").With()
+	s.mCacheCostings = s.reg.Gauge("dbdesigner_engine_cache_cached_costings",
+		"Engine costing-cache cached costings (sampled at scrape).").With()
+
+	// Materialize the fixed label values up front so every family shows
+	// its series from the first scrape (CI greps for them cold).
+	for _, class := range []admission.Class{admission.Interactive, admission.Batch} {
+		s.mQueueDepth.With(class.String()).Set(0)
+		s.mRejected.With(class.String()).Add(0)
+	}
+	for _, reason := range []sessionmgr.Reason{sessionmgr.ReasonTTL, sessionmgr.ReasonLRU} {
+		s.mEvicted.With(string(reason)).Add(0)
+	}
+	s.mSessActive.With(defaultTenant).Set(0)
+}
+
+// releaseSession finishes a detached session in the background: once any
+// in-flight work drains off the work lock, the payload is marked gone and
+// its facade resources dropped. The caller (close handler or eviction
+// hook) has already cancelled the session context, so in-flight work is
+// aborting rather than running to completion.
+func (s *Server) releaseSession(sess *session, reason string) {
+	go func() {
+		sess.mu.Lock()
+		sess.gone = reason
+		sess.ds = nil
+		sess.lastReq = nil
+		sess.lastWl = nil
+		sess.mu.Unlock()
+	}()
+}
+
+// retryAfterFor is the backoff hint handed out with a 429: interactive
+// work drains quickly, batch work may hold workers for a while.
+func retryAfterFor(class admission.Class) time.Duration {
+	if class == admission.Interactive {
+		return time.Second
+	}
+	return 2 * time.Second
+}
+
+// admit runs fn through the bounded worker pool at the given priority.
+// On rejection it writes the 429/503 response itself; fn is responsible
+// for the response otherwise. admit does not return until fn has run or
+// is guaranteed never to run — the ResponseWriter stays valid throughout.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, class admission.Class, fn func()) {
+	err := s.pool.Do(r.Context(), class, fn)
+	switch {
+	case err == nil:
+	case errors.Is(err, admission.ErrQueueFull):
+		writeErrorRetry(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Errorf("server saturated: %s queue is full", class), retryAfterFor(class))
+	case errors.Is(err, admission.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, errors.New("server shutting down"))
+	default:
+		// The request context died while the job was queued; the client is
+		// gone, but complete the exchange anyway.
+		writeError(w, http.StatusServiceUnavailable, codeCancelled, err)
+	}
+}
+
+// workCtx merges the request context with the session's lifetime context:
+// the returned context cancels when the client disconnects OR the session
+// is closed/evicted, so reclaiming a session aborts its in-flight work.
+func workCtx(r *http.Request, sess *session) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(sess.ctx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// --------------------------------------------------------------------------
+// Instrumentation middleware.
+// --------------------------------------------------------------------------
+
+// statusWriter captures the response status for metrics while passing
+// Flush through (the SSE stream needs it).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// instrument wraps the mux with per-request counting and latency
+// histograms, labeled by the matched route pattern (never the raw URL, so
+// label cardinality stays bounded).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		route := r.Pattern // set by ServeMux on match; "METHOD /path"
+		if i := strings.IndexByte(route, ' '); i >= 0 {
+			route = route[i+1:]
+		}
+		if route == "" {
+			route = "unmatched"
+		}
+		s.mReqs.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+		s.mDur.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// --------------------------------------------------------------------------
+// Operational endpoints.
+// --------------------------------------------------------------------------
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: unready (503) while the admission
+// queue is saturated, so a load balancer rotates the instance out before
+// it starts bouncing batch work with 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	if s.pool.Saturated() {
+		writeErrorRetry(w, http.StatusServiceUnavailable, codeNotReady,
+			fmt.Errorf("admission queue saturated (%d/%d batch jobs queued)", st.QueuedBatch, st.QueueDepth),
+			retryAfterFor(admission.Batch))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"sessions": s.sm.Len(),
+		"pool": map[string]any{
+			"workers":            st.Workers,
+			"running":            st.Running,
+			"queued_interactive": st.QueuedInteractive,
+			"queued_batch":       st.QueuedBatch,
+			"queue_depth":        st.QueueDepth,
+		},
+	})
+}
+
+// handleMetrics scrapes the registry in Prometheus text format. Sampled
+// families (queue depth, per-tenant sessions, engine cache) refresh here;
+// counters incremented on the hot path are read as-is.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	s.mQueueDepth.With(admission.Interactive.String()).Set(float64(st.QueuedInteractive))
+	s.mQueueDepth.With(admission.Batch.String()).Set(float64(st.QueuedBatch))
+	s.mRunning.Set(float64(st.Running))
+	// The pool owns the monotonic rejection totals; mirror them.
+	s.mRejected.With(admission.Interactive.String()).Set(float64(st.RejectedInteractive))
+	s.mRejected.With(admission.Batch.String()).Set(float64(st.RejectedBatch))
+	for reason, n := range s.sm.EvictedTotals() {
+		s.mEvicted.With(string(reason)).Set(float64(n))
+	}
+	s.mSessActive.Reset()
+	tenants := s.sm.Tenants()
+	if len(tenants) == 0 {
+		s.mSessActive.With(defaultTenant).Set(0)
+	}
+	for tenant, n := range tenants {
+		s.mSessActive.With(tenant).Set(float64(n))
+	}
+	cs := s.d.CacheStats()
+	s.mCacheFullOpt.Set(float64(cs.FullOptimizations))
+	s.mCacheCostings.Set(float64(cs.CachedCostings))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WritePrometheus(w)
+}

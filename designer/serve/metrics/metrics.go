@@ -1,0 +1,343 @@
+// Package metrics is a dependency-free Prometheus-text metrics registry
+// for the serve layer: counters, gauges, and histograms with label
+// support, rendered in the text exposition format any Prometheus-style
+// scraper understands. It deliberately implements only what the service
+// needs — no exemplars, no push, no protobuf — so the designer stays a
+// stdlib-only module.
+//
+// All metric operations are safe for concurrent use. Exposition output is
+// deterministic: families sort by name, series sort by their rendered
+// label set, so two scrapes of the same state are byte-identical (modulo
+// the metric values themselves).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric family with a fixed label-name schema.
+type family struct {
+	name    string
+	help    string
+	kind    familyKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]series // key = rendered label pairs
+}
+
+type series interface {
+	// write renders the series' sample lines. labelStr is the rendered
+	// {a="x",b="y"} part (empty for label-less series).
+	write(w io.Writer, name, labelStr string)
+}
+
+func (r *Registry) family(name, help string, kind familyKind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: family %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		series: make(map[string]series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) a counter family. Label values select
+// one monotonically increasing series each.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// bucket upper bounds (ascending; the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &HistogramVec{f: r.family(name, help, kindHistogram, bs, labels)}
+}
+
+// DefBuckets is a general-purpose latency bucket ladder in seconds.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// labelKey renders the sorted, escaped label pairs for a series.
+func (f *family) labelKey(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	pairs := make([]string, len(values))
+	for i, name := range f.labels {
+		pairs[i] = name + `="` + escapeLabel(values[i]) + `"`
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// --------------------------------------------------------------------------
+// Counter.
+// --------------------------------------------------------------------------
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// Counter is one monotonically increasing series.
+type Counter struct{ bits atomic.Uint64 }
+
+// With resolves the series for the given label values (order matches the
+// label names the family was registered with).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.f.labelKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[key] = c
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Set overwrites the counter's total. It exists for scrape-time mirroring
+// of an external monotonic count (e.g. an admission pool's rejection
+// total); callers are responsible for the value never decreasing.
+func (c *Counter) Set(total float64) { c.bits.Store(math.Float64bits(total)) }
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, name, labelStr string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelStr, formatFloat(c.Value()))
+}
+
+// --------------------------------------------------------------------------
+// Gauge.
+// --------------------------------------------------------------------------
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *family }
+
+// Gauge is one instantaneous-value series.
+type Gauge struct{ bits atomic.Uint64 }
+
+// With resolves the series for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := v.f.labelKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	v.f.series[key] = g
+	return g
+}
+
+// Reset drops every series in the family — used for scrape-time gauges
+// whose label population changes (e.g. per-tenant session counts).
+func (v *GaugeVec) Reset() {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	clear(v.f.series)
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(val float64) { g.bits.Store(math.Float64bits(val)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labelStr string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelStr, formatFloat(g.Value()))
+}
+
+// --------------------------------------------------------------------------
+// Histogram.
+// --------------------------------------------------------------------------
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct{ f *family }
+
+// Histogram is one cumulative-bucket distribution series.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound; +Inf is implicit via count
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// With resolves the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.f.labelKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		return s.(*Histogram)
+	}
+	h := &Histogram{bounds: v.f.buckets, counts: make([]atomic.Uint64, len(v.f.buckets))}
+	v.f.series[key] = h
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(val float64) {
+	for i, b := range h.bounds {
+		if val <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + val)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+func (h *Histogram) write(w io.Writer, name, labelStr string) {
+	// Bucket lines carry the cumulative count and merge the le label into
+	// any existing label set.
+	joiner := func(le string) string {
+		if labelStr == "" {
+			return `{le="` + le + `"}`
+		}
+		return labelStr[:len(labelStr)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, joiner(formatFloat(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, joiner("+Inf"), h.count.Load())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelStr, formatFloat(math.Float64frombits(h.sumBits.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelStr, h.count.Load())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --------------------------------------------------------------------------
+// Exposition.
+// --------------------------------------------------------------------------
+
+// WritePrometheus renders every family in the text exposition format,
+// families and series in deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ss := make([]series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		f.mu.Unlock()
+
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for i, s := range ss {
+			s.write(w, f.name, keys[i])
+		}
+	}
+}

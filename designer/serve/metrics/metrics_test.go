@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", "route", "code")
+	c.With("/a", "200").Inc()
+	c.With("/a", "200").Add(2)
+	c.With("/a", "404").Inc()
+	c.With("/a", "200").Add(-5) // ignored: counters are monotonic
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP requests_total Requests.",
+		"# TYPE requests_total counter",
+		`requests_total{code="200",route="/a"} 3`,
+		`requests_total{code="404",route="/a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := c.With("/a", "200").Value(); got != 3 {
+		t.Errorf("Value = %v, want 3", got)
+	}
+}
+
+func TestGaugeSetAndReset(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("active", "Active.", "tenant")
+	g.With("acme").Set(7)
+	g.With("umbrella").Set(2)
+	if out := render(r); !strings.Contains(out, `active{tenant="acme"} 7`) ||
+		!strings.Contains(out, `active{tenant="umbrella"} 2`) {
+		t.Errorf("bad gauge exposition:\n%s", out)
+	}
+	g.Reset()
+	g.With("acme").Set(1)
+	out := render(r)
+	if strings.Contains(out, "umbrella") {
+		t.Errorf("Reset left a stale series:\n%s", out)
+	}
+	if !strings.Contains(out, `active{tenant="acme"} 1`) {
+		t.Errorf("post-Reset series missing:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, "route")
+	s := h.With("/a")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		s.Observe(v)
+	}
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{route="/a",le="0.1"} 1`,
+		`latency_seconds_bucket{route="/a",le="1"} 3`,
+		`latency_seconds_bucket{route="/a",le="10"} 4`,
+		`latency_seconds_bucket{route="/a",le="+Inf"} 5`,
+		`latency_seconds_sum{route="/a"} 56.05`,
+		`latency_seconds_count{route="/a"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d, want 5", s.Count())
+	}
+}
+
+func TestLabelEscapingAndDeterminism(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("weird", "", "name")
+	g.With(`a"b\c` + "\nd").Set(1)
+	out := render(r)
+	if !strings.Contains(out, `weird{name="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	// No HELP line for empty help; and two renders are byte-identical.
+	if strings.Contains(out, "# HELP weird") {
+		t.Errorf("HELP line rendered for empty help:\n%s", out)
+	}
+	if out2 := render(r); out2 != out {
+		t.Errorf("non-deterministic exposition:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestReRegisterSameShapeSharesState(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "Hits.", "route").With("/a").Inc()
+	r.Counter("hits_total", "Hits.", "route").With("/a").Inc()
+	if got := r.Counter("hits_total", "Hits.", "route").With("/a").Value(); got != 2 {
+		t.Fatalf("re-registered counter lost state: %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different shape did not panic")
+		}
+	}()
+	r.Gauge("hits_total", "Hits.", "route")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "", "kind")
+	h := r.Histogram("dur", "", DefBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.With("a").Inc()
+				h.With().Observe(float64(i) / 100)
+				if i%50 == 0 {
+					_ = render(r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.With("a").Value(); got != 4000 {
+		t.Fatalf("concurrent Inc lost updates: %v, want 4000", got)
+	}
+	if got := h.With().Count(); got != 4000 {
+		t.Fatalf("concurrent Observe lost updates: %d, want 4000", got)
+	}
+}

@@ -4,34 +4,28 @@
 // entirely. It is deliberately built on nothing but the public designer
 // API: if serve can do it over HTTP, any external client can.
 //
-// The API (all under /api/v1):
+// The full route listing lives in openapi.yaml next to this file (kept
+// in lockstep by a route-parity test). In outline: design sessions
+// (create/list/detail/close, index and partition edits, evaluate,
+// explain, advise, readvise), automatic advice and materialization, the
+// online tuner (create/observe/status/SSE stream), schema and cache
+// introspection, the shard-pricing endpoint in worker mode, and the
+// operational endpoints /healthz, /readyz, and /metrics.
 //
-//	GET    /health                              liveness + session count
-//	GET    /schema                              tables, columns, sizes
-//	GET    /stats                               costing-cache telemetry
-//	POST   /sessions                            create a what-if design session
-//	GET    /sessions                            list sessions
-//	GET    /sessions/{id}                       session detail
-//	DELETE /sessions/{id}                       close a session
-//	POST   /sessions/{id}/indexes               add a hypothetical index
-//	DELETE /sessions/{id}/indexes?key=...       drop an index by key
-//	POST   /sessions/{id}/partitions/vertical   add a vertical layout
-//	POST   /sessions/{id}/partitions/horizontal add a range layout
-//	POST   /sessions/{id}/evaluate              what-if benefit report
-//	POST   /sessions/{id}/explain               plan one query under the design
-//	POST   /sessions/{id}/advise                session-scoped advice (cold; primes re-advise)
-//	POST   /sessions/{id}/readvise              incremental re-advise (warm; empty body repeats the last question)
-//	POST   /advise                              automatic design + schedule + DDL
-//	POST   /materialize                         physically build indexes
-//	POST   /tuner                               start/replace the online tuner
-//	POST   /tuner/observe                       feed queries through the tuner
-//	GET    /tuner/status                        epochs, alerts, live configuration
-//	GET    /tuner/stream                        server-sent events of new alerts
+// The service is multi-tenant: requests carry an X-Tenant header (a
+// default tenant applies when absent), sessions are owned by the
+// sessionmgr layer (LRU + TTL eviction, per-tenant quotas, IDs minted
+// there), and the CPU-heavy verbs run through a bounded admission pool
+// in two priority classes — interactive what-if work jumps the queue
+// ahead of batch advise/materialize, and a full queue answers 429 with
+// Retry-After instead of accumulating goroutines. Every error response
+// carries the stable envelope {"error":{"code","message"[,"retry_after_ms"]}}.
 //
-// Every long-running handler threads the request context into the facade,
-// so a disconnected client cancels its advisor run mid-sweep. Design
-// sessions are isolated on pinned engine generations: a concurrent
-// /materialize does not tear an open session's evaluations.
+// Every long-running handler threads the request context — merged with
+// the session's lifetime context — into the facade, so a disconnected
+// client or a reclaimed session cancels its advisor run mid-sweep.
+// Design sessions are isolated on pinned engine generations: a
+// concurrent /materialize does not tear an open session's evaluations.
 package serve
 
 import (
@@ -49,12 +43,16 @@ import (
 	"time"
 
 	"repro/designer"
+	"repro/designer/serve/admission"
+	"repro/designer/serve/metrics"
+	"repro/designer/serve/sessionmgr"
 )
 
 // Server is the HTTP front-end over one designer.
 type Server struct {
 	d       *designer.Designer
 	mux     *http.ServeMux
+	handler http.Handler
 	httpSrv *http.Server
 	ln      net.Listener
 	done    chan struct{}
@@ -65,9 +63,34 @@ type Server struct {
 	// worker enables the shard-pricing endpoint (WithWorkerMode).
 	worker bool
 
-	mu        sync.Mutex
-	sessions  map[string]*session
-	sessionID int64
+	// Fabric sizing (options; defaults applied in New).
+	maxSessions int
+	sessionTTL  time.Duration
+	tenantQuota int
+	poolSize    int
+	queueDepth  int
+	holdHook    func(context.Context)
+
+	// sm owns session lifetime: minting, LRU/TTL eviction, quotas.
+	// Handlers never hold a session table of their own.
+	sm *sessionmgr.Manager
+	// pool is the bounded admission-controlled worker pool for the
+	// CPU-heavy verbs.
+	pool *admission.Pool
+
+	// Metrics (fabric.go).
+	reg            *metrics.Registry
+	mReqs          *metrics.CounterVec
+	mDur           *metrics.HistogramVec
+	mQueueDepth    *metrics.GaugeVec
+	mRunning       *metrics.Gauge
+	mRejected      *metrics.CounterVec
+	mEvicted       *metrics.CounterVec
+	mQuotaRejected *metrics.Counter
+	mSessCreated   *metrics.Counter
+	mSessActive    *metrics.GaugeVec
+	mCacheFullOpt  *metrics.Gauge
+	mCacheCostings *metrics.Gauge
 
 	// tunerMu guards the tuner handle and all calls into it: the COLT
 	// tuner serializes observation, so the server serializes access.
@@ -87,20 +110,34 @@ type Server struct {
 	tunerCurrent []string
 }
 
-// session is one HTTP what-if design session. Its DesignSession is pinned
-// to the engine generation current at creation time.
+// goneClosed marks a session released by an explicit DELETE (as opposed
+// to a manager eviction reason).
+const goneClosed = "closed"
+
+// session is one HTTP what-if design session — the payload the session
+// manager carries. Its DesignSession is pinned to the engine generation
+// current at creation time.
 //
 // mu serializes the DesignSession itself (evaluations can run for
 // seconds); metaMu guards only the cheap index-key snapshot so listing
 // endpoints never block behind an in-flight Evaluate.
 type session struct {
 	id      string
+	tenant  string
 	created time.Time
 	// backend is the session's cost-backend kind, fixed at creation.
 	backend string
+	// ctx is the session's lifetime context (from the manager); it is
+	// cancelled when the session is closed or evicted, aborting in-flight
+	// facade work.
+	ctx context.Context
 
 	mu sync.Mutex
 	ds *designer.DesignSession
+	// gone is set (under mu) once the session's resources are released —
+	// goneClosed after DELETE, or the eviction reason. A handler that
+	// raced the release answers from it instead of touching a nil ds.
+	gone string
 
 	// lastReq/lastWl remember the most recent advise question so an
 	// empty-body /readvise repeats it. Guarded by mu like the session.
@@ -135,6 +172,26 @@ func (sess *session) dropKey(key string) {
 	}
 }
 
+// lockLive acquires the session work lock and reports whether the
+// session is still live. On a session whose resources were already
+// released it writes the appropriate error and does not hold the lock.
+func (sess *session) lockLive(w http.ResponseWriter) bool {
+	sess.mu.Lock()
+	if sess.gone != "" {
+		gone := sess.gone
+		sess.mu.Unlock()
+		if gone == goneClosed {
+			writeError(w, http.StatusNotFound, codeSessionNotFound,
+				fmt.Errorf("session %q is closed", sess.id))
+		} else {
+			writeError(w, http.StatusGone, codeSessionEvicted,
+				fmt.Errorf("session %q was evicted (%s); create a new session", sess.id, gone))
+		}
+		return false
+	}
+	return true
+}
+
 // Option configures a Server at construction time.
 type Option func(*Server)
 
@@ -146,24 +203,61 @@ func WithWorkerMode() Option {
 	return func(s *Server) { s.worker = true }
 }
 
+// WithMaxSessions caps live sessions globally; at the cap, creating a
+// session evicts the least-recently-used one (it answers 410 afterwards).
+// <=0 keeps the default (1024).
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithSessionTTL sets the idle timeout after which a session is
+// reclaimed. <=0 disables expiry; the default is 30 minutes.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.sessionTTL = ttl }
+}
+
+// WithTenantQuota caps live sessions per tenant (X-Tenant header);
+// at the quota, session creation answers 429 quota_exceeded. <=0
+// disables per-tenant quotas (the default).
+func WithTenantQuota(n int) Option {
+	return func(s *Server) { s.tenantQuota = n }
+}
+
+// WithPoolSize sets the number of concurrently executing CPU-heavy
+// requests (advise, readvise, evaluate, explain, materialize, shard
+// sweeps). <=0 defaults to GOMAXPROCS.
+func WithPoolSize(n int) Option {
+	return func(s *Server) { s.poolSize = n }
+}
+
+// WithQueueDepth bounds each priority class's admission queue; a full
+// queue answers 429 queue_full with Retry-After. <=0 defaults to 64.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
 // New creates a server over the designer.
 func New(d *designer.Designer, opts ...Option) *Server {
 	s := &Server{
-		d:        d,
-		mux:      http.NewServeMux(),
-		sessions: make(map[string]*session),
-		done:     make(chan struct{}),
-		closing:  make(chan struct{}),
+		d:           d,
+		mux:         http.NewServeMux(),
+		done:        make(chan struct{}),
+		closing:     make(chan struct{}),
+		maxSessions: 1024,
+		sessionTTL:  30 * time.Minute,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.initFabric()
 	s.routes()
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-// Handler returns the server's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's instrumented HTTP handler (for tests and
+// embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start binds addr (use host:0 for an ephemeral port) and serves in the
 // background until Shutdown.
@@ -173,7 +267,7 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	s.ln = ln
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{Handler: s.handler}
 	go func() {
 		defer close(s.done)
 		// Serve returns http.ErrServerClosed after Shutdown; a fatal accept
@@ -193,7 +287,8 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown gracefully stops the server: the listener closes immediately,
-// in-flight requests get until ctx expires to finish.
+// in-flight requests get until ctx expires to finish, then the admission
+// pool and session manager wind down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv == nil {
 		return nil
@@ -204,43 +299,79 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.done:
 	case <-ctx.Done():
 	}
+	if err == nil {
+		// All handlers drained; the pool is idle and safe to close. On a
+		// dirty shutdown (ctx expired with work in flight) leave it running
+		// rather than block past the caller's deadline.
+		s.pool.Close()
+	}
+	s.sm.Stop()
 	return err
 }
 
+// route is one registered endpoint. The table is the single source of
+// truth for the mux, the openapi.yaml parity test, and (via pooled
+// wrappers) admission control.
+type route struct {
+	method  string
+	pattern string
+	worker  bool // registered only in worker mode
+	h       http.HandlerFunc
+}
+
+// pooled runs a handler through the admission pool at the given priority.
+func (s *Server) pooled(class admission.Class, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.admit(w, r, class, func() { h(w, r) })
+	}
+}
+
+// routeTable lists every endpoint. Interactive what-if verbs (index
+// add/drop, partitions, evaluate, explain, readvise) are admitted ahead
+// of batch work (advise, materialize, shard sweeps); control-plane and
+// read-only endpoints bypass the pool entirely.
+func (s *Server) routeTable() []route {
+	return []route{
+		{method: "GET", pattern: "/healthz", h: s.handleHealthz},
+		{method: "GET", pattern: "/readyz", h: s.handleReadyz},
+		{method: "GET", pattern: "/metrics", h: s.handleMetrics},
+		{method: "GET", pattern: "/api/v1/health", h: s.handleHealth},
+		{method: "GET", pattern: "/api/v1/schema", h: s.handleSchema},
+		{method: "GET", pattern: "/api/v1/stats", h: s.handleStats},
+		{method: "POST", pattern: "/api/v1/sessions", h: s.handleSessionCreate},
+		{method: "GET", pattern: "/api/v1/sessions", h: s.handleSessionList},
+		{method: "GET", pattern: "/api/v1/sessions/{id}", h: s.handleSessionGet},
+		{method: "DELETE", pattern: "/api/v1/sessions/{id}", h: s.handleSessionClose},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/indexes", h: s.pooled(admission.Interactive, s.handleSessionAddIndex)},
+		{method: "DELETE", pattern: "/api/v1/sessions/{id}/indexes", h: s.pooled(admission.Interactive, s.handleSessionDropIndex)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/partitions/vertical", h: s.pooled(admission.Interactive, s.handleSessionVertical)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/partitions/horizontal", h: s.pooled(admission.Interactive, s.handleSessionHorizontal)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/evaluate", h: s.pooled(admission.Interactive, s.handleSessionEvaluate)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/explain", h: s.pooled(admission.Interactive, s.handleSessionExplain)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/advise", h: s.pooled(admission.Batch, s.handleSessionAdvise)},
+		{method: "POST", pattern: "/api/v1/sessions/{id}/readvise", h: s.pooled(admission.Interactive, s.handleSessionReadvise)},
+		{method: "POST", pattern: "/api/v1/advise", h: s.pooled(admission.Batch, s.handleAdvise)},
+		{method: "POST", pattern: "/api/v1/materialize", h: s.pooled(admission.Batch, s.handleMaterialize)},
+		{method: "POST", pattern: "/api/v1/tuner", h: s.handleTunerCreate},
+		{method: "POST", pattern: "/api/v1/tuner/observe", h: s.handleTunerObserve},
+		{method: "GET", pattern: "/api/v1/tuner/status", h: s.handleTunerStatus},
+		{method: "GET", pattern: "/api/v1/tuner/stream", h: s.handleTunerStream},
+		{method: "POST", pattern: "/api/v1/shards/sweep", worker: true, h: s.pooled(admission.Batch, s.handleShardSweep)},
+	}
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /api/v1/health", s.handleHealth)
-	s.mux.HandleFunc("GET /api/v1/schema", s.handleSchema)
-	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /api/v1/sessions", s.handleSessionCreate)
-	s.mux.HandleFunc("GET /api/v1/sessions", s.handleSessionList)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionGet)
-	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionClose)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/indexes", s.handleSessionAddIndex)
-	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/indexes", s.handleSessionDropIndex)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/partitions/vertical", s.handleSessionVertical)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/partitions/horizontal", s.handleSessionHorizontal)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/evaluate", s.handleSessionEvaluate)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/explain", s.handleSessionExplain)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/advise", s.handleSessionAdvise)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/readvise", s.handleSessionReadvise)
-	s.mux.HandleFunc("POST /api/v1/advise", s.handleAdvise)
-	s.mux.HandleFunc("POST /api/v1/materialize", s.handleMaterialize)
-	s.mux.HandleFunc("POST /api/v1/tuner", s.handleTunerCreate)
-	s.mux.HandleFunc("POST /api/v1/tuner/observe", s.handleTunerObserve)
-	s.mux.HandleFunc("GET /api/v1/tuner/status", s.handleTunerStatus)
-	s.mux.HandleFunc("GET /api/v1/tuner/stream", s.handleTunerStream)
-	if s.worker {
-		s.mux.HandleFunc("POST /api/v1/shards/sweep", s.handleShardSweep)
+	for _, rt := range s.routeTable() {
+		if rt.worker && !s.worker {
+			continue
+		}
+		s.mux.HandleFunc(rt.method+" "+rt.pattern, rt.h)
 	}
 }
 
 // --------------------------------------------------------------------------
 // Wire DTOs.
 // --------------------------------------------------------------------------
-
-type errorJSON struct {
-	Error string `json:"error"`
-}
 
 type indexJSON struct {
 	Key            string   `json:"key"`
@@ -335,21 +466,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorJSON{Error: err.Error()})
-}
-
-// writeFacadeError maps context cancellation to 499-style client-closed
-// semantics and everything else to a 400 (facade errors are caller errors:
-// unknown tables, bad SQL, invalid layouts).
-func writeFacadeError(w http.ResponseWriter, r *http.Request, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	writeError(w, http.StatusBadRequest, err)
-}
-
 func readJSON(r *http.Request, v any) error {
 	if r.Body == nil {
 		return nil
@@ -364,27 +480,42 @@ func readJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// session resolves the request's session through the manager: 404 for
+// unknown/closed IDs or another tenant's session (existence is not
+// leaked across tenants), 410 for one the manager reclaimed.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess := s.sessions[id]
-	s.mu.Unlock()
-	if sess == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such session %q", id))
+	ms, err := s.sm.Get(id)
+	if err != nil {
+		writeSessionLookupError(w, id, err)
+		return nil
+	}
+	sess := ms.Value.(*session)
+	if sess.tenant != tenantFrom(r) {
+		writeError(w, http.StatusNotFound, codeSessionNotFound, fmt.Errorf("no such session %q", id))
 		return nil
 	}
 	return sess
+}
+
+func writeSessionLookupError(w http.ResponseWriter, id string, err error) {
+	var ev *sessionmgr.EvictedError
+	if errors.As(err, &ev) {
+		writeError(w, http.StatusGone, codeSessionEvicted,
+			fmt.Errorf("session %q was evicted (%s); create a new session", id, ev.Reason))
+		return
+	}
+	writeError(w, http.StatusNotFound, codeSessionNotFound, fmt.Errorf("no such session %q", id))
 }
 
 // --------------------------------------------------------------------------
 // Handlers: health, schema, stats.
 // --------------------------------------------------------------------------
 
+// handleHealth is the legacy combined probe (kept for compatibility);
+// /healthz and /readyz are the split liveness/readiness pair.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	n := len(s.sessions)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.sm.Len()})
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
@@ -433,57 +564,96 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Backend string `json:"backend,omitempty"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
+	tenant := tenantFrom(r)
 	// Build the session (which pins an engine generation and may briefly
-	// wait on the designer's store lock) before taking the server-wide
-	// lock: s.mu protects only ID allocation and the map insert, so a slow
-	// Materialize can never stall /health or session lookups.
+	// wait on the designer's store lock) before registering it: the
+	// manager's lock protects only ID allocation and the table insert, so
+	// a slow Materialize can never stall /healthz or session lookups.
 	ds, err := s.d.NewDesignSessionWith(designer.SessionOptions{
 		Backend: designer.BackendSpec{Kind: req.Backend},
 	})
 	if err != nil {
 		// A backend the designer cannot build (unknown kind, replay without
 		// a server-side trace) is a caller error.
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
-	sess := &session{created: time.Now(), backend: ds.Backend().Kind, ds: ds}
+	sess := &session{tenant: tenant, backend: ds.Backend().Kind, ds: ds}
 	// Seed the cheap key snapshot from the full design (base materialized
 	// indexes included) so the list and detail endpoints agree.
 	for _, ix := range ds.Config().Indexes() {
 		sess.keys = append(sess.keys, ix.Key())
 	}
-	s.mu.Lock()
-	s.sessionID++
-	id := "s" + strconv.FormatInt(s.sessionID, 10)
-	sess.id = id
-	s.sessions[id] = sess
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "backend": sess.backend})
+	ms, err := s.sm.Create(tenant, sess)
+	if err != nil {
+		if errors.Is(err, sessionmgr.ErrQuotaExceeded) {
+			s.mQuotaRejected.Inc()
+			writeErrorRetry(w, http.StatusTooManyRequests, codeQuotaExceeded,
+				fmt.Errorf("tenant %q is at its session quota (%d); close a session or retry later", tenant, s.tenantQuota),
+				10*time.Second)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	sess.id, sess.created, sess.ctx = ms.ID, ms.Created, ms.Context()
+	s.mSessCreated.Inc()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": ms.ID, "backend": sess.backend, "tenant": tenant})
 }
+
+// maxListLimit caps one page of the session listing.
+const maxListLimit = 1000
 
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	type sessionJSON struct {
 		ID      string   `json:"id"`
+		Tenant  string   `json:"tenant"`
 		Created string   `json:"created"`
 		Backend string   `json:"backend"`
 		Indexes []string `json:"indexes"`
 	}
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Errorf("invalid limit %q: want a positive integer", v))
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
 	}
-	s.mu.Unlock()
+	page, next, err := s.sm.Page(q.Get("tenant"), q.Get("cursor"), limit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf("invalid cursor %q", q.Get("cursor")))
+		return
+	}
 	out := []sessionJSON{}
-	for _, sess := range sessions {
-		sj := sessionJSON{ID: sess.id, Created: sess.created.UTC().Format(time.RFC3339), Backend: sess.backend, Indexes: []string{}}
+	for _, ms := range page {
+		sess, ok := ms.Value.(*session)
+		if !ok {
+			continue
+		}
+		sj := sessionJSON{
+			ID: ms.ID, Tenant: ms.Tenant,
+			Created: ms.Created.UTC().Format(time.RFC3339),
+			Backend: sess.backend, Indexes: []string{},
+		}
 		sj.Indexes = append(sj.Indexes, sess.indexKeys()...)
 		out = append(out, sj)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+	resp := map[string]any{"sessions": out}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
@@ -491,27 +661,42 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	cfg := sess.ds.Config()
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      sess.id,
+		"tenant":  sess.tenant,
 		"created": sess.created.UTC().Format(time.RFC3339),
 		"backend": sess.backend,
 		"indexes": toIndexesJSON(cfg.Indexes()),
 	})
 }
 
+// handleSessionClose detaches the session from the manager immediately —
+// even while a long evaluate/advise holds its work lock — cancels its
+// in-flight work through the session context, and releases resources
+// asynchronously once the work drains.
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such session %q", id))
+	ms, err := s.sm.Get(id)
+	if err != nil {
+		writeSessionLookupError(w, id, err)
 		return
 	}
+	sess := ms.Value.(*session)
+	if sess.tenant != tenantFrom(r) {
+		writeError(w, http.StatusNotFound, codeSessionNotFound, fmt.Errorf("no such session %q", id))
+		return
+	}
+	if _, err := s.sm.Close(id); err != nil {
+		// Raced an eviction or another close between Get and Close.
+		writeSessionLookupError(w, id, err)
+		return
+	}
+	s.releaseSession(sess, goneClosed)
 	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
 }
 
@@ -525,10 +710,12 @@ func (s *Server) handleSessionAddIndex(w http.ResponseWriter, r *http.Request) {
 		Columns []string `json:"columns"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	ix, err := sess.ds.AddIndex(req.Table, req.Columns...)
 	if err == nil {
 		// Update the key snapshot inside the work lock so it can never
@@ -550,17 +737,19 @@ func (s *Server) handleSessionDropIndex(w http.ResponseWriter, r *http.Request) 
 	}
 	key := r.URL.Query().Get("key")
 	if key == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing ?key=table(col,...)"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("missing ?key=table(col,...)"))
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	ok := sess.ds.DropIndex(key)
 	if ok {
 		sess.dropKey(strings.ToLower(key))
 	}
 	sess.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("index %q not in the design", key))
+		writeError(w, http.StatusNotFound, codeIndexNotFound, fmt.Errorf("index %q not in the design", key))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": key})
@@ -576,10 +765,12 @@ func (s *Server) handleSessionVertical(w http.ResponseWriter, r *http.Request) {
 		Fragments [][]string `json:"fragments"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	err := sess.ds.AddVerticalPartition(req.Table, req.Fragments)
 	sess.mu.Unlock()
 	if err != nil {
@@ -600,10 +791,12 @@ func (s *Server) handleSessionHorizontal(w http.ResponseWriter, r *http.Request)
 		Fragments int    `json:"fragments"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	err := sess.ds.AddHorizontalPartition(req.Table, req.Column, req.Fragments)
 	sess.mu.Unlock()
 	if err != nil {
@@ -620,7 +813,7 @@ func (s *Server) handleSessionEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req workloadJSON
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	wl, err := s.workload(req)
@@ -628,8 +821,12 @@ func (s *Server) handleSessionEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeFacadeError(w, r, err)
 		return
 	}
-	sess.mu.Lock()
-	rep, err := sess.ds.Evaluate(r.Context(), wl)
+	ctx, cancel := workCtx(r, sess)
+	defer cancel()
+	if !sess.lockLive(w) {
+		return
+	}
+	rep, err := sess.ds.Evaluate(ctx, wl)
 	sess.mu.Unlock()
 	if err != nil {
 		writeFacadeError(w, r, err)
@@ -647,11 +844,11 @@ func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
 		SQL string `json:"sql"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("missing sql"))
 		return
 	}
 	q, err := s.d.ParseQuery("q", req.SQL)
@@ -659,7 +856,9 @@ func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
 		writeFacadeError(w, r, err)
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockLive(w) {
+		return
+	}
 	plan, err := sess.ds.Explain(q)
 	sess.mu.Unlock()
 	if err != nil {
@@ -703,7 +902,7 @@ func (req *adviseRequestJSON) options() designer.AdviceOptions {
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	var req adviseRequestJSON
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	wl, err := s.workload(req.workloadJSON)
@@ -778,7 +977,7 @@ func (s *Server) handleSessionAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	var req adviseRequestJSON
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	wl, err := s.workload(req.workloadJSON)
@@ -786,8 +985,12 @@ func (s *Server) handleSessionAdvise(w http.ResponseWriter, r *http.Request) {
 		writeFacadeError(w, r, err)
 		return
 	}
-	sess.mu.Lock()
-	advice, err := sess.ds.Advise(r.Context(), wl, req.options())
+	ctx, cancel := workCtx(r, sess)
+	defer cancel()
+	if !sess.lockLive(w) {
+		return
+	}
+	advice, err := sess.ds.Advise(ctx, wl, req.options())
 	if err == nil {
 		sess.lastReq, sess.lastWl = &req, wl
 	}
@@ -812,11 +1015,15 @@ func (s *Server) handleSessionReadvise(w http.ResponseWriter, r *http.Request) {
 	}
 	var req adviseRequestJSON
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 
-	sess.mu.Lock()
+	ctx, cancel := workCtx(r, sess)
+	defer cancel()
+	if !sess.lockLive(w) {
+		return
+	}
 	wl, opts := sess.lastWl, designer.AdviceOptions{}
 	if sess.lastReq != nil {
 		opts = sess.lastReq.options()
@@ -826,7 +1033,7 @@ func (s *Server) handleSessionReadvise(w http.ResponseWriter, r *http.Request) {
 		// never asked one — erroring beats fabricating a default workload
 		// on what is documented as the instant cached path.
 		sess.mu.Unlock()
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
 			errors.New("no previous advise question to repeat; send a workload (see POST /advise)"))
 		return
 	}
@@ -841,7 +1048,7 @@ func (s *Server) handleSessionReadvise(w http.ResponseWriter, r *http.Request) {
 		opts = req.options()
 	}
 	start := time.Now()
-	advice, stats, err := sess.ds.ReAdvise(r.Context(), wl, opts)
+	advice, stats, err := sess.ds.ReAdvise(ctx, wl, opts)
 	if err == nil {
 		stored := req
 		if req.isZero() && sess.lastReq != nil {
@@ -875,11 +1082,11 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 		} `json:"indexes"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	if len(req.Indexes) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no indexes given"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("no indexes given"))
 		return
 	}
 	var ixs []designer.Index
@@ -913,7 +1120,7 @@ func (s *Server) handleTunerCreate(w http.ResponseWriter, r *http.Request) {
 		WhatIfBudget     int   `json:"whatif_budget,omitempty"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	opts := designer.DefaultTunerOptions()
@@ -941,11 +1148,11 @@ func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
 		SQL []string `json:"sql"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 	if len(req.SQL) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no sql given"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("no sql given"))
 		return
 	}
 	var qs []designer.Query
@@ -968,7 +1175,8 @@ func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
 		// No silent auto-create: an observe against a tuner that was never
 		// configured is a client mistake (its options would be defaults the
 		// caller never chose), and burying that as a 200 hides it.
-		writeError(w, http.StatusNotFound, errors.New("no tuner configured; POST /api/v1/tuner first"))
+		writeError(w, http.StatusNotFound, codeTunerNotConfigured,
+			errors.New("no tuner configured; POST /api/v1/tuner first"))
 		return
 	}
 	total, err := s.tuner.ObserveAll(r.Context(), qs)
@@ -1052,7 +1260,8 @@ func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
 	gen, active, alerts, reports, current := s.tunerSnapshot()
 	if gen == 0 {
 		// gen counts tuner creations; 0 means no tuner has ever existed.
-		writeError(w, http.StatusNotFound, errors.New("no tuner configured; POST /api/v1/tuner first"))
+		writeError(w, http.StatusNotFound, codeTunerNotConfigured,
+			errors.New("no tuner configured; POST /api/v1/tuner first"))
 		return
 	}
 	type epochJSON struct {
@@ -1086,7 +1295,7 @@ func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		writeError(w, http.StatusInternalServerError, codeInternal, errors.New("streaming unsupported"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

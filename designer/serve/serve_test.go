@@ -316,10 +316,48 @@ func rawCall(t *testing.T, method, url, body string) int {
 	return resp.StatusCode
 }
 
+// envelopeCall performs one request with a raw (possibly malformed) body
+// and returns the status plus the machine-readable code out of the error
+// envelope ("" on a 2xx, or when no envelope came back).
+func envelopeCall(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 400 {
+		return resp.StatusCode, ""
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("%s %s: non-2xx response is not an error envelope: %v\n%s", method, url, err, data)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("%s %s: envelope missing code or message: %s", method, url, data)
+	}
+	return resp.StatusCode, env.Error.Code
+}
+
 // TestErrorMappingAllHandlers is the table-driven audit of every handler's
-// failure paths: unknown session/tuner resources map to 404, malformed
-// bodies and invalid requests map to 400 — never a 500. The table runs in
-// three phases because the tuner cases depend on whether a tuner exists.
+// failure paths: each must return the right HTTP status AND the right
+// stable machine-readable code in the error envelope — never a 500, never
+// a bare string body. The table runs in three phases because the tuner
+// cases depend on whether a tuner exists.
 func TestErrorMappingAllHandlers(t *testing.T) {
 	base := start(t)
 
@@ -329,40 +367,45 @@ func TestErrorMappingAllHandlers(t *testing.T) {
 		path   string
 		body   string // raw JSON; "" = no body
 		want   int
+		code   string // expected envelope code ("" for 2xx)
 	}
 
 	const malformed = `{"oops": `
 	run := func(cases []tc) {
 		t.Helper()
 		for _, c := range cases {
-			if got := rawCall(t, c.method, base+c.path, c.body); got != c.want {
-				t.Errorf("%s: %s %s body=%q: status %d, want %d", c.name, c.method, c.path, c.body, got, c.want)
+			got, code := envelopeCall(t, c.method, base+c.path, c.body)
+			if got != c.want || code != c.code {
+				t.Errorf("%s: %s %s body=%q: status %d code %q, want %d %q",
+					c.name, c.method, c.path, c.body, got, code, c.want, c.code)
 			}
 		}
 	}
 
 	// Phase 1: no sessions, no tuner.
 	run([]tc{
-		{"session get unknown id", "GET", "/sessions/nope", "", http.StatusNotFound},
-		{"session close unknown id", "DELETE", "/sessions/nope", "", http.StatusNotFound},
-		{"add index unknown session", "POST", "/sessions/nope/indexes", `{"table":"photoobj","columns":["ra"]}`, http.StatusNotFound},
-		{"drop index unknown session", "DELETE", "/sessions/nope/indexes?key=photoobj(ra)", "", http.StatusNotFound},
-		{"vertical unknown session", "POST", "/sessions/nope/partitions/vertical", `{"table":"photoobj"}`, http.StatusNotFound},
-		{"horizontal unknown session", "POST", "/sessions/nope/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":2}`, http.StatusNotFound},
-		{"evaluate unknown session", "POST", "/sessions/nope/evaluate", `{}`, http.StatusNotFound},
-		{"explain unknown session", "POST", "/sessions/nope/explain", `{"sql":"SELECT objid FROM photoobj"}`, http.StatusNotFound},
-		{"session create malformed body", "POST", "/sessions", malformed, http.StatusBadRequest},
-		{"session create unknown backend", "POST", "/sessions", `{"backend":"voodoo"}`, http.StatusBadRequest},
-		{"session create replay without trace", "POST", "/sessions", `{"backend":"replay"}`, http.StatusBadRequest},
-		{"advise malformed body", "POST", "/advise", malformed, http.StatusBadRequest},
-		{"advise wrong field type", "POST", "/advise", `{"sql": "not-a-list"}`, http.StatusBadRequest},
-		{"advise bad workload sql", "POST", "/advise", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
-		{"materialize malformed body", "POST", "/materialize", malformed, http.StatusBadRequest},
-		{"materialize empty index list", "POST", "/materialize", `{}`, http.StatusBadRequest},
-		{"materialize unknown table", "POST", "/materialize", `{"indexes":[{"table":"nosuch","columns":["x"]}]}`, http.StatusBadRequest},
-		{"tuner create malformed body", "POST", "/tuner", malformed, http.StatusBadRequest},
-		{"tuner status before create", "GET", "/tuner/status", "", http.StatusNotFound},
-		{"tuner observe before create", "POST", "/tuner/observe", `{"sql":["SELECT objid FROM photoobj"]}`, http.StatusNotFound},
+		{"session get unknown id", "GET", "/sessions/nope", "", http.StatusNotFound, "session_not_found"},
+		{"session close unknown id", "DELETE", "/sessions/nope", "", http.StatusNotFound, "session_not_found"},
+		{"add index unknown session", "POST", "/sessions/nope/indexes", `{"table":"photoobj","columns":["ra"]}`, http.StatusNotFound, "session_not_found"},
+		{"drop index unknown session", "DELETE", "/sessions/nope/indexes?key=photoobj(ra)", "", http.StatusNotFound, "session_not_found"},
+		{"vertical unknown session", "POST", "/sessions/nope/partitions/vertical", `{"table":"photoobj"}`, http.StatusNotFound, "session_not_found"},
+		{"horizontal unknown session", "POST", "/sessions/nope/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":2}`, http.StatusNotFound, "session_not_found"},
+		{"evaluate unknown session", "POST", "/sessions/nope/evaluate", `{}`, http.StatusNotFound, "session_not_found"},
+		{"explain unknown session", "POST", "/sessions/nope/explain", `{"sql":"SELECT objid FROM photoobj"}`, http.StatusNotFound, "session_not_found"},
+		{"session create malformed body", "POST", "/sessions", malformed, http.StatusBadRequest, "invalid_request"},
+		{"session create unknown backend", "POST", "/sessions", `{"backend":"voodoo"}`, http.StatusBadRequest, "invalid_request"},
+		{"session create replay without trace", "POST", "/sessions", `{"backend":"replay"}`, http.StatusBadRequest, "invalid_request"},
+		{"session list bad limit", "GET", "/sessions?limit=banana", "", http.StatusBadRequest, "invalid_request"},
+		{"session list bad cursor", "GET", "/sessions?cursor=@@@", "", http.StatusBadRequest, "invalid_request"},
+		{"advise malformed body", "POST", "/advise", malformed, http.StatusBadRequest, "invalid_request"},
+		{"advise wrong field type", "POST", "/advise", `{"sql": "not-a-list"}`, http.StatusBadRequest, "invalid_request"},
+		{"advise bad workload sql", "POST", "/advise", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest, "invalid_request"},
+		{"materialize malformed body", "POST", "/materialize", malformed, http.StatusBadRequest, "invalid_request"},
+		{"materialize empty index list", "POST", "/materialize", `{}`, http.StatusBadRequest, "invalid_request"},
+		{"materialize unknown table", "POST", "/materialize", `{"indexes":[{"table":"nosuch","columns":["x"]}]}`, http.StatusBadRequest, "invalid_request"},
+		{"tuner create malformed body", "POST", "/tuner", malformed, http.StatusBadRequest, "invalid_request"},
+		{"tuner status before create", "GET", "/tuner/status", "", http.StatusNotFound, "tuner_not_configured"},
+		{"tuner observe before create", "POST", "/tuner/observe", `{"sql":["SELECT objid FROM photoobj"]}`, http.StatusNotFound, "tuner_not_configured"},
 	})
 
 	// Phase 2: against a live session.
@@ -370,39 +413,39 @@ func TestErrorMappingAllHandlers(t *testing.T) {
 	id := created["id"].(string)
 	sp := "/sessions/" + id
 	run([]tc{
-		{"add index malformed body", "POST", sp + "/indexes", malformed, http.StatusBadRequest},
-		{"add index empty body", "POST", sp + "/indexes", "", http.StatusBadRequest},
-		{"add index unknown table", "POST", sp + "/indexes", `{"table":"nosuch","columns":["x"]}`, http.StatusBadRequest},
-		{"add index unknown column", "POST", sp + "/indexes", `{"table":"photoobj","columns":["nope"]}`, http.StatusBadRequest},
-		{"add index no columns", "POST", sp + "/indexes", `{"table":"photoobj"}`, http.StatusBadRequest},
-		{"drop index missing key", "DELETE", sp + "/indexes", "", http.StatusBadRequest},
-		{"drop index unknown key", "DELETE", sp + "/indexes?key=photoobj(nope)", "", http.StatusNotFound},
-		{"vertical malformed body", "POST", sp + "/partitions/vertical", malformed, http.StatusBadRequest},
-		{"vertical unknown table", "POST", sp + "/partitions/vertical", `{"table":"nosuch","fragments":[["x"]]}`, http.StatusBadRequest},
-		{"vertical incomplete layout", "POST", sp + "/partitions/vertical", `{"table":"photoobj","fragments":[["ra"]]}`, http.StatusBadRequest},
-		{"horizontal malformed body", "POST", sp + "/partitions/horizontal", malformed, http.StatusBadRequest},
-		{"horizontal unknown column", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"nope","fragments":2}`, http.StatusBadRequest},
-		{"horizontal one fragment", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":1}`, http.StatusBadRequest},
-		{"evaluate malformed body", "POST", sp + "/evaluate", malformed, http.StatusBadRequest},
-		{"evaluate bad sql", "POST", sp + "/evaluate", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
-		{"explain malformed body", "POST", sp + "/explain", malformed, http.StatusBadRequest},
-		{"explain missing sql", "POST", sp + "/explain", `{}`, http.StatusBadRequest},
-		{"explain bad sql", "POST", sp + "/explain", `{"sql":"SELECT broken FROM nowhere"}`, http.StatusBadRequest},
+		{"add index malformed body", "POST", sp + "/indexes", malformed, http.StatusBadRequest, "invalid_request"},
+		{"add index empty body", "POST", sp + "/indexes", "", http.StatusBadRequest, "invalid_request"},
+		{"add index unknown table", "POST", sp + "/indexes", `{"table":"nosuch","columns":["x"]}`, http.StatusBadRequest, "invalid_request"},
+		{"add index unknown column", "POST", sp + "/indexes", `{"table":"photoobj","columns":["nope"]}`, http.StatusBadRequest, "invalid_request"},
+		{"add index no columns", "POST", sp + "/indexes", `{"table":"photoobj"}`, http.StatusBadRequest, "invalid_request"},
+		{"drop index missing key", "DELETE", sp + "/indexes", "", http.StatusBadRequest, "invalid_request"},
+		{"drop index unknown key", "DELETE", sp + "/indexes?key=photoobj(nope)", "", http.StatusNotFound, "index_not_found"},
+		{"vertical malformed body", "POST", sp + "/partitions/vertical", malformed, http.StatusBadRequest, "invalid_request"},
+		{"vertical unknown table", "POST", sp + "/partitions/vertical", `{"table":"nosuch","fragments":[["x"]]}`, http.StatusBadRequest, "invalid_request"},
+		{"vertical incomplete layout", "POST", sp + "/partitions/vertical", `{"table":"photoobj","fragments":[["ra"]]}`, http.StatusBadRequest, "invalid_request"},
+		{"horizontal malformed body", "POST", sp + "/partitions/horizontal", malformed, http.StatusBadRequest, "invalid_request"},
+		{"horizontal unknown column", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"nope","fragments":2}`, http.StatusBadRequest, "invalid_request"},
+		{"horizontal one fragment", "POST", sp + "/partitions/horizontal", `{"table":"photoobj","column":"ra","fragments":1}`, http.StatusBadRequest, "invalid_request"},
+		{"evaluate malformed body", "POST", sp + "/evaluate", malformed, http.StatusBadRequest, "invalid_request"},
+		{"evaluate bad sql", "POST", sp + "/evaluate", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest, "invalid_request"},
+		{"explain malformed body", "POST", sp + "/explain", malformed, http.StatusBadRequest, "invalid_request"},
+		{"explain missing sql", "POST", sp + "/explain", `{}`, http.StatusBadRequest, "invalid_request"},
+		{"explain bad sql", "POST", sp + "/explain", `{"sql":"SELECT broken FROM nowhere"}`, http.StatusBadRequest, "invalid_request"},
 	})
 
 	// Phase 3: tuner configured; body validation still maps to 400.
 	call(t, "POST", base+"/tuner", map[string]any{"epoch_length": 4}, http.StatusCreated)
 	run([]tc{
-		{"tuner observe malformed body", "POST", "/tuner/observe", malformed, http.StatusBadRequest},
-		{"tuner observe empty sql", "POST", "/tuner/observe", `{}`, http.StatusBadRequest},
-		{"tuner observe bad sql", "POST", "/tuner/observe", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest},
-		{"tuner status after create", "GET", "/tuner/status", "", http.StatusOK},
+		{"tuner observe malformed body", "POST", "/tuner/observe", malformed, http.StatusBadRequest, "invalid_request"},
+		{"tuner observe empty sql", "POST", "/tuner/observe", `{}`, http.StatusBadRequest, "invalid_request"},
+		{"tuner observe bad sql", "POST", "/tuner/observe", `{"sql":["SELECT broken FROM nowhere"]}`, http.StatusBadRequest, "invalid_request"},
+		{"tuner status after create", "GET", "/tuner/status", "", http.StatusOK, ""},
 	})
 
 	// An oversized body (over the 1 MiB cap) is a 400, not a hang or a 500.
 	big := `{"sql":["` + strings.Repeat("x", 1<<20+1024) + `"]}`
-	if got := rawCall(t, "POST", base+"/advise", big); got != http.StatusBadRequest {
-		t.Errorf("oversized body: status %d, want 400", got)
+	if got, code := envelopeCall(t, "POST", base+"/advise", big); got != http.StatusBadRequest || code != "invalid_request" {
+		t.Errorf("oversized body: status %d code %q, want 400 invalid_request", got, code)
 	}
 }
 

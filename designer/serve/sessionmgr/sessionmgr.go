@@ -1,0 +1,396 @@
+// Package sessionmgr owns HTTP design-session lifetime for the serve
+// layer: it mints session IDs, enforces per-tenant quotas and a global
+// cap with LRU eviction, expires idle sessions on a TTL, and remembers
+// recently evicted IDs so the API can answer 410 Gone (rather than an
+// indistinguishable 404) when a client returns to a session the server
+// reclaimed.
+//
+// Each session carries a context that is cancelled the moment the session
+// is closed or evicted — the serve handlers thread it into facade calls,
+// so reclaiming a session aborts its in-flight work instead of waiting
+// behind it.
+package sessionmgr
+
+import (
+	"container/list"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reason classifies why a session left the manager.
+type Reason string
+
+const (
+	// ReasonTTL marks idle-timeout expiry.
+	ReasonTTL Reason = "ttl"
+	// ReasonLRU marks capacity eviction (global MaxSessions reached).
+	ReasonLRU Reason = "lru"
+)
+
+// ErrQuotaExceeded reports a tenant at its session quota.
+var ErrQuotaExceeded = errors.New("sessionmgr: tenant session quota exceeded")
+
+// ErrNotFound reports an unknown (or explicitly closed) session ID.
+var ErrNotFound = errors.New("sessionmgr: no such session")
+
+// EvictedError reports access to a session the manager reclaimed; it
+// remembers why so the API can say so.
+type EvictedError struct {
+	ID     string
+	Reason Reason
+}
+
+func (e *EvictedError) Error() string {
+	return fmt.Sprintf("sessionmgr: session %s evicted (%s)", e.ID, e.Reason)
+}
+
+// Session is one managed session. ID, Tenant, Created, and Value are
+// immutable after Create; the manager owns the recency bookkeeping.
+type Session struct {
+	ID      string
+	Tenant  string
+	Created time.Time
+	// Value is the owner's payload (the serve layer stores its per-session
+	// state here); the manager never looks inside it.
+	Value any
+
+	seq      int64
+	lastUsed time.Time // guarded by the manager's mu
+	ctx      context.Context
+	cancel   context.CancelFunc
+}
+
+// Context is cancelled when the session is closed or evicted. Thread it
+// into any long-running work on the session's behalf.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Config sizes a Manager.
+type Config struct {
+	// MaxSessions caps live sessions globally; at the cap, creating a new
+	// session evicts the least-recently-used one. <=0 defaults to 1024.
+	MaxSessions int
+	// TenantQuota caps live sessions per tenant; at the quota, Create
+	// fails with ErrQuotaExceeded. <=0 disables per-tenant quotas.
+	TenantQuota int
+	// TTL is the idle timeout: a session unused for longer is reclaimed
+	// by the sweeper (or lazily, on access). <=0 disables expiry.
+	TTL time.Duration
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+	// OnEvict observes every TTL/LRU eviction, after the session has been
+	// detached and its context cancelled. Called without the manager lock
+	// held; explicit Close does not trigger it.
+	OnEvict func(*Session, Reason)
+}
+
+// tombstoneCap bounds the evicted-ID memory (oldest forgotten first, at
+// which point a stale client gets a 404 instead of a 410 — acceptable).
+const tombstoneCap = 4096
+
+// Manager is the concurrency-safe session table.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	seq       int64
+	byID      map[string]*list.Element // of *Session
+	lru       *list.List               // front = most recently used
+	perTenant map[string]int
+	tombstone map[string]Reason
+	tombOrder []string
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+
+	evicted map[Reason]int64
+}
+
+// New builds a manager and starts its TTL sweeper (when a TTL is set).
+func New(cfg Config) *Manager {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{
+		cfg:       cfg,
+		byID:      make(map[string]*list.Element),
+		lru:       list.New(),
+		perTenant: make(map[string]int),
+		tombstone: make(map[string]Reason),
+		stop:      make(chan struct{}),
+		evicted:   make(map[Reason]int64),
+	}
+	if cfg.TTL > 0 {
+		interval := cfg.TTL / 4
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		m.wg.Add(1)
+		go m.sweeper(interval)
+	}
+	return m
+}
+
+// Stop ends the TTL sweeper. Live sessions stay usable.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+func (m *Manager) sweeper(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.SweepExpired()
+		}
+	}
+}
+
+// Create mints a session for the tenant. At the tenant quota it fails; at
+// the global cap it evicts the least-recently-used session first.
+func (m *Manager) Create(tenant string, value any) (*Session, error) {
+	var evicted []*Session
+	m.mu.Lock()
+	if m.cfg.TenantQuota > 0 && m.perTenant[tenant] >= m.cfg.TenantQuota {
+		m.mu.Unlock()
+		return nil, ErrQuotaExceeded
+	}
+	for m.lru.Len() >= m.cfg.MaxSessions {
+		oldest := m.lru.Back()
+		if oldest == nil {
+			break
+		}
+		evicted = append(evicted, m.detachLocked(oldest.Value.(*Session), ReasonLRU))
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &Session{
+		ID:      "s" + strconv.FormatInt(m.seq, 10),
+		Tenant:  tenant,
+		Created: m.cfg.Now(),
+		Value:   value,
+		seq:     m.seq,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	sess.lastUsed = sess.Created
+	m.byID[sess.ID] = m.lru.PushFront(sess)
+	m.perTenant[tenant]++
+	m.mu.Unlock()
+
+	m.notifyEvicted(evicted, ReasonLRU)
+	return sess, nil
+}
+
+// Get resolves a session by ID and marks it used. A TTL-expired session
+// is reclaimed on the spot and reported as evicted.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	el, ok := m.byID[id]
+	if !ok {
+		if reason, dead := m.tombstone[id]; dead {
+			m.mu.Unlock()
+			return nil, &EvictedError{ID: id, Reason: reason}
+		}
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	sess := el.Value.(*Session)
+	now := m.cfg.Now()
+	if m.cfg.TTL > 0 && now.Sub(sess.lastUsed) > m.cfg.TTL {
+		m.detachLocked(sess, ReasonTTL)
+		m.mu.Unlock()
+		m.notifyEvicted([]*Session{sess}, ReasonTTL)
+		return nil, &EvictedError{ID: id, Reason: ReasonTTL}
+	}
+	sess.lastUsed = now
+	m.lru.MoveToFront(el)
+	m.mu.Unlock()
+	return sess, nil
+}
+
+// Close detaches the session immediately and cancels its context. The
+// caller releases the payload's resources (asynchronously, if it likes) —
+// the manager is already free of the session when Close returns.
+func (m *Manager) Close(id string) (*Session, error) {
+	m.mu.Lock()
+	el, ok := m.byID[id]
+	if !ok {
+		if reason, dead := m.tombstone[id]; dead {
+			m.mu.Unlock()
+			return nil, &EvictedError{ID: id, Reason: reason}
+		}
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	sess := el.Value.(*Session)
+	m.removeLocked(sess)
+	m.mu.Unlock()
+	sess.cancel()
+	return sess, nil
+}
+
+// SweepExpired reclaims every TTL-expired session and returns them.
+func (m *Manager) SweepExpired() []*Session {
+	if m.cfg.TTL <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	now := m.cfg.Now()
+	var expired []*Session
+	// Oldest-first from the back; stop at the first live session.
+	for el := m.lru.Back(); el != nil; {
+		sess := el.Value.(*Session)
+		if now.Sub(sess.lastUsed) <= m.cfg.TTL {
+			break
+		}
+		prev := el.Prev()
+		expired = append(expired, m.detachLocked(sess, ReasonTTL))
+		el = prev
+	}
+	m.mu.Unlock()
+	m.notifyEvicted(expired, ReasonTTL)
+	return expired
+}
+
+// detachLocked removes the session, records a tombstone, cancels its
+// context, and counts the eviction. Callers hold mu.
+func (m *Manager) detachLocked(sess *Session, reason Reason) *Session {
+	m.removeLocked(sess)
+	m.tombstone[sess.ID] = reason
+	m.tombOrder = append(m.tombOrder, sess.ID)
+	if len(m.tombOrder) > tombstoneCap {
+		delete(m.tombstone, m.tombOrder[0])
+		m.tombOrder = m.tombOrder[1:]
+	}
+	m.evicted[reason]++
+	sess.cancel()
+	return sess
+}
+
+// removeLocked drops the session from the table. Callers hold mu.
+func (m *Manager) removeLocked(sess *Session) {
+	el, ok := m.byID[sess.ID]
+	if !ok {
+		return
+	}
+	delete(m.byID, sess.ID)
+	m.lru.Remove(el)
+	if m.perTenant[sess.Tenant]--; m.perTenant[sess.Tenant] <= 0 {
+		delete(m.perTenant, sess.Tenant)
+	}
+}
+
+func (m *Manager) notifyEvicted(sessions []*Session, reason Reason) {
+	if m.cfg.OnEvict == nil {
+		return
+	}
+	for _, sess := range sessions {
+		m.cfg.OnEvict(sess, reason)
+	}
+}
+
+// Len reports the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Tenants snapshots live session counts per tenant.
+func (m *Manager) Tenants() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.perTenant))
+	for t, n := range m.perTenant {
+		out[t] = n
+	}
+	return out
+}
+
+// EvictedTotals snapshots lifetime eviction counts by reason.
+func (m *Manager) EvictedTotals() map[Reason]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Reason]int64, len(m.evicted))
+	for r, n := range m.evicted {
+		out[r] = n
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Pagination.
+// --------------------------------------------------------------------------
+
+// cursorPrefix versions the opaque cursor encoding.
+const cursorPrefix = "v1:"
+
+// ErrBadCursor reports an unparseable pagination cursor.
+var ErrBadCursor = errors.New("sessionmgr: invalid cursor")
+
+func encodeCursor(seq int64) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.FormatInt(seq, 10)))
+}
+
+func decodeCursor(cursor string) (int64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil || !strings.HasPrefix(string(raw), cursorPrefix) {
+		return 0, ErrBadCursor
+	}
+	seq, err := strconv.ParseInt(string(raw[len(cursorPrefix):]), 10, 64)
+	if err != nil {
+		return 0, ErrBadCursor
+	}
+	return seq, nil
+}
+
+// Page lists sessions in creation order: up to limit entries after the
+// opaque cursor (empty = from the start), optionally restricted to one
+// tenant ("" = all). It returns the page plus the cursor for the next one
+// ("" when the listing is exhausted). Paging does not touch recency.
+func (m *Manager) Page(tenant, cursor string, limit int) ([]*Session, string, error) {
+	if limit <= 0 {
+		limit = 100
+	}
+	after := int64(0)
+	if cursor != "" {
+		var err error
+		if after, err = decodeCursor(cursor); err != nil {
+			return nil, "", err
+		}
+	}
+	m.mu.Lock()
+	all := make([]*Session, 0, m.lru.Len())
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		sess := el.Value.(*Session)
+		if sess.seq > after && (tenant == "" || sess.Tenant == tenant) {
+			all = append(all, sess)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	next := ""
+	if len(all) > limit {
+		all = all[:limit]
+		next = encodeCursor(all[len(all)-1].seq)
+	}
+	return all, next, nil
+}

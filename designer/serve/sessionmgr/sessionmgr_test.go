@@ -1,0 +1,282 @@
+package sessionmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestCreateGetClose(t *testing.T) {
+	m := New(Config{})
+	defer m.Stop()
+	s1, err := m.Create("acme", "payload-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID == "" || s1.Tenant != "acme" || s1.Value != "payload-1" {
+		t.Fatalf("bad session: %+v", s1)
+	}
+	got, err := m.Get(s1.ID)
+	if err != nil || got != s1 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if s1.Context().Err() != nil {
+		t.Fatal("live session context already cancelled")
+	}
+	if _, err := m.Close(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Context().Err() == nil {
+		t.Fatal("closed session context not cancelled")
+	}
+	// Explicit close is a 404-class miss, not a 410 eviction.
+	if _, err := m.Get(s1.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Close: %v, want ErrNotFound", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after close", m.Len())
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	m := New(Config{TenantQuota: 2})
+	defer m.Stop()
+	if _, err := m.Create("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Create("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", nil); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third create: %v, want ErrQuotaExceeded", err)
+	}
+	// Other tenants are unaffected; closing frees quota.
+	if _, err := m.Create("b", nil); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	if _, err := m.Close(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", nil); err != nil {
+		t.Fatalf("create after freeing quota: %v", err)
+	}
+	if got := m.Tenants(); got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("Tenants = %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var evicted []string
+	m := New(Config{MaxSessions: 2, OnEvict: func(s *Session, r Reason) {
+		if r != ReasonLRU {
+			t.Errorf("reason %q, want lru", r)
+		}
+		evicted = append(evicted, s.ID)
+	}})
+	defer m.Stop()
+	s1, _ := m.Create("t", nil)
+	s2, _ := m.Create("t", nil)
+	// Touch s1 so s2 is the LRU victim.
+	if _, err := m.Get(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := m.Create("t", nil)
+	if len(evicted) != 1 || evicted[0] != s2.ID {
+		t.Fatalf("evicted %v, want [%s]", evicted, s2.ID)
+	}
+	if s2.Context().Err() == nil {
+		t.Fatal("evicted session context not cancelled")
+	}
+	var ev *EvictedError
+	if _, err := m.Get(s2.ID); !errors.As(err, &ev) || ev.Reason != ReasonLRU {
+		t.Fatalf("Get evicted: %v, want EvictedError(lru)", err)
+	}
+	for _, id := range []string{s1.ID, s3.ID} {
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("survivor %s: %v", id, err)
+		}
+	}
+	if m.EvictedTotals()[ReasonLRU] != 1 {
+		t.Fatalf("EvictedTotals = %v", m.EvictedTotals())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var evicted []string
+	m := New(Config{TTL: time.Minute, Now: clk.Now, OnEvict: func(s *Session, r Reason) {
+		if r != ReasonTTL {
+			t.Errorf("reason %q, want ttl", r)
+		}
+		mu.Lock()
+		evicted = append(evicted, s.ID)
+		mu.Unlock()
+	}})
+	defer m.Stop()
+	s1, _ := m.Create("t", nil)
+	s2, _ := m.Create("t", nil)
+
+	clk.Advance(40 * time.Second)
+	if _, err := m.Get(s2.ID); err != nil { // keeps s2 fresh
+		t.Fatal(err)
+	}
+	clk.Advance(40 * time.Second) // s1 now 80s idle, s2 40s
+
+	// Lazy path: Get reclaims the expired session on the spot.
+	var ev *EvictedError
+	if _, err := m.Get(s1.ID); !errors.As(err, &ev) || ev.Reason != ReasonTTL {
+		t.Fatalf("Get expired: %v, want EvictedError(ttl)", err)
+	}
+	if _, err := m.Get(s2.ID); err != nil {
+		t.Fatalf("fresh session: %v", err)
+	}
+
+	// Sweep path: advancing past the TTL and sweeping reclaims the rest.
+	clk.Advance(2 * time.Minute)
+	if got := len(m.SweepExpired()); got != 1 {
+		t.Fatalf("SweepExpired reclaimed %d, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %v, want both sessions", evicted)
+	}
+	if m.EvictedTotals()[ReasonTTL] != 2 {
+		t.Fatalf("EvictedTotals = %v", m.EvictedTotals())
+	}
+}
+
+func TestTombstoneCapForgetsOldest(t *testing.T) {
+	m := New(Config{MaxSessions: 1})
+	defer m.Stop()
+	first, _ := m.Create("t", nil)
+	for i := 0; i < tombstoneCap+1; i++ {
+		if _, err := m.Create("t", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// first was evicted tombstoneCap+1 evictions ago — beyond the memory.
+	if _, err := m.Get(first.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ancient eviction: %v, want ErrNotFound", err)
+	}
+}
+
+func TestPagination(t *testing.T) {
+	m := New(Config{})
+	defer m.Stop()
+	var ids []string
+	for i := 0; i < 25; i++ {
+		tenant := "even"
+		if i%2 == 1 {
+			tenant = "odd"
+		}
+		s, err := m.Create(tenant, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+
+	// Walk all sessions in pages of 10: creation order, no dups, no gaps.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("pagination does not terminate")
+		}
+		page, next, err := m.Page("", cursor, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range page {
+			walked = append(walked, s.ID)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if fmt.Sprint(walked) != fmt.Sprint(ids) {
+		t.Fatalf("walked %v\nwant   %v", walked, ids)
+	}
+
+	// Tenant filter composes with the cursor.
+	page, next, err := m.Page("odd", "", 5)
+	if err != nil || len(page) != 5 || next == "" {
+		t.Fatalf("odd page 1: %d sessions, next %q, err %v", len(page), next, err)
+	}
+	rest, next2, err := m.Page("odd", next, 100)
+	if err != nil || len(rest) != 7 || next2 != "" {
+		t.Fatalf("odd page 2: %d sessions, next %q, err %v", len(rest), next2, err)
+	}
+	for _, s := range append(page, rest...) {
+		if s.Tenant != "odd" {
+			t.Fatalf("tenant filter leaked %s (%s)", s.ID, s.Tenant)
+		}
+	}
+
+	// A garbage cursor is a clean error.
+	if _, _, err := m.Page("", "@@not-base64@@", 10); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("bad cursor: %v, want ErrBadCursor", err)
+	}
+}
+
+// TestConcurrentChurn races creates, gets, closes, and sweeps; the race
+// detector is the assertion.
+func TestConcurrentChurn(t *testing.T) {
+	clk := newFakeClock()
+	m := New(Config{MaxSessions: 32, TenantQuota: 16, TTL: time.Minute, Now: clk.Now})
+	defer m.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%3)
+			for i := 0; i < 50; i++ {
+				s, err := m.Create(tenant, i)
+				if err != nil {
+					continue // quota pressure is expected
+				}
+				_, _ = m.Get(s.ID)
+				_, _, _ = m.Page(tenant, "", 10)
+				if i%3 == 0 {
+					_, _ = m.Close(s.ID)
+				}
+				if i%7 == 0 {
+					clk.Advance(time.Second)
+					m.SweepExpired()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_ = m.Tenants()
+	_ = m.EvictedTotals()
+}

@@ -143,22 +143,22 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 	var req shardSweepRequestJSON
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, shardMaxBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading shard request: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("reading shard request: %w", err))
 		return
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	if req.Fingerprint != "" {
 		if own := s.d.Fingerprint(); req.Fingerprint != own {
-			writeError(w, http.StatusConflict,
+			writeError(w, http.StatusConflict, codeFingerprintMismatch,
 				fmt.Errorf("fingerprint mismatch: coordinator %s, worker %s (different dataset, seed, or backend)", req.Fingerprint, own))
 			return
 		}
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("shard request without queries"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("shard request without queries"))
 		return
 	}
 
@@ -170,7 +170,7 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 	for i, qj := range req.Queries {
 		pq, err := s.d.ParseQuery(ns+qj.ID, qj.SQL)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("query %s: %w", qj.ID, err))
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("query %s: %w", qj.ID, err))
 			return
 		}
 		queries[i] = pq.WithWeight(qj.Weight)
@@ -184,7 +184,7 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	wl, err := designer.NewWorkload(queries...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
 
@@ -219,7 +219,7 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, shardSweepResponseJSON{Benefits: out})
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown shard mode %q", req.Mode))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("unknown shard mode %q", req.Mode))
 	}
 }
 
@@ -338,9 +338,9 @@ func (c *ShardClient) post(ctx context.Context, wire *shardSweepRequestJSON) (*s
 		return nil, fmt.Errorf("shard worker %s: %w", c.base, err)
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		var e errorJSON
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("shard worker %s: %s (HTTP %d)", c.base, e.Error, httpResp.StatusCode)
+		var e errorEnvelopeJSON
+		if json.Unmarshal(raw, &e) == nil && e.Error.Message != "" {
+			return nil, fmt.Errorf("shard worker %s: %s (HTTP %d)", c.base, e.Error.Message, httpResp.StatusCode)
 		}
 		return nil, fmt.Errorf("shard worker %s: HTTP %d", c.base, httpResp.StatusCode)
 	}
