@@ -12,6 +12,7 @@
 //	advise        Scenario 2: automatic indexes + partitions + schedule
 //	whatif        Scenario 1: evaluate a manually specified design
 //	online        Scenario 3: continuous tuning over a drifting stream
+//	tune          Scenario 3 with the autopilot: builds, probation, rollback
 //	serve         run the designer as a JSON-over-HTTP service
 //	interactions  render the index-interaction graph (Figure 2)
 //	partition     automatic partition suggestion panel (Figure 3)
@@ -51,6 +52,8 @@ func main() {
 		err = cmdWhatIf(args)
 	case "online":
 		err = cmdOnline(args)
+	case "tune":
+		err = cmdTune(args)
 	case "serve":
 		err = cmdServe(args)
 	case "interactions":
@@ -85,6 +88,7 @@ Commands:
   advise        Scenario 2: automatic indexes + partitions + schedule
   whatif        Scenario 1: evaluate a manually specified design
   online        Scenario 3: continuous tuning over a drifting stream
+  tune          Scenario 3 with the autopilot: builds, probation, rollback
   serve         run the designer as a JSON-over-HTTP service
   interactions  render the index-interaction graph (Figure 2)
   partition     automatic partition suggestion panel (Figure 3)

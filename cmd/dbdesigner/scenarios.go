@@ -176,11 +176,20 @@ func cmdOnline(args []string) error {
 	perPhase := fs.Int("per-phase", 120, "queries per drift phase")
 	epoch := fs.Int("epoch", 25, "epoch length in queries")
 	budget := fs.Int64("space", 0, "space budget in pages (0 = unlimited)")
+	workloadFile := fs.String("workload", "", "file of semicolon-separated SELECTs to observe instead of the generated drift stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
 	d, err := df.open()
+	if err != nil {
+		return err
+	}
+	// Resolve the stream before constructing the tuner: a bad --workload
+	// file must fail here, with no half-built tuner left holding costing
+	// cache entries (and no OnAlert registered against a tuner that will
+	// never observe anything).
+	stream, err := onlineStream(d, *workloadFile, *df.seed, *perPhase)
 	if err != nil {
 		return err
 	}
@@ -192,10 +201,6 @@ func cmdOnline(args []string) error {
 	tuner.OnAlert(func(a designer.TunerAlert) {
 		fmt.Printf("ALERT  %s\n", a)
 	})
-	stream, err := d.DriftStream(*df.seed+2, *perPhase)
-	if err != nil {
-		return err
-	}
 	total, err := tuner.ObserveAll(ctx, stream)
 	if err != nil {
 		return err
@@ -344,6 +349,31 @@ func cmdCompare(args []string) error {
 			budget, cres.Objective, cres.Gap()*100, gres.Objective, winBy)
 	}
 	return df.finish(d)
+}
+
+// onlineStream resolves the query stream for the online/tune scenarios:
+// the generated drift stream by default, or the queries of a --workload
+// script file in order (each weighted statement observed once per unit of
+// weight, so the tuner sees the same mix the script describes).
+func onlineStream(d *designer.Designer, path string, seed int64, perPhase int) ([]designer.Query, error) {
+	if path == "" {
+		return d.DriftStream(seed+2, perPhase)
+	}
+	w, err := loadWorkload(d, path, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	var stream []designer.Query
+	for _, q := range w.Queries() {
+		n := int(q.Weight())
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			stream = append(stream, q)
+		}
+	}
+	return stream, nil
 }
 
 // loadWorkload reads a SQL script workload from a file, or generates the

@@ -1,0 +1,66 @@
+package designer_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/designer"
+)
+
+func TestAutopilotFacadeIntegration(t *testing.T) {
+	ctx := context.Background()
+	d := open(t)
+
+	topts := designer.DefaultTunerOptions()
+	topts.EpochLength = 10
+	aopts := designer.DefaultAutopilotOptions()
+	aopts.ProbationEpochs = 2
+	aopts.StatePath = filepath.Join(t.TempDir(), "autopilot.json")
+
+	ap, err := d.NewAutopilot(topts, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions []designer.AutopilotDecision
+	ap.OnDecision(func(dec designer.AutopilotDecision) { decisions = append(decisions, dec) })
+
+	qs, err := d.DriftStream(113, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.ObserveAll(ctx, qs); err != nil {
+		t.Fatal(err)
+	}
+
+	st := ap.Status()
+	if st.Epoch == 0 {
+		t.Fatalf("no epochs completed: %+v", st)
+	}
+	if len(ap.Reports()) == 0 {
+		t.Fatal("no epoch reports through the facade")
+	}
+	if got := ap.Decisions(0); len(got) != len(decisions) {
+		t.Fatalf("journal %d decisions, callback saw %d", len(got), len(decisions))
+	}
+	if st.RegretSamples == 0 {
+		t.Fatal("no regret samples")
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second autopilot on the same state path must resume.
+	ap2, err := d.NewAutopilot(topts, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap2.Close()
+	st2 := ap2.Status()
+	if !st2.Resumed {
+		t.Fatal("second autopilot did not resume from the snapshot")
+	}
+	if st2.LastSeq != st.LastSeq || st2.Epoch != st.Epoch {
+		t.Fatalf("resumed state mismatch: %+v vs %+v", st2, st)
+	}
+}

@@ -26,8 +26,15 @@ const (
 	// codeIndexNotFound: the design has no index under the given key.
 	// HTTP 404.
 	codeIndexNotFound = "index_not_found"
-	// codeTunerNotConfigured: tuner endpoints before POST /tuner. HTTP 404.
+	// codeTunerNotConfigured: tuner endpoints before POST /tuner, or an
+	// autopilot route naming a tuner id that is stale (the tuner was
+	// replaced) or never existed. HTTP 404.
 	codeTunerNotConfigured = "tuner_not_configured"
+	// codeAutopilotActive: starting the autopilot on a tuner that already
+	// has one. HTTP 409.
+	codeAutopilotActive = "autopilot_active"
+	// codeAutopilotNotActive: autopilot status/stop before start. HTTP 404.
+	codeAutopilotNotActive = "autopilot_not_active"
 	// codeQuotaExceeded: the tenant is at its live-session quota. HTTP 429.
 	codeQuotaExceeded = "quota_exceeded"
 	// codeQueueFull: the admission queue for the request's priority class

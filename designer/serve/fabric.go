@@ -22,6 +22,14 @@ import (
 // defaultTenant is the tenant of requests without an X-Tenant header.
 const defaultTenant = "default"
 
+// autopilotDecisionKinds mirrors the supervisor's decision-kind vocabulary
+// (designer.AutopilotDecision.Kind) so the decisions_total family shows all
+// its series from the first scrape.
+var autopilotDecisionKinds = []string{
+	"adopt", "skip_cooldown", "build_progress", "materialized",
+	"probation_pass", "rollback", "drop",
+}
+
 // tenantHeader names the tenancy header.
 const tenantHeader = "X-Tenant"
 
@@ -83,6 +91,22 @@ func (s *Server) initFabric() {
 		"Engine costing-cache full optimizer runs (sampled at scrape).").With()
 	s.mCacheCostings = s.reg.Gauge("dbdesigner_engine_cache_cached_costings",
 		"Engine costing-cache cached costings (sampled at scrape).").With()
+	s.mAPActive = s.reg.Gauge("dbdesigner_autopilot_active",
+		"1 while the autopilot supervises the tuner slot, 0 otherwise.").With()
+	s.mAPEpoch = s.reg.Gauge("dbdesigner_autopilot_epoch",
+		"Observation epochs completed by the supervised tuner.").With()
+	s.mAPRegret = s.reg.Gauge("dbdesigner_autopilot_regret_pct",
+		"Latest sampled regret versus the oracle-best design, percent.").With()
+	s.mAPBuildsDone = s.reg.Counter("dbdesigner_autopilot_builds_completed_total",
+		"Background index builds materialized by the autopilot.").With()
+	s.mAPRollbacks = s.reg.Counter("dbdesigner_autopilot_rollbacks_total",
+		"Indexes rolled back after underperforming their what-if promise.").With()
+	s.mAPBuildPages = s.reg.Counter("dbdesigner_autopilot_build_pages_total",
+		"Pages of background materialization work performed.").With()
+	s.mAPDecisions = s.reg.Counter("dbdesigner_autopilot_decisions_total",
+		"Journaled autopilot decisions by kind.", "kind")
+	s.mAPPending = s.reg.Gauge("dbdesigner_autopilot_pending",
+		"Builds queued or in flight, and indexes under probation.", "stage")
 
 	// Materialize the fixed label values up front so every family shows
 	// its series from the first scrape (CI greps for them cold).
@@ -94,6 +118,12 @@ func (s *Server) initFabric() {
 		s.mEvicted.With(string(reason)).Add(0)
 	}
 	s.mSessActive.With(defaultTenant).Set(0)
+	for _, kind := range autopilotDecisionKinds {
+		s.mAPDecisions.With(kind).Add(0)
+	}
+	for _, stage := range []string{"build", "probation"} {
+		s.mAPPending.With(stage).Set(0)
+	}
 }
 
 // releaseSession finishes a detached session in the background: once any
@@ -253,6 +283,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.d.CacheStats()
 	s.mCacheFullOpt.Set(float64(cs.FullOptimizations))
 	s.mCacheCostings.Set(float64(cs.CachedCostings))
+
+	// The autopilot owns its monotonic totals; mirror the read-side copy.
+	_, apActive, apSt, apDecs, _ := s.autopilotSnapshot()
+	if apActive {
+		s.mAPActive.Set(1)
+	} else {
+		s.mAPActive.Set(0)
+	}
+	s.mAPEpoch.Set(float64(apSt.Epoch))
+	s.mAPRegret.Set(apSt.RegretPct)
+	s.mAPBuildsDone.Set(float64(apSt.BuildsCompleted))
+	s.mAPRollbacks.Set(float64(apSt.Rollbacks))
+	s.mAPBuildPages.Set(float64(apSt.BuildPages))
+	s.mAPPending.With("build").Set(float64(len(apSt.Builds)))
+	s.mAPPending.With("probation").Set(float64(len(apSt.Probation)))
+	kindCounts := make(map[string]int)
+	for _, d := range apDecs {
+		kindCounts[d.Kind]++
+	}
+	for _, kind := range autopilotDecisionKinds {
+		s.mAPDecisions.With(kind).Set(float64(kindCounts[kind]))
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

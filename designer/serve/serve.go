@@ -91,23 +91,41 @@ type Server struct {
 	mSessActive    *metrics.GaugeVec
 	mCacheFullOpt  *metrics.Gauge
 	mCacheCostings *metrics.Gauge
+	mAPActive      *metrics.Gauge
+	mAPEpoch       *metrics.Gauge
+	mAPRegret      *metrics.Gauge
+	mAPBuildsDone  *metrics.Counter
+	mAPRollbacks   *metrics.Counter
+	mAPBuildPages  *metrics.Counter
+	mAPDecisions   *metrics.CounterVec
+	mAPPending     *metrics.GaugeVec
 
 	// tunerMu guards the tuner handle and all calls into it: the COLT
-	// tuner serializes observation, so the server serializes access.
-	tunerMu sync.Mutex
-	tuner   *designer.Tuner
+	// tuner serializes observation, so the server serializes access. When
+	// the autopilot supervises the tuner slot, ap is non-nil and tuner is
+	// nil — observations flow through the closed loop instead.
+	tunerMu   sync.Mutex
+	tuner     *designer.Tuner
+	ap        *designer.Autopilot
+	tunerOpts designer.TunerOptions
 
 	// tunerStateMu guards a cheap read-side copy of the tuner's telemetry,
 	// refreshed after every observation batch, so /tuner/status and the SSE
 	// stream never block behind a long-running ObserveAll. tunerGen counts
 	// tuner replacements so alert streams can tell a fresh tuner's alert
-	// list from the old one's.
+	// list from the old one's. tunerID ("t<gen>") is the id the autopilot
+	// routes address.
 	tunerStateMu sync.Mutex
 	tunerGen     int64
+	tunerID      string
 	tunerActive  bool
 	tunerAlerts  []tunerAlertJSON
 	tunerReports []designer.TunerReport
 	tunerCurrent []string
+	apActive     bool
+	apDecisions  []designer.AutopilotDecision
+	apStatus     designer.AutopilotStatus
+	apRegret     []designer.AutopilotRegretPoint
 }
 
 // goneClosed marks a session released by an explicit DELETE (as opposed
@@ -304,9 +322,51 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// dirty shutdown (ctx expired with work in flight) leave it running
 		// rather than block past the caller's deadline.
 		s.pool.Close()
+		// Retire the tuner slot too: closing the autopilot persists its
+		// state (when a state path is configured), which is what makes
+		// `dbdesigner tune --server` resumable across SIGTERM. Skipped on
+		// dirty shutdowns — an in-flight observe could hold tunerMu past
+		// the caller's deadline.
+		s.tunerMu.Lock()
+		if s.ap != nil {
+			s.ap.Close()
+			s.ap = nil
+		}
+		if s.tuner != nil {
+			s.tuner.Close()
+			s.tuner = nil
+		}
+		s.tunerMu.Unlock()
 	}
 	s.sm.Stop()
 	return err
+}
+
+// StartAutopilot programmatically configures the tuner slot with a
+// supervised autopilot — the in-process form of POST /api/v1/tuner
+// followed by POST /api/v1/tuners/{id}/autopilot, used by `dbdesigner
+// tune --server` to come up already tuning (and, with a state path,
+// already resumed). Any existing tuner or autopilot is replaced. Returns
+// the new tuner id the HTTP autopilot routes address.
+func (s *Server) StartAutopilot(topts designer.TunerOptions, aopts designer.AutopilotOptions) (string, error) {
+	s.tunerMu.Lock()
+	defer s.tunerMu.Unlock()
+	ap, err := s.d.NewAutopilot(topts, aopts)
+	if err != nil {
+		return "", err
+	}
+	if s.tuner != nil {
+		s.tuner.Close()
+		s.tuner = nil
+	}
+	if s.ap != nil {
+		s.ap.Close()
+	}
+	s.ap = ap
+	s.tunerOpts = topts
+	id := s.resetTunerState()
+	s.refreshTunerState()
+	return id, nil
 }
 
 // route is one registered endpoint. The table is the single source of
@@ -356,6 +416,9 @@ func (s *Server) routeTable() []route {
 		{method: "POST", pattern: "/api/v1/tuner/observe", h: s.handleTunerObserve},
 		{method: "GET", pattern: "/api/v1/tuner/status", h: s.handleTunerStatus},
 		{method: "GET", pattern: "/api/v1/tuner/stream", h: s.handleTunerStream},
+		{method: "POST", pattern: "/api/v1/tuners/{id}/autopilot", h: s.pooled(admission.Batch, s.handleAutopilotStart)},
+		{method: "GET", pattern: "/api/v1/tuners/{id}/autopilot", h: s.handleAutopilotStatus},
+		{method: "DELETE", pattern: "/api/v1/tuners/{id}/autopilot", h: s.handleAutopilotStop},
 		{method: "POST", pattern: "/api/v1/shards/sweep", worker: true, h: s.pooled(admission.Batch, s.handleShardSweep)},
 	}
 }
@@ -1137,10 +1200,17 @@ func (s *Server) handleTunerCreate(w http.ResponseWriter, r *http.Request) {
 	if s.tuner != nil {
 		s.tuner.Close()
 	}
+	if s.ap != nil {
+		// Replacing the tuner retires its autopilot too (saving its state
+		// when persistence is on).
+		s.ap.Close()
+		s.ap = nil
+	}
 	s.tuner = s.d.NewOnlineTuner(opts)
-	s.resetTunerState()
+	s.tunerOpts = opts
+	id := s.resetTunerState()
 	s.tunerMu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{"epoch_length": opts.EpochLength})
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "epoch_length": opts.EpochLength})
 }
 
 func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
@@ -1170,7 +1240,7 @@ func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
 		qs = append(qs, q)
 	}
 	s.tunerMu.Lock()
-	if s.tuner == nil {
+	if s.tuner == nil && s.ap == nil {
 		s.tunerMu.Unlock()
 		// No silent auto-create: an observe against a tuner that was never
 		// configured is a client mistake (its options would be defaults the
@@ -1179,7 +1249,13 @@ func (s *Server) handleTunerObserve(w http.ResponseWriter, r *http.Request) {
 			errors.New("no tuner configured; POST /api/v1/tuner first"))
 		return
 	}
-	total, err := s.tuner.ObserveAll(r.Context(), qs)
+	var total float64
+	var err error
+	if s.ap != nil {
+		total, err = s.ap.ObserveAll(r.Context(), qs)
+	} else {
+		total, err = s.tuner.ObserveAll(r.Context(), qs)
+	}
 	alerts := s.refreshTunerState()
 	s.tunerMu.Unlock()
 	if err != nil {
@@ -1202,24 +1278,51 @@ type tunerAlertJSON struct {
 	Description string   `json:"description"`
 }
 
-// resetTunerState clears the read-side telemetry copy for a fresh tuner
-// and bumps the generation. Callers hold tunerMu.
-func (s *Server) resetTunerState() {
+// resetTunerState clears the read-side telemetry copy for a fresh tuner,
+// bumps the generation, and returns the new tuner id. Callers hold
+// tunerMu.
+func (s *Server) resetTunerState() string {
 	s.tunerStateMu.Lock()
 	defer s.tunerStateMu.Unlock()
 	s.tunerGen++
+	s.tunerID = fmt.Sprintf("t%d", s.tunerGen)
 	s.tunerActive = true
 	s.tunerAlerts = nil
 	s.tunerReports = nil
 	s.tunerCurrent = nil
+	s.apActive = false
+	s.apDecisions = nil
+	s.apStatus = designer.AutopilotStatus{}
+	s.apRegret = nil
+	return s.tunerID
 }
 
-// refreshTunerState re-copies the tuner's telemetry into the read-side
-// state and returns the alert count. Callers hold tunerMu (which excludes
-// concurrent observation, making the tuner safe to read).
+// refreshTunerState re-copies the live tuner's (or autopilot's) telemetry
+// into the read-side state and returns the alert count. Callers hold
+// tunerMu (which excludes concurrent observation, making the handles safe
+// to read).
 func (s *Server) refreshTunerState() int {
+	var srcAlerts []designer.TunerAlert
+	var srcReports []designer.TunerReport
+	var srcCurrent []designer.Index
+	var decisions []designer.AutopilotDecision
+	var apStatus designer.AutopilotStatus
+	var regret []designer.AutopilotRegretPoint
+	apLive := s.ap != nil
+	if apLive {
+		srcAlerts = s.ap.Alerts()
+		srcReports = s.ap.Reports()
+		srcCurrent = s.ap.Current()
+		decisions = s.ap.Decisions(0)
+		apStatus = s.ap.Status()
+		regret = s.ap.Regret()
+	} else {
+		srcAlerts = s.tuner.Alerts()
+		srcReports = s.tuner.Reports()
+		srcCurrent = s.tuner.Current()
+	}
 	var alerts []tunerAlertJSON
-	for _, a := range s.tuner.Alerts() {
+	for _, a := range srcAlerts {
 		aj := tunerAlertJSON{
 			Epoch: a.Epoch, BenefitEst: a.ExpectedBenefit, Applied: a.Applied,
 			Added: []string{}, Dropped: []string{}, Description: a.String(),
@@ -1233,16 +1336,19 @@ func (s *Server) refreshTunerState() int {
 		alerts = append(alerts, aj)
 	}
 	var current []string
-	for _, ix := range s.tuner.Current() {
+	for _, ix := range srcCurrent {
 		current = append(current, ix.Key())
 	}
-	reports := s.tuner.Reports()
 
 	s.tunerStateMu.Lock()
 	defer s.tunerStateMu.Unlock()
 	s.tunerAlerts = alerts
-	s.tunerReports = reports
+	s.tunerReports = srcReports
 	s.tunerCurrent = current
+	s.apActive = apLive
+	s.apDecisions = decisions
+	s.apStatus = apStatus
+	s.apRegret = regret
 	return len(alerts)
 }
 
@@ -1254,6 +1360,34 @@ func (s *Server) tunerSnapshot() (gen int64, active bool, alerts []tunerAlertJSO
 	s.tunerStateMu.Lock()
 	defer s.tunerStateMu.Unlock()
 	return s.tunerGen, s.tunerActive, s.tunerAlerts, s.tunerReports, s.tunerCurrent
+}
+
+// autopilotSnapshot reads the autopilot's read-side copy.
+func (s *Server) autopilotSnapshot() (gen int64, active bool, status designer.AutopilotStatus, decisions []designer.AutopilotDecision, regret []designer.AutopilotRegretPoint) {
+	s.tunerStateMu.Lock()
+	defer s.tunerStateMu.Unlock()
+	return s.tunerGen, s.apActive, s.apStatus, s.apDecisions, s.apRegret
+}
+
+// checkTunerID verifies a path's tuner id against the live one. Callers
+// hold no locks; on mismatch it writes the structured 404 and returns
+// false. A stale id (from a replaced tuner) and an unknown id answer the
+// same way: that tuner is gone.
+func (s *Server) checkTunerID(w http.ResponseWriter, id string) bool {
+	s.tunerStateMu.Lock()
+	liveID := s.tunerID
+	s.tunerStateMu.Unlock()
+	if liveID == "" {
+		writeError(w, http.StatusNotFound, codeTunerNotConfigured,
+			errors.New("no tuner configured; POST /api/v1/tuner first"))
+		return false
+	}
+	if id != liveID {
+		writeError(w, http.StatusNotFound, codeTunerNotConfigured,
+			fmt.Errorf("tuner %q is not live (current tuner is %q)", id, liveID))
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
@@ -1282,16 +1416,151 @@ func (s *Server) handleTunerStatus(w http.ResponseWriter, r *http.Request) {
 	if alerts == nil {
 		alerts = []tunerAlertJSON{}
 	}
+	_, apActive, _, _, _ := s.autopilotSnapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"active":  active,
-		"current": current,
-		"alerts":  alerts,
-		"epochs":  epochs,
+		"id":        fmt.Sprintf("t%d", gen),
+		"active":    active,
+		"autopilot": apActive,
+		"current":   current,
+		"alerts":    alerts,
+		"epochs":    epochs,
 	})
 }
 
-// handleTunerStream streams new tuner alerts as server-sent events until
-// the client disconnects — the push form of Scenario 3's alert panel.
+// --------------------------------------------------------------------------
+// Handlers: autopilot (the ops-grade closed loop over the tuner).
+// --------------------------------------------------------------------------
+
+// autopilotStatusJSON is the wire shape of one autopilot snapshot.
+func autopilotStatusJSON(id string, st designer.AutopilotStatus, regret []designer.AutopilotRegretPoint) map[string]any {
+	if st.LiveIndexes == nil {
+		st.LiveIndexes = []string{}
+	}
+	if st.Builds == nil {
+		st.Builds = []designer.AutopilotBuild{}
+	}
+	if st.Probation == nil {
+		st.Probation = []designer.AutopilotProbation{}
+	}
+	if regret == nil {
+		regret = []designer.AutopilotRegretPoint{}
+	}
+	return map[string]any{
+		"tuner_id": id,
+		"status":   st,
+		"regret":   regret,
+	}
+}
+
+// handleAutopilotStart upgrades the live tuner to autopilot supervision:
+// budgeted background builds, probation with rollback, regret tracking,
+// and (with state_path) crash-safe persistence. The supervisor starts from
+// the tuner's options but its own fresh learning state — or resumes from
+// the state file when one exists.
+func (s *Server) handleAutopilotStart(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		BuildBudgetPages int64   `json:"build_budget_pages,omitempty"`
+		ProbationEpochs  int     `json:"probation_epochs,omitempty"`
+		RollbackMargin   float64 `json:"rollback_margin,omitempty"`
+		CooldownEpochs   int     `json:"cooldown_epochs,omitempty"`
+		RegretCandidates int     `json:"regret_candidates,omitempty"`
+		StatePath        string  `json:"state_path,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
+		return
+	}
+	if !s.checkTunerID(w, r.PathValue("id")) {
+		return
+	}
+	opts := designer.DefaultAutopilotOptions()
+	if req.BuildBudgetPages > 0 {
+		opts.BuildBudgetPages = req.BuildBudgetPages
+	}
+	if req.ProbationEpochs > 0 {
+		opts.ProbationEpochs = req.ProbationEpochs
+	}
+	if req.RollbackMargin > 0 {
+		opts.RollbackMargin = req.RollbackMargin
+	}
+	if req.CooldownEpochs > 0 {
+		opts.CooldownEpochs = req.CooldownEpochs
+	}
+	if req.RegretCandidates > 0 {
+		opts.RegretCandidates = req.RegretCandidates
+	}
+	opts.StatePath = req.StatePath
+
+	s.tunerMu.Lock()
+	if s.ap != nil {
+		s.tunerMu.Unlock()
+		writeError(w, http.StatusConflict, codeAutopilotActive,
+			errors.New("autopilot already running; DELETE it first"))
+		return
+	}
+	ap, err := s.d.NewAutopilot(s.tunerOpts, opts)
+	if err != nil {
+		s.tunerMu.Unlock()
+		writeFacadeError(w, r, err)
+		return
+	}
+	if s.tuner != nil {
+		s.tuner.Close()
+		s.tuner = nil
+	}
+	s.ap = ap
+	s.refreshTunerState()
+	_, _, st, _, regret := s.autopilotSnapshot()
+	s.tunerMu.Unlock()
+	writeJSON(w, http.StatusCreated, autopilotStatusJSON(r.PathValue("id"), st, regret))
+}
+
+func (s *Server) handleAutopilotStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.checkTunerID(w, r.PathValue("id")) {
+		return
+	}
+	_, active, st, _, regret := s.autopilotSnapshot()
+	if !active {
+		writeError(w, http.StatusNotFound, codeAutopilotNotActive,
+			errors.New("autopilot not running; POST to start it"))
+		return
+	}
+	writeJSON(w, http.StatusOK, autopilotStatusJSON(r.PathValue("id"), st, regret))
+}
+
+// handleAutopilotStop retires the autopilot (persisting its state when a
+// state path was configured). The tuner slot becomes unconfigured: the
+// supervisor owned the only learning state, so continuing as a plain
+// tuner would silently discard it — POST /api/v1/tuner starts fresh.
+func (s *Server) handleAutopilotStop(w http.ResponseWriter, r *http.Request) {
+	if !s.checkTunerID(w, r.PathValue("id")) {
+		return
+	}
+	s.tunerMu.Lock()
+	if s.ap == nil {
+		s.tunerMu.Unlock()
+		writeError(w, http.StatusNotFound, codeAutopilotNotActive,
+			errors.New("autopilot not running; POST to start it"))
+		return
+	}
+	err := s.ap.Close()
+	s.ap = nil
+	s.tunerStateMu.Lock()
+	s.tunerActive = false
+	s.apActive = false
+	s.tunerStateMu.Unlock()
+	s.tunerMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stopped": true})
+}
+
+// handleTunerStream streams new tuner alerts — and, when the autopilot is
+// running, its decisions — as server-sent events until the client
+// disconnects: the push form of Scenario 3's alert panel, extended with
+// the closed loop's journal.
 func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -1305,6 +1574,7 @@ func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	sent := 0
+	sentDec := 0
 	lastGen := int64(-1)
 	ticker := time.NewTicker(200 * time.Millisecond)
 	defer ticker.Stop()
@@ -1316,9 +1586,11 @@ func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
 			return // server shutting down; release the connection
 		case <-ticker.C:
 			gen, _, alerts, _, _ := s.tunerSnapshot()
+			_, _, _, decisions, _ := s.autopilotSnapshot()
 			if gen != lastGen {
 				lastGen = gen
-				sent = 0 // a replaced tuner restarts its alert list
+				sent = 0    // a replaced tuner restarts its alert list
+				sentDec = 0 // ... and its decision journal
 			}
 			for ; sent < len(alerts); sent++ {
 				payload, err := json.Marshal(alerts[sent])
@@ -1326,6 +1598,13 @@ func (s *Server) handleTunerStream(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				fmt.Fprintf(w, "event: alert\ndata: %s\n\n", payload)
+			}
+			for ; sentDec < len(decisions); sentDec++ {
+				payload, err := json.Marshal(decisions[sentDec])
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: decision\ndata: %s\n\n", payload)
 			}
 			fl.Flush()
 		}

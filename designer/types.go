@@ -686,6 +686,9 @@ type TunerAlert struct {
 	ExpectedBenefit float64 // estimated epoch-cost reduction
 	EpochCost       float64 // epoch cost under the outgoing configuration
 	Applied         bool
+	// Scores is the projected per-epoch benefit of every index in the
+	// proposed configuration, keyed by index key.
+	Scores map[string]float64
 }
 
 // String renders the alert.
@@ -706,7 +709,7 @@ func (a TunerAlert) String() string {
 }
 
 func alertFromInternal(a colt.Alert) TunerAlert {
-	return TunerAlert{
+	out := TunerAlert{
 		Epoch:           a.Epoch,
 		Added:           indexesFromInternal(a.Added),
 		Dropped:         indexesFromInternal(a.Dropped),
@@ -714,6 +717,13 @@ func alertFromInternal(a colt.Alert) TunerAlert {
 		EpochCost:       a.EpochCost,
 		Applied:         a.Applied,
 	}
+	if len(a.Scores) > 0 {
+		out.Scores = make(map[string]float64, len(a.Scores))
+		for k, v := range a.Scores {
+			out.Scores[k] = v
+		}
+	}
+	return out
 }
 
 // TunerReport summarizes one tuning epoch for dashboards.

@@ -8,6 +8,7 @@ import (
 
 	"repro/designer"
 	"repro/internal/autopart"
+	"repro/internal/autopilot"
 	"repro/internal/catalog"
 	"repro/internal/colt"
 	"repro/internal/cophy"
@@ -213,6 +214,93 @@ func (e *Env) COLTStream(streamLen, epochLen int) (*COLTResult, error) {
 		return nil, err
 	}
 	return f.Run(epochLen)
+}
+
+// AutopilotResult is the outcome of one closed-loop tuning run: COLT under
+// the autopilot supervisor, with regret against the oracle-best design as
+// the trajectory metric.
+type AutopilotResult struct {
+	SavingsPct     float64 // adaptive vs static-empty cumulative cost
+	FirstRegretPct float64 // regret at the first sampled epoch
+	FinalRegretPct float64 // regret at the last sampled epoch
+	MinRegretPct   float64 // best regret reached anywhere in the run
+	Queries        int
+	Epochs         int
+	Decisions      int
+	Builds         int64
+	BuildPages     int64
+	Rollbacks      int64
+	RegretSamples  int
+	ObserveNs      float64 // ObserveAll wall-clock only, like COLTResult
+}
+
+// AutopilotStream drives the colt_autopilot experiment: the profile-drawn
+// stream through autopilot.New over a fresh engine, a generous build
+// budget (so adopted indexes materialize within an epoch or two even on
+// the short smoke stream), and a capped exhaustive oracle for the regret
+// samples.
+func (e *Env) AutopilotStream(streamLen, epochLen int) (*AutopilotResult, error) {
+	p, err := workload.ProfileByName(e.Profile)
+	if err != nil {
+		return nil, err
+	}
+	eng := e.FreshEngine()
+	stream, err := p.GenerateStream(e.Store.Schema, e.Seed+2, streamLen)
+	if err != nil {
+		return nil, err
+	}
+	var static float64
+	empty := catalog.NewConfiguration()
+	for _, q := range stream {
+		c, err := eng.QueryCost(q, empty)
+		if err != nil {
+			return nil, err
+		}
+		static += c
+	}
+
+	opts := autopilot.DefaultOptions()
+	opts.Colt.EpochLength = epochLen
+	opts.BuildBudgetPages = 512
+	opts.ProbationEpochs = 2
+	opts.RegretCandidates = 6
+	ap, err := autopilot.New(eng, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer ap.Close()
+
+	start := time.Now()
+	adaptive, err := ap.ObserveAll(context.Background(), stream)
+	if err != nil {
+		return nil, err
+	}
+	out := &AutopilotResult{
+		Queries:   len(stream),
+		ObserveNs: float64(time.Since(start).Nanoseconds()),
+	}
+	if static > 0 {
+		out.SavingsPct = (static - adaptive) / static * 100
+	}
+	st := ap.Status()
+	out.Epochs = st.Epoch
+	out.Decisions = st.Decisions
+	out.Builds = st.BuildsCompleted
+	out.BuildPages = st.BuildPages
+	out.Rollbacks = st.Rollbacks
+	regret := ap.Regret()
+	out.RegretSamples = len(regret)
+	if len(regret) > 0 {
+		out.FirstRegretPct = regret[0].RegretPct
+		out.FinalRegretPct = regret[len(regret)-1].RegretPct
+		out.MinRegretPct = regret[0].RegretPct
+		for _, r := range regret {
+			if r.RegretPct < out.MinRegretPct {
+				out.MinRegretPct = r.RegretPct
+			}
+		}
+	}
+	return out, nil
 }
 
 // SweepOnce runs one configuration sweep over the Env's workload with the

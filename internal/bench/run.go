@@ -60,6 +60,7 @@ var CoreExperiments = []string{
 	"backend_portability",
 	"incremental_readvise",
 	"parallel_scaling",
+	"colt_autopilot",
 }
 
 // ExtraExperiments are the secondary figures and ablations.
@@ -80,6 +81,7 @@ var workloadSensitive = map[string]bool{
 	"backend_portability":  true,
 	"cophy_vs_greedy":      true,
 	"colt_convergence":     true,
+	"colt_autopilot":       true,
 	"interaction_schedule": true,
 	"parallel_sweep":       true,
 	"parallel_scaling":     true,
@@ -227,6 +229,7 @@ var runners = map[string]runner{
 	"incremental_readvise": runIncrementalReadvise,
 	"cophy_vs_greedy":      runCoPhyVsGreedy,
 	"colt_convergence":     runCOLTConvergence,
+	"colt_autopilot":       runColtAutopilot,
 	"interaction_schedule": runInteractionSchedule,
 	"parallel_sweep":       runParallelSweep,
 	"parallel_scaling":     runParallelScaling,
@@ -532,6 +535,35 @@ func runCOLTConvergence(e *Env, spec Spec, x *Experiment) error {
 	x.Counts["epochs"] = int64(out.Epochs)
 	x.Counts["config_changes"] = int64(out.ConfigChanges)
 	x.Counts["alerts"] = int64(out.Alerts)
+	if out.Queries > 0 {
+		x.TimingNs["observe_per_query"] = out.ObserveNs / float64(out.Queries)
+	}
+	return nil
+}
+
+// runColtAutopilot streams the same profile-drawn queries through the
+// autopilot's closed loop (budgeted builds, probation/rollback, oracle
+// regret) and records regret-over-time as the trajectory metric: the gap
+// between the live configuration and the exhaustive oracle-best design
+// should shrink toward zero as adopted indexes materialize.
+func runColtAutopilot(e *Env, spec Spec, x *Experiment) error {
+	out, err := e.AutopilotStream(spec.StreamLen, spec.EpochLen)
+	if err != nil {
+		return err
+	}
+	x.Quality["savings_pct"] = out.SavingsPct
+	x.Quality["first_regret_pct"] = out.FirstRegretPct
+	x.Quality["final_regret_pct"] = out.FinalRegretPct
+	x.Quality["min_regret_pct"] = out.MinRegretPct
+	x.Counts["queries"] = int64(out.Queries)
+	x.Counts["epochs"] = int64(out.Epochs)
+	x.Counts["decisions"] = int64(out.Decisions)
+	x.Counts["builds"] = out.Builds
+	x.Counts["build_pages"] = out.BuildPages
+	x.Counts["rollbacks"] = out.Rollbacks
+	x.Counts["regret_samples"] = int64(out.RegretSamples)
+	x.Counts["regret_improved"] = bool01(out.FinalRegretPct <= out.FirstRegretPct)
+	x.Counts["final_under_5pct"] = bool01(out.FinalRegretPct <= 5.0)
 	if out.Queries > 0 {
 		x.TimingNs["observe_per_query"] = out.ObserveNs / float64(out.Queries)
 	}

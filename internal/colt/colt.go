@@ -81,6 +81,11 @@ type Alert struct {
 	ExpectedBenefit float64 // estimated epoch-cost reduction
 	EpochCost       float64 // epoch cost under the outgoing configuration
 	Applied         bool
+	// Scores holds the projected per-epoch benefit of every index in the
+	// proposed configuration, keyed by Index.Key(). Supervisors (autopilot)
+	// use the per-index promise as the yardstick a materialized index is
+	// later measured against. Treat as read-only: alert copies share it.
+	Scores map[string]float64
 }
 
 // String renders the alert.
@@ -181,11 +186,31 @@ func (t *Tuner) OnAlert(fn func(Alert)) { t.onAlert = fn }
 // Current returns (a copy of) the live configuration.
 func (t *Tuner) Current() *catalog.Configuration { return t.current.Clone() }
 
-// Alerts returns all alerts raised so far.
-func (t *Tuner) Alerts() []Alert { return t.alerts }
+// SetCurrent replaces the live configuration. External supervisors that own
+// materialization (autopilot) drive the tuner with AutoMaterialize off and
+// publish each build/rollback here so subsequent observations are priced
+// under what is actually on disk. A configuration change restores the
+// profiling budget, mirroring the self-regulation rule in endEpoch.
+func (t *Tuner) SetCurrent(cfg *catalog.Configuration) {
+	if cfg == nil {
+		cfg = catalog.NewConfiguration()
+	}
+	t.current = cfg.Clone()
+	t.stableEpochs = 0
+	t.budgetThisEpoch = t.opts.WhatIfBudget
+}
 
-// Reports returns per-epoch summaries.
-func (t *Tuner) Reports() []EpochReport { return t.reports }
+// Epoch returns the number of completed tuning epochs.
+func (t *Tuner) Epoch() int { return t.epoch }
+
+// Options returns the tuner's effective options (after defaulting).
+func (t *Tuner) Options() Options { return t.opts }
+
+// Alerts returns a copy of all alerts raised so far.
+func (t *Tuner) Alerts() []Alert { return append([]Alert(nil), t.alerts...) }
+
+// Reports returns a copy of the per-epoch summaries.
+func (t *Tuner) Reports() []EpochReport { return append([]EpochReport(nil), t.reports...) }
 
 // Observe feeds one query through the tuner: candidate extraction, benefit
 // profiling within the what-if budget, and epoch accounting. It returns the
@@ -304,6 +329,7 @@ func (t *Tuner) endEpoch() error {
 	proposed := catalog.NewConfiguration()
 	var used int64
 	var expectedBenefit float64
+	scores := make(map[string]float64)
 	for _, r := range ranked {
 		pages := r.st.ix.EstimatedPages
 		if t.opts.SpaceBudgetPages > 0 && used+pages > t.opts.SpaceBudgetPages {
@@ -312,6 +338,7 @@ func (t *Tuner) endEpoch() error {
 		proposed = proposed.WithIndex(r.st.ix)
 		used += pages
 		expectedBenefit += r.score
+		scores[r.st.ix.Key()] = r.score
 	}
 
 	changed := proposed.Signature() != t.current.Signature()
@@ -346,6 +373,7 @@ func (t *Tuner) endEpoch() error {
 			ExpectedBenefit: expectedBenefit,
 			EpochCost:       t.epochCost,
 			Applied:         t.opts.AutoMaterialize,
+			Scores:          scores,
 		}
 		t.alerts = append(t.alerts, alert)
 		if t.onAlert != nil {

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/stats"
+)
+
+// IndexBuild tracks the throttled materialization of one index: the total
+// work is expressed in pages (heap scan to read the rows plus leaf writes
+// for the new index), and a supervisor drains it in size-bounded steps
+// between observation epochs so builds never starve foreground traffic.
+// The tracker is deliberately not self-synchronizing — the owning
+// supervisor serializes Advance calls with its own lock.
+type IndexBuild struct {
+	ix    *catalog.Index
+	total int64
+	done  int64
+}
+
+// NewIndexBuild starts tracking a build. Work pages = table heap pages
+// (scan input) + the index's estimated pages (leaf output); both floor at
+// one page so even a degenerate build takes a visible step.
+func NewIndexBuild(ix *catalog.Index, st *stats.Catalog) *IndexBuild {
+	var heap int64 = 1
+	if ts := st.Table(ix.Table); ts != nil && ts.Pages > 0 {
+		heap = ts.Pages
+	}
+	leaf := ix.EstimatedPages
+	if leaf < 1 {
+		leaf = 1
+	}
+	return &IndexBuild{ix: ix, total: heap + leaf}
+}
+
+// Index returns the index under construction.
+func (b *IndexBuild) Index() *catalog.Index { return b.ix }
+
+// Key returns the index's canonical key.
+func (b *IndexBuild) Key() string { return b.ix.Key() }
+
+// Advance performs up to budgetPages of build work and reports how many
+// pages were actually consumed (less than the budget only on the final
+// step). A non-positive budget performs no work.
+func (b *IndexBuild) Advance(budgetPages int64) int64 {
+	if budgetPages <= 0 || b.Done() {
+		return 0
+	}
+	step := budgetPages
+	if remaining := b.total - b.done; step > remaining {
+		step = remaining
+	}
+	b.done += step
+	return step
+}
+
+// Done reports whether the build has consumed all its work.
+func (b *IndexBuild) Done() bool { return b.done >= b.total }
+
+// Progress returns pages completed and pages total.
+func (b *IndexBuild) Progress() (done, total int64) { return b.done, b.total }
