@@ -25,6 +25,8 @@ func cmdAdvise(args []string) error {
 	var seedSpecs multiFlag
 	fs.Var(&seedSpecs, "seed-index", "user-suggested candidate as table:col1,col2 (repeatable)")
 	pin := fs.Bool("pin", false, "force the seeded indexes into the solution")
+	projections := fs.Bool("projections", false, "admit covering-projection candidates (INCLUDE payloads)")
+	aggviews := fs.Bool("aggviews", false, "admit aggregate materialized-view candidates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,14 +51,20 @@ func cmdAdvise(args []string) error {
 		}
 		seeds = append(seeds, ix)
 	}
-	advice, err := d.Advise(ctx, w, designer.AdviceOptions{
+	opts := designer.AdviceOptions{
 		StorageBudgetPages: *budget,
 		NodeBudget:         *nodes,
 		Partitions:         *partitions,
 		Interactions:       true,
 		SeedIndexes:        seeds,
 		PinIndexes:         *pin,
-	})
+	}
+	if *projections || *aggviews {
+		opts.CandidateOptions = designer.DefaultCandidateOptions()
+		opts.CandidateOptions.IncludeProjections = *projections
+		opts.CandidateOptions.IncludeAggViews = *aggviews
+	}
+	advice, err := d.Advise(ctx, w, opts)
 	if err != nil {
 		return err
 	}

@@ -248,6 +248,29 @@ func (d *Designer) HypotheticalIndex(table string, columns ...string) (Index, er
 	return indexFromInternal(ix), nil
 }
 
+// HypotheticalProjection constructs a sized what-if covering projection:
+// key columns plus INCLUDE leaf columns, honestly sized over the combined
+// width so budget accounting charges for the payload it carries.
+func (d *Designer) HypotheticalProjection(table string, keys, include []string) (Index, error) {
+	ix, err := d.eng.HypotheticalProjection(table, keys, include)
+	if err != nil {
+		return Index{}, err
+	}
+	return indexFromInternal(ix), nil
+}
+
+// HypotheticalAggView constructs a sized what-if single-table aggregate
+// materialized view: group keys plus stored aggregates (canonical strings
+// like "count(*)", "sum(col)"), with the group count estimated from column
+// distinct-value statistics.
+func (d *Designer) HypotheticalAggView(table string, keys, aggs []string) (Index, error) {
+	ix, err := d.eng.HypotheticalAggView(table, keys, aggs)
+	if err != nil {
+		return Index{}, err
+	}
+	return indexFromInternal(ix), nil
+}
+
 // Explain plans a query under the given (or nil = current materialized)
 // configuration and renders the plan tree.
 func (d *Designer) Explain(q Query, cfg *Configuration) (string, error) {
@@ -334,6 +357,14 @@ func (d *Designer) Materialize(ctx context.Context, indexes []Index) (IOStats, e
 			return ioFromInternal(total), err
 		}
 		ix := dix.internal()
+		if ix.Kind != catalog.KindSecondary {
+			// The embedded store only builds plain B-tree indexes; wider
+			// structures are emitted as DDL for an external system instead of
+			// silently degrading into something with different semantics.
+			return ioFromInternal(total), fmt.Errorf(
+				"designer: materialize %s: %s structures are advisory-only here; apply the DDL() output externally",
+				ix.Key(), ix.Kind)
+		}
 		if d.store.Index(ix.Key()) != nil {
 			continue
 		}

@@ -86,7 +86,8 @@ func (h *AdviceHandle) Last() *Advice {
 func candOptionsFP(opts AdviceOptions) string {
 	var b strings.Builder
 	co := opts.CandidateOptions
-	fmt.Fprintf(&b, "%d|%d|%v|", co.MaxPerTable, co.MaxWidth, co.IncludeCovering)
+	fmt.Fprintf(&b, "%d|%d|%v|%v|%v|", co.MaxPerTable, co.MaxWidth, co.IncludeCovering,
+		co.IncludeProjections, co.IncludeAggViews)
 	for _, ix := range opts.SeedIndexes {
 		b.WriteString(ix.Key())
 		b.WriteString(";")

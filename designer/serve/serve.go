@@ -437,9 +437,16 @@ func (s *Server) routes() {
 // --------------------------------------------------------------------------
 
 type indexJSON struct {
-	Key            string   `json:"key"`
-	Table          string   `json:"table"`
-	Columns        []string `json:"columns"`
+	Key     string   `json:"key"`
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+	// Kind is empty for plain secondary indexes; "projection" and "aggview"
+	// mark the wider design structures (their extra shape rides in the
+	// include/aggs/estimated_rows fields below).
+	Kind           string   `json:"kind,omitempty"`
+	Include        []string `json:"include,omitempty"`
+	Aggs           []string `json:"aggs,omitempty"`
+	EstimatedRows  int64    `json:"estimated_rows,omitempty"`
 	EstimatedPages int64    `json:"estimated_pages"`
 	Hypothetical   bool     `json:"hypothetical"`
 }
@@ -449,6 +456,10 @@ func toIndexJSON(ix designer.Index) indexJSON {
 		Key:            ix.Key(),
 		Table:          ix.Table,
 		Columns:        ix.Columns,
+		Kind:           ix.Kind,
+		Include:        ix.Include,
+		Aggs:           ix.Aggs,
+		EstimatedRows:  ix.EstimatedRows,
 		EstimatedPages: ix.EstimatedPages,
 		Hypothetical:   ix.Hypothetical,
 	}
@@ -771,15 +782,34 @@ func (s *Server) handleSessionAddIndex(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Table   string   `json:"table"`
 		Columns []string `json:"columns"`
+		// Include turns the structure into a covering projection; Aggs into a
+		// single-table aggregate view (Columns then hold the group keys).
+		// They are mutually exclusive; both empty adds a plain index.
+		Include []string `json:"include,omitempty"`
+		Aggs    []string `json:"aggs,omitempty"`
 	}
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
+	if len(req.Include) > 0 && len(req.Aggs) > 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			errors.New("include and aggs are mutually exclusive"))
+		return
+	}
 	if !sess.lockLive(w) {
 		return
 	}
-	ix, err := sess.ds.AddIndex(req.Table, req.Columns...)
+	var ix designer.Index
+	var err error
+	switch {
+	case len(req.Include) > 0:
+		ix, err = sess.ds.AddProjection(req.Table, req.Columns, req.Include)
+	case len(req.Aggs) > 0:
+		ix, err = sess.ds.AddAggView(req.Table, req.Columns, req.Aggs)
+	default:
+		ix, err = sess.ds.AddIndex(req.Table, req.Columns...)
+	}
 	if err == nil {
 		// Update the key snapshot inside the work lock so it can never
 		// desync from the design under concurrent add/drop of one key.
@@ -943,23 +973,36 @@ type adviseRequestJSON struct {
 	NodeBudget   int   `json:"node_budget,omitempty"`
 	Partitions   bool  `json:"partitions,omitempty"`
 	Interactions bool  `json:"interactions,omitempty"`
+	// Projections/AggViews widen the candidate design space beyond plain
+	// secondary indexes (covering projections with INCLUDE payloads,
+	// single-table aggregate materialized views). Off by default: plain
+	// requests keep returning bit-identical index-only designs.
+	Projections bool `json:"projections,omitempty"`
+	AggViews    bool `json:"agg_views,omitempty"`
 }
 
 // isZero reports an empty request body — the /readvise "repeat the last
 // question" form.
 func (req *adviseRequestJSON) isZero() bool {
 	return len(req.SQL) == 0 && req.Queries == 0 && req.Seed == 0 &&
-		req.BudgetPages == 0 && req.NodeBudget == 0 && !req.Partitions && !req.Interactions
+		req.BudgetPages == 0 && req.NodeBudget == 0 && !req.Partitions && !req.Interactions &&
+		!req.Projections && !req.AggViews
 }
 
 // options maps the wire request to facade advice options.
 func (req *adviseRequestJSON) options() designer.AdviceOptions {
-	return designer.AdviceOptions{
+	opts := designer.AdviceOptions{
 		StorageBudgetPages: req.BudgetPages,
 		NodeBudget:         req.NodeBudget,
 		Partitions:         req.Partitions,
 		Interactions:       req.Interactions,
 	}
+	if req.Projections || req.AggViews {
+		opts.CandidateOptions = designer.DefaultCandidateOptions()
+		opts.CandidateOptions.IncludeProjections = req.Projections
+		opts.CandidateOptions.IncludeAggViews = req.AggViews
+	}
+	return opts
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -1003,12 +1046,13 @@ func adviceResponse(advice *designer.Advice) map[string]any {
 	if advice.Schedule != nil {
 		type stepJSON struct {
 			Index     string  `json:"index"`
+			Kind      string  `json:"kind,omitempty"`
 			BuildCost float64 `json:"build_cost"`
 			CostAfter float64 `json:"cost_after"`
 		}
 		var steps []stepJSON
 		for _, st := range advice.Schedule.Steps {
-			steps = append(steps, stepJSON{Index: st.Index.Key(), BuildCost: st.BuildCost, CostAfter: st.CostAfter})
+			steps = append(steps, stepJSON{Index: st.Index.Key(), Kind: st.Index.Kind, BuildCost: st.BuildCost, CostAfter: st.CostAfter})
 		}
 		resp["schedule"] = map[string]any{"steps": steps, "auc": advice.Schedule.AUC}
 	}

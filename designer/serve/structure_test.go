@@ -1,0 +1,106 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// aggSQL is a small aggregate-heavy workload an aggregate view can answer.
+var aggSQL = []string{
+	"SELECT run, camcol, COUNT(*) FROM photoobj GROUP BY run, camcol",
+	"SELECT run, COUNT(*) FROM photoobj GROUP BY run",
+	"SELECT objid FROM photoobj WHERE objid = 1000100",
+}
+
+// TestAdviseStructuresOverHTTP drives the widened design space end to end
+// over the wire: the projections/agg_views request flags admit structures,
+// the advised design carries their kind/aggs fields, the DDL materializes
+// the view, and the schedule steps are kind-tagged.
+func TestAdviseStructuresOverHTTP(t *testing.T) {
+	base := start(t)
+
+	wide := call(t, "POST", base+"/advise", map[string]any{
+		"sql":          aggSQL,
+		"interactions": true,
+		"projections":  true,
+		"agg_views":    true,
+	}, http.StatusOK)
+
+	var mv map[string]any
+	for _, raw := range wide["indexes"].([]any) {
+		ix := raw.(map[string]any)
+		if ix["kind"] == "aggview" {
+			mv = ix
+		}
+	}
+	if mv == nil {
+		t.Fatalf("no aggregate view in wide advice: %v", wide["indexes"])
+	}
+	if len(mv["aggs"].([]any)) == 0 || mv["estimated_rows"].(float64) <= 0 {
+		t.Fatalf("advised view not fully described on the wire: %v", mv)
+	}
+	if ddl := wide["ddl"].(string); !strings.Contains(ddl, "CREATE MATERIALIZED VIEW") {
+		t.Fatalf("wide DDL misses the view:\n%s", ddl)
+	}
+	if sched, ok := wide["schedule"].(map[string]any); ok {
+		found := false
+		for _, raw := range sched["steps"].([]any) {
+			if raw.(map[string]any)["kind"] == "aggview" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("schedule steps carry no aggview kind: %v", sched["steps"])
+		}
+	}
+
+	// The same workload without the flags stays index-only: no kind fields
+	// on the wire at all (omitempty keeps plain responses bit-identical).
+	plain := call(t, "POST", base+"/advise", map[string]any{"sql": aggSQL}, http.StatusOK)
+	for _, raw := range plain["indexes"].([]any) {
+		ix := raw.(map[string]any)
+		if _, has := ix["kind"]; has {
+			t.Fatalf("plain advice leaked a kind field: %v", ix)
+		}
+	}
+}
+
+// TestSessionStructuresOverHTTP exercises the interactive what-if surface:
+// the session add-index endpoint accepts include (projection) and aggs
+// (aggregate view) forms, rejects their combination, and the structures
+// show up kind-tagged in the session design.
+func TestSessionStructuresOverHTTP(t *testing.T) {
+	base := start(t)
+	created := call(t, "POST", base+"/sessions", nil, http.StatusCreated)
+	id := created["id"].(string)
+
+	proj := call(t, "POST", base+"/sessions/"+id+"/indexes", map[string]any{
+		"table": "photoobj", "columns": []string{"run"}, "include": []string{"objid", "ra"},
+	}, http.StatusCreated)
+	if proj["kind"] != "projection" || !strings.Contains(proj["key"].(string), "include(") {
+		t.Fatalf("bad projection over the wire: %v", proj)
+	}
+
+	mv := call(t, "POST", base+"/sessions/"+id+"/indexes", map[string]any{
+		"table": "photoobj", "columns": []string{"run", "camcol"}, "aggs": []string{"count(*)"},
+	}, http.StatusCreated)
+	if mv["kind"] != "aggview" || mv["estimated_rows"].(float64) <= 0 {
+		t.Fatalf("bad aggview over the wire: %v", mv)
+	}
+
+	call(t, "POST", base+"/sessions/"+id+"/indexes", map[string]any{
+		"table": "photoobj", "columns": []string{"run"},
+		"include": []string{"ra"}, "aggs": []string{"count(*)"},
+	}, http.StatusBadRequest)
+
+	// Both structures are evaluable and droppable by canonical key.
+	rep := call(t, "POST", base+"/sessions/"+id+"/evaluate",
+		map[string]any{"sql": aggSQL}, http.StatusOK)
+	if rep["new_total"].(float64) >= rep["base_total"].(float64) {
+		t.Errorf("structures should help the aggregate workload: %v", rep)
+	}
+	call(t, "DELETE", base+"/sessions/"+id+"/indexes?key="+url.QueryEscape(mv["key"].(string)), nil, http.StatusOK)
+	call(t, "DELETE", base+"/sessions/"+id, nil, http.StatusOK)
+}

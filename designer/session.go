@@ -111,6 +111,34 @@ func (s *DesignSession) AddIndex(table string, columns ...string) (Index, error)
 	return indexFromInternal(ix), nil
 }
 
+// AddProjection adds a sized hypothetical covering projection (key columns
+// plus INCLUDE payload) to the design.
+func (s *DesignSession) AddProjection(table string, keys, include []string) (Index, error) {
+	ix, err := s.view.Session().HypotheticalProjection(table, keys, include)
+	if err != nil {
+		return Index{}, err
+	}
+	if s.cfg.HasIndex(ix.Key()) {
+		return Index{}, fmt.Errorf("designer: structure %s already in the design", ix.Key())
+	}
+	s.cfg = s.cfg.WithIndex(ix)
+	return indexFromInternal(ix), nil
+}
+
+// AddAggView adds a sized hypothetical single-table aggregate materialized
+// view (group keys plus stored aggregates) to the design.
+func (s *DesignSession) AddAggView(table string, keys, aggs []string) (Index, error) {
+	ix, err := s.view.Session().HypotheticalAggView(table, keys, aggs)
+	if err != nil {
+		return Index{}, err
+	}
+	if s.cfg.HasIndex(ix.Key()) {
+		return Index{}, fmt.Errorf("designer: structure %s already in the design", ix.Key())
+	}
+	s.cfg = s.cfg.WithIndex(ix)
+	return indexFromInternal(ix), nil
+}
+
 // DropIndex removes an index from the design by canonical key
 // (table(col1,col2)).
 func (s *DesignSession) DropIndex(key string) bool {

@@ -23,15 +23,29 @@ import (
 // refuse anyway). The api_hygiene test walks the exported surface with
 // go/types and fails the build if an internal type ever leaks back in.
 
-// Index describes a (possibly hypothetical) B-tree index. It is a plain
-// value: construct one by hand, or let HypotheticalIndex size it honestly
-// from statistics.
+// Index describes a (possibly hypothetical) physical design structure. It
+// is a plain value: construct one by hand, or let HypotheticalIndex /
+// HypotheticalProjection / HypotheticalAggView size it honestly from
+// statistics. The zero Kind is a plain B-tree secondary index, so every
+// pre-structure Index literal keeps its exact meaning.
 type Index struct {
 	Name    string
 	Table   string
 	Columns []string
 	Unique  bool
-	// Hypothetical marks a what-if index that exists only for costing.
+	// Kind discriminates the structure: "" or "index" (secondary index),
+	// "projection" (covering projection with INCLUDE columns), "aggview"
+	// (single-table aggregate materialized view).
+	Kind string
+	// Include lists a projection's non-key leaf columns.
+	Include []string
+	// Aggs lists an aggregate view's stored aggregates in canonical form,
+	// e.g. "count(*)", "sum(psfmag_r)"; Columns then hold the group keys.
+	Aggs []string
+	// EstimatedRows is an aggregate view's estimated group count (0 =
+	// unsized).
+	EstimatedRows int64
+	// Hypothetical marks a what-if structure that exists only for costing.
 	Hypothetical bool
 	// EstimatedPages and EstimatedHeight are the honest what-if size (§2 of
 	// the paper); zero means "unsized".
@@ -39,23 +53,36 @@ type Index struct {
 	EstimatedHeight int
 }
 
-// Key returns the canonical identity string table(col1,col2,...). Two
-// indexes with equal keys are interchangeable for design purposes.
-func (ix Index) Key() string {
-	cols := make([]string, len(ix.Columns))
-	for i, c := range ix.Columns {
-		cols[i] = strings.ToLower(c)
+// Key returns the canonical identity string — table(col1,col2,...) for
+// secondary indexes, extended with " include(...)"/" agg(...)" suffixes for
+// the other kinds. Two structures with equal keys are interchangeable for
+// design purposes. The rendering delegates to the catalog so the DTO and
+// internal layers can never disagree.
+func (ix Index) Key() string { return ix.internal().Key() }
+
+// kind parses the DTO kind string; unknown values degrade to the secondary
+// default (API handlers validate kind strings before they get here).
+func (ix Index) kind() catalog.StructureKind {
+	k, err := catalog.StructureKindByName(ix.Kind)
+	if err != nil {
+		return catalog.KindSecondary
 	}
-	return strings.ToLower(ix.Table) + "(" + strings.Join(cols, ",") + ")"
+	return k
 }
 
-// internal converts the DTO to the catalog representation.
+// internal converts the DTO to the catalog representation. This pair
+// (internal / indexFromInternal) is the only conversion between
+// designer.Index and catalog.Index — every call site routes through it.
 func (ix Index) internal() *catalog.Index {
 	return &catalog.Index{
 		Name:            ix.Name,
 		Table:           ix.Table,
 		Columns:         append([]string(nil), ix.Columns...),
 		Unique:          ix.Unique,
+		Kind:            ix.kind(),
+		Include:         append([]string(nil), ix.Include...),
+		Aggs:            append([]string(nil), ix.Aggs...),
+		EstimatedRows:   ix.EstimatedRows,
 		Hypothetical:    ix.Hypothetical,
 		EstimatedPages:  ix.EstimatedPages,
 		EstimatedHeight: ix.EstimatedHeight,
@@ -63,11 +90,19 @@ func (ix Index) internal() *catalog.Index {
 }
 
 func indexFromInternal(ix *catalog.Index) Index {
+	kind := ""
+	if ix.Kind != catalog.KindSecondary {
+		kind = ix.Kind.String()
+	}
 	return Index{
 		Name:            ix.Name,
 		Table:           ix.Table,
 		Columns:         append([]string(nil), ix.Columns...),
 		Unique:          ix.Unique,
+		Kind:            kind,
+		Include:         append([]string(nil), ix.Include...),
+		Aggs:            append([]string(nil), ix.Aggs...),
+		EstimatedRows:   ix.EstimatedRows,
 		Hypothetical:    ix.Hypothetical,
 		EstimatedPages:  ix.EstimatedPages,
 		EstimatedHeight: ix.EstimatedHeight,
@@ -538,7 +573,7 @@ func (j JoinControl) internal() optimizer.Options {
 	}
 }
 
-// CandidateOptions tune automatic candidate-index enumeration.
+// CandidateOptions tune automatic candidate-structure enumeration.
 type CandidateOptions struct {
 	// MaxPerTable caps candidates per table (by workload frequency).
 	MaxPerTable int
@@ -546,6 +581,13 @@ type CandidateOptions struct {
 	MaxWidth int
 	// IncludeCovering adds covering candidates (key + projected columns).
 	IncludeCovering bool
+	// IncludeProjections widens the design space with covering-projection
+	// candidates (key prefix + INCLUDE payload). Off by default so
+	// plain-index advice stays bit-identical.
+	IncludeProjections bool
+	// IncludeAggViews widens the design space with single-table aggregate
+	// materialized-view candidates. Off by default, same contract.
+	IncludeAggViews bool
 }
 
 // DefaultCandidateOptions returns the enumeration defaults.
@@ -556,12 +598,14 @@ func DefaultCandidateOptions() CandidateOptions {
 func (o CandidateOptions) internal() whatif.CandidateOptions {
 	return whatif.CandidateOptions{
 		MaxPerTable: o.MaxPerTable, MaxWidth: o.MaxWidth, IncludeCovering: o.IncludeCovering,
+		IncludeProjections: o.IncludeProjections, IncludeAggViews: o.IncludeAggViews,
 	}
 }
 
 func candidateOptionsFromInternal(o whatif.CandidateOptions) CandidateOptions {
 	return CandidateOptions{
 		MaxPerTable: o.MaxPerTable, MaxWidth: o.MaxWidth, IncludeCovering: o.IncludeCovering,
+		IncludeProjections: o.IncludeProjections, IncludeAggViews: o.IncludeAggViews,
 	}
 }
 

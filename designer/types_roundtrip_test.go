@@ -1,0 +1,83 @@
+package designer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestIndexConversionRoundTrip is the property test over the single DTO ↔
+// catalog conversion pair: for any catalog.Index, indexFromInternal followed
+// by internal() reproduces it field-for-field, and the canonical Key() is
+// preserved in both directions. Random structures cover all three kinds.
+func TestIndexConversionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cols := []string{"run", "camcol", "field", "objid", "ra", "dec"}
+	pick := func(n int) []string {
+		perm := rng.Perm(len(cols))
+		out := make([]string, 0, n)
+		for _, i := range perm[:n] {
+			out = append(out, cols[i])
+		}
+		return out
+	}
+	for i := 0; i < 200; i++ {
+		ix := &catalog.Index{
+			Name:            "s",
+			Table:           "photoobj",
+			Columns:         pick(1 + rng.Intn(3)),
+			Unique:          rng.Intn(2) == 0,
+			Hypothetical:    rng.Intn(2) == 0,
+			EstimatedPages:  rng.Int63n(100),
+			EstimatedHeight: rng.Intn(4),
+		}
+		switch rng.Intn(3) {
+		case 1:
+			ix.Kind = catalog.KindProjection
+			ix.Include = pick(1 + rng.Intn(2))
+		case 2:
+			ix.Kind = catalog.KindAggView
+			ix.Aggs = []string{"count(*)", "sum(psfmag_r)"}[:1+rng.Intn(2)]
+			ix.EstimatedRows = rng.Int63n(1000)
+		}
+		dto := indexFromInternal(ix)
+		back := dto.internal()
+		if !reflect.DeepEqual(normalizeEmpty(ix), normalizeEmpty(back)) {
+			t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", ix, back)
+		}
+		if dto.Key() != ix.Key() {
+			t.Fatalf("DTO key %q != catalog key %q", dto.Key(), ix.Key())
+		}
+		if ix.Kind == catalog.KindSecondary && dto.Kind != "" {
+			t.Fatalf("secondary DTO kind must stay empty, got %q", dto.Kind)
+		}
+	}
+}
+
+// normalizeEmpty maps nil slices to empty ones so DeepEqual compares
+// contents, not allocation history.
+func normalizeEmpty(ix *catalog.Index) *catalog.Index {
+	out := *ix
+	if out.Columns == nil {
+		out.Columns = []string{}
+	}
+	if out.Include == nil {
+		out.Include = []string{}
+	}
+	if out.Aggs == nil {
+		out.Aggs = []string{}
+	}
+	return &out
+}
+
+// TestUnknownDTOKindDegradesToSecondary pins the total-conversion choice:
+// a DTO with a kind string the catalog does not know converts as a plain
+// secondary index rather than failing deep inside the pipeline.
+func TestUnknownDTOKindDegradesToSecondary(t *testing.T) {
+	dto := Index{Table: "photoobj", Columns: []string{"run"}, Kind: "hologram"}
+	if got := dto.internal().Kind; got != catalog.KindSecondary {
+		t.Fatalf("unknown kind converted to %v", got)
+	}
+}

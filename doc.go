@@ -16,7 +16,16 @@
 // techniques in repro/internal/{whatif,inum,cophy,autopart,interaction,
 // schedule,colt}; and the database substrate (SQL parser, catalog,
 // statistics, storage with a real B-tree, executor, cost-based optimizer,
-// SDSS-like workload) in the remaining internal packages. All cost
+// SDSS-like workload) in the remaining internal packages.
+//
+// The design space is wider than secondary indexes: every candidate is a
+// catalog.Structure whose kind is a plain index, a covering projection
+// with an INCLUDE payload, or a single-table aggregate materialized view
+// (the optimizer rewrites matching aggregate queries — including rollups
+// over key subsets — to MV scans). Projections and views are opt-in
+// (AdviceOptions.CandidateOptions) and advisory-only; with the flags off,
+// candidate enumeration and advice are bit-identical to the index-only
+// designer. See README.md ("Design space"). All cost
 // estimation is unified behind repro/internal/engine — a concurrency-safe
 // handle that owns the optimizer environment and the what-if session with
 // explicit configuration versioning, sweeps candidate designs over a

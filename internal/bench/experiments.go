@@ -995,3 +995,77 @@ func timeOp(reps int, op func() error) (float64, error) {
 	}
 	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
 }
+
+// DesignSpaceCell is one profile's measurement in the design_space_width
+// experiment: CoPhy's best total workload cost when the candidate space
+// holds only secondary indexes, versus the widened space that also admits
+// covering projections (INCLUDE columns) and single-table aggregate views.
+type DesignSpaceCell struct {
+	BaseObjective float64 // index-only optimum (total workload cost)
+	WideObjective float64 // widened-space optimum
+	BaseIndexes   int     // structures chosen from the index-only space
+	WideIndexes   int     // structures chosen from the widened space
+	Projections   int     // ... of which covering projections
+	AggViews      int     // ... of which aggregate views
+	BaseCands     int     // candidate-space sizes
+	WideCands     int
+	ScheduleSteps int // greedy materialization order over the wide design
+}
+
+// DesignSpaceWidth measures what admitting non-index structures buys: the
+// named profile's workload is generated from a derived seed (independent of
+// the Env's own workload), then CoPhy solves the index-only and widened
+// candidate spaces on fresh engines so neither run warms the other's caches.
+// The widened selection is scheduled greedily so every chosen structure has
+// an explained place in the materialization order.
+func (e *Env) DesignSpaceWidth(profile string, numQ int) (*DesignSpaceCell, error) {
+	ctx := context.Background()
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.Generate(e.Store.Schema, e.Seed+5, numQ)
+	if err != nil {
+		return nil, err
+	}
+	cell := &DesignSpaceCell{}
+
+	baseEng := e.FreshEngine()
+	baseCands := baseEng.GenerateCandidates(w, whatif.DefaultCandidateOptions())
+	baseRes, err := cophy.New(baseEng, baseCands).Advise(ctx, w, cophy.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cell.BaseObjective = baseRes.Objective
+	cell.BaseIndexes = len(baseRes.Indexes)
+	cell.BaseCands = len(baseCands)
+
+	wopts := whatif.DefaultCandidateOptions()
+	wopts.IncludeProjections = true
+	wopts.IncludeAggViews = true
+	wideEng := e.FreshEngine()
+	wideCands := wideEng.GenerateCandidates(w, wopts)
+	wideRes, err := cophy.New(wideEng, wideCands).Advise(ctx, w, cophy.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cell.WideObjective = wideRes.Objective
+	cell.WideIndexes = len(wideRes.Indexes)
+	cell.WideCands = len(wideCands)
+	for _, ix := range wideRes.Indexes {
+		switch ix.Kind {
+		case catalog.KindProjection:
+			cell.Projections++
+		case catalog.KindAggView:
+			cell.AggViews++
+		}
+	}
+	if len(wideRes.Indexes) > 0 {
+		sched, err := schedule.New(wideEng).Greedy(ctx, w, wideRes.Indexes)
+		if err != nil {
+			return nil, err
+		}
+		cell.ScheduleSteps = len(sched.Steps)
+	}
+	return cell, nil
+}

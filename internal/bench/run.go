@@ -61,6 +61,7 @@ var CoreExperiments = []string{
 	"incremental_readvise",
 	"parallel_scaling",
 	"colt_autopilot",
+	"design_space_width",
 }
 
 // ExtraExperiments are the secondary figures and ablations.
@@ -239,6 +240,7 @@ var runners = map[string]runner{
 	"size_model":           runSizeModel,
 	"candidate_ablation":   runCandidateAblation,
 	"solver_scaling":       runSolverScaling,
+	"design_space_width":   runDesignSpaceWidth,
 }
 
 // Run executes the spec's experiment matrix and returns the trajectory
@@ -775,6 +777,40 @@ func runSolverScaling(e *Env, spec Spec, x *Experiment) error {
 		label := fmt.Sprintf("n%d", n)
 		x.Counts[label+"_nodes"] = int64(nodes)
 		x.TimingNs[label+"_solve"] = solveNs
+	}
+	return nil
+}
+
+// runDesignSpaceWidth compares index-only vs widened (projections +
+// aggregate views) candidate spaces over the aggregate-bearing workload
+// profiles. It builds its own workloads from the Env's dataset, so it is
+// workload-insensitive and runs once per (size, seed).
+func runDesignSpaceWidth(e *Env, spec Spec, x *Experiment) error {
+	for _, profile := range []string{"template_heavy", "update_heavy"} {
+		var cell *DesignSpaceCell
+		solveNs, err := timeOp(1, func() error {
+			var err error
+			cell, err = e.DesignSpaceWidth(profile, spec.Queries)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", profile, err)
+		}
+		x.TimingNs[profile+"_solve"] = solveNs
+		x.Quality[profile+"_base_cost"] = cell.BaseObjective
+		x.Quality[profile+"_wide_cost"] = cell.WideObjective
+		if cell.BaseObjective > 0 {
+			x.Quality[profile+"_wide_savings_pct"] =
+				(cell.BaseObjective - cell.WideObjective) / cell.BaseObjective * 100
+		}
+		x.Counts[profile+"_base_indexes"] = int64(cell.BaseIndexes)
+		x.Counts[profile+"_wide_structures"] = int64(cell.WideIndexes)
+		x.Counts[profile+"_projections_chosen"] = int64(cell.Projections)
+		x.Counts[profile+"_aggviews_chosen"] = int64(cell.AggViews)
+		x.Counts[profile+"_base_candidates"] = int64(cell.BaseCands)
+		x.Counts[profile+"_wide_candidates"] = int64(cell.WideCands)
+		x.Counts[profile+"_schedule_steps"] = int64(cell.ScheduleSteps)
+		x.Counts[profile+"_strict_improvement"] = bool01(cell.WideObjective < cell.BaseObjective)
 	}
 	return nil
 }

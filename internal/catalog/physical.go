@@ -6,17 +6,95 @@ import (
 	"strings"
 )
 
-// Index describes a B-tree index over a prefix-ordered list of columns.
-// Both real (materialized) and what-if (hypothetical) indexes use this
-// type; Hypothetical marks the latter. The paper's §2 stresses that
+// NormCol is the single canonicalization rule for column (and table) names
+// across the design pipeline. Every identity comparison — Key, Covers,
+// TableSignature, the optimizer's coverage checks, the engine's
+// delta-relevance sets — must go through this helper so two layers can never
+// disagree about whether "RA" and "ra" name the same column.
+func NormCol(name string) string { return strings.ToLower(name) }
+
+// NormCols canonicalizes a column list (fresh slice; input untouched).
+func NormCols(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = NormCol(c)
+	}
+	return out
+}
+
+// StructureKind discriminates the physical structures the designer prices.
+// The zero value is a plain secondary index, so every Index literal written
+// before structures existed keeps its exact meaning.
+type StructureKind int
+
+const (
+	// KindSecondary is a plain B-tree secondary index (the zero value).
+	KindSecondary StructureKind = iota
+	// KindProjection is a covering projection: a B-tree keyed on Columns
+	// that additionally stores the Include columns in its leaves
+	// (CREATE INDEX ... INCLUDE (...)), widening index-only eligibility.
+	KindProjection
+	// KindAggView is a single-table aggregate materialized view: one row
+	// per distinct combination of the group keys (Columns), carrying the
+	// pre-computed aggregates in Aggs.
+	KindAggView
+)
+
+// String names the kind for DTOs and rendering.
+func (k StructureKind) String() string {
+	switch k {
+	case KindProjection:
+		return "projection"
+	case KindAggView:
+		return "aggview"
+	default:
+		return "index"
+	}
+}
+
+// StructureKindByName parses a DTO kind string ("" and "index" both mean
+// the secondary-index zero value).
+func StructureKindByName(name string) (StructureKind, error) {
+	switch strings.ToLower(name) {
+	case "", "index":
+		return KindSecondary, nil
+	case "projection":
+		return KindProjection, nil
+	case "aggview":
+		return KindAggView, nil
+	}
+	return 0, fmt.Errorf("catalog: unknown structure kind %q (index|projection|aggview)", name)
+}
+
+// Index describes one physical design structure over a prefix-ordered list
+// of columns. Both real (materialized) and what-if (hypothetical) structures
+// use this type; Hypothetical marks the latter. The paper's §2 stresses that
 // hypothetical indexes must carry realistic sizes — sizing lives in the
 // what-if layer, which fills EstimatedPages/EstimatedHeight.
+//
+// Historically this type described only secondary B-tree indexes; the Kind
+// field generalizes it to covering projections (Include leaf columns) and
+// single-table aggregate materialized views (Columns = group keys, Aggs =
+// stored aggregates) without disturbing any zero-value behavior. Structure
+// is the kind-neutral name.
 type Index struct {
 	Name         string
 	Table        string
 	Columns      []string
 	Unique       bool
 	Hypothetical bool
+
+	// Kind discriminates the structure; the zero value is a plain
+	// secondary index.
+	Kind StructureKind
+	// Include lists non-key columns stored in the leaves (KindProjection).
+	Include []string
+	// Aggs lists the stored aggregate expressions, e.g. "count(*)",
+	// "sum(psfmag_r)" (KindAggView; Columns hold the group keys).
+	Aggs []string
+	// EstimatedRows is the structure's own cardinality where it differs
+	// from the base table's (KindAggView: the number of groups).
+	EstimatedRows int64
 
 	// EstimatedPages and EstimatedHeight are filled by the what-if sizing
 	// model (or by storage when the index is materialized). They feed the
@@ -25,42 +103,85 @@ type Index struct {
 	EstimatedHeight int
 }
 
-// Key returns a canonical identity string: table(col1,col2,...). Two
-// indexes with equal keys are interchangeable for design purposes
-// regardless of their names.
+// Structure is the kind-neutral name for the unified physical-structure
+// type: a secondary index, a covering projection, or an aggregate MV.
+type Structure = Index
+
+// Key returns a canonical identity string. Two structures with equal keys
+// are interchangeable for design purposes regardless of their names.
+// Secondary indexes keep the exact legacy form table(col1,col2,...) — every
+// signature, memo key, and warm-start basis built on it stays valid —
+// while the new kinds extend it:
+//
+//	projection: table(keys) include(i1,i2)
+//	aggview:    table(groupkeys) agg(count(*),sum(x))
 func (ix *Index) Key() string {
-	cols := make([]string, len(ix.Columns))
-	for i, c := range ix.Columns {
-		cols[i] = strings.ToLower(c)
+	base := NormCol(ix.Table) + "(" + strings.Join(NormCols(ix.Columns), ",") + ")"
+	switch ix.Kind {
+	case KindProjection:
+		return base + " include(" + strings.Join(NormCols(ix.Include), ",") + ")"
+	case KindAggView:
+		return base + " agg(" + strings.Join(NormCols(ix.Aggs), ",") + ")"
+	default:
+		return base
 	}
-	return strings.ToLower(ix.Table) + "(" + strings.Join(cols, ",") + ")"
 }
 
-// String renders the index in CREATE INDEX-ish form.
+// String renders the structure in CREATE-ish form.
 func (ix *Index) String() string {
-	kind := ""
+	suffix := ""
 	if ix.Hypothetical {
-		kind = " [what-if]"
+		suffix = " [what-if]"
 	}
-	return fmt.Sprintf("%s ON %s(%s)%s", ix.Name, ix.Table, strings.Join(ix.Columns, ", "), kind)
+	switch ix.Kind {
+	case KindProjection:
+		return fmt.Sprintf("%s ON %s(%s) INCLUDE (%s)%s", ix.Name, ix.Table,
+			strings.Join(ix.Columns, ", "), strings.Join(ix.Include, ", "), suffix)
+	case KindAggView:
+		return fmt.Sprintf("%s AS SELECT %s, %s FROM %s GROUP BY %s%s", ix.Name,
+			strings.Join(ix.Columns, ", "), strings.Join(ix.Aggs, ", "), ix.Table,
+			strings.Join(ix.Columns, ", "), suffix)
+	default:
+		return fmt.Sprintf("%s ON %s(%s)%s", ix.Name, ix.Table, strings.Join(ix.Columns, ", "), suffix)
+	}
 }
 
 // LeadingColumn returns the first key column.
 func (ix *Index) LeadingColumn() string { return ix.Columns[0] }
 
-// Covers reports whether every column in cols appears in the index key, in
-// any position (used for index-only scan eligibility).
+// Covers reports whether every column in cols appears in the structure, in
+// any position (used for index-only scan eligibility). Projections also
+// cover through their INCLUDE leaf columns.
 func (ix *Index) Covers(cols []string) bool {
-	have := make(map[string]bool, len(ix.Columns))
+	have := make(map[string]bool, len(ix.Columns)+len(ix.Include))
 	for _, c := range ix.Columns {
-		have[strings.ToLower(c)] = true
+		have[NormCol(c)] = true
+	}
+	for _, c := range ix.Include {
+		have[NormCol(c)] = true
 	}
 	for _, c := range cols {
-		if !have[strings.ToLower(c)] {
+		if !have[NormCol(c)] {
 			return false
 		}
 	}
 	return true
+}
+
+// DDL renders the statement that would materialize the structure, using
+// name as the object name.
+func (ix *Index) DDL(name string) string {
+	switch ix.Kind {
+	case KindProjection:
+		return fmt.Sprintf("CREATE INDEX %s ON %s (%s) INCLUDE (%s);", name, ix.Table,
+			strings.Join(ix.Columns, ", "), strings.Join(ix.Include, ", "))
+	case KindAggView:
+		return fmt.Sprintf("CREATE MATERIALIZED VIEW %s AS SELECT %s, %s FROM %s GROUP BY %s;",
+			name, strings.Join(ix.Columns, ", "), strings.Join(ix.Aggs, ", "), ix.Table,
+			strings.Join(ix.Columns, ", "))
+	default:
+		return fmt.Sprintf("CREATE INDEX %s ON %s (%s);", name, ix.Table, strings.Join(ix.Columns, ", "))
+	}
 }
 
 // VerticalLayout partitions a table's columns into disjoint fragments.
@@ -74,10 +195,10 @@ type VerticalLayout struct {
 // FragmentFor returns the fragment ordinal containing the column, or -1.
 // Primary-key columns are present in every fragment and return 0.
 func (v *VerticalLayout) FragmentFor(column string) int {
-	lc := strings.ToLower(column)
+	lc := NormCol(column)
 	for i, frag := range v.Fragments {
 		for _, c := range frag {
-			if strings.ToLower(c) == lc {
+			if NormCol(c) == lc {
 				return i
 			}
 		}
@@ -191,34 +312,45 @@ func (c *Configuration) HasIndex(key string) bool {
 
 // IndexesOn returns the indexes defined on the named table.
 func (c *Configuration) IndexesOn(table string) []*Index {
-	lt := strings.ToLower(table)
+	lt := NormCol(table)
 	var out []*Index
 	for _, ix := range c.Indexes {
-		if strings.ToLower(ix.Table) == lt {
+		if NormCol(ix.Table) == lt {
 			out = append(out, ix)
 		}
 	}
 	return out
 }
 
+// HasAggView reports whether any aggregate view is configured on the
+// table — the cheap guard INUM uses before attempting an MV-rewrite min.
+func (c *Configuration) HasAggView(table string) bool {
+	for _, ix := range c.IndexesOn(table) {
+		if ix.Kind == KindAggView {
+			return true
+		}
+	}
+	return false
+}
+
 // SetVertical records (or replaces) the vertical layout for its table.
 func (c *Configuration) SetVertical(v *VerticalLayout) {
-	c.Vertical[strings.ToLower(v.Table)] = v
+	c.Vertical[NormCol(v.Table)] = v
 }
 
 // SetHorizontal records (or replaces) the horizontal layout for its table.
 func (c *Configuration) SetHorizontal(h *HorizontalLayout) {
-	c.Horizontal[strings.ToLower(h.Table)] = h
+	c.Horizontal[NormCol(h.Table)] = h
 }
 
 // VerticalOn returns the table's vertical layout, or nil.
 func (c *Configuration) VerticalOn(table string) *VerticalLayout {
-	return c.Vertical[strings.ToLower(table)]
+	return c.Vertical[NormCol(table)]
 }
 
 // HorizontalOn returns the table's horizontal layout, or nil.
 func (c *Configuration) HorizontalOn(table string) *HorizontalLayout {
-	return c.Horizontal[strings.ToLower(table)]
+	return c.Horizontal[NormCol(table)]
 }
 
 // Signature returns a deterministic identity for the whole configuration,

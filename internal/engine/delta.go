@@ -56,12 +56,20 @@ type queryRelevance struct {
 	cols   []map[string]bool // per table: lower-case referenced columns
 	colsL  [][]string        // per table: the same columns as a sorted list
 	star   bool              // SELECT * disables index-only relevance
+	// Aggregate-view relevance: an MV can only enter a plan as a
+	// whole-query rewrite of a single-table aggregate query whose plain
+	// group keys are a subset of the view's keys.
+	hasAgg    bool
+	plainKeys bool
+	groupKeys []string // lower-case plain GROUP BY columns
 }
 
 // relevanceOf resolves a query's tables and referenced-column sets.
 func (v *View) relevanceOf(q workload.Query) (queryRelevance, error) {
 	cols, star := sqlparse.ReferencedColumns(q.Stmt)
 	rel := queryRelevance{star: star}
+	rel.hasAgg = sqlparse.HasAggregate(q.Stmt)
+	rel.groupKeys, rel.plainKeys = sqlparse.GroupKeyColumns(q.Stmt)
 	for _, ref := range q.Stmt.From {
 		t := v.e.schema.Table(ref.Name)
 		if t == nil {
@@ -89,6 +97,12 @@ func (rel *queryRelevance) relevantSignature(cfg *catalog.Configuration, t int) 
 	table := rel.tables[t]
 	var parts []string
 	for _, ix := range cfg.IndexesOn(table) {
+		if ix.Kind == catalog.KindAggView {
+			if rel.aggViewRelevant(ix) {
+				parts = append(parts, ix.Key())
+			}
+			continue
+		}
 		if rel.cols[t][strings.ToLower(ix.LeadingColumn())] ||
 			(!rel.star && ix.Covers(rel.colsL[t])) {
 			parts = append(parts, ix.Key())
@@ -102,6 +116,27 @@ func (rel *queryRelevance) relevantSignature(cfg *catalog.Configuration, t int) 
 		parts = append(parts, h.String())
 	}
 	return strings.Join(parts, ";")
+}
+
+// aggViewRelevant reports whether the aggregate view could rewrite this
+// query: single-table aggregation with plain group keys forming a subset of
+// the view's keys (the optimizer's applicability precondition; the full
+// check also inspects filters and aggregate coverage, so this is
+// exact-conservative).
+func (rel *queryRelevance) aggViewRelevant(ix *catalog.Index) bool {
+	if !rel.hasAgg || !rel.plainKeys || len(rel.tables) != 1 {
+		return false
+	}
+	keys := make(map[string]bool, len(ix.Columns))
+	for _, c := range ix.Columns {
+		keys[catalog.NormCol(c)] = true
+	}
+	for _, k := range rel.groupKeys {
+		if !keys[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // signatures computes every query's per-table relevant signatures for cfg.

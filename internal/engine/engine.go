@@ -425,6 +425,19 @@ func (e *Engine) HypotheticalIndex(table string, columns ...string) (*catalog.In
 	return e.snapshot().session.HypotheticalIndex(table, columns...)
 }
 
+// HypotheticalProjection constructs a sized what-if covering projection:
+// key columns plus INCLUDE leaf columns, sized over the combined width.
+func (e *Engine) HypotheticalProjection(table string, keys, include []string) (*catalog.Index, error) {
+	return e.snapshot().session.HypotheticalProjection(table, keys, include)
+}
+
+// HypotheticalAggView constructs a sized what-if single-table aggregate
+// materialized view: group keys plus stored aggregates, with group count
+// and pages estimated from column statistics.
+func (e *Engine) HypotheticalAggView(table string, keys, aggs []string) (*catalog.Index, error) {
+	return e.snapshot().session.HypotheticalAggView(table, keys, aggs)
+}
+
 // GenerateCandidates enumerates sized candidate indexes implied by the
 // workload's predicate structure. Candidate enumeration is backend-neutral:
 // it depends on predicates and statistics, never on cost constants.

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
 
@@ -103,6 +104,18 @@ func AnalyzeView(ctx context.Context, v *engine.View, w *workload.Workload, inde
 		}
 	}
 
+	// An aggregate view only enters plans as a whole-query rewrite; one
+	// that can rewrite no workload query is invisible to every costing, so
+	// any pair containing it has doi = 0 by construction. This is the
+	// MV extension of the co-reference pruning rule: it is exactly how
+	// MV-vs-index cannibalism gets explained — a usable MV and an index
+	// serving the same aggregate query are substitutes, and their negative
+	// synergy surfaces as a normal graph edge.
+	usable := make([]bool, n)
+	for i, ix := range indexes {
+		usable[i] = ix.Kind != catalog.KindAggView || aggViewUsable(w, ix)
+	}
+
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
@@ -112,7 +125,7 @@ func AnalyzeView(ctx context.Context, v *engine.View, w *workload.Workload, inde
 			contexts := sampleContexts(rng, n, a, b, opts.SampleContexts)
 			ta := strings.ToLower(indexes[a].Table)
 			tb := strings.ToLower(indexes[b].Table)
-			if !coRef[ta][tb] {
+			if !coRef[ta][tb] || !usable[a] || !usable[b] {
 				g.PrunedPairs++
 				continue
 			}
@@ -163,6 +176,41 @@ func AnalyzeView(ctx context.Context, v *engine.View, w *workload.Workload, inde
 		return g.Edges[i].B < g.Edges[j].B
 	})
 	return g, nil
+}
+
+// aggViewUsable reports whether any workload query could be rewritten by
+// the aggregate view: a single-table aggregate query on the view's table
+// whose plain group keys are a subset of the view's keys (the optimizer's
+// applicability precondition, evaluated conservatively).
+func aggViewUsable(w *workload.Workload, mv *catalog.Index) bool {
+	lt := strings.ToLower(mv.Table)
+	keys := make(map[string]bool, len(mv.Columns))
+	for _, c := range mv.Columns {
+		keys[strings.ToLower(c)] = true
+	}
+	for _, q := range w.Queries {
+		if len(q.Stmt.From) != 1 || !strings.EqualFold(q.Stmt.From[0].Name, lt) {
+			continue
+		}
+		if !sqlparse.HasAggregate(q.Stmt) {
+			continue
+		}
+		gkeys, allPlain := sqlparse.GroupKeyColumns(q.Stmt)
+		if !allPlain {
+			continue
+		}
+		ok := true
+		for _, k := range gkeys {
+			if !keys[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // sampleContexts returns the contexts X to probe for pair (a, b): empty,

@@ -238,6 +238,13 @@ func (c *Cache) build(id string, stmt *sqlparse.SelectStmt, candidates []*catalo
 		tset[t] = true
 	}
 	for _, ix := range candidates {
+		// Aggregate views never participate in templates: their plans are
+		// whole-query rewrites whose MVScan leaf is not a table scan, so
+		// internal = total - ScanCostTotal would absorb the leaf cost and
+		// corrupt the template. CostFor prices them separately.
+		if ix.Kind == catalog.KindAggView {
+			continue
+		}
 		if tset[strings.ToLower(ix.Table)] {
 			allCand = allCand.WithIndex(ix)
 		}
@@ -352,6 +359,20 @@ func (c *Cache) CostFor(q *CachedQuery, cfg *catalog.Configuration) (float64, er
 		}
 		if best < 0 || total < best {
 			best = total
+		}
+	}
+	// Aggregate views compete as whole-query rewrites (matching what the
+	// full optimizer does), memoized on the table's design signature. The
+	// guard keeps plain-index sweeps on the exact pre-existing hot path.
+	if len(q.Tables) == 1 && cfg.HasAggView(q.Tables[0]) {
+		key := "mv|" + q.Tables[0] + "|" + tblSig[q.Tables[0]]
+		mvCost, ok := q.memoGet(key)
+		if !ok {
+			mvCost = env.BestMVRewriteCost(q.Stmt)
+			q.memoPut(key, mvCost)
+		}
+		if mvCost >= 0 && (best < 0 || mvCost < best) {
+			best = mvCost
 		}
 	}
 	if best < 0 {

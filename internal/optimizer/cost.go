@@ -145,6 +145,8 @@ func (e *Env) geometry(ix *catalog.Index, ts *stats.TableStats) indexGeom {
 	}
 	if ix.EstimatedPages > 0 {
 		g.leafPages = float64(ix.EstimatedPages)
+	} else if ix.Kind == catalog.KindProjection {
+		g.leafPages = EstimateProjectionLeafPages(e.Schema.Table(ix.Table), ix.Columns, ix.Include, ts.RowCount)
 	} else {
 		g.leafPages = EstimateIndexLeafPages(e.Schema.Table(ix.Table), ix.Columns, ts.RowCount)
 	}
@@ -177,6 +179,58 @@ func EstimateIndexLeafPages(t *catalog.Table, columns []string, rows int64) floa
 		pages = 1
 	}
 	return pages
+}
+
+// EstimateProjectionLeafPages sizes a covering projection's leaf level: the
+// INCLUDE payload rides in every leaf entry alongside the key, so width is
+// the sum of both column sets.
+func EstimateProjectionLeafPages(t *catalog.Table, keys, include []string, rows int64) float64 {
+	cols := append(append([]string(nil), keys...), include...)
+	return EstimateIndexLeafPages(t, cols, rows)
+}
+
+// EstimateAggViewSize sizes a single-table aggregate materialized view from
+// statistics: one row per distinct group-key combination (NDV product,
+// clamped to the table row count), 8 bytes of pre-computed state per
+// aggregate. This is the what-if sizing model for catalog.KindAggView.
+func EstimateAggViewSize(t *catalog.Table, ts *stats.TableStats, keys, aggs []string) (rows, pages int64) {
+	totalRows := int64(1000)
+	if ts != nil {
+		totalRows = ts.RowCount
+	}
+	rowsF := 1.0
+	for _, k := range keys {
+		d := float64(totalRows) / 10
+		if ts != nil {
+			if cs := ts.Column(k); cs != nil && cs.NDV > 0 {
+				d = float64(cs.NDV)
+			}
+		}
+		rowsF *= d
+	}
+	if rowsF > float64(totalRows) {
+		rowsF = float64(totalRows)
+	}
+	if rowsF < 1 {
+		rowsF = 1
+	}
+	width := 12.0
+	for _, c := range keys {
+		if t != nil {
+			if col := t.Column(c); col != nil {
+				width += float64(col.WidthBytes())
+				continue
+			}
+		}
+		width += 8
+	}
+	width += 8 * float64(len(aggs))
+	perPage := math.Floor(8192 * 0.70 / width)
+	if perPage < 1 {
+		perPage = 1
+	}
+	pagesF := math.Max(math.Ceil(rowsF/perPage), 1)
+	return int64(rowsF), int64(pagesF)
 }
 
 // EstimateIndexHeight derives tree height from the leaf page count with a

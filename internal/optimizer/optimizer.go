@@ -83,6 +83,14 @@ func (e *Env) Optimize(sel *sqlparse.SelectStmt) (*Plan, error) {
 			best = c
 		}
 	}
+	// A materialized aggregate view competes as a whole-query alternative:
+	// the rewrite replaces scan+aggregation wholesale, so it cannot be
+	// composed from per-table access paths.
+	if len(tables) == 1 {
+		if mv := e.bestMVRewrite(sel, tables[0]); mv != nil && mv.TotalCost < best.TotalCost {
+			best = mv
+		}
+	}
 	return &Plan{Root: best, Tables: tables}, nil
 }
 

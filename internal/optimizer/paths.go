@@ -51,6 +51,9 @@ func (e *Env) scanPaths(
 
 	// --- Index paths. -----------------------------------------------------
 	for _, ix := range e.Config.IndexesOn(table) {
+		if ix.Kind == catalog.KindAggView {
+			continue // aggregate views rewrite whole queries, not row scans
+		}
 		n := e.indexPath(table, ix, filters, needed, star, wantedOrders, float64(ts.Pages), rows, baseSel, outRows)
 		if n == nil {
 			continue
@@ -295,6 +298,9 @@ func (e *Env) innerIndexPath(
 
 	var best *Node
 	for _, ix := range e.Config.IndexesOn(table) {
+		if ix.Kind == catalog.KindAggView {
+			continue
+		}
 		if !strings.EqualFold(ix.LeadingColumn(), joinColumn) {
 			continue
 		}

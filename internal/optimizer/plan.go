@@ -23,6 +23,11 @@ const (
 	NodeHashAgg
 	NodeLimit
 	NodeProject
+	// NodeMVScan scans a materialized aggregate view (catalog.KindAggView)
+	// instead of the base table — the whole-query rewrite for matching
+	// GROUP BY/aggregate queries. Appended after the legacy kinds so every
+	// pre-existing NodeKind value is unchanged.
+	NodeMVScan
 )
 
 // String returns the EXPLAIN name of the operator.
@@ -48,6 +53,8 @@ func (k NodeKind) String() string {
 		return "Limit"
 	case NodeProject:
 		return "Project"
+	case NodeMVScan:
+		return "MV Scan"
 	default:
 		return fmt.Sprintf("Node(%d)", int(k))
 	}
@@ -177,6 +184,8 @@ func explainNode(b *strings.Builder, n *Node, depth int) {
 			dir = " backward"
 		}
 		fmt.Fprintf(b, " using %s on %s%s", n.Index.Name, n.Table, dir)
+	case NodeMVScan:
+		fmt.Fprintf(b, " on %s (mv of %s)", n.Index.Key(), n.Table)
 	case NodeSort:
 		keys := make([]string, len(n.SortKeys))
 		for i, k := range n.SortKeys {

@@ -71,9 +71,12 @@ func (s *Schedule) String() string {
 	return b.String()
 }
 
-// BuildCost estimates the effort to materialize an index: scan the heap,
-// sort the entries, write the leaves — expressed in the optimizer's cost
-// units so it is commensurable with workload costs.
+// BuildCost estimates the effort to materialize a structure — expressed in
+// the optimizer's cost units so it is commensurable with workload costs.
+// Secondary indexes and covering projections scan the heap, sort the
+// entries, and write the leaves (a projection's wider leaves show up
+// through its larger EstimatedPages). An aggregate view replaces the sort
+// with a hash aggregation over the group keys and writes one row per group.
 func BuildCost(ix *catalog.Index, st *stats.Catalog, params optimizer.CostParams) float64 {
 	ts := st.Table(ix.Table)
 	if ts == nil {
@@ -81,11 +84,19 @@ func BuildCost(ix *catalog.Index, st *stats.Catalog, params optimizer.CostParams
 	}
 	rows := float64(ts.RowCount)
 	heapScan := float64(ts.Pages) * params.SeqPageCost
+	leafWrite := float64(ix.EstimatedPages) * params.SeqPageCost
+	if ix.Kind == catalog.KindAggView {
+		groups := float64(ix.EstimatedRows)
+		if groups <= 0 || groups > rows {
+			groups = rows
+		}
+		aggCPU := rows*params.CPUOperatorCost*float64(1+len(ix.Aggs)) + groups*params.CPUTupleCost
+		return heapScan + aggCPU + leafWrite + groups*params.CPUTupleCost
+	}
 	sortCPU := 0.0
 	if rows > 1 {
 		sortCPU = 2 * params.CPUOperatorCost * rows * math.Log2(rows)
 	}
-	leafWrite := float64(ix.EstimatedPages) * params.SeqPageCost
 	return heapScan + sortCPU + leafWrite + rows*params.CPUTupleCost
 }
 

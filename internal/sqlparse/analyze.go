@@ -377,6 +377,62 @@ func reverseCmp(op BinOp) BinOp {
 	}
 }
 
+// GroupKeyColumns returns the GROUP BY keys that are plain column
+// references, as lower-case column names in clause order, plus whether
+// every group key is a plain column. Aggregate-MV matching keys on this:
+// a view stores one row per distinct key combination, which is only
+// well-defined when the keys are columns, not computed expressions.
+func GroupKeyColumns(sel *SelectStmt) (cols []string, allPlain bool) {
+	allPlain = true
+	for _, g := range sel.GroupBy {
+		if c, ok := g.(*ColumnRef); ok {
+			cols = append(cols, strings.ToLower(c.Column))
+		} else {
+			allPlain = false
+		}
+	}
+	return cols, allPlain
+}
+
+// Aggregates lists the aggregate function calls in the projection list (in
+// projection order) and HAVING clause, rendered canonically ("count(*)",
+// "sum(psfmag_r)", lower-case). Calls nested in arithmetic
+// ("max(ra) - min(ra)") are included individually. An aggregate MV can
+// answer a query only when every entry here is among its stored aggregates.
+func Aggregates(sel *SelectStmt) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *FuncExpr:
+			out = append(out, AggString(v))
+		case *BinaryExpr:
+			walk(v.L)
+			walk(v.R)
+		case *NotExpr:
+			walk(v.E)
+		}
+	}
+	for _, p := range sel.Projections {
+		walk(p.Expr)
+	}
+	walk(sel.Having)
+	return out
+}
+
+// AggString renders one aggregate call canonically as func(arg) or func(*),
+// lower-cased. This is the string form aggregate MVs store in
+// catalog.Index.Aggs, so matching is a set-membership test.
+func AggString(f *FuncExpr) string {
+	if f.Star || f.Arg == nil {
+		return strings.ToLower(string(f.Func)) + "(*)"
+	}
+	if c, ok := f.Arg.(*ColumnRef); ok {
+		return strings.ToLower(string(f.Func) + "(" + c.Column + ")")
+	}
+	return strings.ToLower(string(f.Func) + "(" + f.Arg.String() + ")")
+}
+
 // HasAggregate reports whether the statement computes any aggregate.
 func HasAggregate(sel *SelectStmt) bool {
 	for _, p := range sel.Projections {

@@ -17,6 +17,13 @@ type CandidateOptions struct {
 	MaxWidth int
 	// IncludeCovering adds covering candidates (key + projected columns).
 	IncludeCovering bool
+	// IncludeProjections admits covering-projection candidates (key prefix
+	// + INCLUDE payload) into the design space. Off by default: plain-index
+	// advice stays bit-identical unless the caller widens the space.
+	IncludeProjections bool
+	// IncludeAggViews admits single-table aggregate materialized-view
+	// candidates. Off by default, same determinism contract.
+	IncludeAggViews bool
 }
 
 // DefaultCandidateOptions returns the advisor defaults.
@@ -173,6 +180,221 @@ func (s *Session) GenerateCandidates(w *workload.Workload, opts CandidateOptions
 				continue
 			}
 			out = append(out, ix)
+		}
+	}
+	if opts.IncludeProjections || opts.IncludeAggViews {
+		out = append(out, s.generateStructureCandidates(w, opts)...)
+	}
+	return out
+}
+
+// structCand is a scored covering-projection or aggregate-view candidate.
+type structCand struct {
+	kind    catalog.StructureKind
+	table   string
+	keys    []string
+	include []string
+	aggs    []string
+	score   float64
+}
+
+// generateStructureCandidates enumerates the wider-design-space candidates:
+// covering projections for single-table queries whose referenced column set
+// exceeds a useful key prefix, and aggregate views for GROUP BY/aggregate
+// queries (group keys plus filter columns as view keys). Emission order is
+// deterministic (table, then canonical key) so advice stays reproducible.
+func (s *Session) generateStructureCandidates(w *workload.Workload, opts CandidateOptions) []*catalog.Index {
+	acc := make(map[string]*structCand)
+	for _, q := range w.Queries {
+		if len(q.Stmt.From) != 1 {
+			continue
+		}
+		table := strings.ToLower(q.Stmt.From[0].Name)
+		if s.env.Schema.Table(table) == nil {
+			continue
+		}
+		filters, _, _ := sqlparse.SplitPredicates(q.Stmt)
+		conjs := filters[table]
+
+		if opts.IncludeProjections {
+			if c := projectionCandidate(q.Stmt, table, conjs, opts.MaxWidth); c != nil {
+				c.score = q.Weight * 0.75
+				mergeStructCand(acc, c)
+			}
+		}
+		if opts.IncludeAggViews {
+			if c := aggViewCandidate(q.Stmt, table); c != nil {
+				c.score = q.Weight
+				mergeStructCand(acc, c)
+			}
+		}
+	}
+
+	perTable := map[string][]*structCand{}
+	for _, c := range acc {
+		perTable[c.table] = append(perTable[c.table], c)
+	}
+	tables := make([]string, 0, len(perTable))
+	for t := range perTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	var out []*catalog.Index
+	for _, t := range tables {
+		list := perTable[t]
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].score != list[b].score {
+				return list[a].score > list[b].score
+			}
+			return structKey(list[a]) < structKey(list[b])
+		})
+		if opts.MaxPerTable > 0 && len(list) > opts.MaxPerTable {
+			list = list[:opts.MaxPerTable]
+		}
+		for _, c := range list {
+			var ix *catalog.Index
+			var err error
+			switch c.kind {
+			case catalog.KindProjection:
+				ix, err = s.HypotheticalProjection(c.table, c.keys, c.include)
+			case catalog.KindAggView:
+				ix, err = s.HypotheticalAggView(c.table, c.keys, c.aggs)
+			}
+			if err != nil || ix == nil {
+				continue
+			}
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// structKey builds the candidate's canonical identity for dedup/ordering.
+func structKey(c *structCand) string {
+	k := c.table + "(" + strings.Join(c.keys, ",") + ")"
+	switch c.kind {
+	case catalog.KindProjection:
+		return k + " include(" + strings.Join(c.include, ",") + ")"
+	case catalog.KindAggView:
+		return k + " agg(" + strings.Join(c.aggs, ",") + ")"
+	}
+	return k
+}
+
+func mergeStructCand(acc map[string]*structCand, c *structCand) {
+	key := structKey(c)
+	if old, ok := acc[key]; ok {
+		old.score += c.score
+		return
+	}
+	acc[key] = c
+}
+
+// projectionCandidate derives a covering projection for a single-table
+// query: sargable columns form the key prefix (equality first, capped at
+// maxWidth), every other referenced column rides as INCLUDE payload. Nil
+// when the query leaves nothing to include — a plain covering index already
+// handles it.
+func projectionCandidate(sel *sqlparse.SelectStmt, table string, conjs []sqlparse.Expr, maxWidth int) *structCand {
+	cols := collectQueryColumns(sel, table)
+	if len(cols) < 2 {
+		return nil
+	}
+	for _, p := range sel.Projections {
+		if _, star := p.Expr.(*sqlparse.StarExpr); star {
+			return nil // SELECT * can never be index-only
+		}
+	}
+	var eqs, ranges []string
+	eqSet, rangeSet := map[string]bool{}, map[string]bool{}
+	for _, c := range conjs {
+		sr, ok := sqlparse.SargableOf(c)
+		if !ok {
+			continue
+		}
+		lc := strings.ToLower(sr.Column)
+		if sr.IsEquality && !eqSet[lc] {
+			eqSet[lc] = true
+			eqs = append(eqs, lc)
+		} else if sr.IsRange && !rangeSet[lc] {
+			rangeSet[lc] = true
+			ranges = append(ranges, lc)
+		}
+	}
+	ordered := orderCoveringColumns(cols, eqs, ranges)
+	nKey := 0
+	for _, c := range ordered {
+		if eqSet[c] || rangeSet[c] {
+			nKey++
+		} else {
+			break
+		}
+	}
+	if nKey == 0 {
+		nKey = 1
+	}
+	if maxWidth > 0 && nKey > maxWidth {
+		nKey = maxWidth
+	}
+	if nKey >= len(ordered) {
+		return nil
+	}
+	return &structCand{
+		kind:    catalog.KindProjection,
+		table:   table,
+		keys:    ordered[:nKey],
+		include: ordered[nKey:],
+	}
+}
+
+// aggViewCandidate derives an aggregate view for a GROUP BY/aggregate
+// query: view keys are the group keys plus every WHERE column (so filters
+// remain evaluable over the view), aggregates are the query's own calls.
+func aggViewCandidate(sel *sqlparse.SelectStmt, table string) *structCand {
+	if !sqlparse.HasAggregate(sel) || sel.Distinct {
+		return nil
+	}
+	gkeys, allPlain := sqlparse.GroupKeyColumns(sel)
+	if !allPlain {
+		return nil
+	}
+	aggs := dedupStrings(sqlparse.Aggregates(sel))
+	if len(aggs) == 0 {
+		return nil // GROUP BY without aggregates: a plain index serves
+	}
+	keySet := map[string]bool{}
+	keys := append([]string(nil), gkeys...)
+	for _, k := range gkeys {
+		keySet[k] = true
+	}
+	var extra []string
+	sqlparse.WalkColumns(sel.Where, func(c *sqlparse.ColumnRef) {
+		lc := strings.ToLower(c.Column)
+		if !keySet[lc] {
+			keySet[lc] = true
+			extra = append(extra, lc)
+		}
+	})
+	sort.Strings(extra)
+	keys = append(keys, extra...)
+	if len(keys) == 0 {
+		return nil
+	}
+	return &structCand{
+		kind:  catalog.KindAggView,
+		table: table,
+		keys:  keys,
+		aggs:  aggs,
+	}
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
 		}
 	}
 	return out

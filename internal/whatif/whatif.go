@@ -101,6 +101,87 @@ func hypoName(table string, columns []string) string {
 	return "whatif_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(columns, "_"))
 }
 
+// HypotheticalProjection constructs a sized covering projection: a
+// secondary index on the key columns whose leaves also carry the INCLUDE
+// payload, so index-only plans can serve queries the key alone cannot.
+func (s *Session) HypotheticalProjection(table string, keys, include []string) (*catalog.Index, error) {
+	t := s.env.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	if len(keys) == 0 {
+		return nil, errors.New("whatif: projection needs at least one key column")
+	}
+	if len(include) == 0 {
+		return nil, errors.New("whatif: projection needs at least one INCLUDE column; use HypotheticalIndex otherwise")
+	}
+	keySet := make(map[string]bool, len(keys))
+	for _, c := range keys {
+		if !t.HasColumn(c) {
+			return nil, fmt.Errorf("whatif: table %s has no column %q", table, c)
+		}
+		keySet[catalog.NormCol(c)] = true
+	}
+	for _, c := range include {
+		if !t.HasColumn(c) {
+			return nil, fmt.Errorf("whatif: table %s has no column %q", table, c)
+		}
+		if keySet[catalog.NormCol(c)] {
+			return nil, fmt.Errorf("whatif: column %q is both key and INCLUDE", c)
+		}
+	}
+	ts := s.env.Stats.Table(table)
+	rows := int64(1000)
+	if ts != nil {
+		rows = ts.RowCount
+	}
+	pages := optimizer.EstimateProjectionLeafPages(t, keys, include, rows)
+	return &catalog.Index{
+		Name:            hypoName(table, keys) + "_inc",
+		Table:           t.Name,
+		Kind:            catalog.KindProjection,
+		Columns:         append([]string(nil), keys...),
+		Include:         append([]string(nil), include...),
+		Hypothetical:    true,
+		EstimatedPages:  int64(pages),
+		EstimatedHeight: optimizer.EstimateIndexHeight(pages),
+	}, nil
+}
+
+// HypotheticalAggView constructs a sized single-table aggregate
+// materialized view: one row per distinct group-key combination carrying
+// the listed pre-computed aggregates (canonical lower-case form, e.g.
+// "count(*)", "sum(psfmag_r)").
+func (s *Session) HypotheticalAggView(table string, keys, aggs []string) (*catalog.Index, error) {
+	t := s.env.Schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	if len(keys) == 0 {
+		return nil, errors.New("whatif: aggregate view needs at least one group-key column")
+	}
+	if len(aggs) == 0 {
+		return nil, errors.New("whatif: aggregate view needs at least one aggregate")
+	}
+	for _, c := range keys {
+		if !t.HasColumn(c) {
+			return nil, fmt.Errorf("whatif: table %s has no column %q", table, c)
+		}
+	}
+	ts := s.env.Stats.Table(table)
+	rows, pages := optimizer.EstimateAggViewSize(t, ts, keys, aggs)
+	return &catalog.Index{
+		Name:           "whatif_mv_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(keys, "_")),
+		Table:          t.Name,
+		Kind:           catalog.KindAggView,
+		Columns:        append([]string(nil), keys...),
+		Aggs:           catalog.NormCols(aggs),
+		Hypothetical:   true,
+		EstimatedPages: pages,
+		EstimatedRows:  rows,
+	}, nil
+}
+
 // Cost plans the query under the given configuration and returns its
 // estimated cost. A nil configuration means the session base.
 func (s *Session) Cost(sel *sqlparse.SelectStmt, cfg *catalog.Configuration) (float64, error) {
