@@ -32,6 +32,10 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", ".", "directory for BENCH_<label>.json")
 	jsonOut := fs.Bool("json", false, "print the JSON document to stdout instead of the table")
 	baseline := fs.String("baseline", "", "baseline BENCH_*.json to compare against (warn-only)")
+	var asserts multiFlag
+	fs.Var(&asserts, "assert",
+		"require an experiment cell, optionally with a metric condition "+
+			"(name, name:metric=V, name:metric>=V, name:metric<=V); repeatable, hard-fails the run")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +154,15 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		if errs := bench.Errors(warns); len(errs) != 0 {
 			return fmt.Errorf("baseline %s: %d comparability error(s) (schema/backend/coverage); see stderr", *baseline, len(errs))
 		}
+	}
+
+	// --assert expressions are hard gates on the document just written —
+	// the typed replacement for CI grepping BENCH_*.json.
+	if len(asserts) > 0 {
+		if err := bench.RequireCells(res, asserts); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "all %d assertion(s) hold\n", len(asserts))
 	}
 	return nil
 }

@@ -487,3 +487,30 @@ func TestCmdServeSmoke(t *testing.T) {
 		t.Fatal("server still accepting after shutdown")
 	}
 }
+
+func TestCmdBenchAssertGates(t *testing.T) {
+	dir := t.TempDir()
+	var sink, stderr bytes.Buffer
+	// Holding assertions: presence plus a metric bound on a cell the tiny
+	// run actually produces.
+	if err := cmdBench(benchArgs(dir,
+		"--assert", "parallel_sweep",
+		"--assert", "size_model"), &sink, &stderr); err != nil {
+		t.Fatalf("holding assertions failed: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "all 2 assertion(s) hold") {
+		t.Errorf("missing assertion summary:\n%s", stderr.String())
+	}
+
+	// A missing experiment is a hard failure with a named culprit.
+	err := cmdBench(benchArgs(t.TempDir(), "--assert", "design_space_width"), &sink, &sink)
+	if err == nil || !strings.Contains(err.Error(), "no design_space_width cells") {
+		t.Fatalf("missing-cell assertion: err = %v", err)
+	}
+
+	// A malformed expression fails loudly instead of being skipped.
+	err = cmdBench(benchArgs(t.TempDir(), "--assert", "parallel_sweep:oops"), &sink, &sink)
+	if err == nil || !strings.Contains(err.Error(), "needs metric=V") {
+		t.Fatalf("malformed assertion: err = %v", err)
+	}
+}

@@ -20,6 +20,12 @@
 //	compare       CoPhy vs greedy baseline across storage budgets
 //	bench         run the experiment harness, emit BENCH_<label>.json
 //	generate      describe the synthetic SDSS dataset
+//	import        snapshot a live PostgreSQL database and import its workload
+//	apply         advise on a live workload and apply the result to the server
+//
+// The live commands take --dsn (a PostgreSQL connection string) or
+// --live-trace (a recorded replay of a live session); --live-record
+// captures the session for offline replay, and apply supports --dry-run.
 //
 // All commands accept --size (tiny|small|medium) and --seed; the dataset is
 // regenerated deterministically per invocation (the store is in-memory).
@@ -68,6 +74,10 @@ func main() {
 		err = cmdBench(args, os.Stdout, os.Stderr)
 	case "generate":
 		err = cmdGenerate(args)
+	case "import":
+		err = cmdImport(args)
+	case "apply":
+		err = cmdApply(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -96,6 +106,8 @@ Commands:
   compare       CoPhy vs greedy baseline across storage budgets
   bench         run the experiment harness, emit BENCH_<label>.json
   generate      describe the synthetic SDSS dataset
+  import        snapshot a live PostgreSQL database and import its workload
+  apply         advise on a live workload and apply the result to the server
 
 Run 'dbdesigner <command> -h' for command flags.
 `)

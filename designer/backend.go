@@ -14,10 +14,13 @@ const (
 	BackendNative     = "native"     // built-in optimizer + INUM cache (default)
 	BackendCalibrated = "calibrated" // analytical model with JSON-loaded cost constants
 	BackendReplay     = "replay"     // serves recorded costing calls from a trace
+	BackendLive       = "live"       // calibrated from a live PostgreSQL server's own planner settings
 )
 
 // BackendKinds lists the selectable backend kinds in canonical order.
-func BackendKinds() []string { return []string{BackendNative, BackendCalibrated, BackendReplay} }
+func BackendKinds() []string {
+	return []string{BackendNative, BackendCalibrated, BackendReplay, BackendLive}
+}
 
 // CalibrationParams are inline cost constants for the calibrated backend —
 // the in-memory form of the calibration file (PostgreSQL GUC semantics).
@@ -65,11 +68,30 @@ type BackendSpec struct {
 	Calibration *CalibrationParams
 	// TraceFile points at a recorded costing trace for the replay backend.
 	TraceFile string
+	// DSN connects the live backend to a PostgreSQL server whose planner
+	// settings fit the cost constants (resolves to a calibrated backend).
+	DSN string
+	// LiveTraceFile points the live backend at a recorded livedb trace
+	// instead of a server — the offline half of live record/replay.
+	LiveTraceFile string
 }
 
 // internal resolves the spec — loading calibration/trace files — into the
 // engine's backend spec.
 func (spec BackendSpec) internal() (engine.BackendSpec, error) {
+	if spec.Kind == BackendLive {
+		// "live" is sugar for a calibrated backend whose constants come from
+		// the server (or a recorded trace) instead of a file.
+		cal, err := liveCalibration(spec)
+		if err != nil {
+			return engine.BackendSpec{}, err
+		}
+		out := engine.BackendSpec{Kind: BackendCalibrated, Calibration: cal}
+		if err := out.Validate(); err != nil {
+			return engine.BackendSpec{}, err
+		}
+		return out, nil
+	}
 	out := engine.BackendSpec{Kind: spec.Kind}
 	switch {
 	case spec.CalibrationFile != "":
@@ -98,7 +120,8 @@ func (spec BackendSpec) internal() (engine.BackendSpec, error) {
 // with no extra parameters.
 func (spec BackendSpec) IsNative() bool {
 	return (spec.Kind == "" || spec.Kind == BackendNative) &&
-		spec.CalibrationFile == "" && spec.Calibration == nil && spec.TraceFile == ""
+		spec.CalibrationFile == "" && spec.Calibration == nil && spec.TraceFile == "" &&
+		spec.DSN == "" && spec.LiveTraceFile == ""
 }
 
 // inherit reports whether the spec leaves the backend choice entirely to
@@ -107,7 +130,8 @@ func (spec BackendSpec) IsNative() bool {
 // calibrated designer gets a native backend, not the calibrated one.
 func (spec BackendSpec) inherit() bool {
 	return spec.Kind == "" && spec.CalibrationFile == "" &&
-		spec.Calibration == nil && spec.TraceFile == ""
+		spec.Calibration == nil && spec.TraceFile == "" &&
+		spec.DSN == "" && spec.LiveTraceFile == ""
 }
 
 // BackendInfo describes an active cost backend.

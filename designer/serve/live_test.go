@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// liveFixture is the committed livedb replay trace shared with the
+// designer-level fixture tests.
+const liveFixture = "../testdata/live_shopdb.json"
+
+// TestLiveSessionOverHTTP creates a "live"-backed what-if session from a
+// recorded livedb trace: the session's cost constants are fitted from the
+// trace's pg_settings and the session reports a calibrated backend. No
+// PostgreSQL is involved — this is the offline half of the live loop over
+// the wire.
+func TestLiveSessionOverHTTP(t *testing.T) {
+	base := start(t)
+
+	created := call(t, "POST", base+"/sessions",
+		map[string]any{"backend": "live", "live_trace": liveFixture}, http.StatusCreated)
+	// "live" is sugar for a calibrated backend fitted from the server's
+	// planner settings, and sessions report the resolved kind.
+	if created["backend"] != "calibrated" {
+		t.Fatalf("live session backend = %v, want calibrated", created["backend"])
+	}
+	id := created["id"].(string)
+
+	// The live-fitted session prices a design with the trace's constants,
+	// so the same evaluation differs from a native session's.
+	evalTotal := func(sid string) float64 {
+		call(t, "POST", base+"/sessions/"+sid+"/indexes",
+			map[string]any{"table": "photoobj", "columns": []string{"psfmag_r"}}, http.StatusCreated)
+		rep := call(t, "POST", base+"/sessions/"+sid+"/evaluate",
+			map[string]any{"sql": []string{testSQL}}, http.StatusOK)
+		return rep["new_total"].(float64)
+	}
+	live := evalTotal(id)
+	nat := call(t, "POST", base+"/sessions", map[string]any{}, http.StatusCreated)
+	if native := evalTotal(nat["id"].(string)); native == live {
+		t.Fatalf("live-fitted session returned native costs (%v) — constants not applied", live)
+	}
+}
+
+// TestLiveSessionRejectsBadRequests pins the live session's error
+// contract: live needs a source, sources need the live backend, and a
+// dead DSN is a caller error, not a 500.
+func TestLiveSessionRejectsBadRequests(t *testing.T) {
+	base := start(t)
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"live without source", `{"backend":"live"}`},
+		{"dsn without live backend", `{"dsn":"postgres://u@h/db"}`},
+		{"trace without live backend", `{"backend":"native","live_trace":"x.json"}`},
+		{"both sources", `{"backend":"live","dsn":"postgres://u@h/db","live_trace":"x.json"}`},
+		{"malformed dsn", `{"backend":"live","dsn":"not-a-dsn"}`},
+		{"unreadable trace", `{"backend":"live","live_trace":"no/such/trace.json"}`},
+		{"unreachable server", `{"backend":"live","dsn":"postgres://u@127.0.0.1:9/db?sslmode=disable"}`},
+	} {
+		t.Run(strings.ReplaceAll(tc.name, " ", "_"), func(t *testing.T) {
+			if status, code := envelopeCall(t, "POST", base+"/sessions", tc.body); status != http.StatusBadRequest || code != "invalid_request" {
+				t.Errorf("status %d code %q, want 400 invalid_request", status, code)
+			}
+		})
+	}
+}

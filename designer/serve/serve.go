@@ -634,11 +634,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		// Backend prices this session through a different cost backend
-		// ("native", "calibrated"); empty inherits the designer's.
+		// ("native", "calibrated", "live"); empty inherits the designer's.
 		Backend string `json:"backend,omitempty"`
+		// DSN connects a "live" session's cost model to a PostgreSQL server:
+		// the constants are fitted from its pg_settings at create time.
+		DSN string `json:"dsn,omitempty"`
+		// LiveTrace points a "live" session at a server-side recorded livedb
+		// trace instead of a running server.
+		LiveTrace string `json:"live_trace,omitempty"`
 	}
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
+		return
+	}
+	if (req.DSN != "" || req.LiveTrace != "") && req.Backend != designer.BackendLive {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Errorf("dsn/live_trace require backend %q, got %q", designer.BackendLive, req.Backend))
 		return
 	}
 	tenant := tenantFrom(r)
@@ -647,7 +658,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// manager's lock protects only ID allocation and the table insert, so
 	// a slow Materialize can never stall /healthz or session lookups.
 	ds, err := s.d.NewDesignSessionWith(designer.SessionOptions{
-		Backend: designer.BackendSpec{Kind: req.Backend},
+		Backend: designer.BackendSpec{Kind: req.Backend, DSN: req.DSN, LiveTraceFile: req.LiveTrace},
 	})
 	if err != nil {
 		// A backend the designer cannot build (unknown kind, replay without

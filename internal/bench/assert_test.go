@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertDoc() *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Experiments: []Experiment{
+			{
+				Name: "design_space_width", Size: "tiny", Workload: "uniform", Seed: 1,
+				Quality: map[string]float64{"update_heavy_wide_savings_pct": 12.5},
+				Counts:  map[string]int64{"update_heavy_strict_improvement": 1},
+			},
+			{
+				Name: "design_space_width", Size: "small", Workload: "uniform", Seed: 1,
+				Quality: map[string]float64{"update_heavy_wide_savings_pct": 3.25},
+				Counts:  map[string]int64{"update_heavy_strict_improvement": 1},
+			},
+			{
+				Name: "cophy_vs_greedy", Size: "tiny", Workload: "uniform", Seed: 1,
+				Counts: map[string]int64{"advised": 4},
+			},
+		},
+	}
+}
+
+func TestParseCellSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want CellSpec
+	}{
+		{"design_space_width", CellSpec{Name: "design_space_width"}},
+		{"x:m=1", CellSpec{Name: "x", Metric: "m", Op: "=", Value: 1}},
+		{"x:m>=2.5", CellSpec{Name: "x", Metric: "m", Op: ">=", Value: 2.5}},
+		{"x:m<=-1", CellSpec{Name: "x", Metric: "m", Op: "<=", Value: -1}},
+		{" x : m = 0 ", CellSpec{Name: "x", Metric: "m", Op: "=", Value: 0}},
+	} {
+		got, err := ParseCellSpec(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCellSpec(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", ":m=1", "x:", "x:m", "x:m=notanumber", "x:=1"} {
+		if _, err := ParseCellSpec(bad); err == nil {
+			t.Errorf("ParseCellSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRequireCellsHolds(t *testing.T) {
+	err := RequireCells(assertDoc(), []string{
+		"design_space_width",
+		"design_space_width:update_heavy_strict_improvement=1",
+		"design_space_width:update_heavy_wide_savings_pct>=0",
+		"cophy_vs_greedy:advised<=10",
+	})
+	if err != nil {
+		t.Fatalf("assertions should hold: %v", err)
+	}
+}
+
+func TestRequireCellsReportsEveryFailure(t *testing.T) {
+	err := RequireCells(assertDoc(), []string{
+		"no_such_experiment",
+		"design_space_width:update_heavy_strict_improvement=0",
+		"design_space_width:missing_metric=1",
+		"cophy_vs_greedy:advised>=100",
+	})
+	if err == nil {
+		t.Fatal("assertions should fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"no no_such_experiment cells",
+		// the =0 condition fails in BOTH design_space_width cells
+		"design_space_width [design_space_width|tiny|uniform|1]: update_heavy_strict_improvement is 1, want =0",
+		"design_space_width [design_space_width|small|uniform|1]: update_heavy_strict_improvement is 1, want =0",
+		"missing_metric missing",
+		"advised is 4, want >=100",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestRequireCellsMetricOnOneCellOnly(t *testing.T) {
+	// A metric condition applies to every cell of the experiment: if one
+	// cell lacks the metric, that is a failure, not a silent pass.
+	doc := assertDoc()
+	delete(doc.Experiments[1].Counts, "update_heavy_strict_improvement")
+	err := RequireCells(doc, []string{"design_space_width:update_heavy_strict_improvement=1"})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("partial metric coverage should fail: %v", err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // SchemaVersion identifies the BENCH_*.json document layout. Bump it on
@@ -331,4 +333,107 @@ func SortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// CellSpec is one parsed --assert expression: an experiment that must be
+// present in the document, optionally with a metric condition every cell
+// of that experiment must satisfy.
+type CellSpec struct {
+	// Name is the experiment name ("design_space_width").
+	Name string
+	// Metric is a Counts or Quality key; empty asserts presence only.
+	Metric string
+	// Op is "=", ">=", or "<=" (only when Metric is set).
+	Op string
+	// Value is the right-hand side of the condition.
+	Value float64
+}
+
+// ParseCellSpec parses one assertion expression:
+//
+//	name                  at least one cell of that experiment ran
+//	name:metric=V         ...and metric equals V in every such cell
+//	name:metric>=V, <=V   ...or satisfies the bound instead
+//
+// metric is looked up in the cell's Counts first, then Quality.
+func ParseCellSpec(s string) (CellSpec, error) {
+	name, cond, hasCond := strings.Cut(s, ":")
+	spec := CellSpec{Name: strings.TrimSpace(name)}
+	if spec.Name == "" {
+		return CellSpec{}, fmt.Errorf("bench: empty experiment name in assertion %q", s)
+	}
+	if !hasCond {
+		return spec, nil
+	}
+	for _, op := range []string{">=", "<=", "="} {
+		if metric, val, ok := strings.Cut(cond, op); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return CellSpec{}, fmt.Errorf("bench: bad value in assertion %q: %w", s, err)
+			}
+			spec.Metric, spec.Op, spec.Value = strings.TrimSpace(metric), op, v
+			if spec.Metric == "" {
+				return CellSpec{}, fmt.Errorf("bench: empty metric in assertion %q", s)
+			}
+			return spec, nil
+		}
+	}
+	return CellSpec{}, fmt.Errorf("bench: assertion %q needs metric=V, metric>=V, or metric<=V after ':'", s)
+}
+
+func (c CellSpec) holds(v float64) bool {
+	switch c.Op {
+	case ">=":
+		return v >= c.Value
+	case "<=":
+		return v <= c.Value
+	default:
+		return v == c.Value
+	}
+}
+
+// RequireCells checks assertion expressions (see ParseCellSpec) against a
+// result document — the typed replacement for grepping BENCH_*.json in CI.
+// Every failing assertion is reported, not just the first; a nil error
+// means the document satisfies all of them.
+func RequireCells(r *Result, specs []string) error {
+	var errs []string
+	for _, raw := range specs {
+		spec, err := ParseCellSpec(raw)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		matched := 0
+		for _, x := range r.Experiments {
+			if x.Name != spec.Name {
+				continue
+			}
+			matched++
+			if spec.Metric == "" {
+				continue
+			}
+			v, ok := float64(0), false
+			if cv, has := x.Counts[spec.Metric]; has {
+				v, ok = float64(cv), true
+			} else if qv, has := x.Quality[spec.Metric]; has {
+				v, ok = qv, true
+			}
+			if !ok {
+				errs = append(errs, fmt.Sprintf("%s [%s]: metric %s missing", spec.Name, x.key(), spec.Metric))
+				continue
+			}
+			if !spec.holds(v) {
+				errs = append(errs, fmt.Sprintf("%s [%s]: %s is %g, want %s%g",
+					spec.Name, x.key(), spec.Metric, v, spec.Op, spec.Value))
+			}
+		}
+		if matched == 0 {
+			errs = append(errs, fmt.Sprintf("no %s cells in the document", spec.Name))
+		}
+	}
+	if len(errs) > 0 {
+		return errors.New("bench: assertion(s) failed:\n  " + strings.Join(errs, "\n  "))
+	}
+	return nil
 }

@@ -1,0 +1,154 @@
+package livedb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// ApplyStep is one schedule entry translated into executable or advisory
+// DDL.
+type ApplyStep struct {
+	// Key is the structure's canonical identity (catalog.Index.Key).
+	Key string
+	// Kind is "secondary", "projection", or "aggview".
+	Kind string
+	// DDL is the statement to execute (secondary) or to hand to an
+	// operator (advisory kinds).
+	DDL string
+	// Rollback undoes the step.
+	Rollback string
+	// Advisory marks structures the live system can't build through this
+	// tool (PR 9 semantics: projections and aggregate views are emitted as
+	// DDL, never silently downgraded).
+	Advisory bool
+}
+
+// Statuses an apply step can end in.
+const (
+	StepApplied  = "applied"
+	StepAdvisory = "advisory"
+	StepDryRun   = "dry-run"
+	StepFailed   = "failed"
+	StepPending  = "pending" // not reached because an earlier step failed
+)
+
+// StepResult is the outcome of one step.
+type StepResult struct {
+	Step   ApplyStep
+	Status string
+	// Err carries the failure message for StepFailed.
+	Err string
+}
+
+// ApplyReport is the (possibly partial) outcome of applying a schedule.
+type ApplyReport struct {
+	Steps    []StepResult
+	Applied  int
+	Advisory int
+	// Failed is true when a step errored and the apply stopped there;
+	// Steps then shows exactly how far it got.
+	Failed bool
+}
+
+// ApplyOptions tunes schedule application.
+type ApplyOptions struct {
+	// DryRun reports what would run without executing anything.
+	DryRun bool
+	// Progress, when set, observes each step as it completes.
+	Progress func(StepResult)
+}
+
+// BuildSteps translates advised structures into apply steps with
+// deterministic object names.
+func BuildSteps(indexes []*catalog.Index) []ApplyStep {
+	steps := make([]ApplyStep, 0, len(indexes))
+	for i, ix := range indexes {
+		name := applyName(ix, i)
+		step := ApplyStep{Key: ix.Key(), Kind: ix.Kind.String()}
+		switch ix.Kind {
+		case catalog.KindSecondary:
+			step.DDL = fmt.Sprintf("CREATE INDEX IF NOT EXISTS %s ON %s (%s)",
+				name, strings.ToLower(ix.Table), strings.ToLower(strings.Join(ix.Columns, ", ")))
+			step.Rollback = "DROP INDEX IF EXISTS " + name
+		default:
+			step.Advisory = true
+			step.DDL = strings.TrimSuffix(ix.DDL(name), ";")
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}
+
+func applyName(ix *catalog.Index, i int) string {
+	prefix := "dbd_idx"
+	if ix.Kind == catalog.KindAggView {
+		prefix = "dbd_mv"
+	}
+	parts := []string{prefix, strings.ToLower(ix.Table)}
+	for _, c := range ix.Columns {
+		parts = append(parts, strings.ToLower(c))
+	}
+	name := strings.Join(parts, "_")
+	// PostgreSQL truncates identifiers at 63 bytes; keep the ordinal
+	// visible so truncated names stay unique.
+	if len(name) > 55 {
+		name = name[:55]
+	}
+	return fmt.Sprintf("%s_%d", name, i)
+}
+
+// Apply executes the steps in order against the live server, aborting on
+// the first error: the report then shows applied steps, the failed step
+// with its message, and the untouched remainder as pending. Advisory steps
+// are reported, never executed.
+func Apply(ctx context.Context, db *DB, steps []ApplyStep, opts ApplyOptions) (*ApplyReport, error) {
+	rep := &ApplyReport{}
+	emit := func(sr StepResult) {
+		rep.Steps = append(rep.Steps, sr)
+		if opts.Progress != nil {
+			opts.Progress(sr)
+		}
+	}
+	for i, step := range steps {
+		if step.Advisory {
+			rep.Advisory++
+			emit(StepResult{Step: step, Status: StepAdvisory})
+			continue
+		}
+		if opts.DryRun {
+			emit(StepResult{Step: step, Status: StepDryRun})
+			continue
+		}
+		if _, err := db.Query(ctx, step.DDL); err != nil {
+			rep.Failed = true
+			emit(StepResult{Step: step, Status: StepFailed, Err: err.Error()})
+			for _, rest := range steps[i+1:] {
+				emit(StepResult{Step: rest, Status: StepPending})
+			}
+			return rep, fmt.Errorf("livedb: apply step %d (%s): %w", i+1, step.Key, err)
+		}
+		rep.Applied++
+		emit(StepResult{Step: step, Status: StepApplied})
+	}
+	return rep, nil
+}
+
+// Rollback undoes the applied steps of a report in reverse order,
+// continuing past individual failures (best effort) and returning the
+// first error encountered.
+func Rollback(ctx context.Context, db *DB, rep *ApplyReport) error {
+	var firstErr error
+	for i := len(rep.Steps) - 1; i >= 0; i-- {
+		sr := rep.Steps[i]
+		if sr.Status != StepApplied || sr.Step.Rollback == "" {
+			continue
+		}
+		if _, err := db.Query(ctx, sr.Step.Rollback); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("livedb: rollback %s: %w", sr.Step.Key, err)
+		}
+	}
+	return firstErr
+}

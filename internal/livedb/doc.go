@@ -1,0 +1,15 @@
+// Package livedb closes the designer's loop against a real PostgreSQL
+// database: it imports a workload from pg_stat_statements (or a SQL file),
+// snapshots the live catalog and pg_stats into the designer's statistics
+// substrate, reads the server's own cost constants so the calibrated model
+// prices plans the way the live optimizer does, cross-checks that model
+// against EXPLAIN cost probes, and applies an advised schedule back to the
+// server — secondary indexes natively, wider structures as advisory DDL.
+//
+// Every interaction with the server flows through a Querier, and the
+// record/replay tracer (Trace, Recorder, Replayer) captures those
+// interactions at the SQL level. A recorded trace committed under testdata/
+// replays the entire import→advise→apply pipeline bit-deterministically in
+// ordinary `go test` with no database; the //go:build livedb tagged suite
+// runs the same code against a real server in CI.
+package livedb

@@ -1,0 +1,203 @@
+//go:build livedb
+
+package livedb_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/livedb"
+)
+
+// explainTolerance is the stated model-vs-EXPLAIN agreement bound for
+// unfiltered sequential scans: the calibrated model uses the same formula
+// and the same pg_settings constants as the server's planner, so the only
+// slack is reltuples/relpages drift between ANALYZE and EXPLAIN.
+const explainTolerance = 0.10
+
+func liveDSN(t *testing.T) string {
+	t.Helper()
+	dsn := os.Getenv("LIVEDB_DSN")
+	if dsn == "" {
+		t.Skip("LIVEDB_DSN not set; skipping live-PostgreSQL integration test")
+	}
+	return dsn
+}
+
+func liveCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func mustExec(t *testing.T, ctx context.Context, db *livedb.DB, sql string) {
+	t.Helper()
+	if _, err := db.Query(ctx, sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+// seedLive provisions the test schema and a captured workload.
+func seedLive(t *testing.T, ctx context.Context, db *livedb.DB) {
+	t.Helper()
+	mustExec(t, ctx, db, "CREATE EXTENSION IF NOT EXISTS pg_stat_statements")
+	mustExec(t, ctx, db, "DROP TABLE IF EXISTS items")
+	mustExec(t, ctx, db, "CREATE TABLE items (item_id bigint PRIMARY KEY, category int NOT NULL, price float8 NOT NULL, note text)")
+	mustExec(t, ctx, db, "INSERT INTO items SELECT g, g % 50, (g % 1000)::float8 / 7.0, 'n' || (g % 97) FROM generate_series(1, 50000) g")
+	mustExec(t, ctx, db, "ANALYZE items")
+	mustExec(t, ctx, db, "SELECT pg_stat_statements_reset()")
+	for i := 0; i < 3; i++ {
+		mustExec(t, ctx, db, fmt.Sprintf("SELECT item_id, price FROM items WHERE category = %d", 7+i))
+		mustExec(t, ctx, db, fmt.Sprintf("SELECT count(*) FROM items WHERE price BETWEEN %d.0 AND %d.0", 10+i, 50+i))
+	}
+	mustExec(t, ctx, db, "SELECT item_id, category, price FROM items")
+}
+
+func TestLiveEndToEnd(t *testing.T) {
+	dsn := liveDSN(t)
+	ctx := liveCtx(t)
+	db, err := livedb.OpenRecording(ctx, dsn)
+	if err != nil {
+		t.Fatalf("connect %s: %v", dsn, err)
+	}
+	defer db.Close()
+	seedLive(t, ctx, db)
+
+	snap, err := livedb.TakeSnapshot(ctx, db)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	items := snap.Schema.Table("items")
+	if items == nil {
+		t.Fatalf("snapshot missed table items; tables = %v", snap.Schema.Tables())
+	}
+	if items.Column("price").Type != catalog.KindFloat || items.Column("category").Type != catalog.KindInt {
+		t.Errorf("column kinds: %+v", items.Columns)
+	}
+	ts := snap.Stats.Table("items")
+	if ts == nil || math.Abs(float64(ts.RowCount)-50000) > 5000 {
+		t.Fatalf("items stats = %+v, want ~50000 rows", ts)
+	}
+	if ts.Pages <= 0 {
+		t.Errorf("items pages = %d", ts.Pages)
+	}
+	if cat := ts.Column("category"); cat == nil || cat.NDV < 40 || cat.NDV > 60 {
+		t.Errorf("category NDV = %+v, want ~50", cat)
+	}
+
+	cal, err := livedb.FitCalibration(ctx, db, snap)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if cal.SeqPageCost <= 0 || cal.CPUTupleCost <= 0 {
+		t.Fatalf("calibration = %+v", cal)
+	}
+
+	imp, err := livedb.ImportPgStatStatements(ctx, db, snap, livedb.ImportOptions{})
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	var sawEq, sawBetween bool
+	for _, q := range imp.Queries {
+		if strings.Contains(q.SQL, "category =") {
+			sawEq = true
+			if q.Weight < 3 {
+				t.Errorf("equality template weight = %v, want >= 3 (dedup across calls)", q.Weight)
+			}
+		}
+		if strings.Contains(q.SQL, "BETWEEN") {
+			sawBetween = true
+		}
+	}
+	if !sawEq || !sawBetween {
+		t.Fatalf("import missed templates: eq=%v between=%v, queries=%+v skipped=%+v",
+			sawEq, sawBetween, imp.Queries, imp.Skipped)
+	}
+
+	// EXPLAIN probe agreement: the calibrated model's unfiltered seq-scan
+	// cost must match the server's within the stated tolerance.
+	fullScan := "SELECT item_id, category, price FROM items"
+	model := float64(ts.Pages)*cal.SeqPageCost + float64(ts.RowCount)*cal.CPUTupleCost
+	probe, err := livedb.CrossCheck(ctx, db, []livedb.CostedQuery{
+		{ID: "fullscan", SQL: fullScan, ModelCost: model},
+	}, explainTolerance)
+	if err != nil {
+		t.Fatalf("cross-check: %v", err)
+	}
+	if !probe.Pass {
+		t.Fatalf("EXPLAIN disagreement beyond %.0f%%: %+v", explainTolerance*100, probe.Probes)
+	}
+
+	// Apply + rollback: a native secondary index plus an advisory aggview.
+	steps := livedb.BuildSteps([]*catalog.Index{
+		{Table: "items", Columns: []string{"category"}},
+		{Table: "items", Columns: []string{"category"}, Kind: catalog.KindAggView, Aggs: []string{"count(*)"}},
+	})
+	rep, err := livedb.Apply(ctx, db, steps, livedb.ApplyOptions{})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if rep.Applied != 1 || rep.Advisory != 1 {
+		t.Fatalf("apply report = %+v", rep)
+	}
+	snap2, err := livedb.TakeSnapshot(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ix := range snap2.Existing {
+		if ix.Table == "items" && len(ix.Columns) == 1 && ix.Columns[0] == "category" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("applied index not visible in catalog: %+v", snap2.Existing)
+	}
+	if err := livedb.Rollback(ctx, db, rep); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	snap3, err := livedb.TakeSnapshot(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range snap3.Existing {
+		if strings.HasPrefix(ix.Name, "dbd_idx_items_category") {
+			t.Fatalf("rollback left index behind: %+v", ix)
+		}
+	}
+
+	// Replay identity: the recorded session must replay bit-for-bit with a
+	// second snapshot+import round producing the same imported workload.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.json")
+	if err := db.WriteTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := livedb.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsnap, err := livedb.TakeSnapshot(ctx, replay)
+	if err != nil {
+		t.Fatalf("replayed snapshot: %v", err)
+	}
+	rimp, err := livedb.ImportPgStatStatements(ctx, replay, rsnap, livedb.ImportOptions{})
+	if err != nil {
+		t.Fatalf("replayed import: %v", err)
+	}
+	if len(rimp.Queries) != len(imp.Queries) {
+		t.Fatalf("replayed import has %d queries, live had %d", len(rimp.Queries), len(imp.Queries))
+	}
+	for i := range imp.Queries {
+		if rimp.Queries[i].SQL != imp.Queries[i].SQL || rimp.Queries[i].Weight != imp.Queries[i].Weight {
+			t.Errorf("replay diverged at %d: %+v vs %+v", i, rimp.Queries[i], imp.Queries[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package livedb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/livedb/pgwire"
+)
+
+// DB is a serialized handle over a Querier: the pgwire connection is a
+// single session, so all pipeline stages funnel through one mutex. It
+// optionally records every interaction for a later WriteTrace.
+type DB struct {
+	mu  sync.Mutex
+	q   Querier
+	rec *Recorder // non-nil when recording; q aliases it
+	dsn string    // redacted; empty for replay
+}
+
+// Open connects to a live PostgreSQL server.
+func Open(ctx context.Context, dsn string) (*DB, error) {
+	return open(ctx, dsn, false)
+}
+
+// OpenRecording connects like Open and records every interaction so the
+// session can be written out as a replay trace.
+func OpenRecording(ctx context.Context, dsn string) (*DB, error) {
+	return open(ctx, dsn, true)
+}
+
+func open(ctx context.Context, dsn string, record bool) (*DB, error) {
+	cfg, err := pgwire.ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := pgwire.ConnectConfig(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{q: conn, dsn: cfg.Redacted()}
+	if record {
+		db.rec = NewRecorder(conn)
+		db.q = db.rec
+	}
+	return db, nil
+}
+
+// OpenTrace opens an offline DB replaying the given trace file.
+func OpenTrace(path string) (*DB, error) {
+	t, err := LoadTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromTrace(t), nil
+}
+
+// NewFromTrace opens an offline DB over an in-memory trace.
+func NewFromTrace(t *Trace) *DB {
+	return &DB{q: NewReplayer(t)}
+}
+
+// NewFromQuerier wraps an arbitrary Querier (tests, fakes).
+func NewFromQuerier(q Querier) *DB { return &DB{q: q} }
+
+// NewRecordingFromQuerier wraps a Querier and records its interactions —
+// how the committed offline fixture is produced from the fake catalog.
+func NewRecordingFromQuerier(q Querier) *DB {
+	rec := NewRecorder(q)
+	return &DB{q: rec, rec: rec}
+}
+
+// Query issues one statement, serialized across goroutines.
+func (db *DB) Query(ctx context.Context, sql string) (*pgwire.Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.q.Query(ctx, sql)
+}
+
+// Parameter reports a connection-time server parameter.
+func (db *DB) Parameter(name string) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.q.Parameter(name)
+}
+
+// Source describes where the handle points: the redacted DSN online,
+// "replay" offline.
+func (db *DB) Source() string {
+	if db.dsn != "" {
+		return db.dsn
+	}
+	return "replay"
+}
+
+// Recording reports whether interactions are being recorded.
+func (db *DB) Recording() bool { return db.rec != nil }
+
+// WriteTrace persists the recorded interactions. It errors when the DB was
+// not opened in recording mode.
+func (db *DB) WriteTrace(path string) error {
+	if db.rec == nil {
+		return fmt.Errorf("livedb: not recording; open with OpenRecording")
+	}
+	return db.rec.Trace().WriteFile(path)
+}
+
+// Trace returns the recorded interactions so far (nil when not recording).
+func (db *DB) Trace() *Trace {
+	if db.rec == nil {
+		return nil
+	}
+	return db.rec.Trace()
+}
+
+// Close releases the underlying connection.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.q.Close()
+}

@@ -1,0 +1,200 @@
+// Package livedbtest provides a deterministic in-memory stand-in for a
+// small live PostgreSQL database: canned catalog, statistics, workload,
+// EXPLAIN, and DDL responses keyed by the exact SQL the livedb pipeline
+// issues. It backs the offline unit tests and regenerates the committed
+// replay fixture.
+package livedbtest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/livedb/pgwire"
+)
+
+// Fake is a scripted livedb.Querier. Responses are served by exact SQL
+// match first, then by the EXPLAIN/DDL handlers.
+type Fake struct {
+	mu      sync.Mutex
+	queries []string
+	// FailOn, when non-empty, makes any statement containing it fail with
+	// a connection-shaped error (no SQLSTATE) — the connection-loss edge.
+	FailOn string
+	// ServerErrOn, when non-empty, makes any statement containing it fail
+	// with a server error (SQLSTATE 42601).
+	ServerErrOn string
+	// BadExplain, when true, serves syntactically broken JSON to EXPLAIN.
+	BadExplain bool
+}
+
+// NewFake returns the canned "shopdb" database: customers (5k rows) and
+// orders (100k rows), one pre-existing index, six pg_stat_statements
+// templates.
+func NewFake() *Fake { return &Fake{} }
+
+// Queries reports every statement served, in order.
+func (f *Fake) Queries() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.queries...)
+}
+
+// Parameter mimics connection-time parameter status.
+func (f *Fake) Parameter(name string) string {
+	if name == "server_version" {
+		return "16.3 (livedbtest)"
+	}
+	return ""
+}
+
+// Close is a no-op.
+func (f *Fake) Close() error { return nil }
+
+func result(cols []string, rows ...[]string) *pgwire.Result {
+	return &pgwire.Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}
+}
+
+// Query serves one canned response.
+func (f *Fake) Query(_ context.Context, sql string) (*pgwire.Result, error) {
+	f.mu.Lock()
+	f.queries = append(f.queries, sql)
+	failOn, serverErrOn, badExplain := f.FailOn, f.ServerErrOn, f.BadExplain
+	f.mu.Unlock()
+
+	if failOn != "" && strings.Contains(sql, failOn) {
+		return nil, fmt.Errorf("pgwire: connection reset by peer (statement %.40q)", sql)
+	}
+	if serverErrOn != "" && strings.Contains(sql, serverErrOn) {
+		return nil, &pgwire.ServerError{Severity: "ERROR", Code: "42601",
+			Message: fmt.Sprintf("syntax error in %.40q", sql)}
+	}
+	if strings.HasPrefix(sql, "EXPLAIN (FORMAT JSON, COSTS TRUE) ") {
+		if badExplain {
+			return result([]string{"QUERY PLAN"}, []string{"Seq Scan on orders  (cost=0.00..2200.00)"}), nil
+		}
+		inner := strings.TrimPrefix(sql, "EXPLAIN (FORMAT JSON, COSTS TRUE) ")
+		cost, ok := explainCosts[inner]
+		if !ok {
+			// Unscripted probes still succeed deterministically: cost
+			// scales with statement length so distinct statements differ.
+			cost = 1000 + float64(len(inner))
+		}
+		plan := fmt.Sprintf(`[{"Plan": {"Node Type": "Seq Scan", "Total Cost": %.2f, "Plan Rows": 1000}}]`, cost)
+		return result([]string{"QUERY PLAN"}, []string{plan}), nil
+	}
+	if strings.HasPrefix(sql, "CREATE INDEX") {
+		return &pgwire.Result{Tag: "CREATE INDEX"}, nil
+	}
+	if strings.HasPrefix(sql, "DROP INDEX") {
+		return &pgwire.Result{Tag: "DROP INDEX"}, nil
+	}
+	if res, ok := catalogResponses[sql]; ok {
+		return res, nil
+	}
+	return nil, &pgwire.ServerError{Severity: "ERROR", Code: "0A000",
+		Message: fmt.Sprintf("livedbtest: unscripted statement %q", sql)}
+}
+
+// explainCosts pins probe costs for the statements the pipeline actually
+// explains. The full-scan cost matches the analytical model exactly
+// (1200 pages * seq_page_cost + 100000 rows * cpu_tuple_cost = 2200), so
+// cross-checks can assert tight agreement offline too.
+var explainCosts = map[string]float64{
+	"SELECT orders.order_id, orders.customer_id, orders.amount, orders.status FROM orders": 2200,
+	"SELECT order_id, customer_id, amount, status FROM orders":                             2200,
+}
+
+var catalogResponses = map[string]*pgwire.Result{
+	"SELECT current_database()": result([]string{"current_database"}, []string{"shopdb"}),
+
+	"SELECT c.relname, c.reltuples::bigint, c.relpages FROM pg_class c " +
+		"JOIN pg_namespace n ON n.oid = c.relnamespace " +
+		"WHERE n.nspname = 'public' AND c.relkind = 'r' ORDER BY c.relname": result(
+		[]string{"relname", "reltuples", "relpages"},
+		[]string{"customers", "5000", "60"},
+		[]string{"orders", "100000", "1200"},
+	),
+
+	"SELECT c.relname, a.attname, t.typname FROM pg_attribute a " +
+		"JOIN pg_class c ON c.oid = a.attrelid " +
+		"JOIN pg_namespace n ON n.oid = c.relnamespace " +
+		"JOIN pg_type t ON t.oid = a.atttypid " +
+		"WHERE n.nspname = 'public' AND c.relkind = 'r' AND a.attnum > 0 AND NOT a.attisdropped " +
+		"ORDER BY c.relname, a.attnum": result(
+		[]string{"relname", "attname", "typname"},
+		[]string{"customers", "customer_id", "int4"},
+		[]string{"customers", "region", "text"},
+		[]string{"orders", "order_id", "int8"},
+		[]string{"orders", "customer_id", "int4"},
+		[]string{"orders", "amount", "float8"},
+		[]string{"orders", "status", "text"},
+	),
+
+	"SELECT c.relname, a.attname FROM pg_index i " +
+		"JOIN pg_class c ON c.oid = i.indrelid " +
+		"JOIN pg_namespace n ON n.oid = c.relnamespace " +
+		"JOIN pg_attribute a ON a.attrelid = c.oid AND a.attnum = ANY(i.indkey) " +
+		"WHERE i.indisprimary AND n.nspname = 'public' " +
+		"ORDER BY c.relname, array_position(i.indkey, a.attnum)": result(
+		[]string{"relname", "attname"},
+		[]string{"customers", "customer_id"},
+		[]string{"orders", "order_id"},
+	),
+
+	"SELECT c.relname, ic.relname, a.attname FROM pg_index i " +
+		"JOIN pg_class c ON c.oid = i.indrelid " +
+		"JOIN pg_class ic ON ic.oid = i.indexrelid " +
+		"JOIN pg_namespace n ON n.oid = c.relnamespace " +
+		"JOIN pg_attribute a ON a.attrelid = c.oid AND a.attnum = ANY(i.indkey) " +
+		"WHERE NOT i.indisprimary AND n.nspname = 'public' " +
+		"ORDER BY c.relname, ic.relname, array_position(i.indkey, a.attnum)": result(
+		[]string{"relname", "indexname", "attname"},
+		[]string{"customers", "customers_region_idx", "region"},
+	),
+
+	"SELECT tablename, attname, null_frac, avg_width, n_distinct, " +
+		"COALESCE(correlation, 0), most_common_vals::text, most_common_freqs::text, histogram_bounds::text " +
+		"FROM pg_stats WHERE schemaname = 'public' ORDER BY tablename, attname": result(
+		[]string{"tablename", "attname", "null_frac", "avg_width", "n_distinct",
+			"correlation", "most_common_vals", "most_common_freqs", "histogram_bounds"},
+		[]string{"customers", "customer_id", "0", "4", "-1", "1", "", "",
+			"{1,625,1250,1875,2500,3125,3750,4375,5000}"},
+		[]string{"customers", "region", "0", "6", "5", "0.2",
+			"{east,west,north,south}", "{0.4,0.3,0.2,0.08}", ""},
+		[]string{"orders", "amount", "0", "8", "-0.5", "0.05", "", "",
+			"{1.5,125.25,250.5,375.75,500.99,626.1,751.25,876.5,999.99}"},
+		[]string{"orders", "customer_id", "0", "4", "5000", "0.1",
+			"{17,42,99}", "{0.02,0.015,0.01}", "{1,625,1250,1875,2500,3125,3750,4375,5000}"},
+		[]string{"orders", "order_id", "0", "8", "-1", "1", "", "",
+			"{1,12500,25000,37500,50000,62500,75000,87500,100000}"},
+		[]string{"orders", "status", "0.01", "7", "4", "0.3",
+			`{shipped,pending,cancelled,returned}`, "{0.6,0.3,0.05,0.04}", ""},
+	),
+
+	"SELECT name, setting FROM pg_settings WHERE name IN " +
+		"('seq_page_cost','random_page_cost','cpu_tuple_cost','cpu_index_tuple_cost'," +
+		"'cpu_operator_cost','effective_cache_size') ORDER BY name": result(
+		[]string{"name", "setting"},
+		[]string{"cpu_index_tuple_cost", "0.005"},
+		[]string{"cpu_operator_cost", "0.0025"},
+		[]string{"cpu_tuple_cost", "0.01"},
+		[]string{"effective_cache_size", "524288"},
+		[]string{"random_page_cost", "1.1"},
+		[]string{"seq_page_cost", "1"},
+	),
+
+	"SELECT s.query, s.calls FROM pg_stat_statements s " +
+		"JOIN pg_database d ON d.oid = s.dbid " +
+		"WHERE d.datname = current_database() ORDER BY s.calls DESC, s.query": result(
+		[]string{"query", "calls"},
+		[]string{"SELECT order_id, amount FROM orders WHERE customer_id = $1", "1200"},
+		[]string{"UPDATE orders SET status = $1 WHERE order_id = $2", "800"},
+		[]string{"SELECT o.order_id, o.amount FROM orders o, customers c " +
+			"WHERE o.customer_id = c.customer_id AND c.region = $1", "300"},
+		[]string{"SELECT count(*) FROM orders WHERE amount BETWEEN $1 AND $2", "150"},
+		[]string{"SELECT order_id, customer_id, amount, status FROM orders", "25"},
+		[]string{"BEGIN", "20"},
+	),
+}

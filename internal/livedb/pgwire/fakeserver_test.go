@@ -1,0 +1,354 @@
+package pgwire
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// fakeServer is an in-process PostgreSQL backend speaking just enough of
+// the 3.0 protocol to exercise the client: startup, the four supported
+// auth flows, and the simple query protocol. It doubles as the offline
+// stand-in for the livedb integration tests' wire layer.
+type fakeServer struct {
+	ln       net.Listener
+	auth     string // "trust", "cleartext", "md5", "scram"
+	user     string
+	password string
+	params   map[string]string
+	// handle serves one query; returning a *ServerError emits an
+	// ErrorResponse (the connection stays up, as in PostgreSQL).
+	handle func(sql string) (*Result, *ServerError)
+	// dropDuringQuery severs the TCP connection mid-response for the given
+	// SQL text — the connection-loss failure edge.
+	dropDuringQuery string
+
+	mu   sync.Mutex
+	logs []string // every SQL received, in order
+}
+
+func newFakeServer(auth, user, password string, handle func(string) (*Result, *ServerError)) (*fakeServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &fakeServer{
+		ln: ln, auth: auth, user: user, password: password,
+		params: map[string]string{"server_version": "16.3 (fake)", "server_encoding": "UTF8"},
+		handle: handle,
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *fakeServer) addr() string { return s.ln.Addr().String() }
+func (s *fakeServer) dsn() string {
+	host, port, _ := net.SplitHostPort(s.addr())
+	return fmt.Sprintf("postgres://%s:%s@%s:%s/fakedb?sslmode=disable", s.user, s.password, host, port)
+}
+func (s *fakeServer) close() { s.ln.Close() }
+
+func (s *fakeServer) queries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.logs...)
+}
+
+func (s *fakeServer) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(c)
+	}
+}
+
+func (s *fakeServer) serve(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReader(c)
+	// Startup message: untyped frame.
+	var lenb [4]byte
+	if _, err := readFull(r, lenb[:]); err != nil {
+		return
+	}
+	n := int(binary.BigEndian.Uint32(lenb[:]))
+	body := make([]byte, n-4)
+	if _, err := readFull(r, body); err != nil {
+		return
+	}
+	if !s.authenticate(c, r) {
+		return
+	}
+	writeAuthCode(c, 0)
+	for k, v := range s.params {
+		var m msgBuilder
+		m.byte1('S')
+		m.cstring(k)
+		m.cstring(v)
+		c.Write(m.bytes())
+	}
+	writeReady(c)
+
+	for {
+		typ, payload, err := readBackendMessage(r)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case 'Q':
+			sql := strings.TrimRight(string(payload), "\x00")
+			s.mu.Lock()
+			s.logs = append(s.logs, sql)
+			drop := s.dropDuringQuery != "" && strings.Contains(sql, s.dropDuringQuery)
+			s.mu.Unlock()
+			if drop {
+				// Emit a partial response, then sever the connection.
+				writeRowDescription(c, []string{"partial"})
+				return
+			}
+			res, srvErr := s.handle(sql)
+			if srvErr != nil {
+				writeServerError(c, srvErr)
+				writeReady(c)
+				continue
+			}
+			if len(res.Cols) > 0 {
+				writeRowDescription(c, res.Cols)
+				for _, row := range res.Rows {
+					writeDataRow(c, row)
+				}
+			}
+			tag := res.Tag
+			if tag == "" {
+				tag = fmt.Sprintf("SELECT %d", len(res.Rows))
+			}
+			var m msgBuilder
+			m.byte1('C')
+			m.cstring(tag)
+			c.Write(m.bytes())
+			writeReady(c)
+		case 'X':
+			return
+		default:
+			_ = payload
+			return
+		}
+	}
+}
+
+func (s *fakeServer) authenticate(c net.Conn, r *bufio.Reader) bool {
+	fail := func() bool {
+		writeServerError(c, &ServerError{Severity: "FATAL", Code: "28P01",
+			Message: fmt.Sprintf("password authentication failed for user %q", s.user)})
+		return false
+	}
+	switch s.auth {
+	case "trust", "":
+		return true
+	case "cleartext":
+		writeAuthCode(c, 3)
+		pw, ok := readPasswordMessage(r)
+		if !ok || pw != s.password {
+			return fail()
+		}
+		return true
+	case "md5":
+		salt := []byte{0x01, 0x23, 0x45, 0x67}
+		var m msgBuilder
+		m.byte1('R')
+		m.int32(5)
+		m.raw(salt)
+		c.Write(m.bytes())
+		pw, ok := readPasswordMessage(r)
+		if !ok || pw != md5Password(s.user, s.password, salt) {
+			return fail()
+		}
+		return true
+	case "scram":
+		return s.scramExchange(c, r) || fail()
+	default:
+		panic("unknown auth mode " + s.auth)
+	}
+}
+
+// scramExchange runs the server side of SCRAM-SHA-256 using the same
+// primitives the client is built on.
+func (s *fakeServer) scramExchange(c net.Conn, r *bufio.Reader) bool {
+	var m msgBuilder
+	m.byte1('R')
+	m.int32(10)
+	m.cstring("SCRAM-SHA-256")
+	m.raw([]byte{0})
+	c.Write(m.bytes())
+
+	typ, payload, err := readBackendMessage(r)
+	if err != nil || typ != 'p' {
+		return false
+	}
+	// SASLInitialResponse: mechanism\0 int32 len, body.
+	z := 0
+	for z < len(payload) && payload[z] != 0 {
+		z++
+	}
+	if string(payload[:z]) != "SCRAM-SHA-256" || len(payload) < z+5 {
+		return false
+	}
+	clientFirst := string(payload[z+5:])
+	parts := strings.Split(clientFirst, ",")
+	var clientNonce string
+	for _, p := range parts {
+		if strings.HasPrefix(p, "r=") {
+			clientNonce = p[2:]
+		}
+	}
+	if clientNonce == "" {
+		return false
+	}
+	bare := clientFirst[strings.Index(clientFirst, "n="):]
+
+	saltRaw := make([]byte, 16)
+	rand.Read(saltRaw)
+	ext := make([]byte, 12)
+	rand.Read(ext)
+	combined := clientNonce + base64.StdEncoding.EncodeToString(ext)
+	const iters = 4096
+	serverFirst := fmt.Sprintf("r=%s,s=%s,i=%d", combined, base64.StdEncoding.EncodeToString(saltRaw), iters)
+	var cont msgBuilder
+	cont.byte1('R')
+	cont.int32(11)
+	cont.raw([]byte(serverFirst))
+	c.Write(cont.bytes())
+
+	typ, payload, err = readBackendMessage(r)
+	if err != nil || typ != 'p' {
+		return false
+	}
+	clientFinal := string(payload)
+	proofIdx := strings.LastIndex(clientFinal, ",p=")
+	if proofIdx < 0 {
+		return false
+	}
+	withoutProof := clientFinal[:proofIdx]
+	proof, err := base64.StdEncoding.DecodeString(clientFinal[proofIdx+3:])
+	if err != nil {
+		return false
+	}
+
+	salted := pbkdf2SHA256([]byte(s.password), saltRaw, iters, sha256.Size)
+	clientKey := hmacSHA256(salted, []byte("Client Key"))
+	storedKey := sha256.Sum256(clientKey)
+	authMessage := bare + "," + serverFirst + "," + withoutProof
+	clientSig := hmacSHA256(storedKey[:], []byte(authMessage))
+	recovered := make([]byte, len(proof))
+	for i := range proof {
+		recovered[i] = proof[i] ^ clientSig[i]
+	}
+	got := sha256.Sum256(recovered)
+	if got != storedKey {
+		return false
+	}
+	serverKey := hmacSHA256(salted, []byte("Server Key"))
+	serverSig := hmacSHA256(serverKey, []byte(authMessage))
+	var fin msgBuilder
+	fin.byte1('R')
+	fin.int32(12)
+	fin.raw([]byte("v=" + base64.StdEncoding.EncodeToString(serverSig)))
+	c.Write(fin.bytes())
+	return true
+}
+
+func readBackendMessage(r *bufio.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := readFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:5]))
+	body := make([]byte, n-4)
+	if _, err := readFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+func readPasswordMessage(r *bufio.Reader) (string, bool) {
+	typ, body, err := readBackendMessage(r)
+	if err != nil || typ != 'p' {
+		return "", false
+	}
+	return strings.TrimRight(string(body), "\x00"), true
+}
+
+func writeAuthCode(c net.Conn, code int32) {
+	var m msgBuilder
+	m.byte1('R')
+	m.int32(code)
+	c.Write(m.bytes())
+}
+
+func writeReady(c net.Conn) {
+	var m msgBuilder
+	m.byte1('Z')
+	m.raw([]byte{'I'})
+	c.Write(m.bytes())
+}
+
+func writeRowDescription(c net.Conn, cols []string) {
+	var m msgBuilder
+	m.byte1('T')
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(cols)))
+	m.raw(n[:])
+	for i, col := range cols {
+		m.cstring(col)
+		field := make([]byte, 18)
+		binary.BigEndian.PutUint32(field[0:4], 0)          // table OID
+		binary.BigEndian.PutUint16(field[4:6], uint16(i))  // attnum
+		binary.BigEndian.PutUint32(field[6:10], 25)        // text OID
+		binary.BigEndian.PutUint16(field[10:12], 0xFFFF)   // typlen -1
+		binary.BigEndian.PutUint32(field[12:16], 0xFFFFFF) // typmod
+		binary.BigEndian.PutUint16(field[16:18], 0)        // text format
+		m.raw(field)
+	}
+	c.Write(m.bytes())
+}
+
+// nullMarker is the fake server's in-band representation of SQL NULL in
+// canned rows (sent as a -1 length on the wire).
+const nullMarker = "\x00NULL"
+
+func writeDataRow(c net.Conn, row []string) {
+	var m msgBuilder
+	m.byte1('D')
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(row)))
+	m.raw(n[:])
+	for _, v := range row {
+		if v == nullMarker {
+			m.int32(-1)
+			continue
+		}
+		m.int32(int32(len(v)))
+		m.raw([]byte(v))
+	}
+	c.Write(m.bytes())
+}
+
+func writeServerError(c net.Conn, e *ServerError) {
+	var m msgBuilder
+	m.byte1('E')
+	m.raw([]byte{'S'})
+	m.cstring(e.Severity)
+	m.raw([]byte{'C'})
+	m.cstring(e.Code)
+	m.raw([]byte{'M'})
+	m.cstring(e.Message)
+	m.raw([]byte{0})
+	c.Write(m.bytes())
+}

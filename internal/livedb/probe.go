@@ -1,0 +1,90 @@
+package livedb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ExplainCost runs EXPLAIN (FORMAT JSON) on the statement and returns the
+// plan's total cost in the server's cost units. A response that is not a
+// single JSON plan document is an explicit error — the unparsable-plan
+// failure edge, not a zero.
+func ExplainCost(ctx context.Context, db *DB, sql string) (float64, error) {
+	res, err := db.Query(ctx, "EXPLAIN (FORMAT JSON, COSTS TRUE) "+sql)
+	if err != nil {
+		return 0, fmt.Errorf("livedb: explain probe: %w", err)
+	}
+	var raw strings.Builder
+	for _, r := range res.Rows {
+		if len(r) > 0 {
+			raw.WriteString(r[0])
+			raw.WriteByte('\n')
+		}
+	}
+	var doc []struct {
+		Plan struct {
+			TotalCost *float64 `json:"Total Cost"`
+		} `json:"Plan"`
+	}
+	if err := json.Unmarshal([]byte(raw.String()), &doc); err != nil {
+		return 0, fmt.Errorf("livedb: unparsable EXPLAIN output for %q: %w", sql, err)
+	}
+	if len(doc) == 0 || doc[0].Plan.TotalCost == nil {
+		return 0, fmt.Errorf("livedb: unparsable EXPLAIN output for %q: no Plan.Total Cost", sql)
+	}
+	return *doc[0].Plan.TotalCost, nil
+}
+
+// CostedQuery pairs a statement with the calibrated model's cost for it.
+type CostedQuery struct {
+	ID        string
+	SQL       string
+	ModelCost float64
+}
+
+// ProbeResult is one EXPLAIN cross-check sample.
+type ProbeResult struct {
+	ID          string
+	SQL         string
+	ModelCost   float64
+	ExplainCost float64
+	// RelErr is |model-explain| / max(explain, 1).
+	RelErr float64
+}
+
+// CrossCheckReport summarizes model-vs-EXPLAIN agreement.
+type CrossCheckReport struct {
+	Probes    []ProbeResult
+	Tolerance float64
+	MaxRelErr float64
+	// Pass is true when every probe's relative error is within Tolerance.
+	Pass bool
+}
+
+// CrossCheck probes each costed query with EXPLAIN and compares against the
+// model cost. It returns an error only when a probe itself fails (the
+// server rejected the statement, the plan was unparsable); disagreement is
+// reported, not an error — callers decide how to treat a failing check.
+func CrossCheck(ctx context.Context, db *DB, queries []CostedQuery, tolerance float64) (*CrossCheckReport, error) {
+	rep := &CrossCheckReport{Tolerance: tolerance, Pass: true}
+	for _, q := range queries {
+		ec, err := ExplainCost(ctx, db, q.SQL)
+		if err != nil {
+			return nil, err
+		}
+		rel := math.Abs(q.ModelCost-ec) / math.Max(ec, 1)
+		rep.Probes = append(rep.Probes, ProbeResult{
+			ID: q.ID, SQL: q.SQL, ModelCost: q.ModelCost, ExplainCost: ec, RelErr: rel,
+		})
+		if rel > rep.MaxRelErr {
+			rep.MaxRelErr = rel
+		}
+		if rel > tolerance {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}

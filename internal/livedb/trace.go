@@ -1,0 +1,211 @@
+package livedb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/livedb/pgwire"
+)
+
+// TraceVersion is the on-disk schema version of live-interaction traces.
+// Bump it when Call changes incompatibly; version mismatches fail loudly at
+// load time rather than mis-replaying.
+const TraceVersion = 1
+
+// Querier is the one seam between the live pipeline and the server: every
+// catalog snapshot, workload import, EXPLAIN probe, and DDL apply issues
+// SQL through it. pgwire.Conn satisfies it online; Replayer satisfies it
+// offline from a recorded trace.
+type Querier interface {
+	Query(ctx context.Context, sql string) (*pgwire.Result, error)
+	// Parameter reports a server parameter captured at connection time
+	// (e.g. "server_version"); empty when unknown.
+	Parameter(name string) string
+	Close() error
+}
+
+// Call is one recorded SQL interaction: the statement and either its result
+// or its error. Server errors keep their SQLSTATE so replay reproduces the
+// error class (a 42P01 replays as a *pgwire.ServerError, a connection loss
+// as a plain I/O-shaped error).
+type Call struct {
+	SQL     string     `json:"sql"`
+	Cols    []string   `json:"cols,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Tag     string     `json:"tag,omitempty"`
+	Err     string     `json:"err,omitempty"`
+	ErrCode string     `json:"err_code,omitempty"` // SQLSTATE when the error came from the server
+}
+
+// Trace is a recorded sequence of live-database interactions plus the
+// server parameters observed at connect time.
+type Trace struct {
+	Version int               `json:"version"`
+	Server  map[string]string `json:"server,omitempty"`
+	Calls   []Call            `json:"calls"`
+}
+
+// LoadTrace reads a trace file written by WriteFile.
+func LoadTrace(path string) (*Trace, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("livedb: load trace: %w", err)
+	}
+	var t Trace
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("livedb: load trace %s: %w", path, err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("livedb: trace %s has version %d, this build reads version %d",
+			path, t.Version, TraceVersion)
+	}
+	return &t, nil
+}
+
+// WriteFile persists the trace as indented JSON. Calls are kept in recorded
+// order and map keys marshal sorted, so identical interactions produce
+// byte-identical files — the bit-determinism the offline CI contract rests
+// on.
+func (t *Trace) WriteFile(path string) error {
+	if t.Version == 0 {
+		t.Version = TraceVersion
+	}
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Recorder wraps a Querier and appends every interaction — results and
+// errors alike — to a Trace.
+type Recorder struct {
+	inner Querier
+
+	mu    sync.Mutex
+	trace Trace
+}
+
+// NewRecorder starts recording over inner. Server parameters that matter
+// for replay fidelity are captured lazily via Parameter.
+func NewRecorder(inner Querier) *Recorder {
+	return &Recorder{inner: inner, trace: Trace{Version: TraceVersion, Server: map[string]string{}}}
+}
+
+// Query forwards to the wrapped querier and records the outcome.
+func (r *Recorder) Query(ctx context.Context, sql string) (*pgwire.Result, error) {
+	res, err := r.inner.Query(ctx, sql)
+	call := Call{SQL: sql}
+	if err != nil {
+		call.Err = err.Error()
+		var se *pgwire.ServerError
+		if errors.As(err, &se) {
+			call.ErrCode = se.Code
+			call.Err = se.Message
+		}
+	} else {
+		call.Cols = res.Cols
+		call.Rows = res.Rows
+		call.Tag = res.Tag
+	}
+	r.mu.Lock()
+	r.trace.Calls = append(r.trace.Calls, call)
+	r.mu.Unlock()
+	return res, err
+}
+
+// Parameter forwards to the wrapped querier, recording the value so replay
+// can serve it.
+func (r *Recorder) Parameter(name string) string {
+	v := r.inner.Parameter(name)
+	r.mu.Lock()
+	r.trace.Server[name] = v
+	r.mu.Unlock()
+	return v
+}
+
+// Close closes the wrapped querier. The trace remains readable.
+func (r *Recorder) Close() error { return r.inner.Close() }
+
+// Trace returns a snapshot of everything recorded so far.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := Trace{Version: r.trace.Version, Server: map[string]string{}, Calls: append([]Call(nil), r.trace.Calls...)}
+	for k, v := range r.trace.Server {
+		out.Server[k] = v
+	}
+	return &out
+}
+
+// Replayer serves recorded calls keyed by SQL text: each statement's calls
+// replay in recorded order, and the last one sticks so idempotent re-reads
+// (catalog queries issued twice) keep working. A statement with no recorded
+// call is a loud error — a replay trace must cover everything the pipeline
+// asks, otherwise the offline test would silently diverge from the online
+// run.
+type Replayer struct {
+	trace *Trace
+
+	mu     sync.Mutex
+	cursor map[string]int // next unconsumed call index per SQL
+	queues map[string][]int
+}
+
+// NewReplayer indexes the trace for replay.
+func NewReplayer(t *Trace) *Replayer {
+	r := &Replayer{trace: t, cursor: map[string]int{}, queues: map[string][]int{}}
+	for i, c := range t.Calls {
+		r.queues[c.SQL] = append(r.queues[c.SQL], i)
+	}
+	return r
+}
+
+// Query serves the next recorded call for sql.
+func (r *Replayer) Query(_ context.Context, sql string) (*pgwire.Result, error) {
+	r.mu.Lock()
+	q := r.queues[sql]
+	if len(q) == 0 {
+		r.mu.Unlock()
+		return nil, r.missError(sql)
+	}
+	pos := r.cursor[sql]
+	if pos >= len(q) {
+		pos = len(q) - 1 // sticky last
+	}
+	r.cursor[sql] = pos + 1
+	call := r.trace.Calls[q[pos]]
+	r.mu.Unlock()
+
+	if call.Err != "" {
+		if call.ErrCode != "" {
+			return nil, &pgwire.ServerError{Severity: "ERROR", Code: call.ErrCode, Message: call.Err}
+		}
+		return nil, fmt.Errorf("livedb: replayed error for %q: %s", sql, call.Err)
+	}
+	return &pgwire.Result{Cols: call.Cols, Rows: call.Rows, Tag: call.Tag}, nil
+}
+
+func (r *Replayer) missError(sql string) error {
+	known := make([]string, 0, len(r.queues))
+	for k := range r.queues {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	near := ""
+	if len(known) > 0 {
+		near = fmt.Sprintf("; trace covers %d distinct statements, e.g. %.80q", len(known), known[0])
+	}
+	return fmt.Errorf("livedb: replay miss: no recorded call for %q%s", sql, near)
+}
+
+// Parameter serves the recorded server parameter.
+func (r *Replayer) Parameter(name string) string { return r.trace.Server[name] }
+
+// Close is a no-op for replay.
+func (r *Replayer) Close() error { return nil }
